@@ -1,0 +1,33 @@
+-- xnfdb tour: run with
+--   dune exec bin/xnfdb.exe -- run examples/scripts/tour.sql
+
+CREATE TABLE dept (dno INT NOT NULL, dname STRING, loc STRING, PRIMARY KEY (dno));
+CREATE TABLE emp (eno INT NOT NULL, ename STRING, sal INT, edno INT, PRIMARY KEY (eno));
+
+INSERT INTO dept VALUES (1, 'tools', 'ARC'), (2, 'db', 'ARC'), (3, 'remote', 'HAW');
+INSERT INTO emp VALUES (10, 'anna', 100, 1), (11, 'ben', 90, 1), (12, 'carol', 120, 2), (13, 'dave', 80, 3);
+
+-- a plain SQL query
+SELECT dname, COUNT(*) FROM dept, emp WHERE dno = edno GROUP BY dname ORDER BY dname;
+
+-- a composite-object view (XNF): extract departments at ARC with their staff
+OUT OF xdept AS (SELECT * FROM dept WHERE loc = 'ARC'),
+       xemp AS emp,
+       employment AS (RELATE xdept VIA EMPLOYS, xemp WHERE xdept.dno = xemp.edno)
+TAKE *;
+
+-- store it as a view; its components are tables to SQL
+CREATE VIEW deps_arc AS
+OUT OF xdept AS (SELECT * FROM dept WHERE loc = 'ARC'),
+       xemp AS emp,
+       employment AS (RELATE xdept VIA EMPLOYS, xemp WHERE xdept.dno = xemp.edno)
+TAKE *;
+
+SELECT ename, sal FROM deps_arc.xemp ORDER BY sal DESC;
+
+-- updatable-view translation with transactional safety
+BEGIN;
+UPDATE deps_arc.xemp SET sal = sal + 10 WHERE ename = 'anna';
+COMMIT;
+
+SELECT ename, sal FROM emp WHERE eno = 10;
