@@ -1,0 +1,1 @@
+bench/main.ml: Bench_util Cocache Engine Executor Hashtbl List Printf Relcore Starq String Workloads Xnf

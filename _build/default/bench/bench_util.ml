@@ -1,0 +1,67 @@
+(** Timing and reporting helpers for the reproduction benches. *)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let t1 = Unix.gettimeofday () in
+  (r, t1 -. t0)
+
+(** Median wall-clock seconds over [repeat] runs (after one warmup). *)
+let time_median ?(repeat = 5) f =
+  ignore (f ());
+  let samples =
+    List.init repeat (fun _ ->
+        let _, dt = time_once f in
+        dt)
+    |> List.sort compare
+  in
+  List.nth samples (repeat / 2)
+
+let ms dt = dt *. 1000.0
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subheader title = Printf.printf "\n-- %s --\n" title
+
+let row fmt = Printf.printf fmt
+
+(* -- bechamel ------------------------------------------------------------ *)
+
+open Bechamel
+
+let bechamel_tests : Test.t list ref = ref []
+
+(** Register a micro-benchmark (one per reproduced table/figure). *)
+let register_bechamel ~name f =
+  bechamel_tests :=
+    !bechamel_tests @ [ Test.make ~name (Staged.stage f) ]
+
+let run_bechamel () =
+  header "Bechamel micro-benchmarks (one per table/figure)";
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) ~kde:None
+      ~stabilize:false ()
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+            let unit_str, v =
+              if est > 1e9 then ("s ", est /. 1e9)
+              else if est > 1e6 then ("ms", est /. 1e6)
+              else if est > 1e3 then ("us", est /. 1e3)
+              else ("ns", est)
+            in
+            Printf.printf "  %-28s %10.2f %s/run\n" name v unit_str
+          | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+        results)
+    !bechamel_tests

@@ -1,0 +1,1 @@
+examples/design_hierarchy.ml: Cocache Engine Hashtbl List Printf Relcore String Unix Workloads Xnf

@@ -1,0 +1,1 @@
+examples/gateway.ml: Array Cocache Engine List Printf Relcore String Workloads Xnf

@@ -1,0 +1,1 @@
+examples/order_catalog.ml: Array Cocache Engine Filename List Printf Relcore String Sys Workloads Xnf

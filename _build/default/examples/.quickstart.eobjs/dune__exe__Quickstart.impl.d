@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cocache Engine List Printf Relcore String Xnf

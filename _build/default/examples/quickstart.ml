@@ -1,0 +1,119 @@
+(* Quickstart: the paper's Fig. 1 example end to end.
+
+   - create the org database (plain SQL DDL/DML),
+   - define the deps_ARC composite-object view in XNF,
+   - extract it with one set-oriented query,
+   - load the CO cache and navigate it with cursors and paths,
+   - update through the cache and write back.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Db = Engine.Database
+module Ws = Cocache.Workspace
+module Cur = Cocache.Cursor
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let deps_arc =
+  "OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),\n\
+  \       xemp AS EMP,\n\
+  \       xproj AS PROJ,\n\
+  \       xskills AS SKILLS,\n\
+  \       employment AS (RELATE xdept VIA EMPLOYS, xemp WHERE xdept.dno = \
+   xemp.edno),\n\
+  \       ownership AS (RELATE xdept VIA HAS, xproj WHERE xdept.dno = \
+   xproj.pdno),\n\
+  \       empproperty AS (RELATE xemp VIA POSSESSES, xskills USING EMPSKILLS \
+   es WHERE xemp.eno = es.eseno AND es.essno = xskills.sno),\n\
+  \       projproperty AS (RELATE xproj VIA NEEDS, xskills USING PROJSKILLS \
+   ps WHERE xproj.pno = ps.pspno AND ps.pssno = xskills.sno)\n\
+   TAKE *"
+
+let () =
+  section "1. relational database (plain SQL)";
+  let db = Db.create () in
+  ignore
+    (Db.exec_script db
+       "CREATE TABLE dept (dno INT NOT NULL, dname STRING, loc STRING, \
+        PRIMARY KEY (dno));\n\
+        CREATE TABLE emp (eno INT NOT NULL, ename STRING, sal INT, edno INT, \
+        PRIMARY KEY (eno));\n\
+        CREATE TABLE proj (pno INT NOT NULL, pname STRING, budget INT, pdno \
+        INT, PRIMARY KEY (pno));\n\
+        CREATE TABLE skills (sno INT NOT NULL, sname STRING, PRIMARY KEY \
+        (sno));\n\
+        CREATE TABLE empskills (eseno INT NOT NULL, essno INT NOT NULL);\n\
+        CREATE TABLE projskills (pspno INT NOT NULL, pssno INT NOT NULL);\n\
+        INSERT INTO dept VALUES (1, 'tools', 'ARC'), (2, 'db', 'ARC'), (3, \
+        'remote', 'HAW');\n\
+        INSERT INTO emp VALUES (10, 'anna', 100, 1), (11, 'ben', 90, 1), \
+        (12, 'carol', 120, 2), (13, 'dave', 80, 3);\n\
+        INSERT INTO proj VALUES (20, 'p1', 1000, 1), (21, 'p2', 2000, 2), \
+        (22, 'p3', 500, 3);\n\
+        INSERT INTO skills VALUES (30, 'ml'), (31, 'db'), (32, 'os'), (33, \
+        'ui'), (34, 'hw');\n\
+        INSERT INTO empskills VALUES (10, 30), (10, 31), (11, 31), (12, 33), \
+        (13, 32);\n\
+        INSERT INTO projskills VALUES (20, 31), (21, 33), (21, 34), (22, 32)");
+  let schema, rows = Db.query db "SELECT dno, dname, loc FROM dept ORDER BY dno" in
+  print_endline (Db.render schema rows);
+
+  section "2. the deps_ARC composite-object view (XNF)";
+  ignore (Db.exec db ("CREATE VIEW deps_arc AS " ^ deps_arc));
+  print_endline "view stored; extracting with one set-oriented query...";
+  let stream = Xnf.Xnf_compile.run_view db "deps_arc" in
+  List.iter
+    (fun (comp, n) -> Printf.printf "  %-14s %d tuples\n" comp n)
+    (Xnf.Hetstream.counts stream);
+  Printf.printf "  (one bulk message: %d bytes on the wire)\n"
+    (String.length (Xnf.Hetstream.serialize stream));
+
+  section "3. CO cache: navigation via cursors";
+  let ws = Ws.of_stream stream in
+  let depts = Cur.open_component ws "xdept" in
+  Cur.iter
+    (fun dept ->
+      Printf.printf "department %s\n"
+        (Relcore.Value.to_string (Ws.get ws dept "dname"));
+      let emps = Cur.open_children dept ~rel:"employment" in
+      Cur.iter
+        (fun emp ->
+          let skills =
+            Cocache.Conode.children emp ~rel:"empproperty"
+            |> List.map (fun s -> Relcore.Value.to_string (Ws.get ws s "sname"))
+          in
+          Printf.printf "  emp %-6s sal=%-4s skills={%s}\n"
+            (Relcore.Value.to_string (Ws.get ws emp "ename"))
+            (Relcore.Value.to_string (Ws.get ws emp "sal"))
+            (String.concat ", " skills))
+        emps;
+      let projs = Cur.open_children dept ~rel:"ownership" in
+      Cur.iter
+        (fun p ->
+          Printf.printf "  proj %-6s budget=%s\n"
+            (Relcore.Value.to_string (Ws.get ws p "pname"))
+            (Relcore.Value.to_string (Ws.get ws p "budget")))
+        projs)
+    depts;
+
+  section "4. path expressions";
+  let skills = Cocache.Path.eval ws "xdept.employment.xemp.empproperty.xskills" in
+  Printf.printf "skills reachable through ARC employees: %s\n"
+    (String.concat ", "
+       (List.map
+          (fun n -> Relcore.Value.to_string (Ws.get ws n "sname"))
+          skills));
+
+  section "5. update through the cache, write back";
+  let ast = Xnf.Xnf_parser.parse deps_arc in
+  let anna =
+    List.find
+      (fun n -> Relcore.Value.to_string (Ws.get ws n "ename") = "anna")
+      (Ws.nodes ws "xemp")
+  in
+  Ws.update ws anna [ ("sal", Relcore.Value.Int 130) ];
+  let sqls = Cocache.Update.flush db ast ws in
+  List.iter (fun s -> Printf.printf "executed: %s\n" s) sqls;
+  let schema, rows = Db.query db "SELECT ename, sal FROM emp WHERE eno = 10" in
+  print_endline (Db.render schema rows);
+  print_endline "\ndone."

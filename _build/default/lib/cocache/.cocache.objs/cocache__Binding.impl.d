@@ -1,0 +1,1 @@
+lib/cocache/binding.ml: Array Conode List Relcore Tuple Value Workspace

@@ -1,0 +1,1 @@
+lib/cocache/binding.mli: Conode Relcore Value Workspace

@@ -1,0 +1,1 @@
+lib/cocache/conode.ml: Array List Printf Relcore Tuple

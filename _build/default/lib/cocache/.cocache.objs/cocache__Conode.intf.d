@@ -1,0 +1,1 @@
+lib/cocache/conode.mli: Relcore Tuple

@@ -1,0 +1,1 @@
+lib/cocache/cursor.ml: Array Conode List Workspace

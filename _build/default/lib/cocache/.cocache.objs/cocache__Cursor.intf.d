@@ -1,0 +1,1 @@
+lib/cocache/cursor.mli: Conode Workspace

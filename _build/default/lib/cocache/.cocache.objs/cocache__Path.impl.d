@@ -1,0 +1,1 @@
+lib/cocache/path.ml: Conode Errors Hashtbl List Relcore String Workspace Xnf

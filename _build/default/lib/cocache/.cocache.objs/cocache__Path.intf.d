@@ -1,0 +1,1 @@
+lib/cocache/path.mli: Conode Workspace

@@ -1,0 +1,1 @@
+lib/cocache/persist.ml: Array Buffer Conode Errors Fun List Relcore String Workspace Xnf

@@ -1,0 +1,1 @@
+lib/cocache/persist.mli: Workspace Xnf

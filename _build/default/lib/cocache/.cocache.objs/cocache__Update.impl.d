@@ -1,0 +1,1 @@
+lib/cocache/update.ml: Array Base_table Catalog Engine Errors Index List Relcore Schema Sqlkit Tuple Value Workspace Xnf

@@ -1,0 +1,1 @@
+lib/cocache/update.mli: Engine Sqlkit Workspace Xnf

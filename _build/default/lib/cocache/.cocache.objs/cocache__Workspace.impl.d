@@ -1,0 +1,1 @@
+lib/cocache/workspace.ml: Array Conode Errors Hashtbl List Relcore Schema Tuple Value Xnf

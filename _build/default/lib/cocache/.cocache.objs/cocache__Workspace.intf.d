@@ -1,0 +1,1 @@
+lib/cocache/workspace.mli: Conode Hashtbl Relcore Schema Tuple Value Xnf

@@ -1,0 +1,61 @@
+(** Seamless host-language binding over the cache (paper Sect. 5.2/6.2:
+    the C++ interface with generated classes and container/cursor
+    templates — here, OCaml records through a functor).
+
+    Instantiate {!Make} with a record mapping for a component; the
+    resulting module exposes typed containers and typed navigation while
+    the cache remains the single source of truth. *)
+
+open Relcore
+
+module type RECORD = sig
+  type t
+
+  val component : string
+  (** the CO node-table this record maps *)
+
+  val of_row : Value.t array -> t
+  val to_row : t -> Value.t array
+end
+
+module Make (R : RECORD) = struct
+  type t = R.t
+
+  (** All instances in the cache (the paper's "container class"). *)
+  let all (ws : Workspace.t) : t list =
+    List.map (fun (n : Conode.t) -> R.of_row n.Conode.values)
+      (Workspace.nodes ws R.component)
+
+  let count (ws : Workspace.t) : int = Workspace.node_count ws R.component
+
+  (** The cache node currently holding a record equal to [v]. *)
+  let node_of (ws : Workspace.t) (v : t) : Conode.t option =
+    let row = R.to_row v in
+    List.find_opt
+      (fun (n : Conode.t) -> Tuple.equal n.Conode.values row)
+      (Workspace.nodes ws R.component)
+
+  (** Typed dependent navigation: children of [v] along [rel] that map
+    into component [Target]. *)
+  let children (type a) (ws : Workspace.t)
+      (module Target : RECORD with type t = a) ~rel (v : t) : a list =
+    match node_of ws v with
+    | None -> []
+    | Some n ->
+      List.filter_map
+        (fun (c : Conode.t) ->
+          if c.Conode.comp = Target.component then
+            Some (Target.of_row c.Conode.values)
+          else None)
+        (Conode.children n ~rel)
+
+  let find (ws : Workspace.t) (p : t -> bool) : t option =
+    List.find_opt p (all ws)
+
+  let filter (ws : Workspace.t) (p : t -> bool) : t list =
+    List.filter p (all ws)
+
+  (** Insert a typed record into the cache (queued for write-back). *)
+  let insert (ws : Workspace.t) (v : t) : Conode.t =
+    Workspace.insert ws R.component (Array.to_list (R.to_row v))
+end

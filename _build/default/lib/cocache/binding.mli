@@ -1,0 +1,32 @@
+(** Seamless host-language binding over the cache (the paper's C++
+    interface, Sect. 5.2/6.2): typed OCaml records through a functor. *)
+
+open Relcore
+
+module type RECORD = sig
+  type t
+
+  val component : string
+  val of_row : Value.t array -> t
+  val to_row : t -> Value.t array
+end
+
+module Make (R : RECORD) : sig
+  type t = R.t
+
+  val all : Workspace.t -> t list
+  (** All instances in the cache (the "container class"). *)
+
+  val count : Workspace.t -> int
+  val node_of : Workspace.t -> t -> Conode.t option
+
+  val children :
+    Workspace.t -> (module RECORD with type t = 'a) -> rel:string -> t -> 'a list
+  (** Typed dependent navigation. *)
+
+  val find : Workspace.t -> (t -> bool) -> t option
+  val filter : Workspace.t -> (t -> bool) -> t list
+
+  val insert : Workspace.t -> t -> Conode.t
+  (** Queued for write-back like {!Workspace.insert}. *)
+end

@@ -1,0 +1,62 @@
+(** XNF API cursors (paper Sect. 2/5.2): {e independent} cursors iterate
+    the tuples of a node table; {e dependent} cursors navigate from a
+    parent tuple to its children along a relationship edge.  Both run
+    entirely on cache pointers. *)
+
+type t = {
+  items : Conode.t array;
+  mutable pos : int; (* next position to deliver *)
+}
+
+let of_list nodes = { items = Array.of_list nodes; pos = 0 }
+
+(** Independent cursor over all (live) tuples of a component table. *)
+let open_component ws comp : t = of_list (Workspace.nodes ws comp)
+
+(** Dependent cursor over the children of [parent] via [rel].  For
+    n-ary relationships, [position] selects the partner slot. *)
+let open_children ?position (parent : Conode.t) ~rel : t =
+  let nodes =
+    match position with
+    | None -> Conode.children parent ~rel
+    | Some i ->
+      List.filter_map
+        (fun (c : Conode.conn) ->
+          if i < Array.length c.Conode.children then Some c.Conode.children.(i)
+          else None)
+        (Conode.conns_out parent ~rel)
+  in
+  of_list (List.filter (fun n -> not (Conode.is_deleted n)) nodes)
+
+(** Dependent cursor in the other direction: parents of [child]. *)
+let open_parents (child : Conode.t) ~rel : t =
+  of_list
+    (List.filter
+       (fun n -> not (Conode.is_deleted n))
+       (Conode.parents child ~rel))
+
+let next (c : t) : Conode.t option =
+  if c.pos >= Array.length c.items then None
+  else begin
+    let n = c.items.(c.pos) in
+    c.pos <- c.pos + 1;
+    Some n
+  end
+
+let reset (c : t) = c.pos <- 0
+let count (c : t) = Array.length c.items
+let is_exhausted (c : t) = c.pos >= Array.length c.items
+
+let fold f acc (c : t) =
+  let acc = ref acc in
+  let rec go () =
+    match next c with
+    | None -> !acc
+    | Some n ->
+      acc := f !acc n;
+      go ()
+  in
+  go ()
+
+let iter f c = fold (fun () n -> f n) () c
+let to_list c = List.rev (fold (fun acc n -> n :: acc) [] c)

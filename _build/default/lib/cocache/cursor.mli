@@ -1,0 +1,18 @@
+(** XNF API cursors (paper Sect. 2/5.2): {e independent} cursors over a
+    node table, {e dependent} cursors from a parent along a
+    relationship. *)
+
+type t
+
+val of_list : Conode.t list -> t
+val open_component : Workspace.t -> string -> t
+val open_children : ?position:int -> Conode.t -> rel:string -> t
+val open_parents : Conode.t -> rel:string -> t
+
+val next : t -> Conode.t option
+val reset : t -> unit
+val count : t -> int
+val is_exhausted : t -> bool
+val fold : ('a -> Conode.t -> 'a) -> 'a -> t -> 'a
+val iter : (Conode.t -> unit) -> t -> unit
+val to_list : t -> Conode.t list

@@ -1,0 +1,110 @@
+(** Path expressions over the CO structure (paper Sect. 2): a dotted
+    sequence of component tables and relationships denoting the set of
+    target tuples reachable from the start component along the path,
+    e.g. ["xdept.employment.xemp.empproperty.xskills"].
+
+    Relationship names may be omitted when exactly one relationship
+    connects two adjacent node components: ["xdept.xemp.xskills"]. *)
+
+open Relcore
+module H = Xnf.Hetstream
+
+type step =
+  | Via of string (* explicit relationship name *)
+  | To of string (* node component; relationship inferred *)
+
+let parse (path : string) : string * step list =
+  match String.split_on_char '.' (String.trim path) with
+  | [] | [ "" ] -> Errors.semantic_error "empty path expression"
+  | start :: rest -> (start, List.map (fun s -> To s) rest)
+
+(** Distinct preserving first-arrival order. *)
+let dedup nodes =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (n : Conode.t) ->
+      if Hashtbl.mem seen n.Conode.id then false
+      else begin
+        Hashtbl.add seen n.Conode.id ();
+        true
+      end)
+    nodes
+
+let is_rel ws name =
+  match Hashtbl.find_opt ws.Workspace.stores name with
+  | Some s -> (match s.Workspace.info.H.comp_kind with `Rel _ -> true | `Node -> false)
+  | None -> false
+
+let is_node ws name =
+  match Hashtbl.find_opt ws.Workspace.stores name with
+  | Some s -> (match s.Workspace.info.H.comp_kind with `Node -> true | `Rel _ -> false)
+  | None -> false
+
+(** The unique relationship from node component [a] to node component
+    [b], if any. *)
+let rel_between ws a b =
+  let hits =
+    List.filter
+      (fun r ->
+        let m = Workspace.rel_meta ws r in
+        m.H.rm_parent = a && List.mem b m.H.rm_children)
+      (Workspace.rel_component_names ws)
+  in
+  match hits with
+  | [ r ] -> Some r
+  | [] -> None
+  | _ :: _ ->
+    Errors.semantic_error
+      "ambiguous path step %s.%s: several relationships apply; name one" a b
+
+(** Evaluate a path expression: the set of target tuples reachable from
+    the start component's tuples along the named steps. *)
+let eval ws (path : string) : Conode.t list =
+  let start, steps = parse path in
+  if not (is_node ws start) then
+    Errors.semantic_error "path must start at a node component, got %S" start;
+  let rec go (current_comp : string) (frontier : Conode.t list) = function
+    | [] -> frontier
+    | To name :: rest when is_rel ws name -> begin
+      (* explicit relationship step: must be followed by the target *)
+      match rest with
+      | To target :: rest' when is_node ws target ->
+        let next =
+          List.concat_map
+            (fun (n : Conode.t) ->
+              List.filter
+                (fun (c : Conode.t) -> c.Conode.comp = target)
+                (Conode.children n ~rel:name))
+            frontier
+        in
+        go target (dedup next) rest'
+      | _ ->
+        Errors.semantic_error
+          "path: relationship %S must be followed by a node component" name
+    end
+    | To name :: rest when is_node ws name -> begin
+      match rel_between ws current_comp name with
+      | Some r ->
+        let next =
+          List.concat_map
+            (fun (n : Conode.t) ->
+              List.filter
+                (fun (c : Conode.t) -> c.Conode.comp = name)
+                (Conode.children n ~rel:r))
+            frontier
+        in
+        go name (dedup next) rest
+      | None ->
+        Errors.semantic_error "path: no relationship from %S to %S"
+          current_comp name
+    end
+    | To name :: _ ->
+      Errors.semantic_error "path references unknown component %S" name
+    | Via _ :: _ -> assert false (* parse produces To only *)
+  in
+  let frontier =
+    List.filter
+      (fun (n : Conode.t) -> not (Conode.is_deleted n))
+      (Workspace.nodes ws start)
+  in
+  go start frontier steps

@@ -1,0 +1,11 @@
+(** Path expressions over the CO structure (paper Sect. 2):
+    ["xdept.employment.xemp.empproperty.xskills"].  Relationship names
+    may be omitted when exactly one relationship connects two adjacent
+    node components. *)
+
+type step = Via of string | To of string
+
+val parse : string -> string * step list
+val eval : Workspace.t -> string -> Conode.t list
+(** The distinct target tuples reachable from the start component's
+    tuples along the path, first-arrival order. *)

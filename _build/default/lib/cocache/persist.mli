@@ -1,0 +1,9 @@
+(** Disk persistence of the XNF cache for long transactions (paper
+    Sect. 5): state plus pending (unflushed) update operations. *)
+
+val stream_of_workspace : Workspace.t -> Xnf.Hetstream.t
+(** Rebuild a heterogeneous stream from the cache's current state
+    (local inserts/updates included; deleted nodes dropped). *)
+
+val save : Workspace.t -> string -> unit
+val load : string -> Workspace.t

@@ -1,0 +1,233 @@
+(** Updatability analysis and write-back (paper Sect. 2).
+
+    "Update of the nodes is essentially identical to update of views in
+    the relational DBMSs [...].  Relationships often are defined based on
+    simple foreign keys or connect tables.  Connect and disconnect
+    operations on such relationships translate to updating the foreign
+    keys or inserting/deleting the associated tuples in the connect
+    tables."
+
+    A node component is updatable iff its table expression is a
+    select/project over one base table; a relationship is updatable iff
+    it is binary and its predicate is a conjunction of column equalities
+    through either a foreign key or a single USING connect table. *)
+
+open Relcore
+module Ast = Sqlkit.Ast
+module Db = Engine.Database
+module Xnf_ast = Xnf.Xnf_ast
+module Sql_derivation = Xnf.Sql_derivation
+
+(* The analysis itself lives in {!Xnf.Updatability} so the SQL surface
+   (DML on view.component) can share it; re-exported here for cache
+   write-back. *)
+
+type node_target = Xnf.Updatability.node_target = {
+  nt_base : string;
+  nt_col_map : (string * string) list;
+  nt_pred : Ast.pred;
+}
+
+type rel_target = Xnf.Updatability.rel_target =
+  | Foreign_key of {
+      fk_child : string;
+      fk_pairs : (string * string) list;
+    }
+  | Connect_table of {
+      ct_table : string;
+      ct_parent_pairs : (string * string) list;
+      ct_child_pairs : (string * string) list;
+    }
+
+let analyze_node (db : Db.t) (ast : Xnf_ast.query) (comp : string) :
+    node_target option =
+  Xnf.Updatability.analyze_node (Db.catalog db) ast comp
+
+let analyze_rel = Xnf.Updatability.analyze_rel
+
+(* -- write-back ----------------------------------------------------------- *)
+
+let value_of ws comp (row : Tuple.t) col : Value.t =
+  let s = Workspace.schema ws comp in
+  match Schema.find_opt s col with
+  | Some i -> row.(i)
+  | None ->
+    Errors.semantic_error
+      "column %S of %S was projected away by TAKE; operation not translatable"
+      col comp
+
+(** Key predicate identifying [row] in the base table: prefer the base
+    table's primary key columns, fall back to all mapped columns. *)
+let key_where (db : Db.t) ws comp (nt : node_target) (row : Tuple.t) : Ast.pred =
+  let base = Catalog.find_table (Db.catalog db) nt.nt_base in
+  let inv_map = List.map (fun (c, b) -> (b, c)) nt.nt_col_map in
+  (* component columns that map onto a declared unique key *)
+  let pk_cols =
+    match
+      List.find_opt (fun i -> i.Index.unique) base.Base_table.indexes
+    with
+    | Some idx ->
+      let cols =
+        Array.to_list idx.Index.key_columns
+        |> List.map (fun i ->
+               (Schema.column_at (Base_table.schema base) i).Schema.name)
+      in
+      if List.for_all (fun c -> List.mem_assoc c inv_map) cols then
+        Some (List.map (fun c -> (List.assoc c inv_map, c)) cols)
+      else None
+    | None -> None
+  in
+  let cols =
+    match pk_cols with
+    | Some cols -> cols
+    | None -> nt.nt_col_map
+  in
+  Ast.conj
+    (List.map
+       (fun (comp_col, base_col) ->
+         let v = value_of ws comp row comp_col in
+         if Value.is_null v then Ast.Is_null (Ast.col base_col)
+         else Ast.Cmp (Ast.Eq, Ast.col base_col, Ast.Lit v))
+       cols)
+
+(** Translate one pending operation to SQL statements. *)
+let translate (db : Db.t) (ast : Xnf_ast.query) ws (op : Workspace.pending_op) :
+    Ast.stmt list =
+  let require_node comp =
+    match analyze_node db ast comp with
+    | Some nt -> nt
+    | None ->
+      Errors.semantic_error
+        "component %S is not updatable (not a select/project of one base \
+         table)"
+        comp
+  in
+  match op with
+  | Workspace.P_insert { comp; values } ->
+    let nt = require_node comp in
+    let cols = List.map snd nt.nt_col_map in
+    let s = Workspace.schema ws comp in
+    let exprs =
+      List.map
+        (fun (comp_col, _) -> Ast.Lit values.(Schema.find s comp_col))
+        nt.nt_col_map
+    in
+    [ Ast.Insert { table_name = nt.nt_base; columns = Some cols; rows = [ exprs ] } ]
+  | Workspace.P_update { comp; old_values; new_values } ->
+    let nt = require_node comp in
+    let s = Workspace.schema ws comp in
+    let sets =
+      List.filter_map
+        (fun (comp_col, base_col) ->
+          let i = Schema.find s comp_col in
+          if Value.equal old_values.(i) new_values.(i) then None
+          else Some (base_col, Ast.Lit new_values.(i)))
+        nt.nt_col_map
+    in
+    if sets = [] then []
+    else
+      [
+        Ast.Update
+          {
+            table_name = nt.nt_base;
+            sets;
+            where = key_where db ws comp nt old_values;
+          };
+      ]
+  | Workspace.P_delete { comp; values } ->
+    let nt = require_node comp in
+    [ Ast.Delete { table_name = nt.nt_base; where = key_where db ws comp nt values } ]
+  | Workspace.P_connect { rel; parent; child } -> begin
+    let meta = Workspace.rel_meta ws rel in
+    match analyze_rel ast rel with
+    | Some (Foreign_key { fk_child; fk_pairs }) ->
+      let nt = require_node fk_child in
+      let sets =
+        List.map
+          (fun (child_col, parent_col) ->
+            let v = value_of ws meta.Xnf.Hetstream.rm_parent parent parent_col in
+            (List.assoc child_col nt.nt_col_map, Ast.Lit v))
+          fk_pairs
+      in
+      [
+        Ast.Update
+          {
+            table_name = nt.nt_base;
+            sets;
+            where = key_where db ws fk_child nt child;
+          };
+      ]
+    | Some (Connect_table { ct_table; ct_parent_pairs; ct_child_pairs }) ->
+      let child_comp = List.hd meta.Xnf.Hetstream.rm_children in
+      let cols = List.map fst (ct_parent_pairs @ ct_child_pairs) in
+      let vals =
+        List.map
+          (fun (_, pc) ->
+            Ast.Lit (value_of ws meta.Xnf.Hetstream.rm_parent parent pc))
+          ct_parent_pairs
+        @ List.map
+            (fun (_, cc) -> Ast.Lit (value_of ws child_comp child cc))
+            ct_child_pairs
+      in
+      [ Ast.Insert { table_name = ct_table; columns = Some cols; rows = [ vals ] } ]
+    | None ->
+      Errors.semantic_error "relationship %S is not updatable" rel
+  end
+  | Workspace.P_disconnect { rel; parent; child } -> begin
+    let meta = Workspace.rel_meta ws rel in
+    match analyze_rel ast rel with
+    | Some (Foreign_key { fk_child; fk_pairs }) ->
+      let nt = require_node fk_child in
+      let sets =
+        List.map
+          (fun (child_col, _) ->
+            (List.assoc child_col nt.nt_col_map, Ast.Lit Value.Null))
+          fk_pairs
+      in
+      [
+        Ast.Update
+          {
+            table_name = nt.nt_base;
+            sets;
+            where = key_where db ws fk_child nt child;
+          };
+      ]
+    | Some (Connect_table { ct_table; ct_parent_pairs; ct_child_pairs }) ->
+      let child_comp = List.hd meta.Xnf.Hetstream.rm_children in
+      let where =
+        Ast.conj
+          (List.map
+             (fun (uc, pc) ->
+               Ast.Cmp
+                 ( Ast.Eq,
+                   Ast.col uc,
+                   Ast.Lit (value_of ws meta.Xnf.Hetstream.rm_parent parent pc) ))
+             ct_parent_pairs
+          @ List.map
+              (fun (uc, cc) ->
+                Ast.Cmp
+                  (Ast.Eq, Ast.col uc, Ast.Lit (value_of ws child_comp child cc)))
+              ct_child_pairs)
+      in
+      [ Ast.Delete { table_name = ct_table; where } ]
+    | None ->
+      Errors.semantic_error "relationship %S is not updatable" rel
+  end
+
+(** Flush all pending cache operations back to the database.  Returns
+    the SQL statements executed (in order). *)
+let flush (db : Db.t) (ast : Xnf_ast.query) (ws : Workspace.t) : string list =
+  let stmts =
+    List.concat_map (translate db ast ws) (Workspace.pending_ops ws)
+  in
+  let sqls = List.map Sqlkit.Pretty.stmt_to_string stmts in
+  List.iter (fun sql -> ignore (Db.exec db sql)) sqls;
+  Workspace.clear_pending ws;
+  sqls
+
+(** Like {!flush} but atomic: all pending operations commit together or,
+    if any statement fails (untranslatable operation, constraint
+    violation), none is applied and the pending list is preserved. *)
+let flush_atomic (db : Db.t) (ast : Xnf_ast.query) (ws : Workspace.t) :
+    string list =
+  Db.atomically db (fun () -> flush db ast ws)

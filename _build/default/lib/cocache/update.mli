@@ -1,0 +1,46 @@
+(** Updatability analysis and SQL write-back (paper Sect. 2): node
+    updates translate to view updates over one base table; connect and
+    disconnect translate to foreign-key updates or connect-table
+    insert/delete. *)
+
+module Ast = Sqlkit.Ast
+module Db = Engine.Database
+
+type node_target = {
+  nt_base : string; (* base table name *)
+  nt_col_map : (string * string) list; (* component col -> base col *)
+  nt_pred : Ast.pred; (* the view's selection predicate *)
+}
+
+type rel_target =
+  | Foreign_key of {
+      fk_child : string;
+      fk_pairs : (string * string) list; (* (child col, parent col) *)
+    }
+  | Connect_table of {
+      ct_table : string;
+      ct_parent_pairs : (string * string) list; (* (connect col, parent col) *)
+      ct_child_pairs : (string * string) list;
+    }
+
+val analyze_node : Db.t -> Xnf.Xnf_ast.query -> string -> node_target option
+(** [Some _] iff the component's table expression is a select/project
+    over one base table. *)
+
+val analyze_rel : Xnf.Xnf_ast.query -> string -> rel_target option
+(** [Some _] iff the relationship is binary and its predicate decomposes
+    into FK or connect-table column equalities. *)
+
+val translate :
+  Db.t -> Xnf.Xnf_ast.query -> Workspace.t -> Workspace.pending_op ->
+  Ast.stmt list
+(** SQL statements implementing one pending operation; raises
+    {!Relcore.Errors.Db_error} when not translatable. *)
+
+val flush : Db.t -> Xnf.Xnf_ast.query -> Workspace.t -> string list
+(** Apply all pending operations; returns the SQL executed.  Clears the
+    pending list on success. *)
+
+val flush_atomic : Db.t -> Xnf.Xnf_ast.query -> Workspace.t -> string list
+(** Like {!flush} but inside one transaction: on failure nothing is
+    applied and the pending list is preserved for retry. *)

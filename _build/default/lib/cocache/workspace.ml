@@ -1,0 +1,297 @@
+(** The XNF cache: the client-side main-memory representation of an
+    extracted CO (paper Sect. 5, Fig. 7).
+
+    Built in one pass over the heterogeneous stream; connection tuples
+    become pointers (see {!Conode}).  Update operators record pending
+    operations for later write-back (see {!Update}). *)
+
+open Relcore
+module H = Xnf.Hetstream
+
+(** Pending write-back operations, in application order. *)
+type pending_op =
+  | P_insert of { comp : string; values : Tuple.t }
+  | P_update of { comp : string; old_values : Tuple.t; new_values : Tuple.t }
+  | P_delete of { comp : string; values : Tuple.t }
+  | P_connect of { rel : string; parent : Tuple.t; child : Tuple.t }
+  | P_disconnect of { rel : string; parent : Tuple.t; child : Tuple.t }
+
+type component_store = {
+  info : H.comp_info;
+  mutable nodes : Conode.t list; (* reverse arrival order *)
+  mutable count : int;
+}
+
+type t = {
+  header : H.header;
+  stores : (string, component_store) Hashtbl.t;
+  by_id : (int, Conode.t) Hashtbl.t;
+  mutable next_local_id : int; (* negative ids for client-side inserts *)
+  mutable pending : pending_op list; (* reverse order *)
+  mutable conn_count : int;
+}
+
+let find_store ws comp =
+  match Hashtbl.find_opt ws.stores comp with
+  | Some s -> s
+  | None -> Errors.semantic_error "unknown CO component %S" comp
+
+let schema ws comp = (find_store ws comp).info.H.comp_schema
+
+let rel_meta ws rel =
+  match (find_store ws rel).info.H.comp_kind with
+  | `Rel m -> m
+  | `Node -> Errors.semantic_error "%S is a node component, not a relationship" rel
+
+(** Build the workspace from a heterogeneous stream: rows become nodes,
+    connections become pointers (in both directions). *)
+let of_stream (stream : H.t) : t =
+  let ws =
+    {
+      header = stream.H.header;
+      stores = Hashtbl.create 16;
+      by_id = Hashtbl.create 1024;
+      next_local_id = -1;
+      pending = [];
+      conn_count = 0;
+    }
+  in
+  Array.iter
+    (fun (info : H.comp_info) ->
+      Hashtbl.replace ws.stores info.H.comp_name
+        { info; nodes = []; count = 0 })
+    stream.H.header.H.components;
+  let comp_name no = stream.H.header.H.components.(no).H.comp_name in
+  List.iter
+    (fun item ->
+      match item with
+      | H.Row { comp; id; values } ->
+        let store = Hashtbl.find ws.stores (comp_name comp) in
+        let node = Conode.make ~id ~comp:(comp_name comp) ~values in
+        store.nodes <- node :: store.nodes;
+        store.count <- store.count + 1;
+        Hashtbl.replace ws.by_id id node
+      | H.Conn { rel; id; parent; children; attrs } ->
+        let rel_name = comp_name rel in
+        let meta =
+          match stream.H.header.H.components.(rel).H.comp_kind with
+          | `Rel m -> m
+          | `Node -> Errors.execution_error "connection from node component"
+        in
+        (* A partner row may legitimately be absent (its component not in
+           TAKE): materialize a value-less stub so the topology stays
+           navigable — the paper's piggy-backed connections carry ids,
+           not values. *)
+        let resolve comp tid =
+          match Hashtbl.find_opt ws.by_id tid with
+          | Some n -> n
+          | None ->
+            let stub = Conode.make ~id:tid ~comp ~values:[||] in
+            let store = Hashtbl.find ws.stores comp in
+            store.nodes <- stub :: store.nodes;
+            store.count <- store.count + 1;
+            Hashtbl.replace ws.by_id tid stub;
+            stub
+        in
+        let p = resolve meta.H.rm_parent parent in
+        let cs =
+          Array.mapi
+            (fun i tid ->
+              let comp =
+                match List.nth_opt meta.H.rm_children i with
+                | Some c -> c
+                | None -> Errors.execution_error "connection arity mismatch"
+              in
+              resolve comp tid)
+            children
+        in
+        let conn =
+          {
+            Conode.conn_id = id;
+            rel = rel_name;
+            role = meta.H.rm_role;
+            parent = p;
+            children = cs;
+            attrs;
+          }
+        in
+        p.Conode.out_conns <- p.Conode.out_conns @ [ conn ];
+        Array.iter
+          (fun c -> c.Conode.in_conns <- c.Conode.in_conns @ [ conn ])
+          cs;
+        ws.conn_count <- ws.conn_count + 1)
+    stream.H.items;
+  (* restore arrival order *)
+  Hashtbl.iter (fun _ s -> s.nodes <- List.rev s.nodes) ws.stores;
+  ws
+
+(** Live nodes of a component (arrival order, deletions hidden). *)
+let nodes ws comp =
+  List.filter (fun n -> not (Conode.is_deleted n)) (find_store ws comp).nodes
+
+let node_count ws comp = List.length (nodes ws comp)
+let connection_count ws = ws.conn_count
+let find_by_id ws id = Hashtbl.find_opt ws.by_id id
+
+(** Is this a value-less stub (partner of a shipped connection whose
+    component was not in TAKE)? *)
+let is_stub ws (node : Conode.t) =
+  Array.length node.Conode.values = 0
+  && Schema.arity (schema ws node.Conode.comp) > 0
+
+(** Column access by name. *)
+let get ws (node : Conode.t) col : Value.t =
+  let s = schema ws node.Conode.comp in
+  if is_stub ws node then
+    Errors.semantic_error
+      "component %S was not shipped (not in TAKE); node %d has no values"
+      node.Conode.comp node.Conode.id;
+  node.Conode.values.(Schema.find s col)
+
+(** Total number of live nodes. *)
+let size ws =
+  Hashtbl.fold
+    (fun _ s acc ->
+      acc
+      + List.length (List.filter (fun n -> not (Conode.is_deleted n)) s.nodes))
+    ws.stores 0
+
+let node_component_names ws =
+  Array.to_list ws.header.H.components
+  |> List.filter_map (fun (c : H.comp_info) ->
+         match c.H.comp_kind with `Node -> Some c.H.comp_name | `Rel _ -> None)
+
+let rel_component_names ws =
+  Array.to_list ws.header.H.components
+  |> List.filter_map (fun (c : H.comp_info) ->
+         match c.H.comp_kind with `Rel _ -> Some c.H.comp_name | `Node -> None)
+
+(* -- update operators (paper Sect. 2: insert/read/update/delete plus
+   connect/disconnect) -------------------------------------------------- *)
+
+let fresh_local_id ws =
+  let id = ws.next_local_id in
+  ws.next_local_id <- ws.next_local_id - 1;
+  id
+
+let insert ws comp (values : Value.t list) : Conode.t =
+  let store = find_store ws comp in
+  let row = Schema.validate_row store.info.H.comp_schema (Array.of_list values) in
+  let node = Conode.make ~id:(fresh_local_id ws) ~comp ~values:row in
+  node.Conode.dirty <- Conode.Inserted;
+  store.nodes <- store.nodes @ [ node ];
+  store.count <- store.count + 1;
+  Hashtbl.replace ws.by_id node.Conode.id node;
+  ws.pending <- P_insert { comp; values = row } :: ws.pending;
+  node
+
+let update ws (node : Conode.t) (sets : (string * Value.t) list) : unit =
+  if Conode.is_deleted node then
+    Errors.execution_error "update of a deleted node";
+  let s = schema ws node.Conode.comp in
+  let old_values = Array.copy node.Conode.values in
+  List.iter
+    (fun (col, v) -> node.Conode.values.(Schema.find s col) <- v)
+    sets;
+  ignore (Schema.validate_row s node.Conode.values);
+  if node.Conode.dirty = Conode.Clean then node.Conode.dirty <- Conode.Updated;
+  ws.pending <-
+    P_update
+      {
+        comp = node.Conode.comp;
+        old_values;
+        new_values = Array.copy node.Conode.values;
+      }
+    :: ws.pending
+
+let delete ws (node : Conode.t) : unit =
+  if Conode.is_deleted node then ()
+  else begin
+    node.Conode.dirty <- Conode.Deleted;
+    (* drop its connections from partners *)
+    List.iter
+      (fun (c : Conode.conn) ->
+        Array.iter
+          (fun (ch : Conode.t) ->
+            ch.Conode.in_conns <-
+              List.filter (fun x -> x.Conode.conn_id <> c.Conode.conn_id)
+                ch.Conode.in_conns)
+          c.Conode.children)
+      node.Conode.out_conns;
+    List.iter
+      (fun (c : Conode.conn) ->
+        c.Conode.parent.Conode.out_conns <-
+          List.filter (fun x -> x.Conode.conn_id <> c.Conode.conn_id)
+            c.Conode.parent.Conode.out_conns)
+      node.Conode.in_conns;
+    ws.pending <-
+      P_delete { comp = node.Conode.comp; values = Array.copy node.Conode.values }
+      :: ws.pending
+  end
+
+(** Connect [parent] and [child] under binary relationship [rel]. *)
+let connect ws ~rel (parent : Conode.t) (child : Conode.t) : Conode.conn =
+  let meta = rel_meta ws rel in
+  if meta.H.rm_parent <> parent.Conode.comp then
+    Errors.semantic_error "%S expects parent component %S, got %S" rel
+      meta.H.rm_parent parent.Conode.comp;
+  (match meta.H.rm_children with
+  | [ c ] when c = child.Conode.comp -> ()
+  | [ _ ] ->
+    Errors.semantic_error "%S expects child component %S, got %S" rel
+      (List.hd meta.H.rm_children) child.Conode.comp
+  | _ -> Errors.unsupported "connect on n-ary relationships");
+  let conn =
+    {
+      Conode.conn_id = fresh_local_id ws;
+      rel;
+      role = meta.H.rm_role;
+      parent;
+      children = [| child |];
+      attrs = [||];
+    }
+  in
+  parent.Conode.out_conns <- parent.Conode.out_conns @ [ conn ];
+  child.Conode.in_conns <- child.Conode.in_conns @ [ conn ];
+  ws.conn_count <- ws.conn_count + 1;
+  ws.pending <-
+    P_connect
+      {
+        rel;
+        parent = Array.copy parent.Conode.values;
+        child = Array.copy child.Conode.values;
+      }
+    :: ws.pending;
+  conn
+
+let disconnect ws ~rel (parent : Conode.t) (child : Conode.t) : unit =
+  let existing =
+    List.filter
+      (fun (c : Conode.conn) ->
+        c.Conode.rel = rel
+        && Array.exists (fun ch -> ch == child) c.Conode.children)
+      parent.Conode.out_conns
+  in
+  if existing = [] then
+    Errors.execution_error "no %S connection between these nodes" rel;
+  let ids = List.map (fun c -> c.Conode.conn_id) existing in
+  parent.Conode.out_conns <-
+    List.filter
+      (fun (c : Conode.conn) -> not (List.mem c.Conode.conn_id ids))
+      parent.Conode.out_conns;
+  child.Conode.in_conns <-
+    List.filter
+      (fun (c : Conode.conn) -> not (List.mem c.Conode.conn_id ids))
+      child.Conode.in_conns;
+  ws.conn_count <- ws.conn_count - List.length ids;
+  ws.pending <-
+    P_disconnect
+      {
+        rel;
+        parent = Array.copy parent.Conode.values;
+        child = Array.copy child.Conode.values;
+      }
+    :: ws.pending
+
+let pending_ops ws = List.rev ws.pending
+let clear_pending ws = ws.pending <- []

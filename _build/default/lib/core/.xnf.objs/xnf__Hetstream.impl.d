@@ -1,0 +1,1 @@
+lib/core/hetstream.ml: Array Buffer Char Dtype Errors Int64 List Relcore Schema String Tuple Value

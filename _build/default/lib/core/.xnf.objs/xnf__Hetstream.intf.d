@@ -1,0 +1,1 @@
+lib/core/hetstream.mli: Buffer Relcore Schema Tuple Value

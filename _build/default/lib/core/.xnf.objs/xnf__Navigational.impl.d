@@ -1,0 +1,1 @@
+lib/core/navigational.ml: Array Base_table Engine Executor Hashtbl List Optimizer Option Queue Relcore Schema Sql_derivation Sqlkit Starq String Tuple Value Xnf_ast Xnf_semantic

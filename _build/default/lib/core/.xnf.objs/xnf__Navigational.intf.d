@@ -1,0 +1,1 @@
+lib/core/navigational.mli: Engine Xnf_ast

@@ -1,0 +1,1 @@
+lib/core/sql_derivation.ml: Engine Errors Executor List Option Printf Relcore Sqlkit Starq String Tuple Xnf_ast

@@ -1,0 +1,1 @@
+lib/core/sql_derivation.mli: Engine Relcore Sqlkit Starq Tuple Xnf_ast

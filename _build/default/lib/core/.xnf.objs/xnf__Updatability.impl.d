@@ -1,0 +1,1 @@
+lib/core/updatability.ml: Base_table Catalog Engine Errors List Option Relcore Schema Sql_derivation Sqlkit String Xnf_ast Xnf_parser

@@ -1,0 +1,1 @@
+lib/core/xnf_ast.ml: Hashtbl List Option Sqlkit

@@ -1,0 +1,1 @@
+lib/core/xnf_compile.mli: Catalog Engine Executor Hetstream Optimizer Relcore Starq Tuple Xnf_ast Xnf_rewrite Xnf_semantic

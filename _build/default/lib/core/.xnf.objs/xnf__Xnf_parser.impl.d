@@ -1,0 +1,1 @@
+lib/core/xnf_parser.ml: Array Errors List Relcore Sqlkit Xnf_ast

@@ -1,0 +1,1 @@
+lib/core/xnf_parser.mli: Sqlkit Xnf_ast

@@ -1,0 +1,1 @@
+lib/core/xnf_recursive.ml: Array Base_table Engine Errors Executor Hashtbl Hetstream List Optimizer Option Relcore Schema Starq Tuple Value Xnf_ast Xnf_semantic

@@ -1,0 +1,1 @@
+lib/core/xnf_recursive.mli: Engine Hetstream Xnf_semantic

@@ -1,0 +1,1 @@
+lib/core/xnf_rewrite.ml: Array Errors Fun Hashtbl List Option Relcore Starq Xnf_ast Xnf_semantic

@@ -1,0 +1,1 @@
+lib/core/xnf_rewrite.mli: Relcore Starq Xnf_semantic

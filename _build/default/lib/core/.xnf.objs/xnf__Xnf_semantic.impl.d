@@ -1,0 +1,1 @@
+lib/core/xnf_semantic.ml: Array Buffer Errors Hashtbl List Printf Relcore Sqlkit Starq String Xnf_ast

@@ -1,0 +1,1 @@
+lib/core/xnf_semantic.mli: Catalog Relcore Starq Xnf_ast

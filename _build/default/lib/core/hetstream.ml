@@ -1,0 +1,262 @@
+(** The heterogeneous result stream of an XNF query (paper Sect. 5).
+
+    "Each tuple either represents a row of a component table or a
+    connection, i.e. an instance of a relationship.  Each tuple has a
+    (system generated) identifier and also a component number [...].  A
+    connection tuple contains the identifiers of the connected rows."
+
+    Tuple identity follows XNF value semantics: a component tuple used
+    multiple times within a view exists only once (object sharing), so
+    identifiers are assigned per distinct component-tuple value. *)
+
+open Relcore
+
+type tuple_id = int
+
+type item =
+  | Row of { comp : int; id : tuple_id; values : Tuple.t }
+  | Conn of {
+      rel : int;
+      id : tuple_id;
+      parent : tuple_id;
+      children : tuple_id array;
+      attrs : Tuple.t; (* relationship attributes, [||] when none *)
+    }
+
+(** Static description of one component of the stream. *)
+type comp_info = {
+  comp_no : int;
+  comp_name : string;
+  comp_kind : [ `Node | `Rel of rel_meta ];
+  comp_schema : Schema.t;
+  take_cols : string list option; (* delivery-time projection *)
+  in_take : bool;
+}
+
+and rel_meta = {
+  rm_role : string;
+  rm_parent : string; (* component names *)
+  rm_children : string list;
+}
+
+type header = {
+  components : comp_info array; (* indexed by comp_no *)
+  root_components : string list;
+}
+
+type t = { header : header; items : item list }
+
+let find_comp (h : header) name =
+  let found = ref None in
+  Array.iter
+    (fun c -> if c.comp_name = name && !found = None then found := Some c)
+    h.components;
+  match !found with
+  | Some c -> c
+  | None -> Errors.semantic_error "unknown CO component %S" name
+
+(** Stream statistics (used by tests and benches). *)
+let counts (s : t) : (string * int) list =
+  let tbl = Array.map (fun c -> (c.comp_name, ref 0)) s.header.components in
+  List.iter
+    (fun item ->
+      let idx = match item with Row { comp; _ } -> comp | Conn { rel; _ } -> rel in
+      incr (snd tbl.(idx)))
+    s.items;
+  Array.to_list (Array.map (fun (n, r) -> (n, !r)) tbl)
+
+let total_items (s : t) = List.length s.items
+
+(* -- binary serialization ---------------------------------------------- *)
+(* A compact wire format: this is what "shipping the CO to the client in
+   one call" means concretely; it is also reused by the CO cache's disk
+   persistence. *)
+
+let write_int buf n =
+  (* zig-zag varint *)
+  let n = (n lsl 1) lxor (n asr 62) in
+  let rec go n =
+    if n land lnot 0x7f = 0 then Buffer.add_char buf (Char.chr (n land 0x7f))
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let write_string buf s =
+  write_int buf (String.length s);
+  Buffer.add_string buf s
+
+let write_value buf (v : Value.t) =
+  match v with
+  | Value.Null -> Buffer.add_char buf 'N'
+  | Value.Bool b ->
+    Buffer.add_char buf 'B';
+    Buffer.add_char buf (if b then '\001' else '\000')
+  | Value.Int i ->
+    Buffer.add_char buf 'I';
+    write_int buf i
+  | Value.Float f ->
+    Buffer.add_char buf 'F';
+    write_int buf (Int64.to_int (Int64.bits_of_float f))
+  | Value.Str s ->
+    Buffer.add_char buf 'S';
+    write_string buf s
+
+type reader = { data : string; mutable pos : int }
+
+let read_char r =
+  let c = r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let read_int r =
+  let rec go shift acc =
+    let b = Char.code (read_char r) in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  let n = go 0 0 in
+  (n lsr 1) lxor (-(n land 1))
+
+let read_string r =
+  let len = read_int r in
+  let s = String.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let read_value r : Value.t =
+  match read_char r with
+  | 'N' -> Value.Null
+  | 'B' -> Value.Bool (read_char r = '\001')
+  | 'I' -> Value.Int (read_int r)
+  | 'F' -> Value.Float (Int64.float_of_bits (Int64.of_int (read_int r)))
+  | 'S' -> Value.Str (read_string r)
+  | c -> Errors.execution_error "corrupt stream: bad value tag %C" c
+
+let write_schema buf (s : Schema.t) =
+  let cols = Schema.columns s in
+  write_int buf (List.length cols);
+  List.iter
+    (fun (c : Schema.column) ->
+      write_string buf c.Schema.name;
+      write_string buf (Dtype.to_string c.Schema.dtype);
+      write_int buf (if c.Schema.nullable then 1 else 0))
+    cols
+
+let read_schema r : Schema.t =
+  let n = read_int r in
+  Schema.make
+    (List.init n (fun _ ->
+         let name = read_string r in
+         let ty = Dtype.of_string (read_string r) in
+         let nullable = read_int r = 1 in
+         Schema.column ~nullable name ty))
+
+let write_header buf (h : header) =
+  write_int buf (Array.length h.components);
+  Array.iter
+    (fun c ->
+      write_int buf c.comp_no;
+      write_string buf c.comp_name;
+      (match c.comp_kind with
+      | `Node -> write_int buf 0
+      | `Rel m ->
+        write_int buf 1;
+        write_string buf m.rm_role;
+        write_string buf m.rm_parent;
+        write_int buf (List.length m.rm_children);
+        List.iter (write_string buf) m.rm_children);
+      write_schema buf c.comp_schema;
+      (match c.take_cols with
+      | None -> write_int buf (-1)
+      | Some cols ->
+        write_int buf (List.length cols);
+        List.iter (write_string buf) cols);
+      write_int buf (if c.in_take then 1 else 0))
+    h.components;
+  write_int buf (List.length h.root_components);
+  List.iter (write_string buf) h.root_components
+
+let read_header r : header =
+  let n = read_int r in
+  let components =
+    Array.init n (fun _ ->
+        let comp_no = read_int r in
+        let comp_name = read_string r in
+        let comp_kind =
+          match read_int r with
+          | 0 -> `Node
+          | 1 ->
+            let rm_role = read_string r in
+            let rm_parent = read_string r in
+            let k = read_int r in
+            let rm_children = List.init k (fun _ -> read_string r) in
+            `Rel { rm_role; rm_parent; rm_children }
+          | k -> Errors.execution_error "corrupt stream: component kind %d" k
+        in
+        let comp_schema = read_schema r in
+        let take_cols =
+          match read_int r with
+          | -1 -> None
+          | k -> Some (List.init k (fun _ -> read_string r))
+        in
+        let in_take = read_int r = 1 in
+        { comp_no; comp_name; comp_kind; comp_schema; take_cols; in_take })
+  in
+  let k = read_int r in
+  let root_components = List.init k (fun _ -> read_string r) in
+  { components; root_components }
+
+(** Serialize a stream: the single bulk message from server to client. *)
+let serialize (s : t) : string =
+  let buf = Buffer.create 4096 in
+  write_header buf s.header;
+  write_int buf (List.length s.items);
+  List.iter
+    (fun item ->
+      match item with
+      | Row { comp; id; values } ->
+        Buffer.add_char buf 'R';
+        write_int buf comp;
+        write_int buf id;
+        write_int buf (Array.length values);
+        Array.iter (write_value buf) values
+      | Conn { rel; id; parent; children; attrs } ->
+        Buffer.add_char buf 'C';
+        write_int buf rel;
+        write_int buf id;
+        write_int buf parent;
+        write_int buf (Array.length children);
+        Array.iter (write_int buf) children;
+        write_int buf (Array.length attrs);
+        Array.iter (write_value buf) attrs)
+    s.items;
+  Buffer.contents buf
+
+let deserialize (data : string) : t =
+  let r = { data; pos = 0 } in
+  let header = read_header r in
+  let n = read_int r in
+  let items =
+    List.init n (fun _ ->
+        match read_char r with
+        | 'R' ->
+          let comp = read_int r in
+          let id = read_int r in
+          let w = read_int r in
+          let values = Array.init w (fun _ -> read_value r) in
+          Row { comp; id; values }
+        | 'C' ->
+          let rel = read_int r in
+          let id = read_int r in
+          let parent = read_int r in
+          let k = read_int r in
+          let children = Array.init k (fun _ -> read_int r) in
+          let na = read_int r in
+          let attrs = Array.init na (fun _ -> read_value r) in
+          Conn { rel; id; parent; children; attrs }
+        | c -> Errors.execution_error "corrupt stream: bad item tag %C" c)
+  in
+  { header; items }

@@ -1,0 +1,237 @@
+(** Baseline: navigational ("N+1 queries") extraction (paper Sect. 1).
+
+    "One straightforward way of extracting data with complex structure
+    is to follow the parent/child relationships: for each parent
+    instance, execute a query to get the children; repeat [...].  This
+    style of data extraction leads to numerous queries."
+
+    Two modes:
+    - [`Sql_text]: for every parent tuple a fresh SQL statement is
+      synthesised, parsed, compiled and executed — the realistic
+      application-level loop;
+    - [`Prepared]: the per-relationship child query is compiled once and
+      re-executed per parent via a one-row parameter table — isolating
+      the set-orientation effect from compilation overhead. *)
+
+open Relcore
+module Ast = Sqlkit.Ast
+module Qgm = Starq.Qgm
+module Db = Engine.Database
+
+type stats = {
+  queries_executed : int;
+  rows_fetched : int;
+  counts : (string * int) list; (* component -> distinct tuples/connections *)
+}
+
+(** Literal for a value, for query-text synthesis. *)
+let lit_of_value (v : Value.t) : Ast.expr = Ast.Lit v
+
+(** Substitute parent column references by literals from the given tuple
+    (the application holds the parent row in memory and splices its
+    values into the child query). *)
+let rec subst_parent_expr ~aliases ~(schema : Schema.t) ~(row : Tuple.t)
+    (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Col { tbl = Some t; col } when List.mem (String.lowercase_ascii t) aliases
+    ->
+    lit_of_value row.(Schema.find schema col)
+  | Ast.Col _ | Ast.Lit _ -> e
+  | Ast.Binop (op, a, b) ->
+    Ast.Binop
+      ( op,
+        subst_parent_expr ~aliases ~schema ~row a,
+        subst_parent_expr ~aliases ~schema ~row b )
+  | Ast.Neg a -> Ast.Neg (subst_parent_expr ~aliases ~schema ~row a)
+  | Ast.Agg (fn, arg) ->
+    Ast.Agg (fn, Option.map (subst_parent_expr ~aliases ~schema ~row) arg)
+  | Ast.Fn (name, args) ->
+    Ast.Fn (name, List.map (subst_parent_expr ~aliases ~schema ~row) args)
+
+let rec subst_parent_pred ~aliases ~schema ~row (p : Ast.pred) : Ast.pred =
+  let se = subst_parent_expr ~aliases ~schema ~row in
+  let sp = subst_parent_pred ~aliases ~schema ~row in
+  match p with
+  | Ast.Ptrue -> p
+  | Ast.Cmp (op, a, b) -> Ast.Cmp (op, se a, se b)
+  | Ast.And (a, b) -> Ast.And (sp a, sp b)
+  | Ast.Or (a, b) -> Ast.Or (sp a, sp b)
+  | Ast.Not a -> Ast.Not (sp a)
+  | Ast.Is_null e -> Ast.Is_null (se e)
+  | Ast.Is_not_null e -> Ast.Is_not_null (se e)
+  | Ast.Like (e, pat) -> Ast.Like (se e, pat)
+  | Ast.Between (e, lo, hi) -> Ast.Between (se e, se lo, se hi)
+  | Ast.In_list (e, es) -> Ast.In_list (se e, List.map se es)
+  | Ast.Exists q -> Ast.Exists q
+  | Ast.In_query (e, q) -> Ast.In_query (se e, q)
+
+(** Per-parent child query (text mode): FROM children + USING tables,
+    WHERE rpred with the parent's columns replaced by literals. *)
+let child_query (ast : Xnf_ast.query) (r : Xnf_ast.relate_def)
+    ~(parent_schema : Schema.t) ~(parent_row : Tuple.t) : Ast.query =
+  let aliases =
+    [
+      String.lowercase_ascii r.Xnf_ast.parent; String.lowercase_ascii r.Xnf_ast.role;
+    ]
+  in
+  let where =
+    subst_parent_pred ~aliases ~schema:parent_schema ~row:parent_row
+      r.Xnf_ast.rpred
+  in
+  let from =
+    List.map
+      (fun ch ->
+        let def = Sql_derivation.find_table_def ast ch in
+        Ast.Derived
+          { query = def.Xnf_ast.texpr; alias = String.lowercase_ascii ch })
+      r.Xnf_ast.children
+    @ List.map
+        (fun (u : Xnf_ast.using_ref) ->
+          Ast.Table_name { name = u.Xnf_ast.utable; alias = Some u.Xnf_ast.ualias })
+        r.Xnf_ast.using
+  in
+  let select =
+    List.map (fun ch -> Ast.Table_star (String.lowercase_ascii ch)) r.Xnf_ast.children
+  in
+  Ast.simple_query ~distinct:true ~where select from
+
+(** Navigational extraction.  Follows the relationships breadth-first
+    from the roots, issuing one child query per (parent tuple,
+    relationship).  Object sharing is respected through per-component
+    dedup maps, which also makes the walk terminate on recursive COs. *)
+let extract ?(mode = `Sql_text) (db : Db.t) (ast : Xnf_ast.query) : stats =
+  let queries = ref 0 and fetched = ref 0 in
+  let node_found : (string, unit Tuple.Tbl.t) Hashtbl.t = Hashtbl.create 8 in
+  let conn_count : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (t : Xnf_ast.table_def) ->
+      Hashtbl.replace node_found t.Xnf_ast.tname (Tuple.Tbl.create 64))
+    ast.Xnf_ast.tables;
+  List.iter
+    (fun (r : Xnf_ast.relate_def) -> Hashtbl.replace conn_count r.Xnf_ast.rname 0)
+    ast.Xnf_ast.relates;
+  let schemas : (string, Schema.t) Hashtbl.t = Hashtbl.create 8 in
+  let queue = Queue.create () in
+  let discover comp (row : Tuple.t) =
+    let tbl = Hashtbl.find node_found comp in
+    if not (Tuple.Tbl.mem tbl row) then begin
+      Tuple.Tbl.add tbl row ();
+      Queue.add (comp, row) queue
+    end
+  in
+  (* prepared mode: per relationship, a compiled plan over a 1-row
+     parameter table standing in for the parent *)
+  let prepared : (string, Base_table.t * Optimizer.Plan.compiled) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let prepare (r : Xnf_ast.relate_def) parent_schema =
+    match Hashtbl.find_opt prepared r.Xnf_ast.rname with
+    | Some p -> p
+    | None ->
+      let op = Xnf_semantic.analyze (Db.catalog db) ast in
+      let rb = Option.get (Xnf_semantic.find_rel op r.Xnf_ast.rname) in
+      let tmp =
+        Base_table.create ~name:("__nav_" ^ r.Xnf_ast.rname) parent_schema
+      in
+      rb.Xnf_semantic.rparent_quant.Qgm.over <- Qgm.base_box tmp;
+      let plan =
+        Optimizer.Planner.compile ~share:false
+          { Qgm.top = rb.Xnf_semantic.rbox; order_by = []; limit = None; strip = None }
+      in
+      let p = (tmp, plan) in
+      Hashtbl.replace prepared r.Xnf_ast.rname p;
+      p
+  in
+  (* 1. root queries *)
+  List.iter
+    (fun root ->
+      let def = Sql_derivation.find_table_def ast root in
+      let c = Db.compile_ast db def.Xnf_ast.texpr in
+      Hashtbl.replace schemas root c.Optimizer.Plan.out_schema;
+      incr queries;
+      let rows = Executor.Exec.run c in
+      fetched := !fetched + List.length rows;
+      List.iter (discover root) rows)
+    (Xnf_ast.roots ast);
+  (* resolve child schemas lazily from their defining expressions *)
+  let schema_of comp =
+    match Hashtbl.find_opt schemas comp with
+    | Some s -> s
+    | None ->
+      let def = Sql_derivation.find_table_def ast comp in
+      let c = Db.compile_ast db def.Xnf_ast.texpr in
+      Hashtbl.replace schemas comp c.Optimizer.Plan.out_schema;
+      c.Optimizer.Plan.out_schema
+  in
+  (* 2. follow relationships per parent tuple *)
+  while not (Queue.is_empty queue) do
+    let comp, row = Queue.pop queue in
+    let parent_schema = schema_of comp in
+    List.iter
+      (fun (r : Xnf_ast.relate_def) ->
+        if r.Xnf_ast.parent = comp then begin
+          incr queries;
+          let child_rows =
+            match mode with
+            | `Sql_text ->
+              let q = child_query ast r ~parent_schema ~parent_row:row in
+              let sql = Sqlkit.Pretty.query_to_string q in
+              (* full pipeline: parse, compile, execute *)
+              Db.query_rows db sql
+            | `Prepared ->
+              let tmp, plan = prepare r parent_schema in
+              Base_table.truncate tmp;
+              ignore (Base_table.insert tmp row);
+              (* keep only the child spans: drop the leading parent span
+                 and any trailing relationship-attribute columns *)
+              let pw = Schema.arity parent_schema in
+              let cw =
+                List.fold_left
+                  (fun acc ch -> acc + Schema.arity (schema_of ch))
+                  0 r.Xnf_ast.children
+              in
+              List.map (fun full -> Array.sub full pw cw)
+                (Executor.Exec.run plan)
+          in
+          fetched := !fetched + List.length child_rows;
+          (* connections are set-level facts: duplicate join rows (e.g.
+             parallel mapping-table entries) yield one connection *)
+          let child_rows =
+            let seen = Tuple.Tbl.create 16 in
+            List.filter
+              (fun row ->
+                if Tuple.Tbl.mem seen row then false
+                else begin
+                  Tuple.Tbl.add seen row ();
+                  true
+                end)
+              child_rows
+          in
+          Hashtbl.replace conn_count r.Xnf_ast.rname
+            (Hashtbl.find conn_count r.Xnf_ast.rname + List.length child_rows);
+          (* split multi-child rows into per-child tuples *)
+          List.iter
+            (fun (crow : Tuple.t) ->
+              let off = ref 0 in
+              List.iter
+                (fun ch ->
+                  let w = Schema.arity (schema_of ch) in
+                  discover ch (Array.sub crow !off w);
+                  off := !off + w)
+                r.Xnf_ast.children)
+            child_rows
+        end)
+      ast.Xnf_ast.relates
+  done;
+  let counts =
+    List.map
+      (fun (t : Xnf_ast.table_def) ->
+        ( t.Xnf_ast.tname,
+          Tuple.Tbl.length (Hashtbl.find node_found t.Xnf_ast.tname) ))
+      ast.Xnf_ast.tables
+    @ List.map
+        (fun (r : Xnf_ast.relate_def) ->
+          (r.Xnf_ast.rname, Hashtbl.find conn_count r.Xnf_ast.rname))
+        ast.Xnf_ast.relates
+  in
+  { queries_executed = !queries; rows_fetched = !fetched; counts }

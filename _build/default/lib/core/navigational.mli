@@ -1,0 +1,18 @@
+(** Baseline: navigational N+1-queries extraction (paper Sect. 1) — one
+    child query per (parent tuple, relationship), breadth-first from the
+    roots, with object sharing through dedup maps (which also makes the
+    walk terminate on recursive COs). *)
+
+module Db = Engine.Database
+
+type stats = {
+  queries_executed : int;
+  rows_fetched : int;
+  counts : (string * int) list; (* component -> tuples / connections *)
+}
+
+val extract : ?mode:[ `Sql_text | `Prepared ] -> Db.t -> Xnf_ast.query -> stats
+(** [`Sql_text] (default): a fresh SQL statement per parent tuple,
+    parsed and compiled each time — the realistic application loop.
+    [`Prepared]: per-relationship plans compiled once and re-executed
+    through a one-row parameter table. *)

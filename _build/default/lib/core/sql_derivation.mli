@@ -1,0 +1,31 @@
+(** Baseline: single-component SQL derivation (paper Fig. 6, Table 1).
+    Each CO component is retrieved by its own standalone SQL query;
+    reachability becomes existential subqueries over the parents'
+    recursive derivations, and shared subexpressions are recomputed by
+    every query. *)
+
+open Relcore
+module Ast = Sqlkit.Ast
+module Db = Engine.Database
+
+val find_table_def : Xnf_ast.query -> string -> Xnf_ast.table_def
+
+val reach_pred : Xnf_ast.query -> string -> string -> Ast.pred
+(** The reachability predicate for a component bound to an alias: one
+    EXISTS per incoming relationship, recursively requiring a reachable
+    parent (the Fig. 3a shape). *)
+
+val node_query : Xnf_ast.query -> string -> Ast.query
+val rel_query : Xnf_ast.query -> Xnf_ast.relate_def -> Ast.query
+
+val component_queries : Xnf_ast.query -> (string * Ast.query) list
+(** All standalone queries, nodes then relationships, declaration
+    order.  Raises {!Errors.Db_error} on recursive COs (inexpressible in
+    the SQL subset). *)
+
+val extract : Db.t -> Xnf_ast.query -> (string * Tuple.t list) list
+(** One independent query per component, each with its own execution
+    context (no cross-query sharing — the point of the comparison). *)
+
+val component_graphs : Db.t -> Xnf_ast.query -> (string * Starq.Qgm.box list) list
+(** Rewritten QGM graph per standalone query, for Table-1 counting. *)

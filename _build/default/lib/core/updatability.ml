@@ -1,0 +1,262 @@
+(** Updatability analysis of XNF views (paper Sect. 2): which node
+    components translate to view updates over one base table, and which
+    relationships translate to foreign-key updates or connect-table
+    insert/delete.
+
+    Used by the CO cache's write-back ({!Cocache.Update}) and by the SQL
+    surface (UPDATE/DELETE/INSERT on [view.component], registered with
+    {!Engine.Database} at link time). *)
+
+open Relcore
+module Ast = Sqlkit.Ast
+
+type node_target = {
+  nt_base : string; (* base table name *)
+  nt_col_map : (string * string) list; (* component col -> base col *)
+  nt_pred : Ast.pred; (* the view's selection predicate *)
+}
+
+type rel_target =
+  | Foreign_key of {
+      fk_child : string; (* child component *)
+      fk_pairs : (string * string) list; (* (child col, parent col) *)
+    }
+  | Connect_table of {
+      ct_table : string;
+      ct_parent_pairs : (string * string) list; (* (connect col, parent col) *)
+      ct_child_pairs : (string * string) list;
+    }
+
+(** Try to view a node's table expression as select/project over one
+    base table. *)
+let analyze_node (cat : Catalog.t) (ast : Xnf_ast.query) (comp : string) :
+    node_target option =
+  let def = Sql_derivation.find_table_def ast comp in
+  let q = def.Xnf_ast.texpr in
+  match q.Ast.from with
+  | [ Ast.Table_name { name; _ } ]
+    when (not q.Ast.distinct) && q.Ast.group_by = [] && q.Ast.having = None
+         && Catalog.mem_table cat name ->
+    let base = Catalog.find_table cat name in
+    let base_schema = Base_table.schema base in
+    let col_map =
+      List.fold_left
+        (fun acc item ->
+          match acc, item with
+          | None, _ -> None
+          | Some acc, Ast.Star | Some acc, Ast.Table_star _ ->
+            Some (acc @ List.map (fun c -> (c, c)) (Schema.column_names base_schema))
+          | Some acc, Ast.Sel_expr (Ast.Col { col; _ }, alias) ->
+            let out = Option.value alias ~default:col in
+            Some (acc @ [ (String.lowercase_ascii out, String.lowercase_ascii col) ])
+          | Some _, Ast.Sel_expr _ -> None (* computed column: not updatable *))
+        (Some []) q.Ast.select
+    in
+    Option.map
+      (fun m -> { nt_base = name; nt_col_map = m; nt_pred = q.Ast.where })
+      col_map
+  | _ -> None
+
+(** Decompose a relationship predicate into column-equality pairs. *)
+let eq_pairs (p : Ast.pred) :
+    ((string option * string) * (string option * string)) list option =
+  let atoms = Ast.conjuncts p in
+  let pair = function
+    | Ast.Cmp (Ast.Eq, Ast.Col { tbl = ta; col = ca }, Ast.Col { tbl = tb; col = cb })
+      ->
+      Some
+        ( (Option.map String.lowercase_ascii ta, String.lowercase_ascii ca),
+          (Option.map String.lowercase_ascii tb, String.lowercase_ascii cb) )
+    | _ -> None
+  in
+  let pairs = List.map pair atoms in
+  if List.exists Option.is_none pairs then None
+  else Some (List.map Option.get pairs)
+
+let analyze_rel (ast : Xnf_ast.query) (rel : string) : rel_target option =
+  match
+    List.find_opt (fun (r : Xnf_ast.relate_def) -> r.Xnf_ast.rname = rel)
+      ast.Xnf_ast.relates
+  with
+  | None -> None
+  | Some r -> begin
+    match r.Xnf_ast.children with
+    | [ child ] -> begin
+      let parent_names =
+        [
+          String.lowercase_ascii r.Xnf_ast.parent;
+          String.lowercase_ascii r.Xnf_ast.role;
+        ]
+      in
+      let child_name = String.lowercase_ascii child in
+      let side (t, c) =
+        match t with
+        | Some t when List.mem t parent_names -> Some (`Parent, c)
+        | Some t when t = child_name -> Some (`Child, c)
+        | Some t -> Some (`Using t, c)
+        | None -> None
+      in
+      match eq_pairs r.Xnf_ast.rpred, r.Xnf_ast.using with
+      | None, _ -> None
+      | Some pairs, [] ->
+        (* foreign key: every equality must be parent-col = child-col *)
+        let fk =
+          List.fold_left
+            (fun acc (a, b) ->
+              match acc with
+              | None -> None
+              | Some acc -> begin
+                match side a, side b with
+                | Some (`Parent, pc), Some (`Child, cc)
+                | Some (`Child, cc), Some (`Parent, pc) ->
+                  Some (acc @ [ (cc, pc) ])
+                | _ -> None
+              end)
+            (Some []) pairs
+        in
+        Option.map (fun fk_pairs -> Foreign_key { fk_child = child; fk_pairs }) fk
+      | Some pairs, [ u ] ->
+        (* connect table: parent-col = u-col and u-col = child-col pairs *)
+        let ualias = String.lowercase_ascii u.Xnf_ast.ualias in
+        let classify (a, b) =
+          match side a, side b with
+          | Some (`Parent, pc), Some (`Using t, uc) when t = ualias ->
+            Some (`P (uc, pc))
+          | Some (`Using t, uc), Some (`Parent, pc) when t = ualias ->
+            Some (`P (uc, pc))
+          | Some (`Child, cc), Some (`Using t, uc) when t = ualias ->
+            Some (`C (uc, cc))
+          | Some (`Using t, uc), Some (`Child, cc) when t = ualias ->
+            Some (`C (uc, cc))
+          | _ -> None
+        in
+        let classified = List.map classify pairs in
+        if List.exists Option.is_none classified then None
+        else begin
+          let classified = List.map Option.get classified in
+          let ppairs =
+            List.filter_map (function `P x -> Some x | `C _ -> None) classified
+          in
+          let cpairs =
+            List.filter_map (function `C x -> Some x | `P _ -> None) classified
+          in
+          if ppairs = [] || cpairs = [] then None
+          else
+            Some
+              (Connect_table
+                 {
+                   ct_table = u.Xnf_ast.utable;
+                   ct_parent_pairs = ppairs;
+                   ct_child_pairs = cpairs;
+                 })
+        end
+      | Some _, _ :: _ :: _ -> None
+    end
+    | _ -> None (* n-ary relationships are not updatable *)
+  end
+
+(* -- SQL surface: UPDATE/DELETE/INSERT on view.component ----------------- *)
+
+(** Rename component-column references (qualified by the component alias
+    or unqualified) to base-table columns. *)
+let rec rename_expr map (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Col { tbl = _; col } -> begin
+    match List.assoc_opt (String.lowercase_ascii col) map with
+    | Some base_col -> Ast.Col { tbl = None; col = base_col }
+    | None ->
+      Errors.semantic_error "column %S does not map onto the base table" col
+  end
+  | Ast.Lit _ -> e
+  | Ast.Binop (op, a, b) -> Ast.Binop (op, rename_expr map a, rename_expr map b)
+  | Ast.Neg a -> Ast.Neg (rename_expr map a)
+  | Ast.Agg (fn, arg) -> Ast.Agg (fn, Option.map (rename_expr map) arg)
+  | Ast.Fn (name, args) -> Ast.Fn (name, List.map (rename_expr map) args)
+
+let rec rename_pred map (p : Ast.pred) : Ast.pred =
+  match p with
+  | Ast.Ptrue -> p
+  | Ast.Cmp (op, a, b) -> Ast.Cmp (op, rename_expr map a, rename_expr map b)
+  | Ast.And (a, b) -> Ast.And (rename_pred map a, rename_pred map b)
+  | Ast.Or (a, b) -> Ast.Or (rename_pred map a, rename_pred map b)
+  | Ast.Not a -> Ast.Not (rename_pred map a)
+  | Ast.Is_null e -> Ast.Is_null (rename_expr map e)
+  | Ast.Is_not_null e -> Ast.Is_not_null (rename_expr map e)
+  | Ast.Like (e, pat) -> Ast.Like (rename_expr map e, pat)
+  | Ast.Between (e, lo, hi) ->
+    Ast.Between (rename_expr map e, rename_expr map lo, rename_expr map hi)
+  | Ast.In_list (e, es) ->
+    Ast.In_list (rename_expr map e, List.map (rename_expr map) es)
+  | Ast.Exists _ | Ast.In_query _ ->
+    Errors.unsupported "subqueries in DML against a view component"
+
+(** Resolve a [view.component] DML target: the base table, the renamed
+    SET list, and the WHERE with the view's selection predicate
+    conjoined — classic updatable-view translation. *)
+let dml_target (cat : Catalog.t) ~view ~component :
+    (Xnf_ast.query * node_target) option =
+  match Catalog.find_view_opt cat view with
+  | Some { Catalog.language = `Xnf; text; _ } -> begin
+    let ast = Xnf_parser.parse text in
+    match analyze_node cat ast component with
+    | Some nt -> Some (ast, nt)
+    | None ->
+      Errors.semantic_error
+        "component %S of view %S is not updatable (not a select/project of \
+         one base table)"
+        component view
+  end
+  | Some { Catalog.language = `Sql; _ } | None -> None
+
+(** Registered with {!Engine.Database.component_dml_translator}: rewrite
+    a DML statement on [view.component] to one on the base table. *)
+let translate_dml (cat : Catalog.t) ~view ~component (stmt : Ast.stmt) :
+    Ast.stmt option =
+  match dml_target cat ~view ~component with
+  | None -> None
+  | Some (_ast, nt) ->
+    let map = nt.nt_col_map in
+    Some
+      (match stmt with
+      | Ast.Update { sets; where; _ } ->
+        Ast.Update
+          {
+            table_name = nt.nt_base;
+            sets =
+              List.map
+                (fun (c, e) ->
+                  match List.assoc_opt (String.lowercase_ascii c) map with
+                  | Some base_col -> (base_col, rename_expr map e)
+                  | None ->
+                    Errors.semantic_error
+                      "column %S does not map onto the base table" c)
+                sets;
+            where = Ast.conj [ rename_pred map where; nt.nt_pred ];
+          }
+      | Ast.Delete { where; _ } ->
+        Ast.Delete
+          {
+            table_name = nt.nt_base;
+            where = Ast.conj [ rename_pred map where; nt.nt_pred ];
+          }
+      | Ast.Insert { columns; rows; _ } ->
+        let columns =
+          match columns with
+          | Some cols ->
+            Some
+              (List.map
+                 (fun c ->
+                   match List.assoc_opt (String.lowercase_ascii c) map with
+                   | Some base_col -> base_col
+                   | None ->
+                     Errors.semantic_error
+                       "column %S does not map onto the base table" c)
+                 cols)
+          | None -> Some (List.map snd map)
+        in
+        Ast.Insert { table_name = nt.nt_base; columns; rows }
+      | _ -> Errors.unsupported "statement kind on a view component")
+
+let () =
+  Engine.Database.component_dml_translator :=
+    Some (fun cat ~view ~component stmt -> translate_dml cat ~view ~component stmt)

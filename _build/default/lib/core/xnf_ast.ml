@@ -1,0 +1,87 @@
+(** Abstract syntax of XNF queries (paper Sect. 2).
+
+    An XNF query is the CO constructor [OUT OF <defs> TAKE <spec>] where
+    the definitions are component tables (SQL table expressions) and
+    relationships ([RELATE parent VIA role, child... USING ... WHERE p]). *)
+
+module Ast = Sqlkit.Ast
+
+(** A component (node) table: a named SQL table expression.
+    [xemp AS EMP] is shorthand for [xemp AS (SELECT * FROM EMP)].
+    [explicit_root] marks a component as reachable by definition even
+    when it appears as a relationship child (the paper's fine-grained
+    reachability specification, Sect. 4.1 phase 2) — written
+    [ROOT name AS ...]. *)
+type table_def = { tname : string; texpr : Ast.query; explicit_root : bool }
+
+(** Auxiliary tables of a relationship ([USING] clause): mapping tables
+    used for derivation but not part of the CO abstraction. *)
+type using_ref = { utable : string; ualias : string }
+
+type relate_def = {
+  rname : string;
+  parent : string; (* parent component name *)
+  role : string; (* VIA role name *)
+  children : string list; (* child component names (n-ary allowed) *)
+  using : using_ref list;
+  rattrs : (string * Ast.expr) list;
+      (* relationship attributes carried by each connection,
+         [WITH (expr AS name, ...)] *)
+  rpred : Ast.pred;
+}
+
+type take_spec =
+  | Take_all
+  | Take_items of take_item list
+
+and take_item = {
+  take_name : string; (* component or relationship name *)
+  take_cols : string list option; (* column projection for node tables *)
+}
+
+type query = {
+  tables : table_def list;
+  relates : relate_def list;
+  take : take_spec;
+}
+
+(** Schema-graph edge list: (relationship, parent, child) triples. *)
+let edges (q : query) : (string * string * string) list =
+  List.concat_map
+    (fun r -> List.map (fun c -> (r.rname, r.parent, c)) r.children)
+    q.relates
+
+(** Root components: explicitly marked ones plus those that are no
+    relationship's child. *)
+let roots (q : query) : string list =
+  let child_names = List.concat_map (fun r -> r.children) q.relates in
+  List.filter_map
+    (fun t ->
+      if t.explicit_root || not (List.mem t.tname child_names) then
+        Some t.tname
+      else None)
+    q.tables
+
+(** Does the schema graph contain a cycle requiring fixpoint evaluation?
+    Edges into root components do not require derivation and are ignored. *)
+let is_recursive (q : query) : bool =
+  let rs = roots q in
+  let es = List.filter (fun (_, _, c) -> not (List.mem c rs)) (edges q) in
+  let nodes = List.map (fun t -> t.tname) q.tables in
+  let state = Hashtbl.create 16 in
+  (* 0 = unvisited, 1 = in progress, 2 = done *)
+  let get n = Option.value (Hashtbl.find_opt state n) ~default:0 in
+  let rec visit n =
+    match get n with
+    | 1 -> true
+    | 2 -> false
+    | _ ->
+      Hashtbl.replace state n 1;
+      let children =
+        List.filter_map (fun (_, p, c) -> if p = n then Some c else None) es
+      in
+      let cyc = List.exists visit children in
+      Hashtbl.replace state n 2;
+      cyc
+  in
+  List.exists visit nodes

@@ -1,0 +1,47 @@
+(** Abstract syntax of XNF queries (paper Sect. 2): the CO constructor
+    [OUT OF <component and relationship definitions> TAKE <projection>]. *)
+
+module Ast = Sqlkit.Ast
+
+type table_def = {
+  tname : string;
+  texpr : Ast.query; (* the defining SQL table expression *)
+  explicit_root : bool; (* [ROOT name AS ...] reachability override *)
+}
+
+type using_ref = { utable : string; ualias : string }
+
+type relate_def = {
+  rname : string;
+  parent : string;
+  role : string; (* VIA role; also names the parent in the predicate *)
+  children : string list; (* n-ary allowed *)
+  using : using_ref list; (* mapping tables, not part of the CO *)
+  rattrs : (string * Ast.expr) list;
+      (* relationship attributes carried by each connection *)
+  rpred : Ast.pred;
+}
+
+type take_spec = Take_all | Take_items of take_item list
+
+and take_item = {
+  take_name : string;
+  take_cols : string list option; (* column projection for node tables *)
+}
+
+type query = {
+  tables : table_def list;
+  relates : relate_def list;
+  take : take_spec;
+}
+
+val edges : query -> (string * string * string) list
+(** (relationship, parent, child) triples of the schema graph. *)
+
+val roots : query -> string list
+(** Explicitly marked roots plus components that are no relationship's
+    child — reachable by definition. *)
+
+val is_recursive : query -> bool
+(** Does the schema graph contain a cycle requiring fixpoint evaluation?
+    Edges into root components are ignored. *)

@@ -1,0 +1,364 @@
+(** The XNF compilation and extraction pipeline (Fig. 2 / Fig. 7):
+
+    parse → XNF semantics (XNF QGM) → XNF semantic rewrite (NF QGM,
+    shared derivations) → NF rule rewrite → plan optimization with
+    cross-output CSE → set-oriented execution producing the
+    heterogeneous stream. *)
+
+open Relcore
+module Qgm = Starq.Qgm
+module Plan = Optimizer.Plan
+module Db = Engine.Database
+
+let log_src = Logs.Src.create "xnfdb.xnf" ~doc:"XNF compilation and extraction"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type compiled = {
+  db : Db.t;
+  ast : Xnf_ast.query;
+  op : Xnf_semantic.xnf_op;
+  rewritten : Xnf_rewrite.result;
+  plans : (string * Plan.compiled) list; (* nodes first, derivation order *)
+  header : Hetstream.header;
+  rewrite_stats : Starq.Engine.stats;
+  recursive : bool;
+}
+
+(** Compile an XNF query AST against a database.
+
+    [share]: enable common-subexpression sharing (the Table 1 ablation).
+    [nf_rewrite]: run the shared NF rule engine over the produced graphs. *)
+let compile_ast ?(share = true) ?(nf_rewrite = true) (db : Db.t)
+    (ast : Xnf_ast.query) : compiled =
+  let recursive = Xnf_ast.is_recursive ast in
+  let op = Xnf_semantic.analyze (Db.catalog db) ast in
+  if recursive then
+    (* plans are built per-iteration by the recursive evaluator *)
+    {
+      db;
+      ast;
+      op;
+      rewritten =
+        {
+          Xnf_rewrite.op;
+          node_outputs = [];
+          rel_outputs = [];
+          take_nodes = [];
+          take_rels = [];
+        };
+      plans = [];
+      header = { Hetstream.components = [||]; root_components = op.Xnf_semantic.roots };
+      rewrite_stats = [];
+      recursive;
+    }
+  else begin
+    let rewritten = Xnf_rewrite.rewrite op in
+    let outputs = Xnf_rewrite.output_boxes rewritten in
+    let rewrite_stats =
+      if nf_rewrite then Starq.Engine.run (List.map snd outputs) else []
+    in
+    let plans = Optimizer.Planner.compile_many ~share outputs in
+    (* header: nodes first (derivation order), then relationships *)
+    let node_infos =
+      List.mapi
+        (fun i (n : Xnf_rewrite.node_output) ->
+          let plan = List.assoc n.Xnf_rewrite.no_name plans in
+          (* TAKE column projection applies to the shipped rows *)
+          let schema =
+            match n.Xnf_rewrite.no_take_cols with
+            | None -> plan.Plan.out_schema
+            | Some cols ->
+              Schema.make
+                (List.map
+                   (fun c ->
+                     let i = Schema.find plan.Plan.out_schema c in
+                     let col = Schema.column_at plan.Plan.out_schema i in
+                     Schema.column ~nullable:col.Schema.nullable col.Schema.name
+                       col.Schema.dtype)
+                   cols)
+          in
+          {
+            Hetstream.comp_no = i;
+            comp_name = n.Xnf_rewrite.no_name;
+            comp_kind = `Node;
+            comp_schema = schema;
+            take_cols = n.Xnf_rewrite.no_take_cols;
+            in_take = List.mem n.Xnf_rewrite.no_name rewritten.Xnf_rewrite.take_nodes;
+          })
+        rewritten.Xnf_rewrite.node_outputs
+    in
+    let nnodes = List.length node_infos in
+    let rel_infos =
+      List.mapi
+        (fun i (ro : Xnf_rewrite.rel_output) ->
+          {
+            Hetstream.comp_no = nnodes + i;
+            comp_name = ro.Xnf_rewrite.ro_name;
+            comp_kind =
+              `Rel
+                {
+                  Hetstream.rm_role = ro.Xnf_rewrite.ro_role;
+                  rm_parent = ro.Xnf_rewrite.ro_parent;
+                  rm_children = ro.Xnf_rewrite.ro_children;
+                };
+            comp_schema = ro.Xnf_rewrite.ro_attr_schema;
+            take_cols = None;
+            in_take = List.mem ro.Xnf_rewrite.ro_name rewritten.Xnf_rewrite.take_rels;
+          })
+        rewritten.Xnf_rewrite.rel_outputs
+    in
+    let header =
+      {
+        Hetstream.components = Array.of_list (node_infos @ rel_infos);
+        root_components = op.Xnf_semantic.roots;
+      }
+    in
+    { db; ast; op; rewritten; plans; header; rewrite_stats; recursive }
+  end
+
+let compile ?share ?nf_rewrite (db : Db.t) (text : string) : compiled =
+  let c = compile_ast ?share ?nf_rewrite db (Xnf_parser.parse text) in
+  Log.debug (fun m ->
+      m "compiled XNF query: %d outputs, recursive=%b, rules fired: %s"
+        (List.length c.plans) c.recursive
+        (String.concat ", "
+           (List.map
+              (fun (n, k) -> Printf.sprintf "%s x%d" n k)
+              c.rewrite_stats)));
+  c
+
+(* -- extraction ---------------------------------------------------------- *)
+
+(** Assemble the heterogeneous stream from per-output row lists:
+    assign tuple identifiers (one per distinct component-tuple value:
+    object sharing) and resolve connection partner ids.  [rows_of] is
+    called once per needed output (node outputs always; relationship
+    outputs only when in TAKE). *)
+let assemble (c : compiled) (rows_of : string -> Tuple.t list) : Hetstream.t =
+  let id_counter = ref 0 in
+  let fresh () =
+    incr id_counter;
+    !id_counter
+  in
+  (* per-node value -> id maps *)
+  let id_maps : (string, Hetstream.tuple_id Tuple.Tbl.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let items = ref [] in
+  let emit item = items := item :: !items in
+  (* nodes in derivation order *)
+  List.iter
+    (fun (n : Xnf_rewrite.node_output) ->
+      let name = n.Xnf_rewrite.no_name in
+      let info = Hetstream.find_comp c.header name in
+      let plan = List.assoc name c.plans in
+      let project =
+        match n.Xnf_rewrite.no_take_cols with
+        | None -> Fun.id
+        | Some cols ->
+          let idxs =
+            Array.of_list
+              (List.map (Schema.find plan.Plan.out_schema) cols)
+          in
+          fun row -> Tuple.project row idxs
+      in
+      let map = Tuple.Tbl.create 256 in
+      Hashtbl.replace id_maps name map;
+      let rows = rows_of name in
+      List.iter
+        (fun row ->
+          if not (Tuple.Tbl.mem map row) then begin
+            let id = fresh () in
+            Tuple.Tbl.add map row id;
+            if info.Hetstream.in_take then
+              emit
+                (Hetstream.Row
+                   { comp = info.Hetstream.comp_no; id; values = project row })
+          end)
+        rows)
+    c.rewritten.Xnf_rewrite.node_outputs;
+  (* relationships: split each joined row into partner tuples, map to ids *)
+  List.iter
+    (fun (ro : Xnf_rewrite.rel_output) ->
+      let name = ro.Xnf_rewrite.ro_name in
+      let info = Hetstream.find_comp c.header name in
+      if info.Hetstream.in_take then begin
+        let parent_span = ro.Xnf_rewrite.ro_parent_span in
+        let child_spans = ro.Xnf_rewrite.ro_child_spans in
+        let attr_off, attr_w = ro.Xnf_rewrite.ro_attr_span in
+        let lookup comp (off, w) row =
+          let part = Array.sub row off w in
+          match Tuple.Tbl.find_opt (Hashtbl.find id_maps comp) part with
+          | Some id -> id
+          | None ->
+            Errors.execution_error
+              "connection references a %s tuple missing from its component"
+              comp
+        in
+        let seen = Tuple.Tbl.create 256 in
+        let rows = rows_of name in
+        List.iter
+          (fun row ->
+            let parent = lookup ro.Xnf_rewrite.ro_parent parent_span row in
+            let children =
+              Array.of_list
+                (List.map (fun (ch, span) -> lookup ch span row) child_spans)
+            in
+            (* a connection is a set-level fact: dedupe *)
+            let key =
+              Array.of_list
+                (Value.Int parent
+                :: Array.to_list (Array.map (fun i -> Value.Int i) children))
+            in
+            if not (Tuple.Tbl.mem seen key) then begin
+              Tuple.Tbl.add seen key ();
+              emit
+                (Hetstream.Conn
+                   {
+                     rel = info.Hetstream.comp_no;
+                     id = fresh ();
+                     parent;
+                     children;
+                     attrs = Array.sub row attr_off attr_w;
+                   })
+            end)
+          rows
+      end)
+    c.rewritten.Xnf_rewrite.rel_outputs;
+  { Hetstream.header = c.header; items = List.rev !items }
+
+(** Sequential extraction: execute all output plans under one execution
+    context (shared derivations materialize once). *)
+let extract_nonrecursive ?(ctx = Executor.Exec.make_ctx ()) (c : compiled) :
+    Hetstream.t =
+  assemble c (fun name -> Executor.Exec.run ~ctx (List.assoc name c.plans))
+
+(** Extract the CO defined by a compiled XNF query (dispatches to the
+    fixpoint evaluator for recursive COs). *)
+let extract ?ctx (c : compiled) : Hetstream.t =
+  if c.recursive then Xnf_recursive.extract c.db c.op
+  else extract_nonrecursive ?ctx c
+
+(** Parallel extraction over OCaml domains (the paper's Sect. 6 outlook:
+    "set-oriented specification of COs as done in XNF particularly lends
+    itself to exploitation of parallelism technology").
+
+    All common subexpressions are forced sequentially first; the output
+    plans then run in parallel, each domain reading the now-immutable
+    shared cache.  Falls back to the fixpoint evaluator for recursive
+    COs. *)
+let extract_parallel ?(domains = 4) (c : compiled) : Hetstream.t =
+  if c.recursive then Xnf_recursive.extract c.db c.op
+  else begin
+    let ctx = Executor.Exec.make_ctx () in
+    (* which outputs will actually run? *)
+    let needed =
+      List.map (fun (n : Xnf_rewrite.node_output) -> n.Xnf_rewrite.no_name)
+        c.rewritten.Xnf_rewrite.node_outputs
+      @ List.filter_map
+          (fun (ro : Xnf_rewrite.rel_output) ->
+            if List.mem ro.Xnf_rewrite.ro_name c.rewritten.Xnf_rewrite.take_rels
+            then Some ro.Xnf_rewrite.ro_name
+            else None)
+          c.rewritten.Xnf_rewrite.rel_outputs
+    in
+    let plans = List.map (fun name -> (name, List.assoc name c.plans)) needed in
+    List.iter
+      (fun (_, (p : Plan.compiled)) -> Executor.Exec.force_shared ctx p.Plan.plan)
+      plans;
+    (* fan the plans out over worker domains *)
+    let n_workers = max 1 (min domains (List.length plans)) in
+    let chunks = Array.make n_workers [] in
+    List.iteri
+      (fun i entry -> chunks.(i mod n_workers) <- entry :: chunks.(i mod n_workers))
+      plans;
+    let run_chunk entries =
+      let my_ctx = Executor.Exec.sibling_ctx ctx in
+      List.map
+        (fun (name, (p : Plan.compiled)) -> (name, Executor.Exec.run ~ctx:my_ctx p))
+        entries
+    in
+    let handles =
+      Array.map (fun entries -> Domain.spawn (fun () -> run_chunk entries)) chunks
+    in
+    let results = Array.to_list handles |> List.concat_map Domain.join in
+    assemble c (fun name -> List.assoc name results)
+  end
+
+(** One-call convenience: compile and extract. *)
+let run ?share ?nf_rewrite (db : Db.t) (text : string) : Hetstream.t =
+  extract (compile ?share ?nf_rewrite db text)
+
+(** Compile and extract a stored XNF view by name. *)
+let run_view ?share ?nf_rewrite (db : Db.t) (view_name : string) : Hetstream.t =
+  match Catalog.find_view_opt (Db.catalog db) view_name with
+  | Some { Catalog.language = `Xnf; text; _ } -> run ?share ?nf_rewrite db text
+  | Some { Catalog.language = `Sql; _ } ->
+    Errors.semantic_error "view %S is a plain SQL view, not an XNF view"
+      view_name
+  | None -> Errors.catalog_error "unknown view %S" view_name
+
+(* -- view composition ------------------------------------------------------ *)
+
+(** Expansion of [view.component] table references (closure of the model
+    under its operations, paper Sect. 2): compile the referenced XNF
+    view against the catalog and splice in the component's derived
+    (reachability-rewritten) box.  A guard rejects cyclic view chains. *)
+let expanding : (string, unit) Hashtbl.t = Hashtbl.create 4
+
+let expand_component (cat : Catalog.t) ~view ~component : Qgm.box =
+  match Catalog.find_view_opt cat view with
+  | None -> Errors.catalog_error "unknown view %S" view
+  | Some { Catalog.language = `Sql; _ } ->
+    Errors.semantic_error
+      "%S is a plain SQL view; only XNF views expose components" view
+  | Some { Catalog.language = `Xnf; text; _ } ->
+    let key = String.lowercase_ascii view in
+    if Hashtbl.mem expanding key then
+      Errors.semantic_error "cyclic view reference through %S" view;
+    Hashtbl.add expanding key ();
+    Fun.protect
+      ~finally:(fun () -> Hashtbl.remove expanding key)
+      (fun () ->
+        let ast = Xnf_parser.parse text in
+        if Xnf_ast.is_recursive ast then
+          Errors.unsupported
+            "components of recursive XNF views cannot be composed";
+        let op = Xnf_semantic.analyze cat ast in
+        let rewritten = Xnf_rewrite.rewrite op in
+        match
+          List.find_opt
+            (fun (n : Xnf_rewrite.node_output) -> n.Xnf_rewrite.no_name = component)
+            rewritten.Xnf_rewrite.node_outputs
+        with
+        | Some n -> n.Xnf_rewrite.no_box
+        | None -> (
+          match
+            List.find_opt
+              (fun (r : Xnf_rewrite.rel_output) -> r.Xnf_rewrite.ro_name = component)
+              rewritten.Xnf_rewrite.rel_outputs
+          with
+          | Some r -> r.Xnf_rewrite.ro_box
+          | None ->
+            Errors.semantic_error "view %S has no component %S" view component))
+
+let () = Starq.Build.xnf_component_expander := Some expand_component
+
+(** EXPLAIN for XNF queries: the XNF operator, the rewritten graphs and
+    the plans with their sharing structure. *)
+let explain (db : Db.t) (text : string) : string =
+  let c = compile db text in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "== XNF operator ==\n";
+  Buffer.add_string buf (Xnf_semantic.dump c.op);
+  if not c.recursive then begin
+    Buffer.add_string buf "== plans ==\n";
+    List.iter
+      (fun (name, (p : Plan.compiled)) ->
+        Buffer.add_string buf (Printf.sprintf "-- %s --\n" name);
+        Buffer.add_string buf (Plan.explain p.Plan.plan))
+      c.plans
+  end
+  else Buffer.add_string buf "(recursive CO: fixpoint evaluation)\n";
+  Buffer.contents buf

@@ -1,0 +1,54 @@
+(** The XNF compilation and extraction pipeline (paper Fig. 2 / Fig. 7):
+    parse, XNF semantics, XNF semantic rewrite, shared NF rule rewrite,
+    plan optimization with cross-output CSE, set-oriented execution into
+    the heterogeneous stream. *)
+
+open Relcore
+module Plan = Optimizer.Plan
+module Db = Engine.Database
+
+type compiled = {
+  db : Db.t;
+  ast : Xnf_ast.query;
+  op : Xnf_semantic.xnf_op;
+  rewritten : Xnf_rewrite.result;
+  plans : (string * Plan.compiled) list; (* nodes first, derivation order *)
+  header : Hetstream.header;
+  rewrite_stats : Starq.Engine.stats;
+  recursive : bool;
+}
+
+val compile_ast :
+  ?share:bool -> ?nf_rewrite:bool -> Db.t -> Xnf_ast.query -> compiled
+(** [share] enables common-subexpression sharing (the Table-1 ablation);
+    [nf_rewrite] runs the shared NF rule engine. *)
+
+val compile : ?share:bool -> ?nf_rewrite:bool -> Db.t -> string -> compiled
+
+val assemble : compiled -> (string -> Tuple.t list) -> Hetstream.t
+(** Assemble the stream from per-output row lists: id assignment (object
+    sharing) and connection resolution. *)
+
+val extract : ?ctx:Executor.Exec.ctx -> compiled -> Hetstream.t
+(** Sequential extraction; dispatches to the fixpoint evaluator for
+    recursive COs. *)
+
+val extract_parallel : ?domains:int -> compiled -> Hetstream.t
+(** Parallel extraction over OCaml domains: CSE forced sequentially,
+    output plans fanned out (paper Sect. 6 outlook). *)
+
+val run : ?share:bool -> ?nf_rewrite:bool -> Db.t -> string -> Hetstream.t
+(** Compile and extract in one call. *)
+
+val run_view :
+  ?share:bool -> ?nf_rewrite:bool -> Db.t -> string -> Hetstream.t
+(** Compile and extract a stored XNF view by name. *)
+
+val expand_component : Catalog.t -> view:string -> component:string -> Starq.Qgm.box
+(** [view.component] table-reference expansion (model closure); also
+    registered with {!Starq.Build.xnf_component_expander} at link time.
+    Rejects cyclic view chains. *)
+
+val explain : Db.t -> string -> string
+(** The XNF operator, the rewritten graphs and the plans with their
+    sharing structure. *)

@@ -1,0 +1,173 @@
+(** Parser for the XNF surface syntax (paper Sect. 2, Fig. 1):
+
+    {v
+    OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+           xemp  AS EMP,
+           employment AS (RELATE xdept VIA EMPLOYS, xemp
+                          WHERE xdept.dno = xemp.edno),
+           empproperty AS (RELATE xemp VIA POSSESSES, xskills
+                           USING EMPSKILLS es
+                           WHERE xemp.eno = es.eseno AND es.essno = xskills.sno)
+    TAKE *
+    v}
+
+    Reuses the SQL lexer and parser for embedded table expressions and
+    predicates — XNF is "strictly an extension" to SQL. *)
+
+open Relcore
+module P = Sqlkit.Parser
+module Token = Sqlkit.Token
+module Ast = Sqlkit.Ast
+
+let shorthand_query table_name : Ast.query =
+  Ast.simple_query [ Ast.Star ] [ Ast.Table_name { name = table_name; alias = None } ]
+
+(** Parse one OUT OF definition: either a component table or a RELATE. *)
+let parse_def st : [ `Table of Xnf_ast.table_def | `Relate of Xnf_ast.relate_def ]
+    =
+  (* 'ROOT' is a contextual keyword: 'root AS ...' is a component named
+     root, 'ROOT xpart AS ...' marks xpart as an explicit root *)
+  let explicit_root =
+    match P.peek_ahead st 1 with
+    | Token.Ident next when next <> "as" -> P.accept_kw st "root"
+    | _ -> false
+  in
+  let name = P.ident st in
+  P.expect_kw st "as";
+  match P.peek st with
+  | Token.Punct "(" -> begin
+    P.expect_punct st "(";
+    if P.at_kw st "relate" then begin
+      P.expect_kw st "relate";
+      let parent = P.ident st in
+      P.expect_kw st "via";
+      let role = P.ident st in
+      let children = ref [] in
+      while P.accept_punct st "," do
+        children := P.ident st :: !children
+      done;
+      let using = ref [] in
+      if P.accept_kw st "using" then begin
+        let one () =
+          let utable = P.ident st in
+          (* dotted: a component of another XNF view as mapping table *)
+          let utable =
+            if P.accept_punct st "." then utable ^ "." ^ P.ident st else utable
+          in
+          let ualias =
+            match P.peek st with
+            | Token.Ident a when not (List.mem a P.reserved_after_table_ref) ->
+              P.advance st;
+              a
+            | _ -> utable
+          in
+          { Xnf_ast.utable; ualias }
+        in
+        using := [ one () ];
+        while P.accept_punct st "," do
+          using := one () :: !using
+        done
+      end;
+      (* relationship attributes: WITH (expr AS name, ...) *)
+      let rattrs = ref [] in
+      if P.accept_kw st "with" then begin
+        P.expect_punct st "(";
+        let one () =
+          let e = P.parse_expr st in
+          P.expect_kw st "as";
+          let n = P.ident st in
+          (n, e)
+        in
+        rattrs := [ one () ];
+        while P.accept_punct st "," do
+          rattrs := one () :: !rattrs
+        done;
+        P.expect_punct st ")"
+      end;
+      let rpred =
+        if P.accept_kw st "where" then P.parse_pred st else Ast.Ptrue
+      in
+      P.expect_punct st ")";
+      if !children = [] then
+        Errors.semantic_error "relationship %S has no child partner" name;
+      `Relate
+        {
+          Xnf_ast.rname = name;
+          parent;
+          role;
+          children = List.rev !children;
+          using = List.rev !using;
+          rattrs = List.rev !rattrs;
+          rpred;
+        }
+    end
+    else begin
+      let q = P.parse_query st in
+      P.expect_punct st ")";
+      `Table { Xnf_ast.tname = name; texpr = q; explicit_root }
+    end
+  end
+  | Token.Ident _ ->
+    (* shorthand: xemp AS EMP *)
+    let base = P.ident st in
+    `Table { Xnf_ast.tname = name; texpr = shorthand_query base; explicit_root }
+  | t ->
+    P.error st "expected a table expression or RELATE, found %S"
+      (Token.to_string t)
+
+let parse_take st : Xnf_ast.take_spec =
+  if P.accept_punct st "*" then Xnf_ast.Take_all
+  else begin
+    let one () =
+      let take_name = P.ident st in
+      let take_cols =
+        if P.peek st = Token.Punct "(" then begin
+          P.expect_punct st "(";
+          let cols = ref [ P.ident st ] in
+          while P.accept_punct st "," do
+            cols := P.ident st :: !cols
+          done;
+          P.expect_punct st ")";
+          Some (List.rev !cols)
+        end
+        else None
+      in
+      { Xnf_ast.take_name; take_cols }
+    in
+    let items = ref [ one () ] in
+    while P.accept_punct st "," do
+      items := one () :: !items
+    done;
+    Xnf_ast.Take_items (List.rev !items)
+  end
+
+(** Parse a full XNF query starting at OUT OF. *)
+let parse_query_at st : Xnf_ast.query =
+  P.expect_kw st "out";
+  P.expect_kw st "of";
+  let tables = ref [] and relates = ref [] in
+  let add () =
+    match parse_def st with
+    | `Table t -> tables := t :: !tables
+    | `Relate r -> relates := r :: !relates
+  in
+  add ();
+  while P.accept_punct st "," do
+    add ()
+  done;
+  P.expect_kw st "take";
+  let take = parse_take st in
+  { Xnf_ast.tables = List.rev !tables; relates = List.rev !relates; take }
+
+let parse (src : string) : Xnf_ast.query =
+  let st = P.of_string src in
+  let q = parse_query_at st in
+  P.finish st;
+  q
+
+(** Is this view/query text XNF (as opposed to plain SQL)? *)
+let is_xnf_text (src : string) : bool =
+  let tokens = Sqlkit.Lexer.tokenize src in
+  Array.length tokens >= 2
+  && tokens.(0).Token.token = Token.Ident "out"
+  && tokens.(1).Token.token = Token.Ident "of"

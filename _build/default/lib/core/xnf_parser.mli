@@ -1,0 +1,11 @@
+(** Parser for the XNF surface syntax (paper Sect. 2, Fig. 1).  Reuses
+    the SQL lexer/parser for embedded table expressions and predicates —
+    XNF is strictly an extension of SQL. *)
+
+val parse_query_at : Sqlkit.Parser.state -> Xnf_ast.query
+(** Parse starting at OUT OF from an existing parser state. *)
+
+val parse : string -> Xnf_ast.query
+
+val is_xnf_text : string -> bool
+(** Does this view/query text start with OUT OF? *)

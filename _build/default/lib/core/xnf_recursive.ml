@@ -1,0 +1,221 @@
+(** Fixpoint evaluation of recursive COs (paper Sect. 2: "an XNF query
+    may also specify a recursive CO being identified by a cycle in the
+    query's schema graph.  This cycle basically defines a 'derivation
+    rule' that iterates along the cycle's relationships to collect the
+    tuples until a fixed point is reached").
+
+    Semi-naive strategy: each node keeps the set of tuples found so far;
+    each relationship join is re-evaluated against the {e delta} of its
+    parent only, using a temporary base table swapped under the
+    relationship's parent quantifier.  This evaluator is also correct
+    for acyclic graphs (the fixpoint converges in one pass per level)
+    and serves as a differential-derivation reference in the tests. *)
+
+open Relcore
+module Qgm = Starq.Qgm
+module Db = Engine.Database
+
+type node_state = {
+  schema : Schema.t;
+  found : Hetstream.tuple_id Tuple.Tbl.t;
+  mutable delta : Tuple.t list;
+  info : Hetstream.comp_info;
+}
+
+let take_sets (ast : Xnf_ast.query) =
+  match ast.Xnf_ast.take with
+  | Xnf_ast.Take_all ->
+    ( List.map (fun (t : Xnf_ast.table_def) -> t.Xnf_ast.tname) ast.Xnf_ast.tables,
+      List.map (fun (r : Xnf_ast.relate_def) -> r.Xnf_ast.rname) ast.Xnf_ast.relates
+    )
+  | Xnf_ast.Take_items items ->
+    let names = List.map (fun (i : Xnf_ast.take_item) -> i.Xnf_ast.take_name) items in
+    ( List.filter_map
+        (fun (t : Xnf_ast.table_def) ->
+          if List.mem t.Xnf_ast.tname names then Some t.Xnf_ast.tname else None)
+        ast.Xnf_ast.tables,
+      List.filter_map
+        (fun (r : Xnf_ast.relate_def) ->
+          if List.mem r.Xnf_ast.rname names then Some r.Xnf_ast.rname else None)
+        ast.Xnf_ast.relates )
+
+let take_cols_of (ast : Xnf_ast.query) n =
+  match ast.Xnf_ast.take with
+  | Xnf_ast.Take_all -> None
+  | Xnf_ast.Take_items items ->
+    List.find_map
+      (fun (i : Xnf_ast.take_item) ->
+        if i.Xnf_ast.take_name = n then i.Xnf_ast.take_cols else None)
+      items
+
+let graph_of box =
+  { Qgm.top = box; order_by = []; limit = None; strip = None }
+
+(** Evaluate an XNF operator by fixpoint iteration. *)
+let extract (_db : Db.t) (op : Xnf_semantic.xnf_op) : Hetstream.t =
+  let ast = op.Xnf_semantic.xquery in
+  let take_nodes, take_rels = take_sets ast in
+  (* header: nodes in declaration order, then relationships *)
+  let node_names = List.map fst op.Xnf_semantic.node_boxes in
+  let nnodes = List.length node_names in
+  let node_infos =
+    List.mapi
+      (fun i (name, box) ->
+        {
+          Hetstream.comp_no = i;
+          comp_name = name;
+          comp_kind = `Node;
+          comp_schema = Optimizer.Planner.schema_of_box box;
+          take_cols = take_cols_of ast name;
+          in_take = List.mem name take_nodes;
+        })
+      op.Xnf_semantic.node_boxes
+  in
+  let rel_infos =
+    List.mapi
+      (fun i (name, (r : Xnf_semantic.relbox)) ->
+        {
+          Hetstream.comp_no = nnodes + i;
+          comp_name = name;
+          comp_kind =
+            `Rel
+              {
+                Hetstream.rm_role = r.Xnf_semantic.rrole;
+                rm_parent = r.Xnf_semantic.rparent;
+                rm_children = r.Xnf_semantic.rchildren;
+              };
+          comp_schema = r.Xnf_semantic.rattr_schema;
+          take_cols = None;
+          in_take = List.mem name take_rels;
+        })
+      op.Xnf_semantic.rel_boxes
+  in
+  let header =
+    {
+      Hetstream.components = Array.of_list (node_infos @ rel_infos);
+      root_components = op.Xnf_semantic.roots;
+    }
+  in
+  let items = ref [] in
+  let emit item = items := item :: !items in
+  let id_counter = ref 0 in
+  let fresh () =
+    incr id_counter;
+    !id_counter
+  in
+  (* node states *)
+  let states : (string, node_state) Hashtbl.t = Hashtbl.create 8 in
+  List.iteri
+    (fun i (name, box) ->
+      Hashtbl.replace states name
+        {
+          schema = Optimizer.Planner.schema_of_box box;
+          found = Tuple.Tbl.create 256;
+          delta = [];
+          info = List.nth node_infos i;
+        })
+    op.Xnf_semantic.node_boxes;
+  let discover name (row : Tuple.t) : Hetstream.tuple_id =
+    let st = Hashtbl.find states name in
+    match Tuple.Tbl.find_opt st.found row with
+    | Some id -> id
+    | None ->
+      let id = fresh () in
+      Tuple.Tbl.add st.found row id;
+      st.delta <- row :: st.delta;
+      if st.info.Hetstream.in_take then
+        emit (Hetstream.Row { comp = st.info.Hetstream.comp_no; id; values = row });
+      id
+  in
+  (* seed the roots with their defining queries *)
+  List.iter
+    (fun root ->
+      let box = Option.get (Xnf_semantic.find_node op root) in
+      let plan = Optimizer.Planner.compile ~share:false (graph_of box) in
+      List.iter
+        (fun row -> ignore (discover root row))
+        (Executor.Exec.run plan))
+    op.Xnf_semantic.roots;
+  (* per-relationship iteration step: a temp table replaces the parent *)
+  let rel_steps =
+    List.map
+      (fun (name, (r : Xnf_semantic.relbox)) ->
+        let parent_schema = (Hashtbl.find states r.Xnf_semantic.rparent).schema in
+        let tmp =
+          Base_table.create ~name:("__delta_" ^ r.Xnf_semantic.rparent ^ "_" ^ name)
+            parent_schema
+        in
+        r.Xnf_semantic.rparent_quant.Qgm.over <- Qgm.base_box tmp;
+        let plan =
+          Optimizer.Planner.compile ~share:false (graph_of r.Xnf_semantic.rbox)
+        in
+        let parent_span = r.Xnf_semantic.rparent_span in
+        let child_spans = r.Xnf_semantic.rchild_spans in
+        let attr_off, attr_w = r.Xnf_semantic.rattr_span in
+        let info =
+          List.find (fun (i : Hetstream.comp_info) -> i.Hetstream.comp_name = name)
+            rel_infos
+        in
+        let conn_seen = Tuple.Tbl.create 256 in
+        (name, r, tmp, plan, parent_span, child_spans, (attr_off, attr_w), info,
+         conn_seen))
+      op.Xnf_semantic.rel_boxes
+  in
+  (* fixpoint loop with a conservative safety bound *)
+  let max_rounds = 100_000 in
+  let rec loop round =
+    if round > max_rounds then
+      Errors.execution_error "recursive CO did not converge after %d rounds"
+        max_rounds;
+    (* snapshot and clear deltas *)
+    let deltas =
+      Hashtbl.fold (fun name st acc -> (name, st.delta) :: acc) states []
+    in
+    Hashtbl.iter (fun _ st -> st.delta <- []) states;
+    let any = List.exists (fun (_, d) -> d <> []) deltas in
+    if any then begin
+      List.iter
+        (fun (_name, r, tmp, plan, (poff, pw), child_spans, (attr_off, attr_w),
+              info, conn_seen) ->
+          let parent_delta = List.assoc r.Xnf_semantic.rparent deltas in
+          if parent_delta <> [] then begin
+            Base_table.truncate tmp;
+            List.iter (fun row -> ignore (Base_table.insert tmp row)) parent_delta;
+            let rows = Executor.Exec.run plan in
+            List.iter
+              (fun row ->
+                let parent_part = Array.sub row poff pw in
+                let parent_id =
+                  discover r.Xnf_semantic.rparent parent_part
+                in
+                let child_ids =
+                  List.map
+                    (fun (ch, (off, w)) -> discover ch (Array.sub row off w))
+                    child_spans
+                in
+                if info.Hetstream.in_take then begin
+                  let key =
+                    Array.of_list
+                      (List.map (fun i -> Value.Int i) (parent_id :: child_ids))
+                  in
+                  if not (Tuple.Tbl.mem conn_seen key) then begin
+                    Tuple.Tbl.add conn_seen key ();
+                    emit
+                      (Hetstream.Conn
+                         {
+                           rel = info.Hetstream.comp_no;
+                           id = fresh ();
+                           parent = parent_id;
+                           children = Array.of_list child_ids;
+                           attrs = Array.sub row attr_off attr_w;
+                         })
+                  end
+                end)
+              rows
+          end)
+        rel_steps;
+      loop (round + 1)
+    end
+  in
+  loop 0;
+  { Hetstream.header; items = List.rev !items }

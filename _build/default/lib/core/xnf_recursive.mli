@@ -1,0 +1,6 @@
+(** Fixpoint evaluation of recursive COs (paper Sect. 2): semi-naive
+    iteration along the cycle's relationships until no new tuples
+    qualify.  Also correct for acyclic graphs (used as a differential
+    reference in the tests). *)
+
+val extract : Engine.Database.t -> Xnf_semantic.xnf_op -> Hetstream.t

@@ -1,0 +1,236 @@
+(** XNF semantic rewrite (paper Sect. 4.2): compile the XNF operator
+    down to plain NF QGM.
+
+    Two steps, as in the paper: (1) remove the XNF operator — each output
+    table becomes an ordinary NF query graph — and (2) rewrite the
+    reachability predicates.  Reachability rewrite derives every non-root
+    component from the {e already-derived} table of its parents joined
+    with its own defining expression (Fig. 5b); the derived parent tables
+    and the relationship join boxes become common subexpressions shared
+    by all consumers (Fig. 5/6, Table 1). *)
+
+open Relcore
+module Qgm = Starq.Qgm
+
+type rel_output = {
+  ro_name : string;
+  ro_role : string;
+  ro_parent : string;
+  ro_children : string list;
+  ro_parent_span : int * int;
+  ro_child_spans : (string * (int * int)) list; (* positional *)
+  ro_attr_span : int * int;
+  ro_attr_schema : Relcore.Schema.t;
+  ro_box : Qgm.box;
+}
+
+type node_output = {
+  no_name : string;
+  no_box : Qgm.box; (* full-width derived table *)
+  no_take_cols : string list option; (* TAKE projection, applied at delivery *)
+}
+
+type result = {
+  op : Xnf_semantic.xnf_op;
+  node_outputs : node_output list; (* every node, derivation order *)
+  rel_outputs : rel_output list;
+  take_nodes : string list; (* subset of node names in TAKE *)
+  take_rels : string list;
+}
+
+(** Topological derivation order of node components: every node after
+    the parents of all its incoming relationships.  Fails on cycles
+    (recursive COs go through {!Xnf_recursive} instead). *)
+let derivation_order (op : Xnf_semantic.xnf_op) : string list =
+  let nodes =
+    List.map (fun (t : Xnf_ast.table_def) -> t.Xnf_ast.tname)
+      op.Xnf_semantic.xquery.Xnf_ast.tables
+  in
+  (* C depends on P for every relationship P -> C *)
+  let deps c =
+    (* root components need no reachability derivation, hence no deps *)
+    if not (List.assoc c op.Xnf_semantic.reachability) then []
+    else
+      List.filter_map
+        (fun (_, (r : Xnf_semantic.relbox)) ->
+          if List.mem c r.Xnf_semantic.rchildren then Some r.Xnf_semantic.rparent
+          else None)
+        op.Xnf_semantic.rel_boxes
+  in
+  let state = Hashtbl.create 16 and order = ref [] in
+  let rec visit n =
+    match Hashtbl.find_opt state n with
+    | Some `Done -> ()
+    | Some `Active ->
+      Errors.semantic_error
+        "component %S participates in a cycle: use the recursive evaluator" n
+    | None ->
+      Hashtbl.replace state n `Active;
+      List.iter visit (deps n);
+      Hashtbl.replace state n `Done;
+      order := n :: !order
+  in
+  List.iter visit nodes;
+  List.rev !order
+
+(** Pass-through projection box over [input], selecting columns [cols]
+    (all columns when [None]). *)
+let projection_box ~name ?(distinct = false) (input : Qgm.box)
+    (cols : int list option) : Qgm.box =
+  let q = Qgm.make_quant input in
+  let idxs =
+    match cols with
+    | Some l -> l
+    | None -> List.init (Array.length input.Qgm.head) Fun.id
+  in
+  let head =
+    Array.of_list
+      (List.map
+         (fun i ->
+           let h = input.Qgm.head.(i) in
+           { h with Qgm.hexpr = Qgm.Qcol (q.Qgm.qid, i) })
+         idxs)
+  in
+  let box = Qgm.make_box ~name ~distinct Qgm.Select ~head in
+  box.Qgm.quants <- [ q ];
+  box
+
+(** The reachability rewrite. *)
+let rewrite (op : Xnf_semantic.xnf_op) : result =
+  let order = derivation_order op in
+  let derived : (string, Qgm.box) Hashtbl.t = Hashtbl.create 16 in
+  (* all (relationship, child-span) pairs deriving component [c]; a
+     self- or repeated-child relationship contributes several spans *)
+  let incoming c =
+    List.concat_map
+      (fun (rname, (r : Xnf_semantic.relbox)) ->
+        List.filter_map
+          (fun (ch, span) -> if ch = c then Some (rname, r, span) else None)
+          r.Xnf_semantic.rchild_spans)
+      op.Xnf_semantic.rel_boxes
+  in
+  (* Derive node tables in topological order.  Before a relationship's
+     join box is used, its parent quantifier is retargeted from the
+     defining expression to the derived (reachable) parent table. *)
+  List.iter
+    (fun cname ->
+      let cbox = Option.get (Xnf_semantic.find_node op cname) in
+      let needs_reachability = List.assoc cname op.Xnf_semantic.reachability in
+      let dbox =
+        if not needs_reachability then cbox
+        else begin
+          let rels = incoming cname in
+          assert (rels <> []);
+          let via_projections =
+            List.map
+              (fun (rname, (r : Xnf_semantic.relbox), (off, w)) ->
+                (* retarget parent quantifier to the derived parent *)
+                let dparent =
+                  match Hashtbl.find_opt derived r.Xnf_semantic.rparent with
+                  | Some b -> b
+                  | None -> assert false (* topological order guarantees it *)
+                in
+                r.Xnf_semantic.rparent_quant.Qgm.over <- dparent;
+                let proj =
+                  projection_box
+                    ~name:(cname ^ "_via_" ^ rname)
+                    ~distinct:true r.Xnf_semantic.rbox
+                    (Some (List.init w (fun i -> off + i)))
+                in
+                (* restore the node's own column names *)
+                proj.Qgm.head <-
+                  Array.mapi
+                    (fun i (h : Qgm.head_col) ->
+                      { h with Qgm.hname = cbox.Qgm.head.(i).Qgm.hname })
+                    proj.Qgm.head;
+                proj)
+              rels
+          in
+          match via_projections with
+          | [ single ] ->
+            single.Qgm.name <- cname;
+            single
+          | several ->
+            let union =
+              Qgm.make_box ~name:cname ~distinct:true Qgm.Union
+                ~head:(Array.map (fun h -> h) (List.hd several).Qgm.head)
+            in
+            union.Qgm.quants <- List.map (fun b -> Qgm.make_quant b) several;
+            (* positional head referencing the first input *)
+            union.Qgm.head <-
+              Array.mapi
+                (fun i (h : Qgm.head_col) ->
+                  {
+                    h with
+                    Qgm.hexpr =
+                      Qgm.Qcol ((List.hd union.Qgm.quants).Qgm.qid, i);
+                  })
+                union.Qgm.head;
+            union
+        end
+      in
+      Hashtbl.replace derived cname dbox)
+    order;
+  (* retarget parent quantifiers of relationships whose children needed no
+     reachability pass (their boxes were never touched above) *)
+  List.iter
+    (fun (_, (r : Xnf_semantic.relbox)) ->
+      let dparent = Hashtbl.find derived r.Xnf_semantic.rparent in
+      r.Xnf_semantic.rparent_quant.Qgm.over <- dparent)
+    op.Xnf_semantic.rel_boxes;
+  (* output boxes (the paper's 'output' Select boxes next to Top) *)
+  let take_nodes, take_rels =
+    match op.Xnf_semantic.take with
+    | Xnf_ast.Take_all ->
+      ( List.map fst op.Xnf_semantic.node_boxes,
+        List.map fst op.Xnf_semantic.rel_boxes )
+    | Xnf_ast.Take_items items ->
+      let names = List.map (fun (i : Xnf_ast.take_item) -> i.Xnf_ast.take_name) items in
+      ( List.filter (fun (n, _) -> List.mem n names) op.Xnf_semantic.node_boxes
+        |> List.map fst,
+        List.filter (fun (n, _) -> List.mem n names) op.Xnf_semantic.rel_boxes
+        |> List.map fst )
+  in
+  let take_cols_of n =
+    match op.Xnf_semantic.take with
+    | Xnf_ast.Take_all -> None
+    | Xnf_ast.Take_items items ->
+      List.find_map
+        (fun (i : Xnf_ast.take_item) ->
+          if i.Xnf_ast.take_name = n then i.Xnf_ast.take_cols else None)
+        items
+  in
+  let node_outputs =
+    List.map
+      (fun cname ->
+        let dbox = Hashtbl.find derived cname in
+        {
+          no_name = cname;
+          no_box = projection_box ~name:(cname ^ "_out") dbox None;
+          no_take_cols = take_cols_of cname;
+        })
+      order
+  in
+  let rel_outputs =
+    List.map
+      (fun (rname, (r : Xnf_semantic.relbox)) ->
+        {
+          ro_name = rname;
+          ro_role = r.Xnf_semantic.rrole;
+          ro_parent = r.Xnf_semantic.rparent;
+          ro_children = r.Xnf_semantic.rchildren;
+          ro_parent_span = r.Xnf_semantic.rparent_span;
+          ro_child_spans = r.Xnf_semantic.rchild_spans;
+          ro_attr_span = r.Xnf_semantic.rattr_span;
+          ro_attr_schema = r.Xnf_semantic.rattr_schema;
+          ro_box = projection_box ~name:(rname ^ "_out") r.Xnf_semantic.rbox None;
+        })
+      op.Xnf_semantic.rel_boxes
+  in
+  { op; node_outputs; rel_outputs; take_nodes; take_rels }
+
+(** All output boxes, nodes first (derivation order), for multi-plan
+    compilation with cross-output sharing. *)
+let output_boxes (r : result) : (string * Qgm.box) list =
+  List.map (fun n -> (n.no_name, n.no_box)) r.node_outputs
+  @ List.map (fun ro -> (ro.ro_name, ro.ro_box)) r.rel_outputs

@@ -1,0 +1,46 @@
+(** XNF semantic rewrite (paper Sect. 4.2): compile the XNF operator to
+    plain NF QGM.  Every non-root component is derived from the already
+    derived tables of its parents joined with its own defining
+    expression (Fig. 5b); derived parents and relationship join boxes
+    become common subexpressions shared by all consumers. *)
+
+module Qgm = Starq.Qgm
+
+type rel_output = {
+  ro_name : string;
+  ro_role : string;
+  ro_parent : string;
+  ro_children : string list;
+  ro_parent_span : int * int;
+  ro_child_spans : (string * (int * int)) list;
+  ro_attr_span : int * int; (* relationship attributes *)
+  ro_attr_schema : Relcore.Schema.t;
+  ro_box : Qgm.box;
+}
+
+type node_output = {
+  no_name : string;
+  no_box : Qgm.box; (* full-width derived table *)
+  no_take_cols : string list option; (* TAKE projection, applied at delivery *)
+}
+
+type result = {
+  op : Xnf_semantic.xnf_op;
+  node_outputs : node_output list; (* derivation order *)
+  rel_outputs : rel_output list;
+  take_nodes : string list;
+  take_rels : string list;
+}
+
+val derivation_order : Xnf_semantic.xnf_op -> string list
+(** Topological order (roots first); raises on cycles — recursive COs go
+    through {!Xnf_recursive}. *)
+
+val projection_box :
+  name:string -> ?distinct:bool -> Qgm.box -> int list option -> Qgm.box
+
+val rewrite : Xnf_semantic.xnf_op -> result
+
+val output_boxes : result -> (string * Qgm.box) list
+(** All output boxes, nodes first, for multi-plan compilation with
+    cross-output sharing. *)

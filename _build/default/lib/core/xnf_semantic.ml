@@ -1,0 +1,235 @@
+(** XNF semantic routines (paper Sect. 4.1): build the XNF QGM.
+
+    Phases, as in the paper:
+    - (0) install the XNF operator ({!xnf_op} below: its head is the set
+      of output tables, its body the component derivations);
+    - (1) derive component tables (via the reused SQL semantic routines)
+      and relationship tables (joins of their partner tables and USING
+      tables under the relationship predicate);
+    - (2) attach reachability annotations to non-root components;
+    - (3) record the TAKE projection. *)
+
+open Relcore
+module Qgm = Starq.Qgm
+module Ast = Sqlkit.Ast
+
+type relbox = {
+  rbox : Qgm.box; (* parent × children × using join under rpred *)
+  rparent : string;
+  rrole : string;
+  rchildren : string list;
+  rparent_quant : Qgm.quant;
+  rchild_quants : (string * Qgm.quant) list;
+  (* head spans of rbox (offset, width): parent first, then the children
+     positionally (self-relationships make name-based lookup ambiguous) *)
+  rparent_span : int * int;
+  rchild_spans : (string * (int * int)) list;
+  (* relationship attributes, appended to the head after the spans *)
+  rattr_span : int * int;
+  rattr_schema : Relcore.Schema.t;
+}
+
+(** The XNF operator: the paper's multi-output QGM box. *)
+type xnf_op = {
+  xquery : Xnf_ast.query;
+  node_boxes : (string * Qgm.box) list; (* defining table expressions *)
+  rel_boxes : (string * relbox) list;
+  roots : string list; (* reachable by definition *)
+  reachability : (string * bool) list; (* component -> needs 'R' annotation *)
+  take : Xnf_ast.take_spec;
+}
+
+let find_node op name = List.assoc_opt name op.node_boxes
+let find_rel op name = List.assoc_opt name op.rel_boxes
+
+let box_cols (b : Qgm.box) = Array.length b.Qgm.head
+
+(** Phase 1a: derive the component tables. *)
+let build_node_boxes cat (q : Xnf_ast.query) : (string * Qgm.box) list =
+  List.map
+    (fun (t : Xnf_ast.table_def) ->
+      let box = Starq.Build.build_select_box cat [] t.Xnf_ast.texpr in
+      box.Qgm.name <- t.Xnf_ast.tname;
+      (t.Xnf_ast.tname, box))
+    q.Xnf_ast.tables
+
+(** Phase 1b: derive a relationship table.  The box's quantifiers range
+    over the parent box, the child boxes and the USING base tables; its
+    predicate is the RELATE ... WHERE clause; its head concatenates the
+    partner columns (the information a connection carries). *)
+let build_rel_box cat (nodes : (string * Qgm.box) list) (r : Xnf_ast.relate_def)
+    : relbox =
+  let lookup name =
+    match List.assoc_opt name nodes with
+    | Some b -> b
+    | None ->
+      Errors.semantic_error "relationship %S references unknown component %S"
+        r.Xnf_ast.rname name
+  in
+  let parent_box = lookup r.Xnf_ast.parent in
+  let child_boxes = List.map (fun c -> (c, lookup c)) r.Xnf_ast.children in
+  let box = Qgm.make_box ~name:r.Xnf_ast.rname Qgm.Select ~head:[||] in
+  let parent_quant = Qgm.make_quant parent_box in
+  let child_quants = List.map (fun (c, b) -> (c, Qgm.make_quant b)) child_boxes in
+  let using_quants =
+    List.map
+      (fun (u : Xnf_ast.using_ref) ->
+        (* resolved like any FROM item: base table, SQL view, or a
+           component of another XNF view *)
+        let _, quant =
+          Starq.Build.build_table_ref cat []
+            (Ast.Table_name
+               { name = u.Xnf_ast.utable; alias = Some u.Xnf_ast.ualias })
+        in
+        (u.Xnf_ast.ualias, quant))
+      r.Xnf_ast.using
+  in
+  box.Qgm.quants <-
+    (parent_quant :: List.map snd child_quants) @ List.map snd using_quants;
+  (* Name resolution frame: partner component names, the role as an
+     alias for the parent, and USING aliases.  For self-relationships
+     (parent component also among the children) the bare component name
+     denotes the child and the role is the only way to address the
+     parent — that is what roles are for. *)
+  let parent_is_child = List.mem r.Xnf_ast.parent r.Xnf_ast.children in
+  let parent_name_entry =
+    if parent_is_child then []
+    else
+      [ { Starq.Build.alias = String.lowercase_ascii r.Xnf_ast.parent;
+          quant = parent_quant } ]
+  in
+  let frame =
+    ({ Starq.Build.alias = String.lowercase_ascii r.Xnf_ast.role;
+       quant = parent_quant }
+     :: parent_name_entry)
+    @ List.map
+        (fun (c, q) -> { Starq.Build.alias = String.lowercase_ascii c; quant = q })
+        child_quants
+    @ List.map
+        (fun (a, q) -> { Starq.Build.alias = String.lowercase_ascii a; quant = q })
+        using_quants
+  in
+  let pred = Starq.Build.build_pred cat [ frame ] ~owner:box r.Xnf_ast.rpred in
+  box.Qgm.preds <- Starq.Build.flatten_pred pred;
+  (* head: parent columns then child columns; names carry a positional
+     span prefix so self-relationships stay unambiguous *)
+  let spans = ref [] and head = ref [] and off = ref 0 and span_no = ref 0 in
+  let add_span name (q : Qgm.quant) =
+    let w = box_cols q.Qgm.over in
+    spans := (name, (!off, w)) :: !spans;
+    for i = 0 to w - 1 do
+      let h = q.Qgm.over.Qgm.head.(i) in
+      head :=
+        {
+          Qgm.hname = Printf.sprintf "s%d_%s" !span_no h.Qgm.hname;
+          htype = h.Qgm.htype;
+          hexpr = Qgm.Qcol (q.Qgm.qid, i);
+        }
+        :: !head
+    done;
+    off := !off + w;
+    incr span_no
+  in
+  add_span r.Xnf_ast.parent parent_quant;
+  List.iter (fun (c, q) -> add_span c q) child_quants;
+  (* relationship attributes, after the partner spans *)
+  let attr_off = !off in
+  let attr_cols =
+    List.map
+      (fun (aname, aexpr) ->
+        let be = Starq.Build.build_expr [ frame ] aexpr in
+        let env = Qgm.env_of_boxes [ box ] in
+        let ty = Qgm.type_of_bexpr env be in
+        head :=
+          { Qgm.hname = "attr_" ^ aname; htype = ty; hexpr = be } :: !head;
+        incr span_no;
+        Relcore.Schema.column aname ty)
+      r.Xnf_ast.rattrs
+  in
+  List.iter (fun _ -> incr off) attr_cols;
+  box.Qgm.head <- Array.of_list (List.rev !head);
+  let all_spans = List.rev !spans in
+  let parent_span = snd (List.hd all_spans) in
+  let child_spans = List.tl all_spans in
+  {
+    rbox = box;
+    rparent = r.Xnf_ast.parent;
+    rrole = r.Xnf_ast.role;
+    rchildren = r.Xnf_ast.children;
+    rparent_quant = parent_quant;
+    rchild_quants = child_quants;
+    rparent_span = parent_span;
+    rchild_spans = child_spans;
+    rattr_span = (attr_off, List.length attr_cols);
+    rattr_schema = Relcore.Schema.make attr_cols;
+  }
+
+(** Semantic checks: name uniqueness, partner resolution, TAKE names. *)
+let check (q : Xnf_ast.query) : unit =
+  let names =
+    List.map (fun (t : Xnf_ast.table_def) -> t.Xnf_ast.tname) q.Xnf_ast.tables
+    @ List.map (fun (r : Xnf_ast.relate_def) -> r.Xnf_ast.rname) q.Xnf_ast.relates
+  in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n then
+        Errors.semantic_error "duplicate component name %S" n;
+      Hashtbl.add seen n ())
+    names;
+  if q.Xnf_ast.tables = [] then
+    Errors.semantic_error "an XNF query needs at least one component table";
+  (match q.Xnf_ast.take with
+  | Xnf_ast.Take_all -> ()
+  | Xnf_ast.Take_items items ->
+    List.iter
+      (fun (i : Xnf_ast.take_item) ->
+        if not (Hashtbl.mem seen i.Xnf_ast.take_name) then
+          Errors.semantic_error "TAKE references unknown component %S"
+            i.Xnf_ast.take_name)
+      items);
+  if Xnf_ast.roots q = [] && q.Xnf_ast.relates <> [] then
+    Errors.semantic_error
+      "CO has no root component (every component is some relationship's \
+       child); recursive COs still need an anchor"
+
+(** Build the XNF operator for a query — the paper's phases (0)-(3). *)
+let analyze cat (q : Xnf_ast.query) : xnf_op =
+  check q;
+  let node_boxes = build_node_boxes cat q in
+  let rel_boxes =
+    List.map
+      (fun (r : Xnf_ast.relate_def) ->
+        (r.Xnf_ast.rname, build_rel_box cat node_boxes r))
+      q.Xnf_ast.relates
+  in
+  let roots = Xnf_ast.roots q in
+  let reachability =
+    List.map
+      (fun (t : Xnf_ast.table_def) ->
+        (t.Xnf_ast.tname, not (List.mem t.Xnf_ast.tname roots)))
+      q.Xnf_ast.tables
+  in
+  { xquery = q; node_boxes; rel_boxes; roots; reachability; take = q.Xnf_ast.take }
+
+(** Render the XNF operator (diagnostics; the Fig. 4 shape). *)
+let dump (op : xnf_op) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "XNF operator\n";
+  List.iter
+    (fun (n, b) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  node %s%s (box %d)\n" n
+           (if List.assoc n op.reachability then " [R]" else "")
+           b.Qgm.bid))
+    op.node_boxes;
+  List.iter
+    (fun (n, r) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  rel %s: %s -[%s]-> %s (box %d)\n" n r.rparent r.rrole
+           (String.concat ", " r.rchildren)
+           r.rbox.Qgm.bid))
+    op.rel_boxes;
+  Buffer.add_string buf
+    (Printf.sprintf "  roots: %s\n" (String.concat ", " op.roots));
+  Buffer.contents buf

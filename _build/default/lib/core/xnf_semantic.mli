@@ -1,0 +1,40 @@
+(** XNF semantic routines (paper Sect. 4.1): build the XNF operator
+    ("XNF QGM") — component table derivations, relationship join boxes,
+    reachability annotations and the TAKE projection. *)
+
+open Relcore
+module Qgm = Starq.Qgm
+
+type relbox = {
+  rbox : Qgm.box; (* parent x children x using join under the predicate *)
+  rparent : string;
+  rrole : string;
+  rchildren : string list;
+  rparent_quant : Qgm.quant; (* retargeted by the reachability rewrite *)
+  rchild_quants : (string * Qgm.quant) list;
+  rparent_span : int * int; (* (offset, width) in the rbox head *)
+  rchild_spans : (string * (int * int)) list; (* positional *)
+  rattr_span : int * int; (* relationship attributes, after the spans *)
+  rattr_schema : Relcore.Schema.t;
+}
+
+type xnf_op = {
+  xquery : Xnf_ast.query;
+  node_boxes : (string * Qgm.box) list;
+  rel_boxes : (string * relbox) list;
+  roots : string list;
+  reachability : (string * bool) list; (* component -> needs 'R' *)
+  take : Xnf_ast.take_spec;
+}
+
+val find_node : xnf_op -> string -> Qgm.box option
+val find_rel : xnf_op -> string -> relbox option
+
+val check : Xnf_ast.query -> unit
+(** Name uniqueness, partner resolution, TAKE names, root existence. *)
+
+val analyze : Catalog.t -> Xnf_ast.query -> xnf_op
+(** The paper's phases (0)-(3). *)
+
+val dump : xnf_op -> string
+(** Render the XNF operator (the Fig. 4 shape) for diagnostics. *)

@@ -1,0 +1,1 @@
+lib/engine/database.ml: Array Base_table Buffer Catalog Errors Executor Fun Hashtbl List Logs Optimizer Printf Relcore Schema Sqlkit Starq String Tuple Txn Value

@@ -1,0 +1,1 @@
+lib/engine/database.mli: Base_table Catalog Executor Optimizer Relcore Schema Sqlkit Tuple Txn

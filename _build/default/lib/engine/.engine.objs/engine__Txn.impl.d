@@ -1,0 +1,1 @@
+lib/engine/txn.ml: Base_table Errors Heap List Relcore Tuple

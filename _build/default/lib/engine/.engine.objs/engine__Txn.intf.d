@@ -1,0 +1,1 @@
+lib/engine/txn.mli: Base_table Heap Relcore Tuple

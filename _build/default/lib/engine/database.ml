@@ -1,0 +1,365 @@
+(** The database engine facade: parse → QGM → rewrite → plan → execute,
+    plus DDL and DML.
+
+    This is the "integrated DBMS" of the paper (Sect. 3): one catalog,
+    one query pipeline, which the XNF extension (lib/core) plugs into. *)
+
+open Relcore
+module Ast = Sqlkit.Ast
+module Qgm = Starq.Qgm
+module Plan = Optimizer.Plan
+
+let log_src = Logs.Src.create "xnfdb.engine" ~doc:"query pipeline tracing"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = { catalog : Catalog.t; txn : Txn.t }
+
+type result =
+  | Rows of Schema.t * Tuple.t list
+  | Affected of int
+  | Done of string
+
+let create () = { catalog = Catalog.create (); txn = Txn.create () }
+let catalog db = db.catalog
+let txn db = db.txn
+
+(** Run [f] as one atomic transaction against this database. *)
+let atomically db f = Txn.atomically db.txn f
+
+(* -- query pipeline ---------------------------------------------------- *)
+
+(** Compile a query AST down to an executable plan.  [rewrite] and
+    [share] expose the ablation switches used by the benchmarks. *)
+let compile_ast ?(rewrite = true) ?(share = true) ?join_method db
+    (q : Ast.query) : Plan.compiled =
+  let g = Starq.Build.build_query db.catalog q in
+  if rewrite then begin
+    let stats = Starq.Engine.rewrite_graph g in
+    Log.debug (fun m ->
+        m "rewrite: %s"
+          (String.concat ", "
+             (List.map (fun (n, c) -> Printf.sprintf "%s x%d" n c) stats)))
+  end;
+  let compiled = Optimizer.Planner.compile ~share ?join_method g in
+  Log.debug (fun m ->
+      m "plan (%d nodes):@
+%s" (Plan.count_nodes compiled.Plan.plan)
+        (Plan.explain compiled.Plan.plan));
+  compiled
+
+let compile_query ?rewrite ?share ?join_method db (sql : string) :
+    Plan.compiled =
+  compile_ast ?rewrite ?share ?join_method db
+    (Sqlkit.Parser.parse_query_string sql)
+
+(** Run a SELECT and return schema + rows. *)
+let query ?rewrite ?share ?ctx db (sql : string) : Schema.t * Tuple.t list =
+  let c = compile_query ?rewrite ?share db sql in
+  let rows = Executor.Exec.run ?ctx c in
+  (c.Plan.out_schema, rows)
+
+let query_rows ?rewrite ?share ?ctx db sql = snd (query ?rewrite ?share ?ctx db sql)
+
+(** EXPLAIN: the rewritten QGM and the chosen plan. *)
+let explain db (sql : string) : string =
+  let q = Sqlkit.Parser.parse_query_string sql in
+  let g = Starq.Build.build_query db.catalog q in
+  let stats = Starq.Engine.rewrite_graph g in
+  let c = Optimizer.Planner.compile g in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "== rewritten QGM ==\n";
+  Buffer.add_string buf (Qgm.dump_graph g);
+  Buffer.add_string buf "== rewrite rules fired ==\n";
+  List.iter
+    (fun (name, n) -> Buffer.add_string buf (Printf.sprintf "  %s: %d\n" name n))
+    stats;
+  Buffer.add_string buf "== plan ==\n";
+  Buffer.add_string buf (Plan.explain c.Plan.plan);
+  Buffer.contents buf
+
+(* -- DML helpers -------------------------------------------------------- *)
+
+(** Compile a WHERE predicate of UPDATE/DELETE against a single table:
+    returns a closure testing one tuple.  Subqueries are supported
+    (compiled as predicate-level probes). *)
+let compile_row_pred db (table : Base_table.t) (pred : Ast.pred) :
+    Executor.Exec.ctx -> Tuple.t -> bool =
+  let bbox = Qgm.base_box table in
+  let quant = Qgm.make_quant bbox in
+  let owner = Qgm.make_box Qgm.Select ~head:[||] in
+  owner.Qgm.quants <- [ quant ];
+  let scopes =
+    [ [ { Starq.Build.alias = Base_table.name table |> String.lowercase_ascii; quant } ] ]
+  in
+  let bp =
+    Starq.Build.build_pred ~conjunctive:false db.catalog scopes ~owner pred
+  in
+  let width = Schema.arity (Base_table.schema table) in
+  let layout = [ (quant.Qgm.qid, (0, width)) ] in
+  let pctx =
+    { Optimizer.Planner.consumers = Hashtbl.create 4; outer = []; share = false;
+      join_method = `Auto }
+  in
+  let pp = Optimizer.Planner.compile_pred pctx [ layout ] bp in
+  fun ctx tuple -> Executor.Exec.eval_pred ctx [] tuple pp = Some true
+
+let compile_row_expr _db (table : Base_table.t) (e : Ast.expr) :
+    Tuple.t -> Value.t =
+  let bbox = Qgm.base_box table in
+  let quant = Qgm.make_quant bbox in
+  let scopes =
+    [ [ { Starq.Build.alias = Base_table.name table |> String.lowercase_ascii; quant } ] ]
+  in
+  let be = Starq.Build.build_expr scopes e in
+  let width = Schema.arity (Base_table.schema table) in
+  let layout = [ (quant.Qgm.qid, (0, width)) ] in
+  let sc = Optimizer.Planner.compile_scalar (Optimizer.Planner.resolver [ layout ]) be in
+  fun tuple -> Executor.Eval.scalar [] tuple sc
+
+let const_expr_value (e : Ast.expr) : Value.t =
+  let rec go = function
+    | Ast.Lit v -> v
+    | Ast.Neg e -> Executor.Eval.negate (go e)
+    | Ast.Binop (op, a, b) -> Executor.Eval.arith op (go a) (go b)
+    | Ast.Fn (name, args) -> Executor.Eval.apply_fn name (List.map go args)
+    | Ast.Col _ | Ast.Agg _ ->
+      Errors.semantic_error "INSERT values must be constant expressions"
+  in
+  go e
+
+(* -- statement execution ------------------------------------------------ *)
+
+(** Hook through which the XNF layer translates DML on a
+    [view.component] target into DML on the underlying base table
+    (updatable-view translation, paper Sect. 2).  Registered by
+    [Xnf.Updatability] at link time. *)
+let component_dml_translator :
+    (Catalog.t ->
+    view:string ->
+    component:string ->
+    Ast.stmt ->
+    Ast.stmt option)
+    option
+    ref =
+  ref None
+
+(** If the DML target is [view.component], rewrite the statement against
+    the base table; [None] when the target is an ordinary table. *)
+let resolve_dml_target db (table_name : string) (stmt : Ast.stmt) :
+    Ast.stmt option =
+  match String.index_opt table_name '.' with
+  | None -> None
+  | Some i -> begin
+    let view = String.sub table_name 0 i in
+    let component =
+      String.sub table_name (i + 1) (String.length table_name - i - 1)
+    in
+    match !component_dml_translator with
+    | Some translate -> begin
+      match translate db.catalog ~view ~component stmt with
+      | Some stmt' -> Some stmt'
+      | None -> Errors.catalog_error "unknown XNF view %S" view
+    end
+    | None ->
+      Errors.semantic_error "no XNF layer registered to update %S" table_name
+  end
+
+let exec_insert db ~table_name ~columns ~rows =
+  let table = Catalog.find_table db.catalog table_name in
+  let schema = Base_table.schema table in
+  let positions =
+    match columns with
+    | None -> Array.init (Schema.arity schema) Fun.id
+    | Some cols -> Array.of_list (List.map (Schema.find schema) cols)
+  in
+  let count = ref 0 in
+  List.iter
+    (fun exprs ->
+      if List.length exprs <> Array.length positions then
+        Errors.semantic_error "INSERT arity mismatch";
+      let row = Array.make (Schema.arity schema) Value.Null in
+      List.iteri (fun i e -> row.(positions.(i)) <- const_expr_value e) exprs;
+      let rid = Base_table.insert table row in
+      Txn.record db.txn (Txn.U_insert (table, rid));
+      incr count)
+    rows;
+  Affected !count
+
+let exec_update db ~table_name ~sets ~where =
+  let table = Catalog.find_table db.catalog table_name in
+  let schema = Base_table.schema table in
+  let test = compile_row_pred db table where in
+  let setters =
+    List.map (fun (c, e) -> (Schema.find schema c, compile_row_expr db table e)) sets
+  in
+  let ctx = Executor.Exec.make_ctx () in
+  let victims =
+    Base_table.fold
+      (fun acc rid tuple -> if test ctx tuple then (rid, tuple) :: acc else acc)
+      [] table
+  in
+  List.iter
+    (fun (rid, tuple) ->
+      let row = Array.copy tuple in
+      List.iter (fun (i, f) -> row.(i) <- f tuple) setters;
+      Txn.record db.txn (Txn.U_update (table, rid, Array.copy tuple));
+      Base_table.update table rid row)
+    victims;
+  Affected (List.length victims)
+
+let exec_delete db ~table_name ~where =
+  let table = Catalog.find_table db.catalog table_name in
+  let test = compile_row_pred db table where in
+  let ctx = Executor.Exec.make_ctx () in
+  let victims =
+    Base_table.fold
+      (fun acc rid tuple -> if test ctx tuple then (rid, tuple) :: acc else acc)
+      [] table
+  in
+  List.iter
+    (fun (rid, tuple) ->
+      Txn.record db.txn (Txn.U_delete (table, Array.copy tuple));
+      Base_table.delete table rid)
+    victims;
+  Affected (List.length victims)
+
+(** Heuristic: is a view body XNF? *)
+let looks_like_xnf body =
+  let tokens = Sqlkit.Lexer.tokenize body in
+  Array.length tokens >= 2
+  && (match tokens.(0).Sqlkit.Token.token with
+     | Sqlkit.Token.Ident "out" -> true
+     | _ -> false)
+
+let rec exec_stmt db (stmt : Ast.stmt) : result =
+  (* DDL is not undo-logged: refuse it inside a transaction *)
+  (match stmt with
+  | Ast.Create_table _ | Ast.Create_index _ | Ast.Create_view _
+  | Ast.Drop_table _ | Ast.Drop_view _
+    when Txn.is_active db.txn ->
+    Errors.execution_error "DDL is not allowed inside a transaction"
+  | _ -> ());
+  match stmt with
+  | Ast.Select_stmt q ->
+    let c = compile_ast db q in
+    Rows (c.Plan.out_schema, Executor.Exec.run c)
+  | Ast.Create_table { table_name; columns; primary_key } ->
+    let schema =
+      Schema.make
+        (List.map
+           (fun { Ast.col_name; col_type; col_nullable } ->
+             Schema.column ~nullable:col_nullable col_name col_type)
+           columns)
+    in
+    let table = Base_table.create ?primary_key ~name:table_name schema in
+    Catalog.add_table db.catalog table;
+    Done (Printf.sprintf "table %s created" table_name)
+  | Ast.Create_index { index_name; on_table; columns; unique } ->
+    let table = Catalog.find_table db.catalog on_table in
+    ignore (Base_table.create_index table ~idx_name:index_name ~columns ~unique);
+    Done (Printf.sprintf "index %s created" index_name)
+  | Ast.Create_view { view_name; body_text } ->
+    let language = if looks_like_xnf body_text then `Xnf else `Sql in
+    Catalog.add_view db.catalog { Catalog.view_name; language; text = body_text };
+    Done (Printf.sprintf "view %s created" view_name)
+  | Ast.Insert { table_name; columns; rows } -> begin
+    match resolve_dml_target db table_name stmt with
+    | Some stmt' -> exec_stmt db stmt'
+    | None -> exec_insert db ~table_name ~columns ~rows
+  end
+  | Ast.Update { table_name; sets; where } -> begin
+    match resolve_dml_target db table_name stmt with
+    | Some stmt' -> exec_stmt db stmt'
+    | None -> exec_update db ~table_name ~sets ~where
+  end
+  | Ast.Delete { table_name; where } -> begin
+    match resolve_dml_target db table_name stmt with
+    | Some stmt' -> exec_stmt db stmt'
+    | None -> exec_delete db ~table_name ~where
+  end
+  | Ast.Drop_table name ->
+    Catalog.drop_table db.catalog name;
+    Done (Printf.sprintf "table %s dropped" name)
+  | Ast.Drop_view name ->
+    Catalog.drop_view db.catalog name;
+    Done (Printf.sprintf "view %s dropped" name)
+  | Ast.Begin_txn ->
+    Txn.begin_txn db.txn;
+    Done "transaction started"
+  | Ast.Commit_txn ->
+    Txn.commit db.txn;
+    Done "committed"
+  | Ast.Rollback_txn ->
+    Txn.rollback db.txn;
+    Done "rolled back"
+
+(** Execute one SQL statement given as text. *)
+let exec db (sql : string) : result = exec_stmt db (Sqlkit.Parser.parse_stmt sql)
+
+(** Split a script on ';' at top level: string literals and [--]
+    comments are respected. *)
+let split_script (text : string) : string list =
+  let stmts = ref [] and buf = Buffer.create 128 in
+  let in_str = ref false in
+  let i = ref 0 in
+  let n = String.length text in
+  while !i < n do
+    let c = text.[!i] in
+    if !in_str then begin
+      Buffer.add_char buf c;
+      if c = '\'' then in_str := false;
+      incr i
+    end
+    else if c = '\'' then begin
+      in_str := true;
+      Buffer.add_char buf c;
+      incr i
+    end
+    else if c = '-' && !i + 1 < n && text.[!i + 1] = '-' then begin
+      (* line comment: skip to end of line *)
+      while !i < n && text.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = ';' then begin
+      stmts := Buffer.contents buf :: !stmts;
+      Buffer.clear buf;
+      incr i
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  stmts := Buffer.contents buf :: !stmts;
+  List.rev !stmts |> List.filter (fun s -> String.trim s <> "")
+
+(** Execute a batch of ';'-separated statements (a tiny script runner
+    used by examples and tests). *)
+let exec_script db (script : string) : result list =
+  List.map (fun s -> exec db s) (split_script script)
+
+(* -- convenience accessors ---------------------------------------------- *)
+
+let find_table db name = Catalog.find_table db.catalog name
+
+(** Render rows as an aligned text table (examples / debugging). *)
+let render (schema : Schema.t) (rows : Tuple.t list) : string =
+  let headers = Schema.column_names schema in
+  let cells = List.map (fun r -> List.map Value.to_string (Tuple.to_list r)) rows in
+  let ncols = List.length headers in
+  let widths = Array.make ncols 0 in
+  List.iteri (fun i h -> widths.(i) <- String.length h) headers;
+  List.iter
+    (fun row ->
+      List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) row)
+    cells;
+  let line cells =
+    String.concat " | "
+      (List.mapi
+         (fun i c -> c ^ String.make (max 0 (widths.(i) - String.length c)) ' ')
+         cells)
+  in
+  let sep = String.concat "-+-" (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  String.concat "\n" ((line headers :: sep :: List.map line cells) @ [])

@@ -1,0 +1,75 @@
+(** The database engine facade: parse → QGM → rewrite → plan → execute,
+    plus DDL/DML and transactions — the "integrated DBMS" of the paper
+    (Sect. 3) that the XNF extension plugs into. *)
+
+open Relcore
+module Ast = Sqlkit.Ast
+module Plan = Optimizer.Plan
+
+type t
+
+type result =
+  | Rows of Schema.t * Tuple.t list
+  | Affected of int
+  | Done of string
+
+val create : unit -> t
+val catalog : t -> Catalog.t
+val txn : t -> Txn.t
+
+val atomically : t -> (unit -> 'a) -> 'a
+(** Run [f] as one atomic transaction against this database. *)
+
+(** {2 Query pipeline} *)
+
+val compile_ast :
+  ?rewrite:bool ->
+  ?share:bool ->
+  ?join_method:Optimizer.Planner.join_method ->
+  t ->
+  Ast.query ->
+  Plan.compiled
+(** [rewrite] and [share] are the benchmark ablation switches. *)
+
+val compile_query :
+  ?rewrite:bool ->
+  ?share:bool ->
+  ?join_method:Optimizer.Planner.join_method ->
+  t ->
+  string ->
+  Plan.compiled
+
+val query :
+  ?rewrite:bool -> ?share:bool -> ?ctx:Executor.Exec.ctx -> t -> string ->
+  Schema.t * Tuple.t list
+
+val query_rows :
+  ?rewrite:bool -> ?share:bool -> ?ctx:Executor.Exec.ctx -> t -> string ->
+  Tuple.t list
+
+val explain : t -> string -> string
+(** Rewritten QGM, rule firings and the chosen plan. *)
+
+(** {2 Statements} *)
+
+val component_dml_translator :
+  (Catalog.t -> view:string -> component:string -> Ast.stmt -> Ast.stmt option)
+  option
+  ref
+(** Hook translating DML on a [view.component] target into DML on the
+    base table; registered by [Xnf.Updatability] at link time. *)
+
+val exec_stmt : t -> Ast.stmt -> result
+val exec : t -> string -> result
+
+val split_script : string -> string list
+(** Split a script on top-level ';' (string literals and [--] comments
+    respected). *)
+
+val exec_script : t -> string -> result list
+(** Run a batch of ';'-separated statements. *)
+
+val find_table : t -> string -> Base_table.t
+
+val render : Schema.t -> Tuple.t list -> string
+(** Aligned text table for display. *)

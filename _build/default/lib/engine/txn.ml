@@ -1,0 +1,58 @@
+(** Transactions over the storage layer: an in-memory undo log.
+
+    The paper keeps Starburst's transaction and recovery components
+    "totally unchanged" underneath XNF; this module is that substrate
+    for our engine.  It guards SQL-level mutations (INSERT, UPDATE,
+    DELETE) and makes CO-cache write-back atomic
+    (see {!Cocache.Update.flush_atomic}). *)
+
+open Relcore
+
+type undo =
+  | U_insert of Base_table.t * Heap.rid (* undo: delete the row *)
+  | U_update of Base_table.t * Heap.rid * Tuple.t (* undo: restore old row *)
+  | U_delete of Base_table.t * Tuple.t (* undo: reinsert the row *)
+
+type t = { mutable log : undo list; mutable active : bool }
+
+let create () = { log = []; active = false }
+
+let is_active t = t.active
+
+let begin_txn t =
+  if t.active then Errors.execution_error "transaction already in progress";
+  t.active <- true;
+  t.log <- []
+
+(** Record an undo entry (no-op outside a transaction). *)
+let record t undo = if t.active then t.log <- undo :: t.log
+
+let commit t =
+  if not t.active then Errors.execution_error "no transaction in progress";
+  t.active <- false;
+  t.log <- []
+
+let rollback t =
+  if not t.active then Errors.execution_error "no transaction in progress";
+  let log = t.log in
+  t.active <- false;
+  t.log <- [];
+  List.iter
+    (fun undo ->
+      match undo with
+      | U_insert (table, rid) -> Base_table.delete table rid
+      | U_update (table, rid, old_row) -> Base_table.update table rid old_row
+      | U_delete (table, row) -> ignore (Base_table.insert table row))
+    log
+
+(** Run [f] atomically: begin, commit on success, roll back on any
+    exception (which is re-raised). *)
+let atomically t f =
+  begin_txn t;
+  match f () with
+  | result ->
+    commit t;
+    result
+  | exception e ->
+    rollback t;
+    raise e

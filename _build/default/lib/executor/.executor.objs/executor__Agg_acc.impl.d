@@ -1,0 +1,1 @@
+lib/executor/agg_acc.ml: Errors Relcore Sqlkit Value

@@ -1,0 +1,1 @@
+lib/executor/agg_acc.mli: Relcore Sqlkit Value

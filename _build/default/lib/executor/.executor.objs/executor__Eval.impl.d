@@ -1,0 +1,1 @@
+lib/executor/eval.ml: Array Errors Float Hashtbl List Optimizer Option Relcore Sqlkit String Tuple Value

@@ -1,0 +1,1 @@
+lib/executor/eval.mli: Optimizer Relcore Sqlkit Tuple Value

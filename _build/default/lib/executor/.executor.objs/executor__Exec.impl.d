@@ -1,0 +1,1 @@
+lib/executor/exec.ml: Agg_acc Array Base_table Errors Eval Hashtbl Index Lazy List Optimizer Option Relcore Sqlkit Tuple Value

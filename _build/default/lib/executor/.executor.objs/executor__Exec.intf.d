@@ -1,0 +1,1 @@
+lib/executor/exec.mli: Eval Hashtbl Optimizer Relcore Tuple

@@ -1,0 +1,31 @@
+(** Scalar and predicate evaluation with SQL three-valued logic. *)
+
+open Relcore
+module Ast = Sqlkit.Ast
+module Plan = Optimizer.Plan
+
+type frames = Tuple.t list
+(** Correlation frames: enclosing tuples, innermost first. *)
+
+val frame_get : frames -> int -> int -> Value.t
+
+val arith : Ast.binop -> Value.t -> Value.t -> Value.t
+(** Null-propagating arithmetic; [+] concatenates strings. *)
+
+val negate : Value.t -> Value.t
+
+val apply_fn : string -> Value.t list -> Value.t
+(** Scalar function dispatch (UPPER, LOWER, LENGTH, SUBSTR, TRIM, ABS,
+    COALESCE); null-propagating except COALESCE. *)
+
+val scalar : frames -> Tuple.t -> Plan.scalar -> Value.t
+
+val like_match : pattern:string -> string -> bool
+(** SQL LIKE with [%] and [_]. *)
+
+val compare3 : Ast.cmpop -> Value.t -> Value.t -> bool option
+(** Three-valued comparison: [None] when either side is null. *)
+
+val and3 : bool option -> bool option -> bool option
+val or3 : bool option -> bool option -> bool option
+val not3 : bool option -> bool option

@@ -1,0 +1,35 @@
+(** The query evaluation system: demand-driven pipelined interpretation
+    of QEPs ("table queue evaluation", paper Sect. 3.1). *)
+
+open Relcore
+module Plan = Optimizer.Plan
+
+(** Execution context shared across the (possibly many) plans of one
+    multi-output query: the CSE cache and instrumentation counters. *)
+type ctx = {
+  shared : (int, Tuple.t array) Hashtbl.t;
+  mutable rows_scanned : int; (* base-table tuples fetched *)
+  mutable subqueries_run : int; (* correlated subplan executions *)
+}
+
+val make_ctx : unit -> ctx
+
+type iter = unit -> Tuple.t option
+
+val iter_of_list : Tuple.t list -> iter
+val iter_of_array : Tuple.t array -> iter
+val drain : iter -> Tuple.t list
+
+val open_plan : ctx -> Eval.frames -> Plan.t -> iter
+val eval_pred : ctx -> Eval.frames -> Tuple.t -> Plan.ppred -> bool option
+
+val force_shared : ctx -> Plan.t -> unit
+(** Materialize every [Shared] node reachable in the plan (bottom-up);
+    afterwards executing it — even from several domains sharing the
+    context — only reads the CSE cache. *)
+
+val sibling_ctx : ctx -> ctx
+(** A context for another domain sharing this one's CSE cache. *)
+
+val run : ?ctx:ctx -> Plan.compiled -> Tuple.t list
+val cursor : ?ctx:ctx -> Plan.compiled -> iter

@@ -1,0 +1,1 @@
+lib/planner/cost.ml: Array Float List Option Relcore Sqlkit Starq Stats

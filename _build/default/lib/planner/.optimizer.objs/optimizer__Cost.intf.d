@@ -1,0 +1,1 @@
+lib/planner/cost.mli: Relcore Starq

@@ -1,0 +1,1 @@
+lib/planner/join_order.ml: Array Cost List Starq

@@ -1,0 +1,1 @@
+lib/planner/plan.ml: Array Base_table Buffer Index List Printf Relcore Schema Sqlkit String Tuple Value

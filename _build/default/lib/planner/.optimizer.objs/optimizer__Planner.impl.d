@@ -1,0 +1,1 @@
+lib/planner/planner.ml: Array Base_table Cost Errors Hashtbl Join_order List Option Plan Relcore Schema Sqlkit Starq

@@ -1,0 +1,1 @@
+lib/planner/planner.mli: Hashtbl Plan Relcore Schema Starq

@@ -1,0 +1,1 @@
+lib/planner/stats.ml: Array Base_table Hashtbl Relcore Value

@@ -1,0 +1,1 @@
+lib/planner/stats.mli: Base_table Relcore

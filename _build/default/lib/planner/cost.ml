@@ -1,0 +1,101 @@
+(** Cardinality and selectivity estimation for plan optimization.
+
+    Deliberately simple, System-R-style: base cardinalities are exact
+    (in-memory tables), predicate selectivities use fixed heuristics,
+    equi-join selectivity assumes a key/foreign-key shape. *)
+
+module Qgm = Starq.Qgm
+
+let eq_selectivity = 0.05
+let range_selectivity = 0.3
+let default_selectivity = 0.5
+
+(** Trace a body expression to a base-table column when the expression
+    is a bare column reference whose quantifier (resolved by [resolve])
+    ranges directly over a base table, or over a pass-through projection
+    of one. *)
+let rec base_column_of resolve (e : Qgm.bexpr) :
+    (Relcore.Base_table.t * int) option =
+  match e with
+  | Qgm.Qcol (qid, i) -> begin
+    match resolve qid with
+    | Some (box : Qgm.box) -> begin
+      match box.Qgm.kind with
+      | Qgm.Base t -> Some (t, i)
+      | Qgm.Select when i < Array.length box.Qgm.head ->
+        (* follow identity projections one level *)
+        base_column_of
+          (fun q -> Option.map (fun qu -> qu.Qgm.over) (Qgm.find_quant box q))
+          box.Qgm.head.(i).Qgm.hexpr
+      | _ -> None
+    end
+    | None -> None
+  end
+  | _ -> None
+
+(** Predicate selectivity.  With [resolve] (quantifier id -> input box),
+    equality predicates consult per-column NDV statistics; without it,
+    fixed textbook constants are used. *)
+let pred_selectivity ?resolve (p : Qgm.bpred) =
+  let resolve = Option.value resolve ~default:(fun _ -> None) in
+  let rec go = function
+    | Qgm.Btrue -> 1.0
+    | Qgm.Bcmp (Sqlkit.Ast.Eq, a, b) -> begin
+      match base_column_of resolve a, base_column_of resolve b with
+      | Some (t1, c1), Some (t2, c2) -> Stats.eq_join_selectivity t1 c1 t2 c2
+      | Some (t, c), None | None, Some (t, c) -> Stats.eq_const_selectivity t c
+      | None, None -> eq_selectivity
+    end
+    | Qgm.Bcmp ((Sqlkit.Ast.Lt | Le | Gt | Ge), _, _) -> range_selectivity
+    | Qgm.Bcmp (Sqlkit.Ast.Ne, _, _) -> 1.0 -. eq_selectivity
+    | Qgm.Band (a, b) -> go a *. go b
+    | Qgm.Bor (a, b) -> min 1.0 (go a +. go b)
+    | Qgm.Bnot a -> 1.0 -. go a
+    | Qgm.Bis_null _ -> 0.1
+    | Qgm.Bis_not_null _ -> 0.9
+    | Qgm.Blike _ -> 0.25
+    | Qgm.Bexists _ | Qgm.Bin_sub _ -> default_selectivity
+  in
+  go p
+
+(** Estimated output cardinality of a box (memoized per call tree). *)
+let rec box_cardinality (b : Qgm.box) : float =
+  match b.Qgm.kind with
+  | Qgm.Base t -> float_of_int (max 1 (Relcore.Base_table.cardinality t))
+  | Qgm.Union ->
+    List.fold_left
+      (fun acc q -> acc +. box_cardinality q.Qgm.over)
+      0.0 b.Qgm.quants
+  | Qgm.Select | Qgm.Group ->
+    let inputs =
+      List.filter (fun q -> q.Qgm.qkind = Qgm.F) b.Qgm.quants
+      |> List.map (fun q -> box_cardinality q.Qgm.over)
+    in
+    let cross = List.fold_left ( *. ) 1.0 inputs in
+    let resolve qid =
+      Option.map (fun q -> q.Qgm.over) (Qgm.find_quant b qid)
+    in
+    let sel =
+      List.fold_left
+        (fun acc p -> acc *. pred_selectivity ~resolve p)
+        1.0 b.Qgm.preds
+    in
+    (* each equi-join predicate scales roughly by 1/max-side *)
+    let card = max 1.0 (cross *. sel) in
+    let card =
+      if b.Qgm.kind = Qgm.Group then
+        (* groups: assume square-root shrinkage *)
+        max 1.0 (Float.sqrt card)
+      else card
+    in
+    if b.Qgm.distinct then max 1.0 (card *. 0.8) else card
+
+(** Estimated cardinality of joining a set of quantifiers with the given
+    applicable predicates. *)
+let join_cardinality ?resolve (cards : float list) (preds : Qgm.bpred list) :
+    float =
+  let cross = List.fold_left ( *. ) 1.0 cards in
+  let sel =
+    List.fold_left (fun acc p -> acc *. pred_selectivity ?resolve p) 1.0 preds
+  in
+  max 1.0 (cross *. sel)

@@ -1,0 +1,24 @@
+(** Cardinality and selectivity estimation (System-R style): exact base
+    cardinalities, NDV statistics for equalities, fixed heuristics
+    elsewhere. *)
+
+module Qgm = Starq.Qgm
+
+val eq_selectivity : float
+val range_selectivity : float
+val default_selectivity : float
+
+val base_column_of :
+  (int -> Qgm.box option) -> Qgm.bexpr -> (Relcore.Base_table.t * int) option
+(** Trace a bare column reference to a base-table column through
+    identity projections. *)
+
+val pred_selectivity : ?resolve:(int -> Qgm.box option) -> Qgm.bpred -> float
+(** With [resolve] (quantifier id -> input box), equality predicates
+    consult per-column NDV statistics. *)
+
+val box_cardinality : Qgm.box -> float
+(** Estimated output cardinality of a box. *)
+
+val join_cardinality :
+  ?resolve:(int -> Qgm.box option) -> float list -> Qgm.bpred list -> float

@@ -1,0 +1,21 @@
+(** Join-order selection: dynamic programming over quantifier subsets
+    (System-R style) with a connectivity-aware greedy fallback for very
+    wide joins.  Cost = sum of intermediate-result cardinalities. *)
+
+module Qgm = Starq.Qgm
+
+type input = {
+  quants : Qgm.quant array;
+  cards : float array; (* estimated cardinality per quantifier *)
+  preds : (Qgm.bpred * int list) list;
+      (* predicates with the local quantifier indexes they touch *)
+}
+
+val subset_card : input -> int -> float
+(** Estimated cardinality of joining the quantifiers in bitmask. *)
+
+val connected : input -> int -> int -> bool
+
+val choose : input -> int list
+(** The chosen order, as indexes into [quants]: DP for up to 12
+    quantifiers, greedy beyond. *)

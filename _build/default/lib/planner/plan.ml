@@ -1,0 +1,207 @@
+(** Query execution plans (QEPs) — the output of plan optimization and
+    refinement (Fig. 2), interpreted by the query evaluation system.
+
+    Tuples flow bottom-up through demand-driven iterators ("table
+    queues").  Scalars reference columns positionally; [P_param] reaches
+    into enclosing tuples for correlated subplans (the naive existential
+    evaluation strategy of Sect. 3.2). *)
+
+open Relcore
+module Ast = Sqlkit.Ast
+
+type scalar =
+  | P_col of int (* column of the current tuple *)
+  | P_param of int * int (* (frames up, column): correlated reference *)
+  | P_const of Value.t
+  | P_bop of Ast.binop * scalar * scalar
+  | P_neg of scalar
+  | P_fn of string * scalar list (* scalar function *)
+
+type ppred =
+  | P_true
+  | P_false
+  | P_cmp of Ast.cmpop * scalar * scalar
+  | P_and of ppred * ppred
+  | P_or of ppred * ppred
+  | P_not of ppred
+  | P_is_null of scalar
+  | P_is_not_null of scalar
+  | P_like of scalar * string
+  | P_exists of t (* correlated subplan probe *)
+  | P_in of scalar * t
+
+and agg_spec = { agg_fn : Ast.agg_fn; agg_arg : scalar option }
+
+and t =
+  | Scan of Base_table.t
+  | Values of Tuple.t list
+  | Filter of t * ppred
+  | Project of t * scalar array
+  | Nl_join of { outer : t; inner : t; cond : ppred }
+  | Hash_join of {
+      build : t; (* right side, materialized into a hash table *)
+      probe : t; (* left side, streamed *)
+      build_keys : scalar list; (* over build tuples *)
+      probe_keys : scalar list; (* over probe tuples *)
+      residual : ppred; (* over concat (probe, build) *)
+    }
+  | Index_join of {
+      outer : t;
+      table : Base_table.t;
+      index : Index.t;
+      keys : scalar list; (* over outer tuples *)
+      residual : ppred; (* over concat (outer, inner row) *)
+    }
+  | Merge_join of {
+      left : t;
+      right : t;
+      left_keys : scalar list;
+      right_keys : scalar list;
+      residual : ppred; (* over concat (left, right) *)
+    }
+      (** sort-merge equi-join; the operator sorts both inputs itself *)
+  | Distinct of t
+  | Aggregate of { input : t; keys : scalar list; aggs : agg_spec list }
+      (** output layout: keys then aggregates *)
+  | Sort of t * (int * [ `Asc | `Desc ]) list
+  | Limit of t * int
+  | Union_all of t list
+  | Shared of int * t
+      (** materialize-once common subexpression, keyed by QGM box id *)
+
+(** A compiled query: plan plus output schema for presentation. *)
+type compiled = { plan : t; out_schema : Schema.t }
+
+(* -- pretty-printing (EXPLAIN) ---------------------------------------- *)
+
+let rec scalar_to_string = function
+  | P_col i -> Printf.sprintf "$%d" i
+  | P_param (lvl, i) -> Printf.sprintf "outer[%d].$%d" lvl i
+  | P_const v -> Value.to_literal v
+  | P_bop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (scalar_to_string a)
+      (Sqlkit.Pretty.binop_str op) (scalar_to_string b)
+  | P_neg a -> "(-" ^ scalar_to_string a ^ ")"
+  | P_fn (name, args) ->
+    Printf.sprintf "%s(%s)" name
+      (String.concat ", " (List.map scalar_to_string args))
+
+let rec ppred_to_string = function
+  | P_true -> "true"
+  | P_false -> "false"
+  | P_cmp (op, a, b) ->
+    Printf.sprintf "%s %s %s" (scalar_to_string a)
+      (Sqlkit.Pretty.cmpop_str op) (scalar_to_string b)
+  | P_and (a, b) ->
+    Printf.sprintf "(%s AND %s)" (ppred_to_string a) (ppred_to_string b)
+  | P_or (a, b) ->
+    Printf.sprintf "(%s OR %s)" (ppred_to_string a) (ppred_to_string b)
+  | P_not p -> "NOT " ^ ppred_to_string p
+  | P_is_null s -> scalar_to_string s ^ " IS NULL"
+  | P_is_not_null s -> scalar_to_string s ^ " IS NOT NULL"
+  | P_like (s, pat) -> scalar_to_string s ^ " LIKE '" ^ pat ^ "'"
+  | P_exists _ -> "EXISTS(<subplan>)"
+  | P_in (s, _) -> scalar_to_string s ^ " IN (<subplan>)"
+
+let explain (plan : t) : string =
+  let buf = Buffer.create 256 in
+  let rec go indent p =
+    let pad = String.make (indent * 2) ' ' in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (pad ^ s ^ "\n")) fmt in
+    match p with
+    | Scan t -> line "Scan %s (card=%d)" (Base_table.name t) (Base_table.cardinality t)
+    | Values rows -> line "Values (%d rows)" (List.length rows)
+    | Filter (input, pred) ->
+      line "Filter %s" (ppred_to_string pred);
+      go (indent + 1) input;
+      List.iter (go (indent + 1)) (subplans_of_pred pred)
+    | Project (input, cols) ->
+      line "Project [%s]"
+        (String.concat ", " (Array.to_list (Array.map scalar_to_string cols)));
+      go (indent + 1) input
+    | Nl_join { outer; inner; cond } ->
+      line "NestedLoopJoin on %s" (ppred_to_string cond);
+      go (indent + 1) outer;
+      go (indent + 1) inner
+    | Hash_join { build; probe; build_keys; probe_keys; residual } ->
+      line "HashJoin probe[%s] = build[%s]%s"
+        (String.concat ", " (List.map scalar_to_string probe_keys))
+        (String.concat ", " (List.map scalar_to_string build_keys))
+        (match residual with
+        | P_true -> ""
+        | r -> " residual " ^ ppred_to_string r);
+      go (indent + 1) probe;
+      go (indent + 1) build
+    | Index_join { outer; table; index; keys; residual } ->
+      line "IndexJoin %s via %s keys [%s]%s" (Base_table.name table)
+        index.Index.name
+        (String.concat ", " (List.map scalar_to_string keys))
+        (match residual with
+        | P_true -> ""
+        | r -> " residual " ^ ppred_to_string r);
+      go (indent + 1) outer
+    | Merge_join { left; right; left_keys; right_keys; residual } ->
+      line "MergeJoin left[%s] = right[%s]%s"
+        (String.concat ", " (List.map scalar_to_string left_keys))
+        (String.concat ", " (List.map scalar_to_string right_keys))
+        (match residual with
+        | P_true -> ""
+        | r -> " residual " ^ ppred_to_string r);
+      go (indent + 1) left;
+      go (indent + 1) right
+    | Distinct input ->
+      line "Distinct";
+      go (indent + 1) input
+    | Aggregate { input; keys; aggs } ->
+      line "Aggregate keys=[%s] aggs=[%s]"
+        (String.concat ", " (List.map scalar_to_string keys))
+        (String.concat ", "
+           (List.map
+              (fun a ->
+                Sqlkit.Pretty.agg_str a.agg_fn
+                ^ match a.agg_arg with
+                  | Some s -> "(" ^ scalar_to_string s ^ ")"
+                  | None -> "(*)")
+              aggs));
+      go (indent + 1) input
+    | Sort (input, specs) ->
+      line "Sort [%s]"
+        (String.concat ", "
+           (List.map
+              (fun (i, d) ->
+                Printf.sprintf "$%d%s" i
+                  (match d with `Asc -> "" | `Desc -> " DESC"))
+              specs));
+      go (indent + 1) input
+    | Limit (input, n) ->
+      line "Limit %d" n;
+      go (indent + 1) input
+    | Union_all inputs ->
+      line "UnionAll (%d inputs)" (List.length inputs);
+      List.iter (go (indent + 1)) inputs
+    | Shared (bid, input) ->
+      line "Shared (cse box %d)" bid;
+      go (indent + 1) input
+  and subplans_of_pred = function
+    | P_exists p | P_in (_, p) -> [ p ]
+    | P_and (a, b) | P_or (a, b) -> subplans_of_pred a @ subplans_of_pred b
+    | P_not p -> subplans_of_pred p
+    | P_true | P_false | P_cmp _ | P_is_null _ | P_is_not_null _ | P_like _ ->
+      []
+  in
+  go 0 plan;
+  Buffer.contents buf
+
+(** Structural statistics used by tests. *)
+let rec count_nodes p =
+  match p with
+  | Scan _ | Values _ -> 1
+  | Filter (i, _) | Project (i, _) | Distinct i | Sort (i, _) | Limit (i, _)
+  | Shared (_, i) ->
+    1 + count_nodes i
+  | Nl_join { outer; inner; _ } -> 1 + count_nodes outer + count_nodes inner
+  | Hash_join { build; probe; _ } -> 1 + count_nodes build + count_nodes probe
+  | Index_join { outer; _ } -> 1 + count_nodes outer
+  | Merge_join { left; right; _ } -> 1 + count_nodes left + count_nodes right
+  | Aggregate { input; _ } -> 1 + count_nodes input
+  | Union_all inputs -> List.fold_left (fun a i -> a + count_nodes i) 1 inputs

@@ -1,0 +1,42 @@
+(** Plan optimization: QGM → QEP (the "Plan Optimization and Plan
+    Refinement" stage of Fig. 2).  Join orders from {!Join_order};
+    access methods: index > hash > merge > nested loop; boxes with
+    multiple consumers and no correlated references become [Shared]
+    (CSE) nodes — the mechanism behind XNF's cross-output sharing. *)
+
+open Relcore
+module Qgm = Starq.Qgm
+
+type layout = (int * (int * int)) list
+(** qid -> (offset, width) within the current tuple. *)
+
+type join_method = [ `Auto | `Hash | `Merge ]
+
+type ctx = {
+  consumers : (int, (Qgm.box * Qgm.quant) list) Hashtbl.t;
+  outer : layout list; (* correlation frames, innermost first *)
+  share : bool;
+  join_method : join_method;
+}
+
+val resolver : layout list -> int -> int -> Plan.scalar
+(** Resolve a quantifier column against the frame stack: frame 0 is the
+    current tuple, deeper frames become correlated parameters. *)
+
+val compile_scalar : (int -> int -> Plan.scalar) -> Qgm.bexpr -> Plan.scalar
+val compile_pred : ctx -> layout list -> Qgm.bpred -> Plan.ppred
+val compile_box : ctx -> Qgm.box -> Plan.t
+
+val schema_of_box : Qgm.box -> Schema.t
+
+val compile : ?share:bool -> ?join_method:join_method -> Qgm.graph -> Plan.compiled
+
+val compile_many :
+  ?share:bool ->
+  ?join_method:join_method ->
+  (string * Qgm.box) list ->
+  (string * Plan.compiled) list
+(** Compile several graphs that may physically share boxes (XNF
+    multi-table queries): consumers are computed across all roots so
+    shared derivations become [Shared] nodes materialized once per
+    execution context. *)

@@ -1,0 +1,37 @@
+(** Table statistics for the cost model: per-column distinct-value
+    counts (NDV), computed on demand and cached until the table's
+    cardinality changes. *)
+
+open Relcore
+
+type entry = { at_cardinality : int; ndv : int }
+
+let cache : (string * int, entry) Hashtbl.t = Hashtbl.create 64
+
+(** Number of distinct values in column [col] of [table]. *)
+let column_ndv (table : Base_table.t) (col : int) : int =
+  let key = (Base_table.name table, col) in
+  let card = Base_table.cardinality table in
+  match Hashtbl.find_opt cache key with
+  | Some e when e.at_cardinality = card -> e.ndv
+  | _ ->
+    let seen = Hashtbl.create (max 16 card) in
+    Base_table.iter
+      (fun _rid tuple -> Hashtbl.replace seen (Value.hash tuple.(col), tuple.(col)) ())
+      table;
+    let ndv = Hashtbl.length seen in
+    Hashtbl.replace cache key { at_cardinality = card; ndv };
+    ndv
+
+(** Selectivity of an equality against a constant on this column. *)
+let eq_const_selectivity table col =
+  let ndv = max 1 (column_ndv table col) in
+  1.0 /. float_of_int ndv
+
+(** Selectivity of an equi-join between two base columns: the classic
+    1 / max(ndv_left, ndv_right). *)
+let eq_join_selectivity t1 c1 t2 c2 =
+  let n1 = max 1 (column_ndv t1 c1) and n2 = max 1 (column_ndv t2 c2) in
+  1.0 /. float_of_int (max n1 n2)
+
+let reset () = Hashtbl.reset cache

@@ -1,0 +1,13 @@
+(** Table statistics for the cost model: per-column distinct-value
+    counts (NDV), computed on demand and cached until the table's
+    cardinality changes. *)
+
+open Relcore
+
+val column_ndv : Base_table.t -> int -> int
+val eq_const_selectivity : Base_table.t -> int -> float
+
+val eq_join_selectivity : Base_table.t -> int -> Base_table.t -> int -> float
+(** The classic 1 / max(ndv_left, ndv_right). *)
+
+val reset : unit -> unit

@@ -1,0 +1,1 @@
+lib/qgm/build.ml: Array Catalog Errors Hashtbl List Option Printf Qgm Relcore Schema Sqlkit String Value

@@ -1,0 +1,1 @@
+lib/qgm/build.mli: Catalog Qgm Relcore Schema Sqlkit

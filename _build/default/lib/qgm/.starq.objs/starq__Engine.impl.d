@@ -1,0 +1,1 @@
+lib/qgm/engine.ml: Hashtbl List Option Qgm Rules Rules2

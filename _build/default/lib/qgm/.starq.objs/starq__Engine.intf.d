@@ -1,0 +1,1 @@
+lib/qgm/engine.mli: Qgm

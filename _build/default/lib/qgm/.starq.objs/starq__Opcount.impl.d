@@ -1,0 +1,1 @@
+lib/qgm/opcount.ml: Array Hashtbl List Printf Qgm Relcore Sqlkit String

@@ -1,0 +1,1 @@
+lib/qgm/opcount.mli: Qgm

@@ -1,0 +1,1 @@
+lib/qgm/qgm.ml: Array Base_table Buffer Dtype Errors Hashtbl List Option Printf Relcore Schema Sqlkit String Value

@@ -1,0 +1,1 @@
+lib/qgm/rules.ml: Array Hashtbl List Option Printf Qgm Relcore Sqlkit Value

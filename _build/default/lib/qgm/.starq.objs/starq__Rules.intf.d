@@ -1,0 +1,1 @@
+lib/qgm/rules.mli: Qgm

@@ -1,0 +1,1 @@
+lib/qgm/rules2.ml: Array Hashtbl List Option Qgm Sqlkit

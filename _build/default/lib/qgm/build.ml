@@ -1,0 +1,468 @@
+(** AST → QGM translation with name resolution (the parser/semantics
+    stage of Fig. 2).
+
+    Subqueries (EXISTS / IN) become [E] quantifiers; correlated column
+    references resolve through the scope stack into outer quantifiers,
+    exactly the Fig. 3a shape that rewrite later converts to joins. *)
+
+open Relcore
+module Ast = Sqlkit.Ast
+
+type scope_entry = { alias : string; quant : Qgm.quant }
+type scope = scope_entry list
+
+(** Schema view of a box's head (names + types). *)
+let box_schema (box : Qgm.box) =
+  Schema.make
+    (List.map
+       (fun (h : Qgm.head_col) -> Schema.column h.hname h.htype)
+       (Array.to_list box.head))
+
+(** Hook through which the XNF library (a higher layer) teaches the NF
+    query builder to expand [view.component] table references into the
+    component's derived box — the Starburst "attachment" style of
+    extension.  Registered by [Xnf.Xnf_compile] at link time. *)
+let xnf_component_expander :
+    (Catalog.t -> view:string -> component:string -> Qgm.box) option ref =
+  ref None
+
+(** Resolve an (optional table qualifier, column) pair against a scope
+    stack, innermost first.  Returns the quantifier and column position. *)
+let resolve_col (scopes : scope list) ~tbl ~col =
+  let col = String.lowercase_ascii col in
+  let try_frame frame =
+    match tbl with
+    | Some t ->
+      let t = String.lowercase_ascii t in
+      List.find_map
+        (fun e ->
+          if String.equal e.alias t then
+            match Schema.find_opt (box_schema e.quant.Qgm.over) col with
+            | Some i -> Some (e.quant, i)
+            | None ->
+              Errors.semantic_error "table %S has no column %S" t col
+          else None)
+        frame
+    | None ->
+      let hits =
+        List.filter_map
+          (fun e ->
+            match Schema.find_opt (box_schema e.quant.Qgm.over) col with
+            | Some i -> Some (e.quant, i)
+            | None -> None)
+          frame
+      in
+      (match hits with
+      | [] -> None
+      | [ hit ] -> Some hit
+      | _ :: _ :: _ -> Errors.semantic_error "ambiguous column %S" col)
+  in
+  let rec go = function
+    | [] ->
+      Errors.semantic_error "unknown column %s%s"
+        (match tbl with Some t -> t ^ "." | None -> "")
+        col
+    | frame :: rest -> (
+      match try_frame frame with Some hit -> hit | None -> go rest)
+  in
+  go scopes
+
+let rec build_expr scopes (e : Ast.expr) : Qgm.bexpr =
+  match e with
+  | Ast.Col { tbl; col } ->
+    let q, i = resolve_col scopes ~tbl ~col in
+    Qgm.Qcol (q.Qgm.qid, i)
+  | Ast.Lit v -> Qgm.Const v
+  | Ast.Binop (op, a, b) -> Qgm.Bop (op, build_expr scopes a, build_expr scopes b)
+  | Ast.Neg a -> Qgm.Bneg (build_expr scopes a)
+  | Ast.Agg (fn, arg) -> Qgm.Bagg (fn, Option.map (build_expr scopes) arg)
+  | Ast.Fn (name, args) -> Qgm.Bfn (name, List.map (build_expr scopes) args)
+
+(** Build predicates.  In conjunctive position, subqueries attach E
+    quantifiers to [owner]; under OR/NOT they must remain predicate-level
+    subqueries ([Bexists]/[Bin_sub]) evaluated tuple-at-a-time. *)
+let rec build_pred ?(conjunctive = true) cat scopes ~(owner : Qgm.box)
+    (p : Ast.pred) : Qgm.bpred =
+  match p with
+  | Ast.Ptrue -> Qgm.Btrue
+  | Ast.Cmp (op, a, b) ->
+    Qgm.Bcmp (op, build_expr scopes a, build_expr scopes b)
+  | Ast.And (a, b) ->
+    Qgm.Band
+      ( build_pred ~conjunctive cat scopes ~owner a,
+        build_pred ~conjunctive cat scopes ~owner b )
+  | Ast.Or (a, b) ->
+    Qgm.Bor
+      ( build_pred ~conjunctive:false cat scopes ~owner a,
+        build_pred ~conjunctive:false cat scopes ~owner b )
+  | Ast.Not p ->
+    Qgm.Bnot (build_pred ~conjunctive:false cat scopes ~owner p)
+  | Ast.Is_null e -> Qgm.Bis_null (build_expr scopes e)
+  | Ast.Is_not_null e -> Qgm.Bis_not_null (build_expr scopes e)
+  | Ast.Like (e, pat) -> Qgm.Blike (build_expr scopes e, pat)
+  | Ast.Between (e, lo, hi) ->
+    let be = build_expr scopes e in
+    Qgm.Band
+      ( Qgm.Bcmp (Ast.Ge, be, build_expr scopes lo),
+        Qgm.Bcmp (Ast.Le, be, build_expr scopes hi) )
+  | Ast.In_list (e, es) ->
+    let be = build_expr scopes e in
+    List.fold_left
+      (fun acc item ->
+        let cmp = Qgm.Bcmp (Ast.Eq, be, build_expr scopes item) in
+        if acc = Qgm.Btrue then cmp else Qgm.Bor (acc, cmp))
+      Qgm.Btrue es
+  | Ast.Exists q ->
+    let sub = build_select_box cat scopes q in
+    if conjunctive then begin
+      let quant = Qgm.make_quant ~kind:Qgm.E sub in
+      owner.Qgm.quants <- owner.Qgm.quants @ [ quant ];
+      Qgm.Btrue
+    end
+    else Qgm.Bexists sub
+  | Ast.In_query (e, q) ->
+    let sub = build_select_box cat scopes q in
+    if Array.length sub.Qgm.head <> 1 then
+      Errors.semantic_error "IN subquery must produce exactly one column";
+    if conjunctive then begin
+      let quant = Qgm.make_quant ~kind:Qgm.E sub in
+      owner.Qgm.quants <- owner.Qgm.quants @ [ quant ];
+      Qgm.Bcmp (Ast.Eq, build_expr scopes e, Qgm.Qcol (quant.Qgm.qid, 0))
+    end
+    else Qgm.Bin_sub (build_expr scopes e, sub)
+
+(** Translate a FROM-clause item to a quantifier over a box. *)
+and build_table_ref cat scopes (tr : Ast.table_ref) : string * Qgm.quant =
+  match tr with
+  | Ast.Table_name { name; alias } ->
+    let box =
+      match Catalog.find_table_opt cat name with
+      | Some t -> Qgm.base_box t
+      | None -> (
+        (* allow SQL views stored in the catalog *)
+        match Catalog.find_view_opt cat name with
+        | Some { Catalog.language = `Sql; text; _ } ->
+          let q = Sqlkit.Parser.parse_query_string text in
+          build_select_box cat scopes q
+        | Some { Catalog.language = `Xnf; _ } ->
+          Errors.semantic_error
+            "XNF view %S cannot be used as a plain table; reference one of \
+             its components as %s.<component>"
+            name name
+        | None -> (
+          (* view.component reference *)
+          match String.index_opt name '.' with
+          | Some i -> begin
+            let view = String.sub name 0 i in
+            let component =
+              String.sub name (i + 1) (String.length name - i - 1)
+            in
+            match !xnf_component_expander with
+            | Some expand -> expand cat ~view ~component
+            | None ->
+              Errors.semantic_error
+                "no XNF layer registered to expand %S" name
+          end
+          | None -> Errors.catalog_error "unknown table %S" name))
+    in
+    let default_alias =
+      (* for view.component, the component name is the natural alias *)
+      match String.rindex_opt name '.' with
+      | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+      | None -> name
+    in
+    let a = Option.value alias ~default:(String.lowercase_ascii default_alias) in
+    (a, Qgm.make_quant box)
+  | Ast.Derived { query; alias } ->
+    (alias, Qgm.make_quant (build_select_box cat scopes query))
+
+(** Build the select box for a query within enclosing [scopes].
+    [frame_out], when provided, receives the FROM-clause scope frame so
+    the caller can resolve ORDER BY expressions. *)
+and build_select_box ?frame_out cat (outer_scopes : scope list) (q : Ast.query)
+    : Qgm.box =
+  let has_agg =
+    q.Ast.group_by <> [] || Ast.select_has_agg q.Ast.select
+    || Option.fold ~none:false ~some:pred_has_agg q.Ast.having
+  in
+  let kind = if has_agg then Qgm.Group else Qgm.Select in
+  let box = Qgm.make_box ~distinct:q.Ast.distinct kind ~head:[||] in
+  let frame =
+    List.map
+      (fun tr ->
+        let alias, quant = build_table_ref cat outer_scopes tr in
+        { alias; quant })
+      q.Ast.from
+  in
+  List.iter (fun e -> box.Qgm.quants <- box.Qgm.quants @ [ e.quant ]) frame;
+  (match frame_out with Some r -> r := frame | None -> ());
+  let scopes = frame :: outer_scopes in
+  (* WHERE *)
+  let where = build_pred cat scopes ~owner:box q.Ast.where in
+  box.Qgm.preds <- flatten_pred where;
+  (* GROUP BY *)
+  if has_agg then
+    box.Qgm.group_by <- List.map (build_expr scopes) q.Ast.group_by;
+  (* head *)
+  let head_cols = build_head cat scopes frame box q in
+  box.Qgm.head <- Array.of_list head_cols;
+  (* HAVING: wrap in an outer select over the group box *)
+  match q.Ast.having with
+  | None -> box
+  | Some having ->
+    let outer = Qgm.make_box Qgm.Select ~head:[||] in
+    let quant = Qgm.make_quant box in
+    outer.Qgm.quants <- [ quant ];
+    let hframe = [ { alias = "__group"; quant } ] in
+    (* resolve HAVING against the group box output: aggregate exprs must
+       match head columns *)
+    let hp = build_having cat (hframe :: outer_scopes) scopes quant box having in
+    outer.Qgm.preds <- flatten_pred hp;
+    outer.Qgm.head <-
+      Array.of_list
+        (List.mapi
+           (fun i (h : Qgm.head_col) ->
+             { h with Qgm.hexpr = Qgm.Qcol (quant.Qgm.qid, i) })
+           (Array.to_list box.Qgm.head));
+    outer
+
+and pred_has_agg (p : Ast.pred) =
+  let found = ref false in
+  let rec walk_pred = function
+    | Ast.Ptrue -> ()
+    | Ast.Cmp (_, a, b) ->
+      walk_expr a;
+      walk_expr b
+    | Ast.And (a, b) | Ast.Or (a, b) ->
+      walk_pred a;
+      walk_pred b
+    | Ast.Not p -> walk_pred p
+    | Ast.Is_null e | Ast.Is_not_null e | Ast.Like (e, _) -> walk_expr e
+    | Ast.Exists _ -> ()
+    | Ast.In_list (e, es) ->
+      walk_expr e;
+      List.iter walk_expr es
+    | Ast.In_query (e, _) -> walk_expr e
+    | Ast.Between (a, b, c) ->
+      walk_expr a;
+      walk_expr b;
+      walk_expr c
+  and walk_expr e = if Ast.expr_has_agg e then found := true in
+  walk_pred p;
+  !found
+
+(** In a HAVING predicate, aggregate expressions refer to the group box:
+    find (or add) a matching head column and reference it. *)
+and build_having _cat _scopes inner_scopes quant (gbox : Qgm.box) (p : Ast.pred)
+    : Qgm.bpred =
+  let lookup_or_add_agg (e : Ast.expr) =
+    let be = build_expr inner_scopes e in
+    let existing = ref None in
+    Array.iteri
+      (fun i (h : Qgm.head_col) -> if h.Qgm.hexpr = be then existing := Some i)
+      gbox.Qgm.head;
+    let i =
+      match !existing with
+      | Some i -> i
+      | None ->
+        let ty =
+          Qgm.type_of_bexpr (Qgm.env_of_boxes [ gbox ]) be
+        in
+        gbox.Qgm.head <-
+          Array.append gbox.Qgm.head
+            [| { Qgm.hname = Printf.sprintf "agg%d" (Array.length gbox.Qgm.head);
+                 htype = ty;
+                 hexpr = be;
+               } |];
+        Array.length gbox.Qgm.head - 1
+    in
+    Qgm.Qcol (quant.Qgm.qid, i)
+  in
+  let rec build_e (e : Ast.expr) : Qgm.bexpr =
+    match e with
+    | Ast.Agg _ -> lookup_or_add_agg e
+    | Ast.Lit v -> Qgm.Const v
+    | Ast.Binop (op, a, b) -> Qgm.Bop (op, build_e a, build_e b)
+    | Ast.Neg a -> Qgm.Bneg (build_e a)
+    | Ast.Fn (name, args) -> Qgm.Bfn (name, List.map build_e args)
+    | Ast.Col _ ->
+      (* plain column in HAVING: must be a grouping column; find it in
+         the group head *)
+      let be = build_expr inner_scopes e in
+      let pos = ref None in
+      Array.iteri
+        (fun i (h : Qgm.head_col) -> if h.Qgm.hexpr = be then pos := Some i)
+        gbox.Qgm.head;
+      (match !pos with
+      | Some i -> Qgm.Qcol (quant.Qgm.qid, i)
+      | None ->
+        Errors.semantic_error
+          "HAVING references a column that is neither grouped nor aggregated")
+  in
+  let rec build_p = function
+    | Ast.Ptrue -> Qgm.Btrue
+    | Ast.Cmp (op, a, b) -> Qgm.Bcmp (op, build_e a, build_e b)
+    | Ast.And (a, b) -> Qgm.Band (build_p a, build_p b)
+    | Ast.Or (a, b) -> Qgm.Bor (build_p a, build_p b)
+    | Ast.Not p -> Qgm.Bnot (build_p p)
+    | Ast.Is_null e -> Qgm.Bis_null (build_e e)
+    | Ast.Is_not_null e -> Qgm.Bis_not_null (build_e e)
+    | Ast.Like (e, pat) -> Qgm.Blike (build_e e, pat)
+    | Ast.Between (e, lo, hi) ->
+      Qgm.Band
+        ( Qgm.Bcmp (Ast.Ge, build_e e, build_e lo),
+          Qgm.Bcmp (Ast.Le, build_e e, build_e hi) )
+    | Ast.Exists _ | Ast.In_query _ ->
+      Errors.unsupported "subqueries in HAVING"
+    | Ast.In_list (e, es) ->
+      let be = build_e e in
+      List.fold_left
+        (fun acc item ->
+          let cmp = Qgm.Bcmp (Ast.Eq, be, build_e item) in
+          if acc = Qgm.Btrue then cmp else Qgm.Bor (acc, cmp))
+        Qgm.Btrue es
+  in
+  build_p p
+
+(** Expand SELECT items into head columns. *)
+and build_head _cat scopes (frame : scope) (box : Qgm.box) (q : Ast.query) :
+    Qgm.head_col list =
+  let env qid = Qgm.env_of_boxes [ box ] qid in
+  (* also resolve correlated types through outer scopes *)
+  let env qid =
+    match env qid with
+    | Some b -> Some b
+    | None ->
+      List.fold_left
+        (fun acc frame ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            List.find_map
+              (fun e ->
+                if e.quant.Qgm.qid = qid then Some e.quant.Qgm.over else None)
+              frame)
+        None scopes
+  in
+  let star_of_quant e =
+    let sch = box_schema e.quant.Qgm.over in
+    List.mapi
+      (fun i (c : Schema.column) ->
+        {
+          Qgm.hname = c.Schema.name;
+          htype = c.Schema.dtype;
+          hexpr = Qgm.Qcol (e.quant.Qgm.qid, i);
+        })
+      (Schema.columns sch)
+  in
+  let of_item = function
+    | Ast.Star -> List.concat_map star_of_quant frame
+    | Ast.Table_star t ->
+      let t = String.lowercase_ascii t in
+      (match List.find_opt (fun e -> String.equal e.alias t) frame with
+      | Some e -> star_of_quant e
+      | None -> Errors.semantic_error "unknown table alias %S in %s.*" t t)
+    | Ast.Sel_expr (e, alias) ->
+      let be = build_expr scopes e in
+      let name =
+        match alias, e with
+        | Some a, _ -> String.lowercase_ascii a
+        | None, Ast.Col { col; _ } -> String.lowercase_ascii col
+        | None, _ -> ""
+      in
+      [ { Qgm.hname = name; htype = Qgm.type_of_bexpr env be; hexpr = be } ]
+  in
+  let cols = List.concat_map of_item q.Ast.select in
+  (* assign positional names to anonymous/duplicate columns *)
+  let seen = Hashtbl.create 8 in
+  List.mapi
+    (fun i (h : Qgm.head_col) ->
+      let name =
+        if h.Qgm.hname = "" || Hashtbl.mem seen h.Qgm.hname then
+          Printf.sprintf "col%d" i
+        else h.Qgm.hname
+      in
+      Hashtbl.replace seen h.Qgm.hname ();
+      { h with Qgm.hname = name })
+    cols
+
+and flatten_pred (p : Qgm.bpred) : Qgm.bpred list =
+  match p with
+  | Qgm.Btrue -> []
+  | Qgm.Band (a, b) -> flatten_pred a @ flatten_pred b
+  | p -> [ p ]
+
+(** Entry point: build a full QGM graph for a query.
+
+    ORDER BY items resolve in three steps: by output column name, by
+    structural match against a head expression, and finally by appending
+    a hidden sort column (stripped again after the sort). *)
+let build_query cat (q : Ast.query) : Qgm.graph =
+  let frame_out = ref [] in
+  let box = build_select_box ~frame_out cat [] q in
+  let visible = Array.length box.Qgm.head in
+  (* expression matching is only sound when the returned box's own
+     quantifiers are the FROM-clause ones (not a HAVING wrapper) *)
+  let frame_usable =
+    List.for_all
+      (fun e -> List.mem e.quant.Qgm.qid (Qgm.local_qids box))
+      !frame_out
+    && !frame_out <> []
+  in
+  let by_name col =
+    let col = String.lowercase_ascii col in
+    let pos = ref None in
+    Array.iteri
+      (fun i (h : Qgm.head_col) ->
+        if !pos = None && String.equal h.Qgm.hname col then pos := Some i)
+      box.Qgm.head;
+    !pos
+  in
+  let by_expr e =
+    if not frame_usable then None
+    else
+      match build_expr [ !frame_out ] e with
+      | be ->
+        let pos = ref None in
+        Array.iteri
+          (fun i (h : Qgm.head_col) ->
+            if !pos = None && h.Qgm.hexpr = be then pos := Some i)
+          box.Qgm.head;
+        (match !pos with
+        | Some i -> Some i
+        | None ->
+          (* hidden sort column *)
+          let env = Qgm.env_of_boxes [ box ] in
+          let ty = Qgm.type_of_bexpr env be in
+          box.Qgm.head <-
+            Array.append box.Qgm.head
+              [| { Qgm.hname =
+                     Printf.sprintf "__sort%d" (Array.length box.Qgm.head);
+                   htype = ty;
+                   hexpr = be;
+                 } |];
+          Some (Array.length box.Qgm.head - 1))
+      | exception Errors.Db_error _ -> None
+  in
+  let order_by =
+    List.map
+      (fun (e, dir) ->
+        let pos =
+          match e with
+          | Ast.Lit (Value.Int i) ->
+            if i < 1 || i > visible then
+              Errors.semantic_error "ORDER BY: position %d out of range" i;
+            Some (i - 1)
+          | Ast.Col { tbl = None; col } -> (
+            match by_name col with Some i -> Some i | None -> by_expr e)
+          | _ -> by_expr e
+        in
+        match pos with
+        | Some i -> (i, dir)
+        | None -> Errors.semantic_error "ORDER BY: cannot resolve sort key")
+      q.Ast.order_by
+  in
+  let strip =
+    if Array.length box.Qgm.head > visible then Some visible else None
+  in
+  { Qgm.top = box; order_by; limit = q.Ast.limit; strip }

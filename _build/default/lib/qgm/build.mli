@@ -1,0 +1,36 @@
+(** AST → QGM translation with name resolution (the parser/semantics
+    stage of Fig. 2).  Conjunctive subqueries become [E] quantifiers;
+    correlated column references resolve through the scope stack. *)
+
+open Relcore
+module Ast = Sqlkit.Ast
+
+type scope_entry = { alias : string; quant : Qgm.quant }
+type scope = scope_entry list
+
+val box_schema : Qgm.box -> Schema.t
+
+val xnf_component_expander :
+  (Catalog.t -> view:string -> component:string -> Qgm.box) option ref
+(** Hook through which the XNF library teaches the NF query builder to
+    expand [view.component] table references (Starburst "attachment"
+    style); registered by [Xnf.Xnf_compile] at link time. *)
+
+val resolve_col : scope list -> tbl:string option -> col:string -> Qgm.quant * int
+
+val build_expr : scope list -> Ast.expr -> Qgm.bexpr
+
+val build_pred :
+  ?conjunctive:bool -> Catalog.t -> scope list -> owner:Qgm.box -> Ast.pred ->
+  Qgm.bpred
+(** In conjunctive position (the default), subqueries attach E
+    quantifiers to [owner]; under OR/NOT they stay predicate-level. *)
+
+val build_table_ref : Catalog.t -> scope list -> Ast.table_ref -> string * Qgm.quant
+
+val build_select_box :
+  ?frame_out:scope ref -> Catalog.t -> scope list -> Ast.query -> Qgm.box
+
+val flatten_pred : Qgm.bpred -> Qgm.bpred list
+
+val build_query : Catalog.t -> Ast.query -> Qgm.graph

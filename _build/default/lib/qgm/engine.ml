@@ -1,0 +1,44 @@
+(** The rule engine driving QGM rewrite to fixpoint (paper Sect. 4.4:
+    both the NF and the XNF rewrite components share this engine and the
+    rule representation). *)
+
+type rule = { rule_name : string; apply : Qgm.box list -> bool }
+
+type stats = (string * int) list (* rule name -> number of firings *)
+
+let nf_rules : rule list =
+  [
+    { rule_name = "constant_folding"; apply = Rules.constant_folding };
+    { rule_name = "e_to_f_conversion"; apply = Rules.e_to_f_conversion };
+    { rule_name = "select_merge"; apply = Rules.select_merge };
+    { rule_name = "predicate_pushdown"; apply = Rules2.predicate_pushdown };
+    { rule_name = "prune_columns"; apply = Rules2.prune_columns };
+  ]
+
+(** Apply [rules] to the boxes reachable from [roots] until no rule
+    fires, with an iteration budget to guarantee termination even in the
+    presence of a misbehaving rule. *)
+let run ?(rules = nf_rules) ?(budget = 64) (roots : Qgm.box list) : stats =
+  let stats = Hashtbl.create 8 in
+  let bump name =
+    Hashtbl.replace stats name (1 + Option.value (Hashtbl.find_opt stats name) ~default:0)
+  in
+  let rec go budget =
+    if budget > 0 then begin
+      let fired = ref false in
+      List.iter
+        (fun r ->
+          if r.apply roots then begin
+            fired := true;
+            bump r.rule_name
+          end)
+        rules;
+      if !fired then go (budget - 1)
+    end
+  in
+  go budget;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) stats []
+
+(** Rewrite a full graph in place; returns firing statistics. *)
+let rewrite_graph ?rules ?budget (g : Qgm.graph) : stats =
+  run ?rules ?budget [ g.Qgm.top ]

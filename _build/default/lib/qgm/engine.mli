@@ -1,0 +1,18 @@
+(** The rule engine driving QGM rewrite to fixpoint (paper Sect. 4.4:
+    the NF and XNF rewrite components share this engine and the rule
+    representation). *)
+
+type rule = { rule_name : string; apply : Qgm.box list -> bool }
+
+type stats = (string * int) list
+(** rule name -> number of firings *)
+
+val nf_rules : rule list
+(** constant folding, E-to-F conversion, SELECT merge, predicate
+    pushdown, dead-column pruning. *)
+
+val run : ?rules:rule list -> ?budget:int -> Qgm.box list -> stats
+(** Apply [rules] to the boxes reachable from the roots until no rule
+    fires (budget-bounded). *)
+
+val rewrite_graph : ?rules:rule list -> ?budget:int -> Qgm.graph -> stats

@@ -1,0 +1,20 @@
+(** Operation counting over compiled QGM graphs — the measurement behind
+    the paper's Table 1.
+
+    One {e selection} per locally restricted quantifier, one {e join}
+    per equi-join edge, one {e semijoin} per residual existential;
+    descriptors are normalised by base tables + predicates so the same
+    logical work in two queries is recognised as {e replicated};
+    physically shared boxes are counted once. *)
+
+type row = { component : string; ops : int; replicated : int }
+
+val analyze : (string * Qgm.box list) list -> row list
+(** One entry per component (its output boxes), processed in order with
+    a shared descriptor set. *)
+
+val total : row list -> int
+val total_replicated : row list -> int
+
+val describe : (string * Qgm.box list) list -> (string * string list) list
+(** Human-readable operation descriptors per component. *)

@@ -1,0 +1,299 @@
+(** Rewrite rules over QGM graphs (paper Sect. 3.2, 4.3; rules from
+    Pirahesh/Hellerstein/Hasan SIGMOD'92).
+
+    Implemented rules:
+    - {b E-to-F quantifier conversion}: an existential quantifier over a
+      subquery whose correlation predicates are all equalities becomes a
+      regular join against the DISTINCT projection of the subquery on
+      the correlated columns (sound without duplicate-sensitivity
+      analysis: each outer row matches at most one distinct key row).
+    - {b SELECT merge}: a Select box ranged over by a single F
+      quantifier of another Select box is merged into its consumer when
+      duplicate semantics allow (Fig. 3c).
+    - {b constant folding / trivial-pred elimination}. *)
+
+open Relcore
+module Ast = Sqlkit.Ast
+
+(* -- small helpers ---------------------------------------------------- *)
+
+let is_select (b : Qgm.box) = b.Qgm.kind = Qgm.Select
+
+(** Split a predicate list of a subquery box into (local, correlated)
+    with respect to the subquery's own quantifiers. *)
+let split_correlated (sub : Qgm.box) =
+  List.partition (fun p -> Qgm.pred_is_local sub p) sub.Qgm.preds
+
+(** Is [e] local to box [b] (references only b's quantifiers)? *)
+let expr_local_to b e =
+  List.for_all (fun q -> List.mem q (Qgm.local_qids b)) (Qgm.bexpr_quants e)
+
+(** Is [e] fully outer w.r.t. box [b] (references no quantifier of b)? *)
+let expr_outer_to b e =
+  List.for_all (fun q -> not (List.mem q (Qgm.local_qids b))) (Qgm.bexpr_quants e)
+
+(* -- rule: E-to-F conversion ------------------------------------------ *)
+
+(** For an E quantifier [equant] of [box] over subquery [sub], attempt
+    the conversion.  Returns [true] if the graph changed. *)
+let try_e_to_f (box : Qgm.box) (equant : Qgm.quant) : bool =
+  let sub = equant.Qgm.over in
+  if not (is_select sub) || sub.Qgm.group_by <> [] then false
+  else begin
+    let local_preds, correlated = split_correlated sub in
+    (* Each correlated predicate must be an equality between a sub-local
+       expression and a sub-outer expression. *)
+    let classify p =
+      match p with
+      | Qgm.Bcmp (Ast.Eq, a, b) ->
+        if expr_local_to sub a && expr_outer_to sub b then Some (a, b)
+        else if expr_local_to sub b && expr_outer_to sub a then Some (b, a)
+        else None
+      | _ -> None
+    in
+    let pairs = List.map classify correlated in
+    if List.exists Option.is_none pairs then false
+    else begin
+      let pairs = List.map Option.get pairs in
+      (* Columns of the E quantifier referenced by the outer box's own
+         predicates or head (the IN-subquery case). *)
+      let referenced_cols = ref [] in
+      let note = function
+        | Qgm.Qcol (q, i) when q = equant.Qgm.qid ->
+          if not (List.mem i !referenced_cols) then
+            referenced_cols := i :: !referenced_cols
+        | _ -> ()
+      in
+      List.iter (fun p -> Qgm.iter_bpred_exprs note p) box.Qgm.preds;
+      Array.iter (fun (h : Qgm.head_col) -> Qgm.iter_bexpr note h.Qgm.hexpr) box.Qgm.head;
+      let referenced_cols = List.sort compare !referenced_cols in
+      (* Build the distinct key box S': head = correlated local exprs +
+         referenced original head columns. *)
+      let env = Qgm.env_of_boxes [ sub ] in
+      let key_head =
+        List.mapi
+          (fun i (local_e, _) ->
+            (* keep the source column name where possible: it makes the
+               rewritten graph read naturally (and keeps structural
+               signatures stable for Table-1 accounting) *)
+            let hname =
+              match local_e with
+              | Qgm.Qcol (q, j) -> begin
+                match Qgm.find_quant sub q with
+                | Some quant when j < Array.length quant.Qgm.over.Qgm.head ->
+                  quant.Qgm.over.Qgm.head.(j).Qgm.hname
+                | _ -> Printf.sprintf "k%d" i
+              end
+              | _ -> Printf.sprintf "k%d" i
+            in
+            { Qgm.hname; htype = Qgm.type_of_bexpr env local_e; hexpr = local_e })
+          pairs
+      in
+      let passthru_head =
+        List.map
+          (fun i ->
+            let h = sub.Qgm.head.(i) in
+            { h with Qgm.hname = Printf.sprintf "c%d" i })
+          referenced_cols
+      in
+      let keybox =
+        Qgm.make_box ~name:(sub.Qgm.name ^ "_keys") ~distinct:true Qgm.Select
+          ~head:(Array.of_list (key_head @ passthru_head))
+      in
+      keybox.Qgm.quants <- sub.Qgm.quants;
+      keybox.Qgm.preds <- local_preds;
+      (* Swap the quantifier to F over the key box. *)
+      equant.Qgm.qkind <- Qgm.F;
+      equant.Qgm.over <- keybox;
+      (* Join predicates: keybox.k_i = outer_expr_i. *)
+      let join_preds =
+        List.mapi
+          (fun i (_, outer_e) ->
+            Qgm.Bcmp (Ast.Eq, Qgm.Qcol (equant.Qgm.qid, i), outer_e))
+          pairs
+      in
+      (* Remap outer references to the E quantifier's original columns
+         onto the pass-through positions in the key box. *)
+      let base = List.length pairs in
+      let remap qid i =
+        if qid = equant.Qgm.qid then begin
+          let rec index_of k = function
+            | [] -> None
+            | x :: rest -> if x = i then Some k else index_of (k + 1) rest
+          in
+          match index_of 0 referenced_cols with
+          | Some k -> Some (Qgm.Qcol (equant.Qgm.qid, base + k))
+          | None -> None
+        end
+        else None
+      in
+      box.Qgm.preds <-
+        List.map (Qgm.subst_bpred remap) box.Qgm.preds @ join_preds;
+      box.Qgm.head <-
+        Array.map
+          (fun (h : Qgm.head_col) ->
+            { h with Qgm.hexpr = Qgm.subst_bexpr remap h.Qgm.hexpr })
+          box.Qgm.head;
+      true
+    end
+  end
+
+let e_to_f_conversion (roots : Qgm.box list) : bool =
+  let changed = ref false in
+  List.iter
+    (fun box ->
+      if is_select box || box.Qgm.kind = Qgm.Group then
+        List.iter
+          (fun q ->
+            if q.Qgm.qkind = Qgm.E then
+              if try_e_to_f box q then changed := true)
+          box.Qgm.quants)
+    (Qgm.reachable_boxes roots);
+  !changed
+
+(* -- rule: SELECT merge ------------------------------------------------ *)
+
+(** Merge child select boxes into their consuming select box.  Safe when
+    the child is a plain Select (no grouping), is referenced by exactly
+    one quantifier in the whole graph, that quantifier is F, and
+    duplicate semantics are compatible:
+    - child not distinct: always safe;
+    - child distinct: safe only if the parent enforces distinct itself. *)
+let try_select_merge (_roots : Qgm.box list) (box : Qgm.box) consumers : bool =
+  let mergeable q =
+    let sub = q.Qgm.over in
+    q.Qgm.qkind = Qgm.F && is_select sub
+    && sub.Qgm.group_by = []
+    && (match Hashtbl.find_opt consumers sub.Qgm.bid with
+       | Some [ _ ] -> true
+       | _ -> false)
+    && ((not sub.Qgm.distinct) || box.Qgm.distinct)
+    && (* no correlated references from elsewhere into sub's quantifiers *)
+    List.for_all (fun p -> Qgm.pred_is_local sub p || true) sub.Qgm.preds
+  in
+  match List.find_opt mergeable box.Qgm.quants with
+  | None -> false
+  | Some q ->
+    let sub = q.Qgm.over in
+    (* Substitution: references to q's columns become the child head
+       expressions. *)
+    let remap qid i =
+      if qid = q.Qgm.qid then Some sub.Qgm.head.(i).Qgm.hexpr else None
+    in
+    box.Qgm.quants <-
+      List.concat_map
+        (fun q' -> if q'.Qgm.qid = q.Qgm.qid then sub.Qgm.quants else [ q' ])
+        box.Qgm.quants;
+    box.Qgm.preds <-
+      List.map (Qgm.subst_bpred remap) box.Qgm.preds @ sub.Qgm.preds;
+    box.Qgm.head <-
+      Array.map
+        (fun (h : Qgm.head_col) ->
+          { h with Qgm.hexpr = Qgm.subst_bexpr remap h.Qgm.hexpr })
+        box.Qgm.head;
+    box.Qgm.group_by <- List.map (Qgm.subst_bexpr remap) box.Qgm.group_by;
+    true
+
+let select_merge (roots : Qgm.box list) : bool =
+  let consumers = Qgm.consumers roots in
+  let changed = ref false in
+  List.iter
+    (fun box ->
+      if is_select box || box.Qgm.kind = Qgm.Group then
+        if try_select_merge roots box consumers then changed := true)
+    (Qgm.reachable_boxes roots);
+  !changed
+
+(* -- rule: constant folding / trivial predicates ----------------------- *)
+
+let rec fold_expr (e : Qgm.bexpr) : Qgm.bexpr =
+  match e with
+  | Qgm.Bop (op, a, b) -> begin
+    let a = fold_expr a and b = fold_expr b in
+    match a, b with
+    | Qgm.Const (Value.Int x), Qgm.Const (Value.Int y) -> begin
+      match op with
+      | Ast.Add -> Qgm.Const (Value.Int (x + y))
+      | Ast.Sub -> Qgm.Const (Value.Int (x - y))
+      | Ast.Mul -> Qgm.Const (Value.Int (x * y))
+      | Ast.Div when y <> 0 -> Qgm.Const (Value.Int (x / y))
+      | Ast.Mod when y <> 0 -> Qgm.Const (Value.Int (x mod y))
+      | _ -> Qgm.Bop (op, a, b)
+    end
+    | _ -> Qgm.Bop (op, a, b)
+  end
+  | Qgm.Bneg a -> begin
+    match fold_expr a with
+    | Qgm.Const (Value.Int x) -> Qgm.Const (Value.Int (-x))
+    | Qgm.Const (Value.Float x) -> Qgm.Const (Value.Float (-.x))
+    | a -> Qgm.Bneg a
+  end
+  | Qgm.Bagg (fn, arg) -> Qgm.Bagg (fn, Option.map fold_expr arg)
+  | Qgm.Bfn (name, args) -> Qgm.Bfn (name, List.map fold_expr args)
+  | Qgm.Qcol _ | Qgm.Const _ -> e
+
+let rec fold_pred (p : Qgm.bpred) : Qgm.bpred =
+  match p with
+  | Qgm.Bcmp (op, a, b) -> begin
+    let a = fold_expr a and b = fold_expr b in
+    match a, b with
+    | Qgm.Const x, Qgm.Const y when not (Value.is_null x || Value.is_null y) ->
+      let c = Value.compare x y in
+      let r =
+        match op with
+        | Ast.Eq -> c = 0
+        | Ast.Ne -> c <> 0
+        | Ast.Lt -> c < 0
+        | Ast.Le -> c <= 0
+        | Ast.Gt -> c > 0
+        | Ast.Ge -> c >= 0
+      in
+      if r then Qgm.Btrue else Qgm.Bnot Qgm.Btrue
+    | _ -> Qgm.Bcmp (op, a, b)
+  end
+  | Qgm.Band (a, b) -> begin
+    match fold_pred a, fold_pred b with
+    | Qgm.Btrue, p | p, Qgm.Btrue -> p
+    | a, b -> Qgm.Band (a, b)
+  end
+  | Qgm.Bor (a, b) -> begin
+    match fold_pred a, fold_pred b with
+    | Qgm.Btrue, _ | _, Qgm.Btrue -> Qgm.Btrue
+    | a, b -> Qgm.Bor (a, b)
+  end
+  | Qgm.Bnot p -> begin
+    match fold_pred p with Qgm.Bnot q -> q | p -> Qgm.Bnot p
+  end
+  | Qgm.Btrue -> Qgm.Btrue
+  | Qgm.Bis_null (Qgm.Const v) ->
+    if Value.is_null v then Qgm.Btrue else Qgm.Bnot Qgm.Btrue
+  | Qgm.Bis_not_null (Qgm.Const v) ->
+    if Value.is_null v then Qgm.Bnot Qgm.Btrue else Qgm.Btrue
+  | Qgm.Bis_null _ | Qgm.Bis_not_null _ | Qgm.Blike _ -> p
+  | Qgm.Bexists _ | Qgm.Bin_sub _ -> p
+
+let constant_folding (roots : Qgm.box list) : bool =
+  let changed = ref false in
+  List.iter
+    (fun box ->
+      let preds' =
+        List.filter_map
+          (fun p ->
+            let p' = fold_pred p in
+            if p' <> p then changed := true;
+            match p' with Qgm.Btrue -> None | p' -> Some p')
+          box.Qgm.preds
+      in
+      if List.length preds' <> List.length box.Qgm.preds then changed := true;
+      box.Qgm.preds <- preds';
+      let head' =
+        Array.map
+          (fun (h : Qgm.head_col) ->
+            let e' = fold_expr h.Qgm.hexpr in
+            if e' <> h.Qgm.hexpr then changed := true;
+            { h with Qgm.hexpr = e' })
+          box.Qgm.head
+      in
+      box.Qgm.head <- head')
+    (Qgm.reachable_boxes roots);
+  !changed

@@ -1,0 +1,17 @@
+(** Core NF rewrite rules (Pirahesh/Hellerstein/Hasan SIGMOD'92 style):
+    E-to-F quantifier conversion, SELECT merge, constant folding.
+    Each returns [true] when the graph changed. *)
+
+val e_to_f_conversion : Qgm.box list -> bool
+(** Convert existential quantifiers with equality correlation into joins
+    against the DISTINCT projection of the subquery on the correlated
+    columns — sound without duplicate-sensitivity analysis (Fig. 3b). *)
+
+val select_merge : Qgm.box list -> bool
+(** Merge single-consumer plain Select boxes into their consumer when
+    duplicate semantics allow (Fig. 3c). *)
+
+val constant_folding : Qgm.box list -> bool
+
+val fold_expr : Qgm.bexpr -> Qgm.bexpr
+val fold_pred : Qgm.bpred -> Qgm.bpred

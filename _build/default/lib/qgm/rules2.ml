@@ -1,0 +1,162 @@
+(** Additional NF rewrite rules: predicate pushdown and dead-column
+    pruning.  Like the core rules they are pure QGM-to-QGM transforms
+    registered with the shared rule engine (paper Sect. 4.4). *)
+
+module Ast = Sqlkit.Ast
+
+(* -- predicate pushdown --------------------------------------------------- *)
+
+(** Push a predicate of [box] that references only quantifier [q] down
+    into [q]'s input box, rewriting head references.  Sound when the
+    input is a plain Select with a single consumer. *)
+let try_pushdown (consumers : (int, (Qgm.box * Qgm.quant) list) Hashtbl.t)
+    (box : Qgm.box) : bool =
+  let changed = ref false in
+  let pushable_quant q =
+    let c = q.Qgm.over in
+    q.Qgm.qkind = Qgm.F && c.Qgm.kind = Qgm.Select
+    && c.Qgm.group_by = []
+    && (match Hashtbl.find_opt consumers c.Qgm.bid with
+       | Some [ _ ] -> true
+       | _ -> false)
+  in
+  let keep =
+    List.filter
+      (fun p ->
+        match Qgm.bpred_quants p with
+        | [ qid ] -> begin
+          match Qgm.find_quant box qid with
+          | Some q when pushable_quant q ->
+            let c = q.Qgm.over in
+            (* rewrite outer refs Qcol(q, i) to the child's head exprs *)
+            let remap qid' i =
+              if qid' = qid then Some c.Qgm.head.(i).Qgm.hexpr else None
+            in
+            let p' = Qgm.subst_bpred remap p in
+            (* only push if fully resolvable inside the child *)
+            if
+              List.for_all
+                (fun r -> List.mem r (Qgm.local_qids c))
+                (Qgm.bpred_quants p')
+            then begin
+              c.Qgm.preds <- c.Qgm.preds @ [ p' ];
+              changed := true;
+              false (* drop from parent *)
+            end
+            else true
+          | _ -> true
+        end
+        | _ -> true)
+      box.Qgm.preds
+  in
+  box.Qgm.preds <- keep;
+  !changed
+
+let predicate_pushdown (roots : Qgm.box list) : bool =
+  let consumers = Qgm.consumers roots in
+  let changed = ref false in
+  List.iter
+    (fun box ->
+      match box.Qgm.kind with
+      | Qgm.Select | Qgm.Group ->
+        if try_pushdown consumers box then changed := true
+      | Qgm.Base _ | Qgm.Union -> ())
+    (Qgm.reachable_boxes roots);
+  !changed
+
+(* -- dead column pruning --------------------------------------------------- *)
+
+(** Column positions of [box]'s head that some consumer actually uses. *)
+let used_columns (consumers : (int, (Qgm.box * Qgm.quant) list) Hashtbl.t)
+    (box : Qgm.box) : int list =
+  let used = Hashtbl.create 8 in
+  let note qid = function
+    | Qgm.Qcol (q, i) when q = qid -> Hashtbl.replace used i ()
+    | _ -> ()
+  in
+  List.iter
+    (fun (consumer, quant) ->
+      let qid = quant.Qgm.qid in
+      List.iter (fun p -> Qgm.iter_bpred_exprs (note qid) p) consumer.Qgm.preds;
+      Array.iter
+        (fun (h : Qgm.head_col) -> Qgm.iter_bexpr (note qid) h.Qgm.hexpr)
+        consumer.Qgm.head;
+      List.iter (Qgm.iter_bexpr (note qid)) consumer.Qgm.group_by;
+      (* predicate-level subqueries may reference the quantifier too *)
+      List.iter
+        (fun p ->
+          List.iter
+            (fun sub ->
+              let seen = Hashtbl.create 8 in
+              let rec walk b =
+                if not (Hashtbl.mem seen b.Qgm.bid) then begin
+                  Hashtbl.add seen b.Qgm.bid ();
+                  List.iter (fun p -> Qgm.iter_bpred_exprs (note qid) p) b.Qgm.preds;
+                  Array.iter
+                    (fun (h : Qgm.head_col) -> Qgm.iter_bexpr (note qid) h.Qgm.hexpr)
+                    b.Qgm.head;
+                  List.iter (fun q -> walk q.Qgm.over) b.Qgm.quants
+                end
+              in
+              walk sub)
+            (Qgm.pred_subqueries p))
+        consumer.Qgm.preds)
+    (Option.value (Hashtbl.find_opt consumers box.Qgm.bid) ~default:[]);
+  List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) used [])
+
+(** Prune unused head columns of non-root Select boxes; consumers'
+    references are renumbered.  Left alone: roots (no consumers), boxes
+    feeding a Union (positional semantics), and DISTINCT boxes (their
+    duplicate elimination is defined over the full head — narrowing it
+    would collapse rows). *)
+let prune_columns (roots : Qgm.box list) : bool =
+  let consumers = Qgm.consumers roots in
+  let changed = ref false in
+  let feeds_union box =
+    List.exists
+      (fun (consumer, _) -> consumer.Qgm.kind = Qgm.Union)
+      (Option.value (Hashtbl.find_opt consumers box.Qgm.bid) ~default:[])
+  in
+  let root_ids = List.map (fun b -> b.Qgm.bid) roots in
+  List.iter
+    (fun box ->
+      match box.Qgm.kind with
+      | Qgm.Select
+        when (not box.Qgm.distinct)
+             && (not (List.mem box.Qgm.bid root_ids))
+             && (not (feeds_union box))
+             && Hashtbl.mem consumers box.Qgm.bid ->
+        let used = used_columns consumers box in
+        let width = Array.length box.Qgm.head in
+        if List.length used < width && used <> [] then begin
+          (* position map old -> new *)
+          let map = Hashtbl.create 8 in
+          List.iteri (fun new_i old_i -> Hashtbl.replace map old_i new_i) used;
+          box.Qgm.head <-
+            Array.of_list (List.map (fun i -> box.Qgm.head.(i)) used);
+          (* renumber references in consumers *)
+          List.iter
+            (fun (consumer, quant) ->
+              let qid = quant.Qgm.qid in
+              let remap q i =
+                if q = qid then
+                  match Hashtbl.find_opt map i with
+                  | Some j -> Some (Qgm.Qcol (qid, j))
+                  | None -> None (* dead: unreachable by construction *)
+                else None
+              in
+              consumer.Qgm.preds <-
+                List.map (Qgm.subst_bpred remap) consumer.Qgm.preds;
+              consumer.Qgm.head <-
+                Array.map
+                  (fun (h : Qgm.head_col) ->
+                    { h with Qgm.hexpr = Qgm.subst_bexpr remap h.Qgm.hexpr })
+                  consumer.Qgm.head;
+              consumer.Qgm.group_by <-
+                List.map (Qgm.subst_bexpr remap) consumer.Qgm.group_by)
+            (Hashtbl.find consumers box.Qgm.bid);
+          changed := true
+        end
+      | _ -> ())
+    (Qgm.reachable_boxes roots);
+  !changed

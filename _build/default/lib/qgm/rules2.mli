@@ -1,0 +1,9 @@
+(** Additional NF rewrite rules registered with the shared engine. *)
+
+val predicate_pushdown : Qgm.box list -> bool
+(** Push single-quantifier predicates into single-consumer Select
+    inputs (filter-before-join/materialize). *)
+
+val prune_columns : Qgm.box list -> bool
+(** Drop unused head columns of non-root Select boxes, renumbering
+    consumer references.  DISTINCT boxes and Union inputs are exempt. *)

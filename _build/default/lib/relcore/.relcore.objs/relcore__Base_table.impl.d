@@ -1,0 +1,1 @@
+lib/relcore/base_table.ml: Array Errors Heap Index List Option Schema String Tuple

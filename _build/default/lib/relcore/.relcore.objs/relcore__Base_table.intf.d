@@ -1,0 +1,1 @@
+lib/relcore/base_table.mli: Heap Index Schema Tuple Value

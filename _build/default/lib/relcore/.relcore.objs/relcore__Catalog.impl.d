@@ -1,0 +1,1 @@
+lib/relcore/catalog.ml: Base_table Errors Hashtbl List String

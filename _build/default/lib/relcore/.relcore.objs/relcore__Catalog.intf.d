@@ -1,0 +1,1 @@
+lib/relcore/catalog.mli: Base_table

@@ -1,0 +1,1 @@
+lib/relcore/dtype.ml: Errors String Value

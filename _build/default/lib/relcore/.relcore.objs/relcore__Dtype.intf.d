@@ -1,0 +1,1 @@
+lib/relcore/dtype.mli: Value

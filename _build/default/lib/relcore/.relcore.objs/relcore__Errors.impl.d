@@ -1,0 +1,1 @@
+lib/relcore/errors.ml: Printexc Printf

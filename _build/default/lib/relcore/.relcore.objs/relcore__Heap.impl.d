@@ -1,0 +1,1 @@
+lib/relcore/heap.ml: Errors List Tuple Vec

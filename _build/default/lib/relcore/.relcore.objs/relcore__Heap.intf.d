@@ -1,0 +1,1 @@
+lib/relcore/heap.mli: Tuple

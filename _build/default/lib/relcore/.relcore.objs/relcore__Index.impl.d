@@ -1,0 +1,1 @@
+lib/relcore/index.ml: Errors Heap List Tuple

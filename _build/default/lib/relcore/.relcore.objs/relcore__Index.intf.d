@@ -1,0 +1,1 @@
+lib/relcore/index.mli: Heap Tuple

@@ -1,0 +1,1 @@
+lib/relcore/schema.ml: Array Bool Dtype Errors Format Hashtbl List Printf String Value

@@ -1,0 +1,1 @@
+lib/relcore/tuple.ml: Array Format Hashtbl Int List String Value

@@ -1,0 +1,1 @@
+lib/relcore/value.ml: Bool Buffer Errors Float Format Hashtbl Int Printf String

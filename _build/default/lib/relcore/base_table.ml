@@ -1,0 +1,109 @@
+(** A base table: schema + heap storage + secondary indexes + optional
+    primary key. *)
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  heap : Heap.t;
+  mutable indexes : Index.t list;
+  primary_key : int array option; (* column positions *)
+}
+
+let create ?primary_key ~name schema =
+  let pk_positions =
+    Option.map
+      (fun cols -> Array.of_list (List.map (Schema.find schema) cols))
+      primary_key
+  in
+  let t =
+    {
+      name;
+      schema;
+      heap = Heap.create ();
+      indexes = [];
+      primary_key = pk_positions;
+    }
+  in
+  (match pk_positions with
+  | Some key_columns ->
+    t.indexes <-
+      [ Index.create ~name:(name ^ "_pkey") ~key_columns ~unique:true ]
+  | None -> ());
+  t
+
+let name t = t.name
+let schema t = t.schema
+let cardinality t = Heap.cardinality t.heap
+
+let find_index t idx_name =
+  List.find_opt (fun i -> String.equal i.Index.name idx_name) t.indexes
+
+(** Find an index whose key is exactly the given column positions (in
+    order). *)
+let index_on t positions =
+  List.find_opt (fun i -> i.Index.key_columns = positions) t.indexes
+
+let create_index t ~idx_name ~columns ~unique =
+  let key_columns = Array.of_list (List.map (Schema.find t.schema) columns) in
+  if List.exists (fun i -> String.equal i.Index.name idx_name) t.indexes then
+    Errors.catalog_error "index %S already exists" idx_name;
+  let idx = Index.create ~name:idx_name ~key_columns ~unique in
+  Heap.iter (fun rid tuple -> Index.insert idx rid tuple) t.heap;
+  t.indexes <- t.indexes @ [ idx ];
+  idx
+
+let insert t row =
+  let tuple = Schema.validate_row t.schema row in
+  (* Check uniques before touching any state so a violation leaves the
+     table unchanged. *)
+  List.iter
+    (fun idx ->
+      if idx.Index.unique && Index.lookup_tuple idx tuple <> [] then
+        Errors.constraint_error "unique index %S violated in table %S"
+          idx.Index.name t.name)
+    t.indexes;
+  let rid = Heap.insert t.heap tuple in
+  List.iter (fun idx -> Index.insert idx rid tuple) t.indexes;
+  rid
+
+let get t rid = Heap.get t.heap rid
+let get_exn t rid = Heap.get_exn t.heap rid
+
+let update t rid row =
+  let tuple = Schema.validate_row t.schema row in
+  let old_tuple = Heap.get_exn t.heap rid in
+  List.iter
+    (fun idx ->
+      let new_key = Index.key_of idx tuple in
+      if idx.Index.unique && not (Tuple.equal new_key (Index.key_of idx old_tuple))
+      then
+        if Index.lookup idx new_key <> [] then
+          Errors.constraint_error "unique index %S violated in table %S"
+            idx.Index.name t.name)
+    t.indexes;
+  List.iter (fun idx -> Index.remove idx rid old_tuple) t.indexes;
+  Heap.update t.heap rid tuple;
+  List.iter (fun idx -> Index.insert idx rid tuple) t.indexes
+
+let delete t rid =
+  let old_tuple = Heap.get_exn t.heap rid in
+  List.iter (fun idx -> Index.remove idx rid old_tuple) t.indexes;
+  Heap.delete t.heap rid
+
+let iter f t = Heap.iter f t.heap
+let fold f acc t = Heap.fold f acc t.heap
+let scan t = Heap.scan t.heap
+let to_list t = Heap.to_list t.heap
+
+(** Rids whose tuples match [key] on the primary key, via the pkey index. *)
+let pk_lookup t key =
+  match t.primary_key with
+  | None -> Errors.catalog_error "table %S has no primary key" t.name
+  | Some positions ->
+    (match index_on t positions with
+    | Some idx -> Index.lookup idx key
+    | None -> assert false)
+
+let truncate t =
+  let rids = List.map fst (to_list t) in
+  List.iter (fun rid -> delete t rid) rids

@@ -1,0 +1,44 @@
+(** A base table: schema + heap storage + secondary indexes + optional
+    primary key. *)
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  heap : Heap.t;
+  mutable indexes : Index.t list;
+  primary_key : int array option;
+}
+
+val create : ?primary_key:string list -> name:string -> Schema.t -> t
+(** A primary key implies a unique index named ["<table>_pkey"]. *)
+
+val name : t -> string
+val schema : t -> Schema.t
+val cardinality : t -> int
+
+val find_index : t -> string -> Index.t option
+
+val index_on : t -> int array -> Index.t option
+(** The index whose key is exactly the given column positions. *)
+
+val create_index :
+  t -> idx_name:string -> columns:string list -> unique:bool -> Index.t
+(** Backfills from existing rows; raises on duplicate index name or, for
+    unique indexes, on duplicate keys. *)
+
+val insert : t -> Value.t array -> Heap.rid
+(** Validates against the schema and every unique index before changing
+    state. *)
+
+val get : t -> Heap.rid -> Tuple.t option
+val get_exn : t -> Heap.rid -> Tuple.t
+val update : t -> Heap.rid -> Value.t array -> unit
+val delete : t -> Heap.rid -> unit
+
+val iter : (Heap.rid -> Tuple.t -> unit) -> t -> unit
+val fold : ('a -> Heap.rid -> Tuple.t -> 'a) -> 'a -> t -> 'a
+val scan : t -> unit -> (Heap.rid * Tuple.t) option
+val to_list : t -> (Heap.rid * Tuple.t) list
+
+val pk_lookup : t -> Tuple.t -> Heap.rid list
+val truncate : t -> unit

@@ -1,0 +1,51 @@
+(** Column data types of the engine's type system. *)
+
+type t = Tbool | Tint | Tfloat | Tstr
+
+let to_string = function
+  | Tbool -> "BOOL"
+  | Tint -> "INT"
+  | Tfloat -> "FLOAT"
+  | Tstr -> "STRING"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "BOOL" | "BOOLEAN" -> Tbool
+  | "INT" | "INTEGER" | "BIGINT" | "SMALLINT" -> Tint
+  | "FLOAT" | "REAL" | "DOUBLE" | "DECIMAL" | "NUMERIC" -> Tfloat
+  | "STRING" | "TEXT" | "CHAR" | "VARCHAR" -> Tstr
+  | _ -> Errors.type_error "unknown type name %S" s
+
+let equal = ( = )
+
+(** Does a runtime value inhabit this type?  [Null] inhabits every type. *)
+let admits ty (v : Value.t) =
+  match ty, v with
+  | _, Value.Null -> true
+  | Tbool, Value.Bool _ -> true
+  | Tint, Value.Int _ -> true
+  | Tfloat, Value.(Float _ | Int _) -> true
+  | Tstr, Value.Str _ -> true
+  | (Tbool | Tint | Tfloat | Tstr), _ -> false
+
+(** Coerce a value into the column type where a safe conversion exists
+    (int→float); raise otherwise. *)
+let coerce ty (v : Value.t) =
+  match ty, v with
+  | _, Value.Null -> Value.Null
+  | Tfloat, Value.Int i -> Value.Float (float_of_int i)
+  | _ ->
+    if admits ty v then v
+    else
+      Errors.type_error "value %s does not fit type %s" (Value.to_string v)
+        (to_string ty)
+
+(** Result type of a binary arithmetic operation. *)
+let join a b =
+  match a, b with
+  | Tint, Tint -> Tint
+  | (Tint | Tfloat), (Tint | Tfloat) -> Tfloat
+  | Tstr, Tstr -> Tstr
+  | Tbool, Tbool -> Tbool
+  | _ ->
+    Errors.type_error "incompatible types %s and %s" (to_string a) (to_string b)

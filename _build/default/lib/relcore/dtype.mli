@@ -1,0 +1,22 @@
+(** Column data types of the engine's type system. *)
+
+type t = Tbool | Tint | Tfloat | Tstr
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** Accepts the usual SQL spellings (INT/INTEGER, VARCHAR/TEXT, ...);
+    raises on unknown names. *)
+
+val equal : t -> t -> bool
+
+val admits : t -> Value.t -> bool
+(** Does a runtime value inhabit this type?  [Null] inhabits every type. *)
+
+val coerce : t -> Value.t -> Value.t
+(** Coerce a value into the column type where a safe conversion exists
+    (int to float); raise {!Errors.Db_error} otherwise. *)
+
+val join : t -> t -> t
+(** Result type of a binary arithmetic operation; raises on
+    incompatible operands. *)

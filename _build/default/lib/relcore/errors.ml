@@ -1,0 +1,50 @@
+(** Error conditions shared by all layers of the engine.
+
+    Every user-facing failure of the engine is reported through
+    {!exception:Db_error}; internal invariant violations use [assert]. *)
+
+type kind =
+  | Parse_error of { line : int; col : int }
+  | Semantic_error
+  | Type_error
+  | Catalog_error
+  | Constraint_error
+  | Execution_error
+  | Unsupported
+
+exception Db_error of kind * string
+
+let kind_to_string = function
+  | Parse_error { line; col } -> Printf.sprintf "parse error at %d:%d" line col
+  | Semantic_error -> "semantic error"
+  | Type_error -> "type error"
+  | Catalog_error -> "catalog error"
+  | Constraint_error -> "constraint violation"
+  | Execution_error -> "execution error"
+  | Unsupported -> "unsupported feature"
+
+let () =
+  Printexc.register_printer (function
+    | Db_error (k, msg) -> Some (Printf.sprintf "%s: %s" (kind_to_string k) msg)
+    | _ -> None)
+
+let parse_error ~line ~col fmt =
+  Printf.ksprintf (fun msg -> raise (Db_error (Parse_error { line; col }, msg))) fmt
+
+let semantic_error fmt =
+  Printf.ksprintf (fun msg -> raise (Db_error (Semantic_error, msg))) fmt
+
+let type_error fmt =
+  Printf.ksprintf (fun msg -> raise (Db_error (Type_error, msg))) fmt
+
+let catalog_error fmt =
+  Printf.ksprintf (fun msg -> raise (Db_error (Catalog_error, msg))) fmt
+
+let constraint_error fmt =
+  Printf.ksprintf (fun msg -> raise (Db_error (Constraint_error, msg))) fmt
+
+let execution_error fmt =
+  Printf.ksprintf (fun msg -> raise (Db_error (Execution_error, msg))) fmt
+
+let unsupported fmt =
+  Printf.ksprintf (fun msg -> raise (Db_error (Unsupported, msg))) fmt

@@ -1,0 +1,24 @@
+(** Error conditions shared by all layers of the engine. *)
+
+type kind =
+  | Parse_error of { line : int; col : int }
+  | Semantic_error
+  | Type_error
+  | Catalog_error
+  | Constraint_error
+  | Execution_error
+  | Unsupported
+
+exception Db_error of kind * string
+
+val kind_to_string : kind -> string
+
+(** The raisers below format their message and raise {!Db_error}. *)
+
+val parse_error : line:int -> col:int -> ('a, unit, string, 'b) format4 -> 'a
+val semantic_error : ('a, unit, string, 'b) format4 -> 'a
+val type_error : ('a, unit, string, 'b) format4 -> 'a
+val catalog_error : ('a, unit, string, 'b) format4 -> 'a
+val constraint_error : ('a, unit, string, 'b) format4 -> 'a
+val execution_error : ('a, unit, string, 'b) format4 -> 'a
+val unsupported : ('a, unit, string, 'b) format4 -> 'a

@@ -1,0 +1,83 @@
+(** Slotted in-memory row store.
+
+    Rows live in stable slots identified by a row id (rid).  Deletion
+    tombstones the slot (rid stability is what the composite-object
+    cache's tuple identifiers rely on); freed slots are recycled by
+    subsequent inserts. *)
+
+type rid = int
+
+type t = {
+  slots : Tuple.t option Vec.t;
+  free : int Vec.t; (* stack of tombstoned slots available for reuse *)
+  mutable live : int;
+}
+
+let create () =
+  { slots = Vec.create ~dummy:None; free = Vec.create ~dummy:(-1); live = 0 }
+
+let cardinality h = h.live
+
+(** Number of slots ever allocated (live + tombstoned). *)
+let capacity h = Vec.length h.slots
+
+let insert h tuple =
+  h.live <- h.live + 1;
+  if Vec.length h.free > 0 then begin
+    let rid = Vec.pop h.free in
+    Vec.set h.slots rid (Some tuple);
+    rid
+  end
+  else begin
+    Vec.push h.slots (Some tuple);
+    Vec.length h.slots - 1
+  end
+
+let get h rid =
+  if rid < 0 || rid >= Vec.length h.slots then None else Vec.get h.slots rid
+
+let get_exn h rid =
+  match get h rid with
+  | Some t -> t
+  | None -> Errors.execution_error "dangling rid %d" rid
+
+let update h rid tuple =
+  match get h rid with
+  | Some _ -> Vec.set h.slots rid (Some tuple)
+  | None -> Errors.execution_error "update of dangling rid %d" rid
+
+let delete h rid =
+  match get h rid with
+  | Some _ ->
+    Vec.set h.slots rid None;
+    Vec.push h.free rid;
+    h.live <- h.live - 1
+  | None -> Errors.execution_error "delete of dangling rid %d" rid
+
+let iter f h =
+  Vec.iteri (fun rid slot -> match slot with Some t -> f rid t | None -> ()) h.slots
+
+let fold f acc h =
+  let acc = ref acc in
+  iter (fun rid t -> acc := f !acc rid t) h;
+  !acc
+
+let to_list h = List.rev (fold (fun acc rid t -> (rid, t) :: acc) [] h)
+
+(** Demand-driven scan cursor: returns [(rid, tuple)] pairs.  The cursor
+    tolerates concurrent appends (sees rows added behind its position)
+    and skips tombstones, like a real heap scan. *)
+let scan h =
+  let pos = ref 0 in
+  fun () ->
+    let rec go () =
+      if !pos >= Vec.length h.slots then None
+      else begin
+        let i = !pos in
+        incr pos;
+        match Vec.get h.slots i with
+        | Some t -> Some (i, t)
+        | None -> go ()
+      end
+    in
+    go ()

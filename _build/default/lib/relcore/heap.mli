@@ -1,0 +1,29 @@
+(** Slotted in-memory row store.
+
+    Rows live in stable slots identified by a row id ([rid]); deletion
+    tombstones the slot and the slot is recycled by later inserts. *)
+
+type rid = int
+type t
+
+val create : unit -> t
+
+val cardinality : t -> int
+(** Live rows. *)
+
+val capacity : t -> int
+(** Slots ever allocated (live + tombstoned). *)
+
+val insert : t -> Tuple.t -> rid
+val get : t -> rid -> Tuple.t option
+val get_exn : t -> rid -> Tuple.t
+val update : t -> rid -> Tuple.t -> unit
+val delete : t -> rid -> unit
+
+val iter : (rid -> Tuple.t -> unit) -> t -> unit
+val fold : ('a -> rid -> Tuple.t -> 'a) -> 'a -> t -> 'a
+val to_list : t -> (rid * Tuple.t) list
+
+val scan : t -> unit -> (rid * Tuple.t) option
+(** Demand-driven cursor; skips tombstones and tolerates appends behind
+    its position. *)

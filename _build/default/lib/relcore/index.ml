@@ -1,0 +1,43 @@
+(** Hash index over a base table.
+
+    Maps a key (the sub-tuple of the indexed columns) to the set of rids
+    holding that key.  Supports unique and non-unique variants. *)
+
+type t = {
+  name : string;
+  key_columns : int array; (* positions within the table schema *)
+  unique : bool;
+  entries : Heap.rid list ref Tuple.Tbl.t;
+}
+
+let create ~name ~key_columns ~unique =
+  { name; key_columns; unique; entries = Tuple.Tbl.create 64 }
+
+let key_of idx tuple = Tuple.key tuple idx.key_columns
+
+let lookup idx key =
+  match Tuple.Tbl.find_opt idx.entries key with
+  | Some rids -> !rids
+  | None -> []
+
+let lookup_tuple idx tuple = lookup idx (key_of idx tuple)
+
+let insert idx rid tuple =
+  let key = key_of idx tuple in
+  match Tuple.Tbl.find_opt idx.entries key with
+  | Some rids ->
+    if idx.unique && !rids <> [] then
+      Errors.constraint_error "unique index %S violated by key %s" idx.name
+        (Tuple.to_string key);
+    rids := rid :: !rids
+  | None -> Tuple.Tbl.add idx.entries key (ref [ rid ])
+
+let remove idx rid tuple =
+  let key = key_of idx tuple in
+  match Tuple.Tbl.find_opt idx.entries key with
+  | Some rids ->
+    rids := List.filter (fun r -> r <> rid) !rids;
+    if !rids = [] then Tuple.Tbl.remove idx.entries key
+  | None -> ()
+
+let cardinality idx = Tuple.Tbl.length idx.entries

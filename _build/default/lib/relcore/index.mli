@@ -1,0 +1,22 @@
+(** Hash index over a base table: key (sub-tuple of the indexed
+    columns) to the rids holding that key. *)
+
+type t = {
+  name : string;
+  key_columns : int array; (* positions within the table schema *)
+  unique : bool;
+  entries : Heap.rid list ref Tuple.Tbl.t;
+}
+
+val create : name:string -> key_columns:int array -> unique:bool -> t
+val key_of : t -> Tuple.t -> Tuple.t
+val lookup : t -> Tuple.t -> Heap.rid list
+val lookup_tuple : t -> Tuple.t -> Heap.rid list
+
+val insert : t -> Heap.rid -> Tuple.t -> unit
+(** Raises on unique violation. *)
+
+val remove : t -> Heap.rid -> Tuple.t -> unit
+
+val cardinality : t -> int
+(** Number of distinct keys. *)

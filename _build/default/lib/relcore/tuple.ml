@@ -1,0 +1,48 @@
+(** Tuples are immutable-by-convention value arrays.
+
+    The executor creates fresh arrays for derived tuples; base-table rows
+    are only mutated through {!Heap.update}. *)
+
+type t = Value.t array
+
+let arity = Array.length
+let get (t : t) i = t.(i)
+let of_list = Array.of_list
+let to_list = Array.to_list
+
+let concat (a : t) (b : t) : t = Array.append a b
+
+let project (t : t) idxs : t = Array.map (fun i -> t.(i)) idxs
+
+let equal (a : t) (b : t) =
+  arity a = arity b && Array.for_all2 Value.equal a b
+
+let compare (a : t) (b : t) =
+  let n = min (arity a) (arity b) in
+  let rec go i =
+    if i = n then Int.compare (arity a) (arity b)
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let hash (t : t) =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let to_string (t : t) =
+  "(" ^ String.concat ", " (List.map Value.to_string (to_list t)) ^ ")"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(** Key extraction for hashing/joins: the sub-tuple at [idxs]. *)
+let key (t : t) idxs = project t idxs
+
+module Key = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Tbl = Hashtbl.Make (Key)

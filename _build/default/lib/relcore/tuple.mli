@@ -1,0 +1,24 @@
+(** Tuples are immutable-by-convention value arrays. *)
+
+type t = Value.t array
+
+val arity : t -> int
+val get : t -> int -> Value.t
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+val concat : t -> t -> t
+val project : t -> int array -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+(** Consistent with {!equal}. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val key : t -> int array -> t
+(** Sub-tuple extraction for hashing/joins. *)
+
+module Tbl : Hashtbl.S with type key = t
+(** Hash tables keyed by tuple value. *)

@@ -1,0 +1,95 @@
+(** Runtime values of the relational engine.
+
+    SQL three-valued logic is handled at the predicate-evaluation layer;
+    here [Null] is just a distinguished value that compares below all
+    non-null values (for sorting) and is never equal to anything under
+    SQL equality (see {!sql_eq}). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+let is_null = function Null -> true | Bool _ | Int _ | Float _ | Str _ -> false
+
+(** Total order used for sorting and index organisation (not SQL
+    comparison): Null < Bool < Int/Float (numeric order) < Str. *)
+let compare a b =
+  let rank = function
+    | Null -> 0
+    | Bool _ -> 1
+    | Int _ | Float _ -> 2
+    | Str _ -> 3
+  in
+  match a, b with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | (Null | Bool _ | Int _ | Float _ | Str _), _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+(** SQL equality: [None] when either side is null (unknown). *)
+let sql_eq a b =
+  if is_null a || is_null b then None else Some (compare a b = 0)
+
+(** SQL comparison: [None] when either side is null. *)
+let sql_compare a b =
+  if is_null a || is_null b then None else Some (compare a b)
+
+let hash = function
+  | Null -> 0
+  | Bool b -> Bool.to_int b + 11
+  | Int i -> Hashtbl.hash i
+  | Float f ->
+    (* Hash integral floats like the equal int so Int 3 and Float 3.0,
+       which compare equal, also hash equal. *)
+    if Float.is_integer f && Float.abs f < 1e18 then Hashtbl.hash (int_of_float f)
+    else Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+
+let to_string = function
+  | Null -> "NULL"
+  | Bool b -> if b then "TRUE" else "FALSE"
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+
+(** SQL-literal rendering: strings get quoted and escaped. *)
+let to_literal = function
+  | Str s ->
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '\'';
+    String.iter
+      (fun c ->
+        if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '\'';
+    Buffer.contents buf
+  | v -> to_string v
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let as_int = function
+  | Int i -> i
+  | Float f -> int_of_float f
+  | v -> Errors.type_error "expected INT, got %s" (to_string v)
+
+let as_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | v -> Errors.type_error "expected FLOAT, got %s" (to_string v)
+
+let as_string = function
+  | Str s -> s
+  | v -> Errors.type_error "expected STRING, got %s" (to_string v)
+
+let as_bool = function
+  | Bool b -> b
+  | v -> Errors.type_error "expected BOOL, got %s" (to_string v)

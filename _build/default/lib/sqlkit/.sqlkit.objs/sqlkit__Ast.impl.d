@@ -1,0 +1,1 @@
+lib/sqlkit/ast.ml: Dtype List Option Relcore String Value

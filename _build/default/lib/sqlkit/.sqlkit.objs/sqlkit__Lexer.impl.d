@@ -1,0 +1,1 @@
+lib/sqlkit/lexer.ml: Array Buffer Errors List Relcore String Token

@@ -1,0 +1,1 @@
+lib/sqlkit/parser.ml: Array Ast Dtype Errors Lexer List Option Relcore String Token Value

@@ -1,0 +1,1 @@
+lib/sqlkit/parser.mli: Ast Token

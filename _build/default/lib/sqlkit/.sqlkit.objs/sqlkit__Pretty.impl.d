@@ -1,0 +1,1 @@
+lib/sqlkit/pretty.ml: Ast Buffer Dtype List Printf Relcore String Value

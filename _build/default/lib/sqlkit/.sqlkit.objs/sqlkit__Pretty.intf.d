@@ -1,0 +1,1 @@
+lib/sqlkit/pretty.mli: Ast

@@ -1,0 +1,1 @@
+lib/sqlkit/token.ml: Printf

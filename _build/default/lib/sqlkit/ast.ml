@@ -1,0 +1,179 @@
+(** Abstract syntax of the SQL subset understood by the engine.
+
+    The subset covers what the paper's examples and the XNF compiler
+    need: select/project/join queries with existential and IN
+    subqueries, grouping and aggregation, ordering, DDL and DML. *)
+
+open Relcore
+
+type binop = Add | Sub | Mul | Div | Mod
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+type agg_fn = Count_star | Count | Sum | Avg | Min | Max
+
+type expr =
+  | Col of { tbl : string option; col : string }
+  | Lit of Value.t
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Agg of agg_fn * expr option (* None only for Count_star *)
+  | Fn of string * expr list (* scalar function call, name lowercased *)
+
+type pred =
+  | Ptrue
+  | Cmp of cmpop * expr * expr
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+  | Is_null of expr
+  | Is_not_null of expr
+  | Exists of query
+  | In_list of expr * expr list
+  | In_query of expr * query
+  | Between of expr * expr * expr
+  | Like of expr * string
+
+and select_item =
+  | Star
+  | Table_star of string
+  | Sel_expr of expr * string option (* optional AS alias *)
+
+and table_ref =
+  | Table_name of { name : string; alias : string option }
+  | Derived of { query : query; alias : string }
+
+and query = {
+  distinct : bool;
+  select : select_item list;
+  from : table_ref list;
+  where : pred;
+  group_by : expr list;
+  having : pred option;
+  order_by : (expr * [ `Asc | `Desc ]) list;
+  limit : int option;
+}
+
+type column_def = { col_name : string; col_type : Dtype.t; col_nullable : bool }
+
+type stmt =
+  | Select_stmt of query
+  | Create_table of {
+      table_name : string;
+      columns : column_def list;
+      primary_key : string list option;
+    }
+  | Create_index of {
+      index_name : string;
+      on_table : string;
+      columns : string list;
+      unique : bool;
+    }
+  | Create_view of { view_name : string; body_text : string }
+  | Insert of {
+      table_name : string;
+      columns : string list option;
+      rows : expr list list;
+    }
+  | Update of { table_name : string; sets : (string * expr) list; where : pred }
+  | Delete of { table_name : string; where : pred }
+  | Drop_table of string
+  | Drop_view of string
+  | Begin_txn
+  | Commit_txn
+  | Rollback_txn
+
+(* -- constructors and helpers -------------------------------------- *)
+
+let col ?tbl name = Col { tbl; col = String.lowercase_ascii name }
+
+let qcol tbl name =
+  Col { tbl = Some (String.lowercase_ascii tbl); col = String.lowercase_ascii name }
+
+let int_lit i = Lit (Value.Int i)
+let str_lit s = Lit (Value.Str s)
+let eq a b = Cmp (Eq, a, b)
+
+let conj preds =
+  List.fold_left
+    (fun acc p ->
+      match acc, p with
+      | _, Ptrue -> acc
+      | Ptrue, _ -> p
+      | _ -> And (acc, p))
+    Ptrue preds
+
+(** Flatten a conjunction into its atoms (dropping Ptrue). *)
+let rec conjuncts = function
+  | Ptrue -> []
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | p -> [ p ]
+
+let simple_query ?(distinct = false) ?(where = Ptrue) select from =
+  {
+    distinct;
+    select;
+    from;
+    where;
+    group_by = [];
+    having = None;
+    order_by = [];
+    limit = None;
+  }
+
+(** All queries in which aggregation appears? Detect aggregate use in an
+    expression (needed for semantic checks and QGM construction). *)
+let rec expr_has_agg = function
+  | Agg _ -> true
+  | Binop (_, a, b) -> expr_has_agg a || expr_has_agg b
+  | Neg e -> expr_has_agg e
+  | Fn (_, args) -> List.exists expr_has_agg args
+  | Col _ | Lit _ -> false
+
+let select_has_agg items =
+  List.exists
+    (function Sel_expr (e, _) -> expr_has_agg e | Star | Table_star _ -> false)
+    items
+
+(* -- traversal ------------------------------------------------------ *)
+
+let rec iter_expr_cols f = function
+  | Col { tbl; col } -> f tbl col
+  | Lit _ -> ()
+  | Binop (_, a, b) ->
+    iter_expr_cols f a;
+    iter_expr_cols f b
+  | Neg e -> iter_expr_cols f e
+  | Agg (_, Some e) -> iter_expr_cols f e
+  | Agg (_, None) -> ()
+  | Fn (_, args) -> List.iter (iter_expr_cols f) args
+
+let rec iter_pred_cols ?(into_subqueries = false) f = function
+  | Ptrue -> ()
+  | Cmp (_, a, b) ->
+    iter_expr_cols f a;
+    iter_expr_cols f b
+  | And (a, b) | Or (a, b) ->
+    iter_pred_cols ~into_subqueries f a;
+    iter_pred_cols ~into_subqueries f b
+  | Not p -> iter_pred_cols ~into_subqueries f p
+  | Is_null e | Is_not_null e -> iter_expr_cols f e
+  | Exists q -> if into_subqueries then iter_query_cols f q
+  | In_list (e, es) ->
+    iter_expr_cols f e;
+    List.iter (iter_expr_cols f) es
+  | In_query (e, q) ->
+    iter_expr_cols f e;
+    if into_subqueries then iter_query_cols f q
+  | Between (e, lo, hi) ->
+    iter_expr_cols f e;
+    iter_expr_cols f lo;
+    iter_expr_cols f hi
+  | Like (e, _) -> iter_expr_cols f e
+
+and iter_query_cols f q =
+  List.iter
+    (function Sel_expr (e, _) -> iter_expr_cols f e | Star | Table_star _ -> ())
+    q.select;
+  iter_pred_cols ~into_subqueries:true f q.where;
+  List.iter (iter_expr_cols f) q.group_by;
+  Option.iter (iter_pred_cols ~into_subqueries:true f) q.having;
+  List.iter (fun (e, _) -> iter_expr_cols f e) q.order_by

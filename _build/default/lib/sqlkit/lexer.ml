@@ -1,0 +1,143 @@
+(** Hand-rolled lexer for the SQL/XNF surface syntax. *)
+
+open Relcore
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make src = { src; pos = 0; line = 1; col = 1 }
+
+let peek_char st =
+  if st.pos >= String.length st.src then None else Some st.src.[st.pos]
+
+let advance st =
+  (match peek_char st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_trivia st =
+  match peek_char st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '-' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '-' ->
+    (* line comment *)
+    while peek_char st <> None && peek_char st <> Some '\n' do
+      advance st
+    done;
+    skip_trivia st
+  | _ -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek_char st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  String.lowercase_ascii (String.sub st.src start (st.pos - start))
+
+let lex_number st ~line ~col =
+  let start = st.pos in
+  while (match peek_char st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float =
+    match peek_char st with
+    | Some '.'
+      when st.pos + 1 < String.length st.src && is_digit st.src.[st.pos + 1] ->
+      advance st;
+      while (match peek_char st with Some c -> is_digit c | None -> false) do
+        advance st
+      done;
+      true
+    | _ -> false
+  in
+  let text = String.sub st.src start (st.pos - start) in
+  if is_float then Token.Float_lit (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Token.Int_lit i
+    | None -> Errors.parse_error ~line ~col "bad numeric literal %S" text
+
+let lex_string st ~line ~col =
+  advance st;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char st with
+    | None -> Errors.parse_error ~line ~col "unterminated string literal"
+    | Some '\'' ->
+      advance st;
+      (* '' is an escaped quote *)
+      if peek_char st = Some '\'' then begin
+        Buffer.add_char buf '\'';
+        advance st;
+        go ()
+      end
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Token.Str_lit (Buffer.contents buf)
+
+let next_token st : Token.located =
+  skip_trivia st;
+  let line = st.line and col = st.col in
+  let mk token = { Token.token; line; col } in
+  match peek_char st with
+  | None -> mk Token.Eof
+  | Some c when is_ident_start c -> mk (Token.Ident (lex_ident st))
+  | Some c when is_digit c -> mk (lex_number st ~line ~col)
+  | Some '\'' -> mk (lex_string st ~line ~col)
+  | Some '<' ->
+    advance st;
+    (match peek_char st with
+    | Some '=' ->
+      advance st;
+      mk (Token.Punct "<=")
+    | Some '>' ->
+      advance st;
+      mk (Token.Punct "<>")
+    | _ -> mk (Token.Punct "<"))
+  | Some '>' ->
+    advance st;
+    (match peek_char st with
+    | Some '=' ->
+      advance st;
+      mk (Token.Punct ">=")
+    | _ -> mk (Token.Punct ">"))
+  | Some '!' ->
+    advance st;
+    (match peek_char st with
+    | Some '=' ->
+      advance st;
+      mk (Token.Punct "<>")
+    | _ -> Errors.parse_error ~line ~col "unexpected character '!'")
+  | Some (('(' | ')' | ',' | '.' | ';' | '*' | '=' | '+' | '-' | '/' | '%') as c) ->
+    advance st;
+    mk (Token.Punct (String.make 1 c))
+  | Some c -> Errors.parse_error ~line ~col "unexpected character %C" c
+
+(** Tokenize a whole input string. *)
+let tokenize src =
+  let st = make src in
+  let rec go acc =
+    let tok = next_token st in
+    match tok.Token.token with
+    | Token.Eof -> List.rev (tok :: acc)
+    | _ -> go (tok :: acc)
+  in
+  Array.of_list (go [])

@@ -1,0 +1,11 @@
+(** Hand-rolled lexer for the SQL/XNF surface syntax: identifiers
+    (lowercased), numeric and string literals (['' ] escapes), operators,
+    [--] line comments. *)
+
+type state
+
+val make : string -> state
+val next_token : state -> Token.located
+
+val tokenize : string -> Token.located array
+(** The whole input, ending with an [Eof] token. *)

@@ -1,0 +1,615 @@
+(** Recursive-descent parser for the SQL subset.
+
+    The parser state and the query-level entry points are exposed so the
+    XNF front end (lib/core) can embed SQL table expressions inside XNF
+    queries without re-lexing. *)
+
+open Relcore
+
+type state = { tokens : Token.located array; mutable pos : int }
+
+let of_tokens tokens = { tokens; pos = 0 }
+let of_string src = of_tokens (Lexer.tokenize src)
+
+let cur st = st.tokens.(st.pos)
+let peek st = (cur st).Token.token
+
+let peek_ahead st n =
+  let i = st.pos + n in
+  if i >= Array.length st.tokens then Token.Eof else st.tokens.(i).Token.token
+
+let advance st = if st.pos < Array.length st.tokens - 1 then st.pos <- st.pos + 1
+
+let error st fmt =
+  let { Token.line; col; _ } = cur st in
+  Errors.parse_error ~line ~col fmt
+
+let expect_punct st p =
+  match peek st with
+  | Token.Punct q when String.equal p q -> advance st
+  | t -> error st "expected %S, found %S" p (Token.to_string t)
+
+let accept_punct st p =
+  match peek st with
+  | Token.Punct q when String.equal p q ->
+    advance st;
+    true
+  | _ -> false
+
+(** Keyword tests: keywords are plain identifiers matched positionally. *)
+let at_kw st kw = match peek st with Token.Ident s -> String.equal s kw | _ -> false
+
+let accept_kw st kw =
+  if at_kw st kw then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_kw st kw =
+  if not (accept_kw st kw) then
+    error st "expected keyword %S, found %S" kw (Token.to_string (peek st))
+
+let at_kw2 st kw1 kw2 =
+  at_kw st kw1
+  && match peek_ahead st 1 with Token.Ident s -> String.equal s kw2 | _ -> false
+
+(* Words that terminate a table alias / cannot begin one. *)
+let reserved_after_table_ref =
+  [
+    "where"; "group"; "having"; "order"; "limit"; "on"; "inner"; "join";
+    "left"; "right"; "union"; "take"; "relate"; "out"; "via"; "using"; "as";
+    "from"; "and"; "or"; "not"; "in"; "like"; "between"; "is"; "asc"; "desc";
+    "set"; "values"; "exists";
+  ]
+
+let ident st =
+  match peek st with
+  | Token.Ident s ->
+    advance st;
+    s
+  | t -> error st "expected identifier, found %S" (Token.to_string t)
+
+(* -- expressions ---------------------------------------------------- *)
+
+let agg_of_name = function
+  | "count" -> Some Ast.Count
+  | "sum" -> Some Ast.Sum
+  | "avg" -> Some Ast.Avg
+  | "min" -> Some Ast.Min
+  | "max" -> Some Ast.Max
+  | _ -> None
+
+let rec parse_expr st = parse_additive st
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Token.Punct "+" ->
+      advance st;
+      lhs := Ast.Binop (Ast.Add, !lhs, parse_multiplicative st)
+    | Token.Punct "-" ->
+      advance st;
+      lhs := Ast.Binop (Ast.Sub, !lhs, parse_multiplicative st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Token.Punct "*" ->
+      advance st;
+      lhs := Ast.Binop (Ast.Mul, !lhs, parse_unary st)
+    | Token.Punct "/" ->
+      advance st;
+      lhs := Ast.Binop (Ast.Div, !lhs, parse_unary st)
+    | Token.Punct "%" ->
+      advance st;
+      lhs := Ast.Binop (Ast.Mod, !lhs, parse_unary st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  if accept_punct st "-" then Ast.Neg (parse_unary st) else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Token.Int_lit i ->
+    advance st;
+    Ast.Lit (Value.Int i)
+  | Token.Float_lit f ->
+    advance st;
+    Ast.Lit (Value.Float f)
+  | Token.Str_lit s ->
+    advance st;
+    Ast.Lit (Value.Str s)
+  | Token.Punct "(" ->
+    advance st;
+    let e = parse_expr st in
+    expect_punct st ")";
+    e
+  | Token.Ident "null" ->
+    advance st;
+    Ast.Lit Value.Null
+  | Token.Ident "true" ->
+    advance st;
+    Ast.Lit (Value.Bool true)
+  | Token.Ident "false" ->
+    advance st;
+    Ast.Lit (Value.Bool false)
+  | Token.Ident name -> begin
+    match agg_of_name name, peek_ahead st 1 with
+    | Some fn, Token.Punct "(" ->
+      advance st;
+      advance st;
+      if accept_punct st "*" then begin
+        if fn <> Ast.Count then error st "only COUNT accepts *";
+        expect_punct st ")";
+        Ast.Agg (Ast.Count_star, None)
+      end
+      else begin
+        let arg = parse_expr st in
+        expect_punct st ")";
+        Ast.Agg (fn, Some arg)
+      end
+    | None, Token.Punct "("
+      when not (List.mem name reserved_after_table_ref) ->
+      (* scalar function call *)
+      advance st;
+      advance st;
+      let args = ref [] in
+      if peek st <> Token.Punct ")" then begin
+        args := [ parse_expr st ];
+        while accept_punct st "," do
+          args := parse_expr st :: !args
+        done
+      end;
+      expect_punct st ")";
+      Ast.Fn (name, List.rev !args)
+    | _ ->
+      advance st;
+      if accept_punct st "." then
+        let colname = ident st in
+        Ast.Col { tbl = Some name; col = colname }
+      else Ast.Col { tbl = None; col = name }
+  end
+  | t -> error st "expected expression, found %S" (Token.to_string t)
+
+(* -- predicates ------------------------------------------------------ *)
+
+and parse_pred st = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while accept_kw st "or" do
+    lhs := Ast.Or (!lhs, parse_and st)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_not st) in
+  while accept_kw st "and" do
+    lhs := Ast.And (!lhs, parse_not st)
+  done;
+  !lhs
+
+and parse_not st =
+  if accept_kw st "not" then Ast.Not (parse_not st) else parse_atom_pred st
+
+and parse_atom_pred st =
+  if at_kw st "exists" then begin
+    advance st;
+    expect_punct st "(";
+    let q = parse_query st in
+    expect_punct st ")";
+    Ast.Exists q
+  end
+  else if
+    (* a parenthesized predicate, disambiguated from a parenthesized
+       expression by lookahead for a predicate continuation *)
+    peek st = Token.Punct "(" && pred_follows st
+  then begin
+    advance st;
+    let p = parse_pred st in
+    expect_punct st ")";
+    p
+  end
+  else begin
+    let lhs = parse_expr st in
+    parse_pred_tail st lhs
+  end
+
+(* Decide whether '(' opens a nested predicate: scan for AND/OR/NOT or a
+   comparison at depth 1 before the matching ')'. *)
+and pred_follows st =
+  let depth = ref 0 and i = ref st.pos and decided = ref None in
+  while !decided = None do
+    (match peek_ahead st (!i - st.pos) with
+    | Token.Punct "(" -> incr depth
+    | Token.Punct ")" ->
+      decr depth;
+      if !depth = 0 then decided := Some false
+    | Token.Ident ("and" | "or" | "not" | "in" | "like" | "between" | "is")
+      when !depth = 1 ->
+      decided := Some true
+    | Token.Punct ("=" | "<" | "<=" | ">" | ">=" | "<>") when !depth = 1 ->
+      decided := Some true
+    | Token.Eof -> decided := Some false
+    | _ -> ());
+    incr i
+  done;
+  Option.value !decided ~default:false
+
+and parse_pred_tail st lhs =
+  let negated = accept_kw st "not" in
+  let wrap p = if negated then Ast.Not p else p in
+  if accept_kw st "is" then begin
+    let inner_neg = accept_kw st "not" in
+    expect_kw st "null";
+    wrap (if inner_neg then Ast.Is_not_null lhs else Ast.Is_null lhs)
+  end
+  else if accept_kw st "in" then begin
+    expect_punct st "(";
+    if at_kw st "select" then begin
+      let q = parse_query st in
+      expect_punct st ")";
+      wrap (Ast.In_query (lhs, q))
+    end
+    else begin
+      let items = ref [ parse_expr st ] in
+      while accept_punct st "," do
+        items := parse_expr st :: !items
+      done;
+      expect_punct st ")";
+      wrap (Ast.In_list (lhs, List.rev !items))
+    end
+  end
+  else if accept_kw st "between" then begin
+    let lo = parse_expr st in
+    expect_kw st "and";
+    let hi = parse_expr st in
+    wrap (Ast.Between (lhs, lo, hi))
+  end
+  else if accept_kw st "like" then begin
+    match peek st with
+    | Token.Str_lit pat ->
+      advance st;
+      wrap (Ast.Like (lhs, pat))
+    | t -> error st "LIKE expects a string literal, found %S" (Token.to_string t)
+  end
+  else begin
+    if negated then error st "expected IN/BETWEEN/LIKE/IS after NOT";
+    let op =
+      match peek st with
+      | Token.Punct "=" -> Ast.Eq
+      | Token.Punct "<>" -> Ast.Ne
+      | Token.Punct "<" -> Ast.Lt
+      | Token.Punct "<=" -> Ast.Le
+      | Token.Punct ">" -> Ast.Gt
+      | Token.Punct ">=" -> Ast.Ge
+      | t -> error st "expected comparison operator, found %S" (Token.to_string t)
+    in
+    advance st;
+    let rhs = parse_expr st in
+    Ast.Cmp (op, lhs, rhs)
+  end
+
+(* -- queries --------------------------------------------------------- *)
+
+and parse_select_item st =
+  if accept_punct st "*" then Ast.Star
+  else
+    match peek st, peek_ahead st 1, peek_ahead st 2 with
+    | Token.Ident t, Token.Punct ".", Token.Punct "*" ->
+      advance st;
+      advance st;
+      advance st;
+      Ast.Table_star t
+    | _ ->
+      let e = parse_expr st in
+      let alias =
+        if accept_kw st "as" then Some (ident st)
+        else
+          match peek st with
+          | Token.Ident name when not (List.mem name reserved_after_table_ref) ->
+            advance st;
+            Some name
+          | _ -> None
+      in
+      Ast.Sel_expr (e, alias)
+
+and parse_table_ref st =
+  if accept_punct st "(" then begin
+    let q = parse_query st in
+    expect_punct st ")";
+    let _ = accept_kw st "as" in
+    let alias = ident st in
+    Ast.Derived { query = q; alias }
+  end
+  else begin
+    let name = ident st in
+    (* dotted names reference a component of a named (XNF) view *)
+    let name = if accept_punct st "." then name ^ "." ^ ident st else name in
+    let alias =
+      if accept_kw st "as" then Some (ident st)
+      else
+        match peek st with
+        | Token.Ident a when not (List.mem a reserved_after_table_ref) ->
+          advance st;
+          Some a
+        | _ -> None
+    in
+    Ast.Table_name { name; alias }
+  end
+
+and parse_query st =
+  expect_kw st "select";
+  let distinct = accept_kw st "distinct" in
+  let select = ref [ parse_select_item st ] in
+  while accept_punct st "," do
+    select := parse_select_item st :: !select
+  done;
+  let from =
+    if accept_kw st "from" then begin
+      let refs = ref [ parse_table_ref st ] in
+      while accept_punct st "," do
+        refs := parse_table_ref st :: !refs
+      done;
+      List.rev !refs
+    end
+    else []
+  in
+  let where = if accept_kw st "where" then parse_pred st else Ast.Ptrue in
+  let group_by =
+    if at_kw2 st "group" "by" then begin
+      advance st;
+      advance st;
+      let es = ref [ parse_expr st ] in
+      while accept_punct st "," do
+        es := parse_expr st :: !es
+      done;
+      List.rev !es
+    end
+    else []
+  in
+  let having = if accept_kw st "having" then Some (parse_pred st) else None in
+  let order_by =
+    if at_kw2 st "order" "by" then begin
+      advance st;
+      advance st;
+      let one () =
+        let e = parse_expr st in
+        let dir =
+          if accept_kw st "desc" then `Desc
+          else begin
+            let _ = accept_kw st "asc" in
+            `Asc
+          end
+        in
+        (e, dir)
+      in
+      let es = ref [ one () ] in
+      while accept_punct st "," do
+        es := one () :: !es
+      done;
+      List.rev !es
+    end
+    else []
+  in
+  let limit =
+    if accept_kw st "limit" then begin
+      match peek st with
+      | Token.Int_lit i ->
+        advance st;
+        Some i
+      | t -> error st "LIMIT expects an integer, found %S" (Token.to_string t)
+    end
+    else None
+  in
+  {
+    Ast.distinct;
+    select = List.rev !select;
+    from;
+    where;
+    group_by;
+    having;
+    order_by;
+    limit;
+  }
+
+(* -- statements ------------------------------------------------------ *)
+
+(* a possibly dotted table name (view.component) *)
+let table_ident st =
+  let name = ident st in
+  if accept_punct st "." then name ^ "." ^ ident st else name
+
+let parse_column_def st =
+  let col_name = ident st in
+  let tyname = ident st in
+  let col_type = Dtype.of_string tyname in
+  let col_nullable =
+    if at_kw2 st "not" "null" then begin
+      advance st;
+      advance st;
+      false
+    end
+    else true
+  in
+  { Ast.col_name; col_type; col_nullable }
+
+let parse_ident_list st =
+  expect_punct st "(";
+  let items = ref [ ident st ] in
+  while accept_punct st "," do
+    items := ident st :: !items
+  done;
+  expect_punct st ")";
+  List.rev !items
+
+let parse_create_table st =
+  let table_name = ident st in
+  expect_punct st "(";
+  let columns = ref [] and primary_key = ref None in
+  let parse_element () =
+    if at_kw2 st "primary" "key" then begin
+      advance st;
+      advance st;
+      primary_key := Some (parse_ident_list st)
+    end
+    else columns := parse_column_def st :: !columns
+  in
+  parse_element ();
+  while accept_punct st "," do
+    parse_element ()
+  done;
+  expect_punct st ")";
+  Ast.Create_table
+    { table_name; columns = List.rev !columns; primary_key = !primary_key }
+
+let parse_insert st =
+  expect_kw st "into";
+  let table_name = table_ident st in
+  let columns =
+    if peek st = Token.Punct "(" then Some (parse_ident_list st) else None
+  in
+  expect_kw st "values";
+  let parse_row () =
+    expect_punct st "(";
+    let vals = ref [ parse_expr st ] in
+    while accept_punct st "," do
+      vals := parse_expr st :: !vals
+    done;
+    expect_punct st ")";
+    List.rev !vals
+  in
+  let rows = ref [ parse_row () ] in
+  while accept_punct st "," do
+    rows := parse_row () :: !rows
+  done;
+  Ast.Insert { table_name; columns; rows = List.rev !rows }
+
+let parse_update st =
+  let table_name = table_ident st in
+  expect_kw st "set";
+  let parse_set () =
+    let c = ident st in
+    expect_punct st "=";
+    (c, parse_expr st)
+  in
+  let sets = ref [ parse_set () ] in
+  while accept_punct st "," do
+    sets := parse_set () :: !sets
+  done;
+  let where = if accept_kw st "where" then parse_pred st else Ast.Ptrue in
+  Ast.Update { table_name; sets = List.rev !sets; where }
+
+let parse_delete st =
+  expect_kw st "from";
+  let table_name = table_ident st in
+  let where = if accept_kw st "where" then parse_pred st else Ast.Ptrue in
+  Ast.Delete { table_name; where }
+
+let parse_stmt_at st =
+  if accept_kw st "select" then begin
+    (* rewind: parse_query expects to consume SELECT itself *)
+    st.pos <- st.pos - 1;
+    Ast.Select_stmt (parse_query st)
+  end
+  else if accept_kw st "create" then begin
+    if accept_kw st "table" then parse_create_table st
+    else if accept_kw st "unique" then begin
+      expect_kw st "index";
+      let index_name = ident st in
+      expect_kw st "on";
+      let on_table = ident st in
+      let columns = parse_ident_list st in
+      Ast.Create_index { index_name; on_table; columns; unique = true }
+    end
+    else if accept_kw st "index" then begin
+      let index_name = ident st in
+      expect_kw st "on";
+      let on_table = ident st in
+      let columns = parse_ident_list st in
+      Ast.Create_index { index_name; on_table; columns; unique = false }
+    end
+    else error st "expected TABLE, INDEX or VIEW after CREATE"
+  end
+  else if accept_kw st "insert" then parse_insert st
+  else if accept_kw st "update" then parse_update st
+  else if accept_kw st "delete" then parse_delete st
+  else if accept_kw st "drop" then begin
+    if accept_kw st "table" then Ast.Drop_table (ident st)
+    else if accept_kw st "view" then Ast.Drop_view (ident st)
+    else error st "expected TABLE or VIEW after DROP"
+  end
+  else if accept_kw st "begin" then begin
+    let _ = accept_kw st "transaction" in
+    Ast.Begin_txn
+  end
+  else if accept_kw st "commit" then Ast.Commit_txn
+  else if accept_kw st "rollback" then Ast.Rollback_txn
+  else error st "expected a statement, found %S" (Token.to_string (peek st))
+
+let finish st =
+  let _ = accept_punct st ";" in
+  match peek st with
+  | Token.Eof -> ()
+  | t -> error st "trailing input: %S" (Token.to_string t)
+
+(** Recover the raw source text starting at (line, col). *)
+let body_text_from src ~line ~col =
+  let pos = ref 0 and l = ref 1 and c = ref 1 in
+  while (!l, !c) < (line, col) && !pos < String.length src do
+    if src.[!pos] = '\n' then begin
+      incr l;
+      c := 1
+    end
+    else incr c;
+    incr pos
+  done;
+  String.sub src !pos (String.length src - !pos)
+
+(** Parse one complete statement from source text.
+
+    [CREATE VIEW name AS <body>] is special-cased here (not in
+    [parse_stmt_at]) because the body is stored as raw text: it may be
+    SQL or XNF, and the XNF compiler re-parses it. *)
+let parse_stmt src =
+  let tokens = Lexer.tokenize src in
+  let st = of_tokens tokens in
+  if at_kw st "create" && peek_ahead st 1 = Token.Ident "view" then begin
+    advance st;
+    advance st;
+    let view_name = ident st in
+    expect_kw st "as";
+    (* Body text = original source from the current token's offset. *)
+    let { Token.line; col; _ } = cur st in
+    let body_text = body_text_from src ~line ~col in
+    Ast.Create_view { view_name; body_text }
+  end
+  else begin
+    let stmt = parse_stmt_at st in
+    finish st;
+    stmt
+  end
+
+(** Parse a complete query (SELECT) from source text. *)
+let parse_query_string src =
+  let st = of_string src in
+  let q = parse_query st in
+  finish st;
+  q
+
+(** Parse a predicate from source text (used in tests and by XNF). *)
+let parse_pred_string src =
+  let st = of_string src in
+  let p = parse_pred st in
+  finish st;
+  p

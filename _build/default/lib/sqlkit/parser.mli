@@ -1,0 +1,45 @@
+(** Recursive-descent parser for the SQL subset.
+
+    The parser state and the query-level entry points are exposed so the
+    XNF front end embeds SQL table expressions and predicates inside XNF
+    queries without re-lexing. *)
+
+type state
+
+val of_tokens : Token.located array -> state
+val of_string : string -> state
+
+(** {2 Low-level state access (used by the XNF parser)} *)
+
+val peek : state -> Token.t
+val peek_ahead : state -> int -> Token.t
+val advance : state -> unit
+val error : state -> ('a, unit, string, 'b) format4 -> 'a
+val expect_punct : state -> string -> unit
+val accept_punct : state -> string -> bool
+val at_kw : state -> string -> bool
+val accept_kw : state -> string -> bool
+val expect_kw : state -> string -> unit
+val ident : state -> string
+val table_ident : state -> string
+(** A possibly dotted name ([view.component]). *)
+
+val reserved_after_table_ref : string list
+(** Contextual keywords that terminate an implicit alias. *)
+
+val finish : state -> unit
+(** Consume an optional [;] and require end of input. *)
+
+(** {2 Grammar entry points} *)
+
+val parse_expr : state -> Ast.expr
+val parse_pred : state -> Ast.pred
+val parse_query : state -> Ast.query
+val parse_stmt_at : state -> Ast.stmt
+
+val parse_stmt : string -> Ast.stmt
+(** One complete statement; [CREATE VIEW name AS <body>] keeps the body
+    as raw text (it may be SQL or XNF). *)
+
+val parse_query_string : string -> Ast.query
+val parse_pred_string : string -> Ast.pred

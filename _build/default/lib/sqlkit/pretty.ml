@@ -1,0 +1,174 @@
+(** Render the SQL AST back to source text.
+
+    Round-tripping through {!Parser} is exercised by property tests; the
+    navigational baseline also uses this to synthesise per-parent
+    queries. *)
+
+open Relcore
+
+let binop_str = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+
+let cmpop_str = function
+  | Ast.Eq -> "="
+  | Ast.Ne -> "<>"
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+
+let agg_str = function
+  | Ast.Count_star | Ast.Count -> "COUNT"
+  | Ast.Sum -> "SUM"
+  | Ast.Avg -> "AVG"
+  | Ast.Min -> "MIN"
+  | Ast.Max -> "MAX"
+
+let rec expr_to_string = function
+  | Ast.Col { tbl = Some t; col } -> t ^ "." ^ col
+  | Ast.Col { tbl = None; col } -> col
+  | Ast.Lit v -> Value.to_literal v
+  | Ast.Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_str op)
+      (expr_to_string b)
+  | Ast.Neg e -> Printf.sprintf "(-%s)" (expr_to_string e)
+  | Ast.Agg (Ast.Count_star, _) -> "COUNT(*)"
+  | Ast.Agg (fn, Some e) -> Printf.sprintf "%s(%s)" (agg_str fn) (expr_to_string e)
+  | Ast.Agg (fn, None) -> Printf.sprintf "%s(*)" (agg_str fn)
+  | Ast.Fn (name, args) ->
+    Printf.sprintf "%s(%s)" (String.uppercase_ascii name)
+      (String.concat ", " (List.map expr_to_string args))
+
+let rec pred_to_string = function
+  | Ast.Ptrue -> "TRUE = TRUE"
+  | Ast.Cmp (op, a, b) ->
+    Printf.sprintf "%s %s %s" (expr_to_string a) (cmpop_str op)
+      (expr_to_string b)
+  | Ast.And (a, b) ->
+    Printf.sprintf "(%s AND %s)" (pred_to_string a) (pred_to_string b)
+  | Ast.Or (a, b) ->
+    Printf.sprintf "(%s OR %s)" (pred_to_string a) (pred_to_string b)
+  | Ast.Not p -> Printf.sprintf "(NOT %s)" (pred_to_string p)
+  | Ast.Is_null e -> Printf.sprintf "%s IS NULL" (expr_to_string e)
+  | Ast.Is_not_null e -> Printf.sprintf "%s IS NOT NULL" (expr_to_string e)
+  | Ast.Exists q -> Printf.sprintf "EXISTS (%s)" (query_to_string q)
+  | Ast.In_list (e, es) ->
+    Printf.sprintf "%s IN (%s)" (expr_to_string e)
+      (String.concat ", " (List.map expr_to_string es))
+  | Ast.In_query (e, q) ->
+    Printf.sprintf "%s IN (%s)" (expr_to_string e) (query_to_string q)
+  | Ast.Between (e, lo, hi) ->
+    Printf.sprintf "%s BETWEEN %s AND %s" (expr_to_string e)
+      (expr_to_string lo) (expr_to_string hi)
+  | Ast.Like (e, pat) ->
+    Printf.sprintf "%s LIKE %s" (expr_to_string e) (Value.to_literal (Value.Str pat))
+
+and select_item_to_string = function
+  | Ast.Star -> "*"
+  | Ast.Table_star t -> t ^ ".*"
+  | Ast.Sel_expr (e, Some alias) -> expr_to_string e ^ " AS " ^ alias
+  | Ast.Sel_expr (e, None) -> expr_to_string e
+
+and table_ref_to_string = function
+  | Ast.Table_name { name; alias = Some a } -> name ^ " " ^ a
+  | Ast.Table_name { name; alias = None } -> name
+  | Ast.Derived { query; alias } ->
+    Printf.sprintf "(%s) AS %s" (query_to_string query) alias
+
+and query_to_string (q : Ast.query) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ";
+  if q.distinct then Buffer.add_string buf "DISTINCT ";
+  Buffer.add_string buf
+    (String.concat ", " (List.map select_item_to_string q.select));
+  if q.from <> [] then begin
+    Buffer.add_string buf " FROM ";
+    Buffer.add_string buf
+      (String.concat ", " (List.map table_ref_to_string q.from))
+  end;
+  (match q.where with
+  | Ast.Ptrue -> ()
+  | p ->
+    Buffer.add_string buf " WHERE ";
+    Buffer.add_string buf (pred_to_string p));
+  if q.group_by <> [] then begin
+    Buffer.add_string buf " GROUP BY ";
+    Buffer.add_string buf
+      (String.concat ", " (List.map expr_to_string q.group_by))
+  end;
+  (match q.having with
+  | Some p ->
+    Buffer.add_string buf " HAVING ";
+    Buffer.add_string buf (pred_to_string p)
+  | None -> ());
+  if q.order_by <> [] then begin
+    Buffer.add_string buf " ORDER BY ";
+    Buffer.add_string buf
+      (String.concat ", "
+         (List.map
+            (fun (e, dir) ->
+              expr_to_string e ^ match dir with `Asc -> "" | `Desc -> " DESC")
+            q.order_by))
+  end;
+  (match q.limit with
+  | Some n -> Buffer.add_string buf (Printf.sprintf " LIMIT %d" n)
+  | None -> ());
+  Buffer.contents buf
+
+let stmt_to_string = function
+  | Ast.Select_stmt q -> query_to_string q
+  | Ast.Create_table { table_name; columns; primary_key } ->
+    let cols =
+      List.map
+        (fun { Ast.col_name; col_type; col_nullable } ->
+          Printf.sprintf "%s %s%s" col_name
+            (Dtype.to_string col_type)
+            (if col_nullable then "" else " NOT NULL"))
+        columns
+    in
+    let pk =
+      match primary_key with
+      | Some keys -> [ "PRIMARY KEY (" ^ String.concat ", " keys ^ ")" ]
+      | None -> []
+    in
+    Printf.sprintf "CREATE TABLE %s (%s)" table_name
+      (String.concat ", " (cols @ pk))
+  | Ast.Create_index { index_name; on_table; columns; unique } ->
+    Printf.sprintf "CREATE %sINDEX %s ON %s (%s)"
+      (if unique then "UNIQUE " else "")
+      index_name on_table
+      (String.concat ", " columns)
+  | Ast.Create_view { view_name; body_text } ->
+    Printf.sprintf "CREATE VIEW %s AS %s" view_name body_text
+  | Ast.Insert { table_name; columns; rows } ->
+    let cols =
+      match columns with
+      | Some cs -> " (" ^ String.concat ", " cs ^ ")"
+      | None -> ""
+    in
+    let row vs = "(" ^ String.concat ", " (List.map expr_to_string vs) ^ ")" in
+    Printf.sprintf "INSERT INTO %s%s VALUES %s" table_name cols
+      (String.concat ", " (List.map row rows))
+  | Ast.Update { table_name; sets; where } ->
+    let set_str =
+      String.concat ", "
+        (List.map (fun (c, e) -> c ^ " = " ^ expr_to_string e) sets)
+    in
+    let where_str =
+      match where with Ast.Ptrue -> "" | p -> " WHERE " ^ pred_to_string p
+    in
+    Printf.sprintf "UPDATE %s SET %s%s" table_name set_str where_str
+  | Ast.Delete { table_name; where } ->
+    let where_str =
+      match where with Ast.Ptrue -> "" | p -> " WHERE " ^ pred_to_string p
+    in
+    Printf.sprintf "DELETE FROM %s%s" table_name where_str
+  | Ast.Drop_table name -> "DROP TABLE " ^ name
+  | Ast.Drop_view name -> "DROP VIEW " ^ name
+  | Ast.Begin_txn -> "BEGIN"
+  | Ast.Commit_txn -> "COMMIT"
+  | Ast.Rollback_txn -> "ROLLBACK"

@@ -1,0 +1,14 @@
+(** Render the SQL AST back to source text (round-trips through
+    {!Parser}; also used to synthesise queries for the navigational
+    baseline and cache write-back). *)
+
+val binop_str : Ast.binop -> string
+val cmpop_str : Ast.cmpop -> string
+val agg_str : Ast.agg_fn -> string
+
+val expr_to_string : Ast.expr -> string
+val pred_to_string : Ast.pred -> string
+val select_item_to_string : Ast.select_item -> string
+val table_ref_to_string : Ast.table_ref -> string
+val query_to_string : Ast.query -> string
+val stmt_to_string : Ast.stmt -> string

@@ -1,0 +1,23 @@
+(** Lexical tokens shared by the SQL and XNF parsers.
+
+    Keywords are not distinguished from identifiers at the lexical level;
+    the parser decides by position (classic SQL style, which also lets
+    XNF add keywords like OUT/RELATE/TAKE without reserving them). *)
+
+type t =
+  | Ident of string (* already lowercased *)
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Punct of string (* one of ( ) , . ; * = <> < <= > >= + - / % *)
+  | Eof
+
+type located = { token : t; line : int; col : int }
+
+let to_string = function
+  | Ident s -> s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | Str_lit s -> Printf.sprintf "'%s'" s
+  | Punct p -> p
+  | Eof -> "<eof>"

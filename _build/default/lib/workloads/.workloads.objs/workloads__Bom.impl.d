@@ -1,0 +1,1 @@
+lib/workloads/bom.ml: Base_table Catalog Dtype Engine List Printf Relcore Rng Schema Value

@@ -1,0 +1,1 @@
+lib/workloads/oo1.ml: Array Base_table Catalog Cocache Dtype Engine Hashtbl List Relcore Rng Schema Value

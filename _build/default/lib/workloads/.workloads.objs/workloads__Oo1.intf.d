@@ -1,0 +1,1 @@
+lib/workloads/oo1.mli: Cocache Engine Hashtbl Rng

@@ -1,0 +1,1 @@
+lib/workloads/org.ml: Base_table Catalog Dtype Engine Float Hashtbl List Printf Relcore Rng Schema Value

@@ -1,0 +1,1 @@
+lib/workloads/shop.mli: Engine

@@ -1,0 +1,92 @@
+(** Recursive bill-of-materials workload: a layered assembly hierarchy
+    (CAD-style), used by the recursive-CO example and benches. *)
+
+open Relcore
+module Db = Engine.Database
+
+type params = {
+  n_assemblies : int; (* top-level assemblies *)
+  levels : int;
+  children_per_part : int;
+  share_prob : float; (* chance a child is shared with a sibling (DAG) *)
+  seed : int;
+}
+
+let default =
+  { n_assemblies = 5; levels = 4; children_per_part = 3; share_prob = 0.15; seed = 3 }
+
+let vi i = Value.Int i
+let vs s = Value.Str s
+
+let generate (p : params) : Db.t =
+  let db = Db.create () in
+  let cat = Db.catalog db in
+  let part =
+    Base_table.create ~primary_key:[ "pid" ] ~name:"part"
+      (Schema.make
+         [
+           Schema.column ~nullable:false "pid" Dtype.Tint;
+           Schema.column "pname" Dtype.Tstr;
+           Schema.column "level" Dtype.Tint;
+         ])
+  in
+  let contains =
+    Base_table.create ~name:"contains"
+      (Schema.make
+         [
+           Schema.column ~nullable:false "parent" Dtype.Tint;
+           Schema.column ~nullable:false "child" Dtype.Tint;
+           Schema.column "qty" Dtype.Tint;
+         ])
+  in
+  Catalog.add_table cat part;
+  Catalog.add_table cat contains;
+  let rng = Rng.create p.seed in
+  let next_pid = ref 0 in
+  let new_part level =
+    incr next_pid;
+    ignore
+      (Base_table.insert part
+         [| vi !next_pid; vs (Printf.sprintf "part%d" !next_pid); vi level |]);
+    !next_pid
+  in
+  (* build level by level; sharing links some children to two parents *)
+  let rec expand parents level =
+    if level < p.levels then begin
+      let children = ref [] in
+      List.iter
+        (fun parent ->
+          for _ = 1 to p.children_per_part do
+            let child =
+              if !children <> [] && Rng.chance rng p.share_prob then
+                List.nth !children (Rng.int rng (List.length !children))
+              else begin
+                let c = new_part level in
+                children := c :: !children;
+                c
+              end
+            in
+            ignore
+              (Base_table.insert contains
+                 [| vi parent; vi child; vi (1 + Rng.int rng 10) |])
+          done)
+        parents;
+      expand !children (level + 1)
+    end
+  in
+  let tops = List.init p.n_assemblies (fun _ -> new_part 0) in
+  expand tops 1;
+  ignore
+    (Base_table.create_index contains ~idx_name:"contains_parent"
+       ~columns:[ "parent" ] ~unique:false);
+  db
+
+(** Recursive CO: the assemblies with their whole substructure. *)
+let assembly_query =
+  "OUT OF asmroot AS (SELECT * FROM part WHERE level = 0),\n\
+  \       xpart AS part,\n\
+  \       topconn AS (RELATE asmroot VIA HOLDS, xpart USING contains c WHERE \
+   holds.pid = c.parent AND c.child = xpart.pid),\n\
+  \       subconn AS (RELATE xpart VIA SUB, xpart USING contains c WHERE \
+   sub.pid = c.parent AND c.child = xpart.pid)\n\
+   TAKE *"

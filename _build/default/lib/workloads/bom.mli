@@ -1,0 +1,17 @@
+(** Recursive bill-of-materials workload: a layered assembly hierarchy
+    with optional sharing (a DAG), used by the recursive-CO example,
+    benches and property tests. *)
+
+type params = {
+  n_assemblies : int;
+  levels : int;
+  children_per_part : int;
+  share_prob : float;
+  seed : int;
+}
+
+val default : params
+val generate : params -> Engine.Database.t
+
+val assembly_query : string
+(** Recursive CO: the assemblies with their whole substructure. *)

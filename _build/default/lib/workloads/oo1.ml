@@ -1,0 +1,143 @@
+(** OO1 ("Cattell") benchmark database and operations (paper Sect. 5.2:
+    "Using the traversal operation from that benchmark, we could access
+    in a pre-loaded XNF cache more than 100,000 tuples per second").
+
+    Standard OO1 shape: N parts; exactly 3 outgoing connections per
+    part; 90% of connections go to one of the "closest" parts (locality
+    of reference), 10% to a uniformly random part. *)
+
+open Relcore
+module Db = Engine.Database
+
+type params = {
+  n_parts : int;
+  fanout : int;
+  locality_window : int; (* |to - from| bound for local connections *)
+  locality_prob : float;
+  seed : int;
+}
+
+let default =
+  { n_parts = 20_000; fanout = 3; locality_window = 100; locality_prob = 0.9; seed = 7 }
+
+let vi i = Value.Int i
+let vs s = Value.Str s
+
+let part_types = [| "part-type0"; "part-type1"; "part-type2" |]
+let conn_types = [| "conn-type0"; "conn-type1" |]
+
+let generate (p : params) : Db.t =
+  let db = Db.create () in
+  let cat = Db.catalog db in
+  let parts =
+    Base_table.create ~primary_key:[ "pid" ] ~name:"parts"
+      (Schema.make
+         [
+           Schema.column ~nullable:false "pid" Dtype.Tint;
+           Schema.column "ptype" Dtype.Tstr;
+           Schema.column "x" Dtype.Tint;
+           Schema.column "y" Dtype.Tint;
+           Schema.column "build" Dtype.Tint;
+         ])
+  in
+  let conns =
+    Base_table.create ~name:"conns"
+      (Schema.make
+         [
+           Schema.column ~nullable:false "cfrom" Dtype.Tint;
+           Schema.column ~nullable:false "cto" Dtype.Tint;
+           Schema.column "ctype" Dtype.Tstr;
+           Schema.column "clength" Dtype.Tint;
+         ])
+  in
+  Catalog.add_table cat parts;
+  Catalog.add_table cat conns;
+  let rng = Rng.create p.seed in
+  for pid = 1 to p.n_parts do
+    ignore
+      (Base_table.insert parts
+         [|
+           vi pid;
+           vs (Rng.choose rng part_types);
+           vi (Rng.int rng 100_000);
+           vi (Rng.int rng 100_000);
+           vi (Rng.int rng 10_000);
+         |])
+  done;
+  for pid = 1 to p.n_parts do
+    (* exactly [fanout] distinct targets per part (connections are
+       set-level facts) *)
+    let chosen = Hashtbl.create 4 in
+    while Hashtbl.length chosen < min p.fanout (p.n_parts - 1) do
+      let target =
+        if Rng.chance rng p.locality_prob then begin
+          (* one of the closest parts *)
+          let delta = 1 + Rng.int rng p.locality_window in
+          let t = if Rng.chance rng 0.5 then pid + delta else pid - delta in
+          let t = if t < 1 then t + p.n_parts else t in
+          if t > p.n_parts then t - p.n_parts else t
+        end
+        else 1 + Rng.int rng p.n_parts
+      in
+      if target <> pid && not (Hashtbl.mem chosen target) then begin
+        Hashtbl.add chosen target ();
+        ignore
+          (Base_table.insert conns
+             [|
+               vi pid;
+               vi target;
+               vs (Rng.choose rng conn_types);
+               vi (Rng.int rng 1000);
+             |])
+      end
+    done
+  done;
+  ignore
+    (Base_table.create_index conns ~idx_name:"conns_from" ~columns:[ "cfrom" ]
+       ~unique:false);
+  ignore
+    (Base_table.create_index conns ~idx_name:"conns_to" ~columns:[ "cto" ]
+       ~unique:false);
+  db
+
+(** The CO view of the whole parts graph: every part is an explicit root
+    (pre-loaded cache) and 'link' carries the connections as pointers. *)
+let parts_graph_query =
+  "OUT OF ROOT xpart AS parts,\n\
+  \       link AS (RELATE xpart VIA SRC, xpart USING conns c\n\
+  \                WHERE src.pid = c.cfrom AND c.cto = xpart.pid)\n\
+   TAKE *"
+
+(* -- OO1 operations over the cache -------------------------------------- *)
+
+(** Depth-first traversal from [start], following all 'link' children to
+    [depth] levels (OO1 uses depth 7 => up to 3^7 visits).  Returns the
+    number of part tuples visited (with repetition, as OO1 specifies). *)
+let rec traverse (node : Cocache.Conode.t) ~depth : int =
+  if depth = 0 then 1
+  else
+    List.fold_left
+      (fun acc child -> acc + traverse child ~depth:(depth - 1))
+      1
+      (Cocache.Conode.children node ~rel:"link")
+
+(** Application-side part index (pid -> cache node), built once after
+    loading the cache. *)
+let build_pid_index ws : (int, Cocache.Conode.t) Hashtbl.t =
+  let tbl = Hashtbl.create 4096 in
+  List.iter
+    (fun (n : Cocache.Conode.t) ->
+      Hashtbl.replace tbl (Value.as_int n.Cocache.Conode.values.(0)) n)
+    (Cocache.Workspace.nodes ws "xpart");
+  tbl
+
+(** OO1 Lookup: fetch [n] random parts by id and touch their x field. *)
+let lookup ~index ~(rng : Rng.t) ~n_parts ~n : int =
+  let acc = ref 0 in
+  for _ = 1 to n do
+    let pid = 1 + Rng.int rng n_parts in
+    match Hashtbl.find_opt index pid with
+    | Some node -> acc := !acc + Value.as_int node.Cocache.Conode.values.(2)
+    | None -> ()
+  done;
+  !acc

@@ -1,0 +1,30 @@
+(** OO1 ("Cattell") benchmark database and operations (paper Sect. 5.2):
+    N parts, 3 connections per part, 90% locality of reference. *)
+
+type params = {
+  n_parts : int;
+  fanout : int;
+  locality_window : int;
+  locality_prob : float;
+  seed : int;
+}
+
+val default : params
+(** 20,000 parts, fanout 3, locality 90% within ±100. *)
+
+val generate : params -> Engine.Database.t
+
+val parts_graph_query : string
+(** The whole parts graph as one CO: every part an explicit ROOT, the
+    connections as a self-relationship (pre-loaded cache). *)
+
+val traverse : Cocache.Conode.t -> depth:int -> int
+(** OO1 traversal: depth-first over all 'link' children; returns the
+    number of part visits (with repetition, as OO1 specifies). *)
+
+val build_pid_index : Cocache.Workspace.t -> (int, Cocache.Conode.t) Hashtbl.t
+
+val lookup :
+  index:(int, Cocache.Conode.t) Hashtbl.t -> rng:Rng.t -> n_parts:int ->
+  n:int -> int
+(** OO1 lookup: fetch [n] random parts by id, touching one field. *)

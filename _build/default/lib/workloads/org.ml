@@ -1,0 +1,189 @@
+(** Parameterized generator for the paper's running-example schema
+    (Fig. 1): departments, employees, projects, skills, and the two M:N
+    mapping tables.  Drives the extraction and Table-1 experiments. *)
+
+open Relcore
+module Db = Engine.Database
+
+type params = {
+  n_depts : int;
+  arc_fraction : float; (* share of departments located at 'ARC' *)
+  emps_per_dept : int;
+  projs_per_dept : int;
+  n_skills : int;
+  skills_per_emp : int;
+  skills_per_proj : int;
+  indexes : bool;
+  seed : int;
+}
+
+let default =
+  {
+    n_depts = 50;
+    arc_fraction = 0.3;
+    emps_per_dept = 10;
+    projs_per_dept = 3;
+    n_skills = 100;
+    skills_per_emp = 3;
+    skills_per_proj = 2;
+    indexes = true;
+    seed = 42;
+  }
+
+let other_locations = [| "HAW"; "YKT"; "SJC" |]
+
+let vi i = Value.Int i
+let vs s = Value.Str s
+
+let generate (p : params) : Db.t =
+  let db = Db.create () in
+  let cat = Db.catalog db in
+  let dept =
+    Base_table.create ~primary_key:[ "dno" ] ~name:"dept"
+      (Schema.make
+         [
+           Schema.column ~nullable:false "dno" Dtype.Tint;
+           Schema.column "dname" Dtype.Tstr;
+           Schema.column "loc" Dtype.Tstr;
+         ])
+  in
+  let emp =
+    Base_table.create ~primary_key:[ "eno" ] ~name:"emp"
+      (Schema.make
+         [
+           Schema.column ~nullable:false "eno" Dtype.Tint;
+           Schema.column "ename" Dtype.Tstr;
+           Schema.column "sal" Dtype.Tint;
+           Schema.column "edno" Dtype.Tint;
+         ])
+  in
+  let proj =
+    Base_table.create ~primary_key:[ "pno" ] ~name:"proj"
+      (Schema.make
+         [
+           Schema.column ~nullable:false "pno" Dtype.Tint;
+           Schema.column "pname" Dtype.Tstr;
+           Schema.column "budget" Dtype.Tint;
+           Schema.column "pdno" Dtype.Tint;
+         ])
+  in
+  let skills =
+    Base_table.create ~primary_key:[ "sno" ] ~name:"skills"
+      (Schema.make
+         [
+           Schema.column ~nullable:false "sno" Dtype.Tint;
+           Schema.column "sname" Dtype.Tstr;
+         ])
+  in
+  let empskills =
+    Base_table.create ~name:"empskills"
+      (Schema.make
+         [
+           Schema.column ~nullable:false "eseno" Dtype.Tint;
+           Schema.column ~nullable:false "essno" Dtype.Tint;
+         ])
+  in
+  let projskills =
+    Base_table.create ~name:"projskills"
+      (Schema.make
+         [
+           Schema.column ~nullable:false "pspno" Dtype.Tint;
+           Schema.column ~nullable:false "pssno" Dtype.Tint;
+         ])
+  in
+  List.iter (Catalog.add_table cat)
+    [ dept; emp; proj; skills; empskills; projskills ];
+  let rng = Rng.create p.seed in
+  let n_arc =
+    max 1 (int_of_float (Float.round (float_of_int p.n_depts *. p.arc_fraction)))
+  in
+  for d = 1 to p.n_depts do
+    let loc = if d <= n_arc then "ARC" else Rng.choose rng other_locations in
+    ignore
+      (Base_table.insert dept
+         [| vi d; vs (Printf.sprintf "dept%d" d); vs loc |])
+  done;
+  for s = 1 to p.n_skills do
+    ignore (Base_table.insert skills [| vi s; vs (Printf.sprintf "skill%d" s) |])
+  done;
+  let eno = ref 0 and pno = ref 0 in
+  (* avoid duplicate mapping rows per owner *)
+  let pick_skills k =
+    let chosen = Hashtbl.create 8 in
+    let rec go n acc =
+      if n = 0 || Hashtbl.length chosen >= p.n_skills then acc
+      else begin
+        let s = 1 + Rng.int rng p.n_skills in
+        if Hashtbl.mem chosen s then go n acc
+        else begin
+          Hashtbl.add chosen s ();
+          go (n - 1) (s :: acc)
+        end
+      end
+    in
+    go k []
+  in
+  for d = 1 to p.n_depts do
+    for _ = 1 to p.emps_per_dept do
+      incr eno;
+      ignore
+        (Base_table.insert emp
+           [|
+             vi !eno;
+             vs (Printf.sprintf "emp%d" !eno);
+             vi (50 + Rng.int rng 100);
+             vi d;
+           |]);
+      List.iter
+        (fun s -> ignore (Base_table.insert empskills [| vi !eno; vi s |]))
+        (pick_skills p.skills_per_emp)
+    done;
+    for _ = 1 to p.projs_per_dept do
+      incr pno;
+      ignore
+        (Base_table.insert proj
+           [|
+             vi !pno;
+             vs (Printf.sprintf "proj%d" !pno);
+             vi (100 + Rng.int rng 10_000);
+             vi d;
+           |]);
+      List.iter
+        (fun s -> ignore (Base_table.insert projskills [| vi !pno; vi s |]))
+        (pick_skills p.skills_per_proj)
+    done
+  done;
+  if p.indexes then begin
+    ignore (Base_table.create_index emp ~idx_name:"emp_edno" ~columns:[ "edno" ] ~unique:false);
+    ignore (Base_table.create_index proj ~idx_name:"proj_pdno" ~columns:[ "pdno" ] ~unique:false);
+    ignore
+      (Base_table.create_index empskills ~idx_name:"es_eno" ~columns:[ "eseno" ]
+         ~unique:false);
+    ignore
+      (Base_table.create_index projskills ~idx_name:"ps_pno" ~columns:[ "pspno" ]
+         ~unique:false)
+  end;
+  db
+
+(** The Fig. 1 CO view over this schema. *)
+let deps_arc_query =
+  "OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),\n\
+  \       xemp AS EMP,\n\
+  \       xproj AS PROJ,\n\
+  \       xskills AS SKILLS,\n\
+  \       employment AS (RELATE xdept VIA EMPLOYS, xemp WHERE xdept.dno = \
+   xemp.edno),\n\
+  \       ownership AS (RELATE xdept VIA HAS, xproj WHERE xdept.dno = \
+   xproj.pdno),\n\
+  \       empproperty AS (RELATE xemp VIA POSSESSES, xskills USING EMPSKILLS \
+   es WHERE xemp.eno = es.eseno AND es.essno = xskills.sno),\n\
+  \       projproperty AS (RELATE xproj VIA NEEDS, xskills USING PROJSKILLS \
+   ps WHERE xproj.pno = ps.pspno AND ps.pssno = xskills.sno)\n\
+   TAKE *"
+
+(** Table-1 component order as printed in the paper. *)
+let table1_order =
+  [
+    "xdept"; "xemp"; "xproj"; "employment"; "ownership"; "xskills";
+    "empproperty"; "projproperty";
+  ]

@@ -1,0 +1,24 @@
+(** Parameterized generator for the paper's running-example schema
+    (Fig. 1): departments, employees, projects, skills and the two M:N
+    mapping tables. *)
+
+type params = {
+  n_depts : int;
+  arc_fraction : float; (* share of departments located at 'ARC' *)
+  emps_per_dept : int;
+  projs_per_dept : int;
+  n_skills : int;
+  skills_per_emp : int;
+  skills_per_proj : int;
+  indexes : bool;
+  seed : int;
+}
+
+val default : params
+val generate : params -> Engine.Database.t
+
+val deps_arc_query : string
+(** The Fig. 1 CO view over this schema. *)
+
+val table1_order : string list
+(** Component order as printed in the paper's Table 1. *)

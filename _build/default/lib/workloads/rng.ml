@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random generator (splitmix64-style) so every
+    workload is reproducible from its seed. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))
+
+let float t =
+  float_of_int (int t 1_000_000) /. 1_000_000.0
+
+(** Bernoulli draw. *)
+let chance t p = float t < p
+
+(** Pick a uniform element. *)
+let choose t arr = arr.(int t (Array.length arr))

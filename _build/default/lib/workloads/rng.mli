@@ -1,0 +1,14 @@
+(** Deterministic pseudo-random generator (splitmix64-style): every
+    workload is reproducible from its seed. *)
+
+type t
+
+val create : int -> t
+val int : t -> int -> int
+(** Uniform in [0, bound). *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val chance : t -> float -> bool
+val choose : t -> 'a array -> 'a

@@ -1,0 +1,140 @@
+(** Business workload: customers, orders, line items and products — the
+    "advanced business applications" motivation of the paper's intro,
+    used by the order-catalog example. *)
+
+open Relcore
+module Db = Engine.Database
+
+type params = {
+  n_customers : int;
+  orders_per_customer : int;
+  items_per_order : int;
+  n_products : int;
+  region : string; (* region anchoring the CO view *)
+  seed : int;
+}
+
+let default =
+  {
+    n_customers = 50;
+    orders_per_customer = 4;
+    items_per_order = 5;
+    n_products = 200;
+    region = "EMEA";
+    seed = 11;
+  }
+
+let regions = [| "EMEA"; "AMER"; "APAC" |]
+
+let vi i = Value.Int i
+let vs s = Value.Str s
+let vf f = Value.Float f
+
+let generate (p : params) : Db.t =
+  let db = Db.create () in
+  let cat = Db.catalog db in
+  let customer =
+    Base_table.create ~primary_key:[ "cid" ] ~name:"customer"
+      (Schema.make
+         [
+           Schema.column ~nullable:false "cid" Dtype.Tint;
+           Schema.column "cname" Dtype.Tstr;
+           Schema.column "region" Dtype.Tstr;
+         ])
+  in
+  let orders =
+    Base_table.create ~primary_key:[ "oid" ] ~name:"orders"
+      (Schema.make
+         [
+           Schema.column ~nullable:false "oid" Dtype.Tint;
+           Schema.column "ocid" Dtype.Tint;
+           Schema.column "status" Dtype.Tstr;
+           Schema.column "total" Dtype.Tfloat;
+         ])
+  in
+  let lineitem =
+    Base_table.create ~name:"lineitem"
+      (Schema.make
+         [
+           Schema.column ~nullable:false "lioid" Dtype.Tint;
+           Schema.column ~nullable:false "lipid" Dtype.Tint;
+           Schema.column "qty" Dtype.Tint;
+           Schema.column "price" Dtype.Tfloat;
+         ])
+  in
+  let product =
+    Base_table.create ~primary_key:[ "pid" ] ~name:"product"
+      (Schema.make
+         [
+           Schema.column ~nullable:false "pid" Dtype.Tint;
+           Schema.column "pname" Dtype.Tstr;
+           Schema.column "listprice" Dtype.Tfloat;
+         ])
+  in
+  List.iter (Catalog.add_table cat) [ customer; orders; lineitem; product ];
+  let rng = Rng.create p.seed in
+  for pid = 1 to p.n_products do
+    ignore
+      (Base_table.insert product
+         [|
+           vi pid;
+           vs (Printf.sprintf "product%d" pid);
+           vf (float_of_int (100 + Rng.int rng 900) /. 10.0);
+         |])
+  done;
+  let oid = ref 0 in
+  for cid = 1 to p.n_customers do
+    ignore
+      (Base_table.insert customer
+         [| vi cid; vs (Printf.sprintf "customer%d" cid); vs (Rng.choose rng regions) |]);
+    for _ = 1 to p.orders_per_customer do
+      incr oid;
+      let total = ref 0.0 in
+      let items =
+        List.init p.items_per_order (fun _ ->
+            let pid = 1 + Rng.int rng p.n_products in
+            let qty = 1 + Rng.int rng 5 in
+            let price = float_of_int (100 + Rng.int rng 900) /. 10.0 in
+            total := !total +. (float_of_int qty *. price);
+            (pid, qty, price))
+      in
+      ignore
+        (Base_table.insert orders
+           [|
+             vi !oid;
+             vi cid;
+             vs (if Rng.chance rng 0.8 then "shipped" else "open");
+             vf !total;
+           |]);
+      List.iter
+        (fun (pid, qty, price) ->
+          ignore
+            (Base_table.insert lineitem [| vi !oid; vi pid; vi qty; vf price |]))
+        items
+    done
+  done;
+  ignore
+    (Base_table.create_index orders ~idx_name:"orders_cid" ~columns:[ "ocid" ]
+       ~unique:false);
+  ignore
+    (Base_table.create_index lineitem ~idx_name:"li_oid" ~columns:[ "lioid" ]
+       ~unique:false);
+  db
+
+(** CO view: the customers of one region with their orders, line items
+    and the products those items refer to (products shared between
+    items: object sharing). *)
+let region_query region =
+  Printf.sprintf
+    "OUT OF xcust AS (SELECT * FROM customer WHERE region = '%s'),\n\
+    \       xorder AS orders,\n\
+    \       xitem AS lineitem,\n\
+    \       xproduct AS product,\n\
+    \       placed AS (RELATE xcust VIA PLACED, xorder WHERE xcust.cid = \
+     xorder.ocid),\n\
+    \       orderline AS (RELATE xorder VIA CONTAINS, xitem WHERE xorder.oid \
+     = xitem.lioid),\n\
+    \       itemref AS (RELATE xitem VIA REFERS_TO, xproduct WHERE \
+     xitem.lipid = xproduct.pid)\n\
+     TAKE *"
+    region

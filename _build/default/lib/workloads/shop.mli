@@ -1,0 +1,17 @@
+(** Business workload: customers, orders, line items, products. *)
+
+type params = {
+  n_customers : int;
+  orders_per_customer : int;
+  items_per_order : int;
+  n_products : int;
+  region : string;
+  seed : int;
+}
+
+val default : params
+val generate : params -> Engine.Database.t
+
+val region_query : string -> string
+(** CO view: one region's customers with their orders, line items and
+    the (shared) products those items reference. *)

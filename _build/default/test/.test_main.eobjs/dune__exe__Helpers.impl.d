@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Engine List Relcore Tuple Value

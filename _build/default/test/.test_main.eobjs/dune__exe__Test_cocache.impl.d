@@ -1,0 +1,1 @@
+test/test_cocache.ml: Alcotest Array Cocache Engine Filename Helpers List Option Printf Relcore String Sys Xnf

@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest Engine Executor Helpers List Relcore Workloads Xnf

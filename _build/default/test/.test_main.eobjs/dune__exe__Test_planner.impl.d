@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Engine Executor Helpers List Optimizer Relcore Sqlkit Starq String Workloads Xnf

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Cocache Engine Executor Filename Fun Hashtbl Heap List Printf QCheck QCheck_alcotest Relcore Sqlkit String Sys Tuple Value Vec Workloads Xnf

@@ -1,0 +1,1 @@
+test/test_qgm.ml: Alcotest Engine Helpers List Optimizer Sqlkit Starq String Workloads Xnf

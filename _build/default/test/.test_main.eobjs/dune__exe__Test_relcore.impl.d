@@ -1,0 +1,1 @@
+test/test_relcore.ml: Alcotest Array Base_table Catalog Dtype Engine Errors Heap Helpers Index List Relcore Schema Value Vec Workloads

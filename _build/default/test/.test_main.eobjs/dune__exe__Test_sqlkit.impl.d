@@ -1,0 +1,1 @@
+test/test_sqlkit.ml: Alcotest Array Ast Lexer List Parser Pretty Printf Relcore Sqlkit String Token

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cocache Engine Hashtbl Helpers List Relcore Workloads Xnf

@@ -1,0 +1,1 @@
+test/test_xnf.ml: Alcotest Array Cocache Engine Filename Helpers List Relcore String Sys Workloads Xnf

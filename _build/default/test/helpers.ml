@@ -1,0 +1,66 @@
+(** Shared fixtures and assertion helpers for the test suites. *)
+
+open Relcore
+
+let value_testable : Value.t Alcotest.testable =
+  Alcotest.testable (fun fmt v -> Value.pp fmt v) Value.equal
+
+let tuple_testable : Tuple.t Alcotest.testable =
+  Alcotest.testable (fun fmt t -> Tuple.pp fmt t) Tuple.equal
+
+let check_rows msg expected actual =
+  Alcotest.(check (list tuple_testable)) msg expected actual
+
+(** Compare row multisets ignoring order. *)
+let check_rows_unordered msg expected actual =
+  let sort = List.sort Tuple.compare in
+  Alcotest.(check (list tuple_testable)) msg (sort expected) (sort actual)
+
+let row vals = Tuple.of_list vals
+let vi i = Value.Int i
+let vs s = Value.Str s
+let vf f = Value.Float f
+let vb b = Value.Bool b
+let vnull = Value.Null
+
+let rows_of_ints rows = List.map (fun r -> row (List.map vi r)) rows
+
+(** The paper's running example database (Fig. 1): departments,
+    employees, projects, skills, and the two M:N mapping tables.
+    Instance follows the paper's instance graph: two ARC departments
+    d1, d2; employees e1..e3 (e2, e3 shared via projects is modelled by
+    skills sharing); projects p1, p2; skills s1..s5 with s2 unreachable. *)
+let org_db () =
+  let db = Engine.Database.create () in
+  let ddl =
+    [
+      "CREATE TABLE dept (dno INT NOT NULL, dname STRING, loc STRING, PRIMARY \
+       KEY (dno))";
+      "CREATE TABLE emp (eno INT NOT NULL, ename STRING, sal INT, edno INT, \
+       PRIMARY KEY (eno))";
+      "CREATE TABLE proj (pno INT NOT NULL, pname STRING, budget INT, pdno \
+       INT, PRIMARY KEY (pno))";
+      "CREATE TABLE skills (sno INT NOT NULL, sname STRING, PRIMARY KEY (sno))";
+      "CREATE TABLE empskills (eseno INT NOT NULL, essno INT NOT NULL)";
+      "CREATE TABLE projskills (pspno INT NOT NULL, pssno INT NOT NULL)";
+      "CREATE INDEX emp_edno ON emp (edno)";
+      "CREATE INDEX proj_pdno ON proj (pdno)";
+      "CREATE INDEX es_eno ON empskills (eseno)";
+      "CREATE INDEX ps_pno ON projskills (pspno)";
+      (* data *)
+      "INSERT INTO dept VALUES (1, 'tools', 'ARC'), (2, 'db', 'ARC'), (3, \
+       'remote', 'HAW')";
+      "INSERT INTO emp VALUES (10, 'anna', 100, 1), (11, 'ben', 90, 1), (12, \
+       'carol', 120, 2), (13, 'dave', 80, 3)";
+      "INSERT INTO proj VALUES (20, 'p1', 1000, 1), (21, 'p2', 2000, 2), (22, \
+       'p3', 500, 3)";
+      "INSERT INTO skills VALUES (30, 'ml'), (31, 'db'), (32, 'os'), (33, \
+       'ui'), (34, 'hw')";
+      (* s32 ('os') belongs only to the dave/remote world: unreachable from ARC *)
+      "INSERT INTO empskills VALUES (10, 30), (10, 31), (11, 31), (12, 33), \
+       (13, 32)";
+      "INSERT INTO projskills VALUES (20, 31), (21, 33), (21, 34), (22, 32)";
+    ]
+  in
+  List.iter (fun s -> ignore (Engine.Database.exec db s)) ddl;
+  db

@@ -1,0 +1,481 @@
+(** CO cache tests: workspace construction, cursors, path expressions,
+    updates with write-back, persistence, typed binding. *)
+
+open Helpers
+module H = Xnf.Hetstream
+module Ws = Cocache.Workspace
+module Cur = Cocache.Cursor
+
+let deps_arc_text =
+  "OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),\n\
+  \       xemp AS EMP,\n\
+  \       xproj AS PROJ,\n\
+  \       xskills AS SKILLS,\n\
+  \       employment AS (RELATE xdept VIA EMPLOYS, xemp WHERE xdept.dno = \
+   xemp.edno),\n\
+  \       ownership AS (RELATE xdept VIA HAS, xproj WHERE xdept.dno = \
+   xproj.pdno),\n\
+  \       empproperty AS (RELATE xemp VIA POSSESSES, xskills USING \
+   EMPSKILLS es WHERE xemp.eno = es.eseno AND es.essno = xskills.sno),\n\
+  \       projproperty AS (RELATE xproj VIA NEEDS, xskills USING \
+   PROJSKILLS ps WHERE xproj.pno = ps.pspno AND ps.pssno = xskills.sno)\n\
+   TAKE *"
+
+let load_workspace db = Ws.of_stream (Xnf.Xnf_compile.run db deps_arc_text)
+
+let test_build () =
+  let db = org_db () in
+  let ws = load_workspace db in
+  Alcotest.(check int) "xdept nodes" 2 (Ws.node_count ws "xdept");
+  Alcotest.(check int) "xemp nodes" 3 (Ws.node_count ws "xemp");
+  Alcotest.(check int) "total nodes" 11 (Ws.size ws);
+  Alcotest.(check int) "connections" 12 (Ws.connection_count ws)
+
+let test_independent_cursor () =
+  let db = org_db () in
+  let ws = load_workspace db in
+  let cur = Cur.open_component ws "xemp" in
+  let names =
+    Cur.to_list cur
+    |> List.map (fun n -> Relcore.Value.to_string (Ws.get ws n "ename"))
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "all emps" [ "anna"; "ben"; "carol" ] names
+
+let test_dependent_cursor () =
+  let db = org_db () in
+  let ws = load_workspace db in
+  let tools =
+    List.find
+      (fun n -> Relcore.Value.to_string (Ws.get ws n "dname") = "tools")
+      (Ws.nodes ws "xdept")
+  in
+  let cur = Cur.open_children tools ~rel:"employment" in
+  let names =
+    Cur.to_list cur
+    |> List.map (fun n -> Relcore.Value.to_string (Ws.get ws n "ename"))
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "tools emps" [ "anna"; "ben" ] names;
+  (* reverse navigation *)
+  let anna =
+    List.find
+      (fun n -> Relcore.Value.to_string (Ws.get ws n "ename") = "anna")
+      (Ws.nodes ws "xemp")
+  in
+  let parents = Cur.to_list (Cur.open_parents anna ~rel:"employment") in
+  Alcotest.(check int) "anna has one dept" 1 (List.length parents);
+  Alcotest.(check string) "it is tools" "tools"
+    (Relcore.Value.to_string (Ws.get ws (List.hd parents) "dname"))
+
+let test_cursor_reset_count () =
+  let db = org_db () in
+  let ws = load_workspace db in
+  let cur = Cur.open_component ws "xskills" in
+  Alcotest.(check int) "count" 4 (Cur.count cur);
+  ignore (Cur.next cur);
+  ignore (Cur.next cur);
+  Cur.reset cur;
+  Alcotest.(check int) "after reset all visible" 4 (List.length (Cur.to_list cur))
+
+let test_path_expressions () =
+  let db = org_db () in
+  let ws = load_workspace db in
+  let skills = Cocache.Path.eval ws "xdept.employment.xemp.empproperty.xskills" in
+  let names =
+    List.map (fun n -> Relcore.Value.to_string (Ws.get ws n "sname")) skills
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "skills via employees" [ "db"; "ml"; "ui" ] names;
+  (* implicit relationship names *)
+  let skills' = Cocache.Path.eval ws "xdept.xemp.xskills" in
+  Alcotest.(check int) "implicit path same size" (List.length skills)
+    (List.length skills');
+  (* sharing: dedup means no duplicates even though 'db' reachable twice *)
+  let ids = List.map (fun (n : Cocache.Conode.t) -> n.Cocache.Conode.id) skills in
+  Alcotest.(check int) "distinct" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_update_writeback () =
+  let db = org_db () in
+  let ws = load_workspace db in
+  let ast = Xnf.Xnf_parser.parse deps_arc_text in
+  let anna =
+    List.find
+      (fun n -> Relcore.Value.to_string (Ws.get ws n "ename") = "anna")
+      (Ws.nodes ws "xemp")
+  in
+  Ws.update ws anna [ ("sal", vi 150) ];
+  let sqls = Cocache.Update.flush db ast ws in
+  Alcotest.(check int) "one statement" 1 (List.length sqls);
+  check_rows "salary written back" (rows_of_ints [ [ 150 ] ])
+    (Engine.Database.query_rows db "SELECT sal FROM emp WHERE eno = 10")
+
+let test_insert_delete_writeback () =
+  let db = org_db () in
+  let ws = load_workspace db in
+  let ast = Xnf.Xnf_parser.parse deps_arc_text in
+  ignore (Ws.insert ws "xemp" [ vi 99; vs "zoe"; vi 70; vi 2 ]);
+  let carol =
+    List.find
+      (fun n -> Relcore.Value.to_string (Ws.get ws n "ename") = "carol")
+      (Ws.nodes ws "xemp")
+  in
+  Ws.delete ws carol;
+  ignore (Cocache.Update.flush db ast ws);
+  check_rows "insert + delete applied"
+    [ row [ vs "zoe" ] ]
+    (Engine.Database.query_rows db
+       "SELECT ename FROM emp WHERE eno = 99 OR eno = 12")
+
+let test_connect_disconnect_fk () =
+  let db = org_db () in
+  let ws = load_workspace db in
+  let ast = Xnf.Xnf_parser.parse deps_arc_text in
+  let dbdept =
+    List.find
+      (fun n -> Relcore.Value.to_string (Ws.get ws n "dname") = "db")
+      (Ws.nodes ws "xdept")
+  in
+  let ben =
+    List.find
+      (fun n -> Relcore.Value.to_string (Ws.get ws n "ename") = "ben")
+      (Ws.nodes ws "xemp")
+  in
+  (* move ben from tools to db: disconnect then connect *)
+  let tools = List.hd (Cocache.Conode.parents ben ~rel:"employment") in
+  Ws.disconnect ws ~rel:"employment" tools ben;
+  ignore (Ws.connect ws ~rel:"employment" dbdept ben);
+  let sqls = Cocache.Update.flush db ast ws in
+  Alcotest.(check int) "two updates" 2 (List.length sqls);
+  check_rows "fk updated" (rows_of_ints [ [ 2 ] ])
+    (Engine.Database.query_rows db "SELECT edno FROM emp WHERE eno = 11");
+  (* cache topology reflects the change *)
+  Alcotest.(check int) "ben under db dept" 2
+    (List.length (Cocache.Conode.children dbdept ~rel:"employment"))
+
+let test_connect_disconnect_connect_table () =
+  let db = org_db () in
+  let ws = load_workspace db in
+  let ast = Xnf.Xnf_parser.parse deps_arc_text in
+  let anna =
+    List.find
+      (fun n -> Relcore.Value.to_string (Ws.get ws n "ename") = "anna")
+      (Ws.nodes ws "xemp")
+  in
+  let ui =
+    List.find
+      (fun n -> Relcore.Value.to_string (Ws.get ws n "sname") = "ui")
+      (Ws.nodes ws "xskills")
+  in
+  ignore (Ws.connect ws ~rel:"empproperty" anna ui);
+  let sqls = Cocache.Update.flush db ast ws in
+  Alcotest.(check bool) "insert into connect table" true
+    (match sqls with
+    | [ s ] ->
+      String.length s >= 21 && String.sub s 0 21 = "INSERT INTO empskills"
+    | _ -> false);
+  check_rows "mapping row added" (rows_of_ints [ [ 10; 33 ] ])
+    (Engine.Database.query_rows db
+       "SELECT eseno, essno FROM empskills WHERE eseno = 10 AND essno = 33");
+  (* and back out *)
+  Ws.disconnect ws ~rel:"empproperty" anna ui;
+  ignore (Cocache.Update.flush db ast ws);
+  check_rows "mapping row removed" []
+    (Engine.Database.query_rows db
+       "SELECT eseno FROM empskills WHERE eseno = 10 AND essno = 33")
+
+let test_persistence_roundtrip () =
+  let db = org_db () in
+  let ws = load_workspace db in
+  let anna =
+    List.find
+      (fun n -> Relcore.Value.to_string (Ws.get ws n "ename") = "anna")
+      (Ws.nodes ws "xemp")
+  in
+  Ws.update ws anna [ ("sal", vi 175) ];
+  let path = Filename.temp_file "xnfcache" ".bin" in
+  Cocache.Persist.save ws path;
+  let ws' = Cocache.Persist.load path in
+  Sys.remove path;
+  Alcotest.(check int) "nodes preserved" (Ws.size ws) (Ws.size ws');
+  Alcotest.(check int) "connections preserved" (Ws.connection_count ws)
+    (Ws.connection_count ws');
+  Alcotest.(check int) "pending ops preserved" 1
+    (List.length (Ws.pending_ops ws'));
+  (* the pending update still flushes after reload *)
+  let ast = Xnf.Xnf_parser.parse deps_arc_text in
+  ignore (Cocache.Update.flush db ast ws');
+  check_rows "flushed after reload" (rows_of_ints [ [ 175 ] ])
+    (Engine.Database.query_rows db "SELECT sal FROM emp WHERE eno = 10")
+
+let test_typed_binding () =
+  let db = org_db () in
+  let ws = load_workspace db in
+  let module Emp = struct
+    type t = { eno : int; ename : string; sal : int; edno : int }
+
+    let component = "xemp"
+
+    let of_row (r : Relcore.Value.t array) =
+      {
+        eno = Relcore.Value.as_int r.(0);
+        ename = Relcore.Value.as_string r.(1);
+        sal = Relcore.Value.as_int r.(2);
+        edno = Relcore.Value.as_int r.(3);
+      }
+
+    let to_row v =
+      [|
+        Relcore.Value.Int v.eno;
+        Relcore.Value.Str v.ename;
+        Relcore.Value.Int v.sal;
+        Relcore.Value.Int v.edno;
+      |]
+  end in
+  let module Skill = struct
+    type t = { sno : int; sname : string }
+
+    let component = "xskills"
+
+    let of_row (r : Relcore.Value.t array) =
+      { sno = Relcore.Value.as_int r.(0); sname = Relcore.Value.as_string r.(1) }
+
+    let to_row v = [| Relcore.Value.Int v.sno; Relcore.Value.Str v.sname |]
+  end in
+  let module Emps = Cocache.Binding.Make (Emp) in
+  let emps = Emps.all ws in
+  Alcotest.(check int) "typed container" 3 (List.length emps);
+  let anna = Option.get (Emps.find ws (fun e -> e.Emp.ename = "anna")) in
+  Alcotest.(check int) "typed field" 100 anna.Emp.sal;
+  let skills =
+    Emps.children ws (module Skill) ~rel:"empproperty" anna
+    |> List.map (fun s -> s.Skill.sname)
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "typed navigation" [ "db"; "ml" ] skills
+
+let test_non_updatable_rejected () =
+  let db = org_db () in
+  let text =
+    "OUT OF xd AS (SELECT dno, COUNT(*) AS n FROM DEPT, EMP WHERE dno = \
+     edno GROUP BY dno) TAKE *"
+  in
+  let ws = Ws.of_stream (Xnf.Xnf_compile.run db text) in
+  let ast = Xnf.Xnf_parser.parse text in
+  let n = List.hd (Ws.nodes ws "xd") in
+  Ws.update ws n [ ("n", vi 0) ];
+  Alcotest.(check bool) "flush rejects aggregate view" true
+    (try
+       ignore (Cocache.Update.flush db ast ws);
+       false
+     with Relcore.Errors.Db_error (Relcore.Errors.Semantic_error, _) -> true)
+
+let suite =
+  [
+    Alcotest.test_case "workspace build" `Quick test_build;
+    Alcotest.test_case "independent cursor" `Quick test_independent_cursor;
+    Alcotest.test_case "dependent cursor" `Quick test_dependent_cursor;
+    Alcotest.test_case "cursor reset/count" `Quick test_cursor_reset_count;
+    Alcotest.test_case "path expressions" `Quick test_path_expressions;
+    Alcotest.test_case "update write-back" `Quick test_update_writeback;
+    Alcotest.test_case "insert/delete write-back" `Quick
+      test_insert_delete_writeback;
+    Alcotest.test_case "connect/disconnect via fk" `Quick
+      test_connect_disconnect_fk;
+    Alcotest.test_case "connect/disconnect via connect table" `Quick
+      test_connect_disconnect_connect_table;
+    Alcotest.test_case "persistence roundtrip" `Quick test_persistence_roundtrip;
+    Alcotest.test_case "typed binding" `Quick test_typed_binding;
+    Alcotest.test_case "non-updatable view rejected" `Quick
+      test_non_updatable_rejected;
+  ]
+
+let test_atomic_flush_rolls_back () =
+  let db = org_db () in
+  let ws = load_workspace db in
+  let ast = Xnf.Xnf_parser.parse deps_arc_text in
+  let anna =
+    List.find
+      (fun n -> Relcore.Value.to_string (Ws.get ws n "ename") = "anna")
+      (Ws.nodes ws "xemp")
+  in
+  (* a good op followed by one violating the primary key *)
+  Ws.update ws anna [ ("sal", vi 1) ];
+  ignore (Ws.insert ws "xemp" [ vi 10; vs "dup-pk"; vi 1; vi 1 ]);
+  Alcotest.(check bool) "flush fails" true
+    (try
+       ignore (Cocache.Update.flush_atomic db ast ws);
+       false
+     with Relcore.Errors.Db_error (Relcore.Errors.Constraint_error, _) -> true);
+  (* the first statement was rolled back with the failed one *)
+  check_rows "no partial write-back" (rows_of_ints [ [ 100 ] ])
+    (Engine.Database.query_rows db "SELECT sal FROM emp WHERE eno = 10");
+  Alcotest.(check int) "pending preserved for retry" 2
+    (List.length (Ws.pending_ops ws))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "atomic flush rollback" `Quick
+        test_atomic_flush_rolls_back;
+    ]
+
+let test_path_errors () =
+  let db = org_db () in
+  let ws = load_workspace db in
+  let bad path =
+    Alcotest.(check bool)
+      (Printf.sprintf "reject %S" path)
+      true
+      (try
+         ignore (Cocache.Path.eval ws path);
+         false
+       with Relcore.Errors.Db_error (Relcore.Errors.Semantic_error, _) -> true)
+  in
+  bad "";
+  bad "nosuch.xemp";
+  bad "employment.xemp" (* must start at a node *);
+  bad "xdept.nosuch";
+  bad "xdept.xskills" (* no direct relationship *);
+  bad "xdept.employment" (* rel must be followed by a node *)
+
+let test_conode_rels_and_positions () =
+  let db = org_db () in
+  let ws = load_workspace db in
+  let tools =
+    List.find
+      (fun n -> Relcore.Value.to_string (Ws.get ws n "dname") = "tools")
+      (Ws.nodes ws "xdept")
+  in
+  Alcotest.(check (list string)) "out rels" [ "employment"; "ownership" ]
+    (Cocache.Conode.out_rels tools);
+  let anna =
+    List.find
+      (fun n -> Relcore.Value.to_string (Ws.get ws n "ename") = "anna")
+      (Ws.nodes ws "xemp")
+  in
+  Alcotest.(check (list string)) "in rels" [ "employment" ]
+    (Cocache.Conode.in_rels anna);
+  (* positional dependent cursor on a binary relationship = position 0 *)
+  let c0 = Cur.open_children ~position:0 tools ~rel:"employment" in
+  Alcotest.(check int) "position 0" 2 (Cur.count c0)
+
+let test_find_comp_unknown () =
+  let db = org_db () in
+  let stream = Xnf.Xnf_compile.run db deps_arc_text in
+  Alcotest.(check bool) "unknown component" true
+    (try
+       ignore (H.find_comp stream.H.header "nosuch");
+       false
+     with Relcore.Errors.Db_error (Relcore.Errors.Semantic_error, _) -> true)
+
+let test_corrupt_cache_file_rejected () =
+  let file = Filename.temp_file "bad_cache" ".xnf" in
+  let oc = open_out file in
+  output_string oc "not a cache";
+  close_out oc;
+  Alcotest.(check bool) "bad magic" true
+    (try
+       ignore (Cocache.Persist.load file);
+       false
+     with Relcore.Errors.Db_error (Relcore.Errors.Execution_error, _) -> true);
+  Sys.remove file
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "path errors" `Quick test_path_errors;
+      Alcotest.test_case "conode rels/positions" `Quick
+        test_conode_rels_and_positions;
+      Alcotest.test_case "find_comp unknown" `Quick test_find_comp_unknown;
+      Alcotest.test_case "corrupt cache rejected" `Quick
+        test_corrupt_cache_file_rejected;
+    ]
+
+let test_delete_removes_connections () =
+  let db = org_db () in
+  let ws = load_workspace db in
+  let before = Ws.connection_count ws in
+  ignore before;
+  let anna =
+    List.find
+      (fun n -> Relcore.Value.to_string (Ws.get ws n "ename") = "anna")
+      (Ws.nodes ws "xemp")
+  in
+  let tools = List.hd (Cocache.Conode.parents anna ~rel:"employment") in
+  let tools_emps_before =
+    List.length (Cocache.Conode.children tools ~rel:"employment")
+  in
+  Ws.delete ws anna;
+  Alcotest.(check int) "parent lost a child" (tools_emps_before - 1)
+    (List.length (Cocache.Conode.children tools ~rel:"employment"));
+  Alcotest.(check int) "node count dropped" 2 (Ws.node_count ws "xemp")
+
+let test_insert_connect_flush_order () =
+  let db = org_db () in
+  let ws = load_workspace db in
+  let ast = Xnf.Xnf_parser.parse deps_arc_text in
+  let zoe = Ws.insert ws "xemp" [ vi 88; vs "zoe"; vi 70; vnull ] in
+  let tools =
+    List.find
+      (fun n -> Relcore.Value.to_string (Ws.get ws n "dname") = "tools")
+      (Ws.nodes ws "xdept")
+  in
+  ignore (Ws.connect ws ~rel:"employment" tools zoe);
+  let sqls = Cocache.Update.flush_atomic db ast ws in
+  Alcotest.(check int) "two statements in order" 2 (List.length sqls);
+  check_rows "inserted then connected" (rows_of_ints [ [ 88; 1 ] ])
+    (Engine.Database.query_rows db "SELECT eno, edno FROM emp WHERE eno = 88")
+
+let test_get_unknown_column () =
+  let db = org_db () in
+  let ws = load_workspace db in
+  let n = List.hd (Ws.nodes ws "xemp") in
+  Alcotest.(check bool) "unknown column" true
+    (try
+       ignore (Ws.get ws n "nosuch");
+       false
+     with Relcore.Errors.Db_error (Relcore.Errors.Semantic_error, _) -> true)
+
+let test_binding_insert_roundtrip () =
+  let db = org_db () in
+  let ws = load_workspace db in
+  let module Emp = struct
+    type t = { eno : int; ename : string; sal : int; edno : int }
+
+    let component = "xemp"
+
+    let of_row (r : Relcore.Value.t array) =
+      {
+        eno = Relcore.Value.as_int r.(0);
+        ename = Relcore.Value.as_string r.(1);
+        sal = Relcore.Value.as_int r.(2);
+        edno = Relcore.Value.as_int r.(3);
+      }
+
+    let to_row v =
+      [|
+        Relcore.Value.Int v.eno; Relcore.Value.Str v.ename;
+        Relcore.Value.Int v.sal; Relcore.Value.Int v.edno;
+      |]
+  end in
+  let module Emps = Cocache.Binding.Make (Emp) in
+  ignore (Emps.insert ws { Emp.eno = 77; ename = "gil"; sal = 60; edno = 1 });
+  Alcotest.(check int) "typed insert visible" 4 (Emps.count ws);
+  let ast = Xnf.Xnf_parser.parse deps_arc_text in
+  ignore (Cocache.Update.flush db ast ws);
+  check_rows "typed insert flushed" [ row [ vs "gil" ] ]
+    (Engine.Database.query_rows db "SELECT ename FROM emp WHERE eno = 77")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "delete removes connections" `Quick
+        test_delete_removes_connections;
+      Alcotest.test_case "insert+connect flush order" `Quick
+        test_insert_connect_flush_order;
+      Alcotest.test_case "get unknown column" `Quick test_get_unknown_column;
+      Alcotest.test_case "binding insert roundtrip" `Quick
+        test_binding_insert_roundtrip;
+    ]

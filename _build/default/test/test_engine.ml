@@ -1,0 +1,340 @@
+(** End-to-end SQL engine tests: DDL, DML, queries, rewrite, EXPLAIN. *)
+
+open Helpers
+module Db = Engine.Database
+
+let q db sql = Db.query_rows db sql
+
+let test_simple_select () =
+  let db = org_db () in
+  let rows = q db "SELECT dno FROM dept WHERE loc = 'ARC' ORDER BY dno" in
+  check_rows "ARC departments" (rows_of_ints [ [ 1 ]; [ 2 ] ]) rows
+
+let test_projection_arith () =
+  let db = org_db () in
+  let rows = q db "SELECT eno, sal * 2 FROM emp WHERE eno = 10" in
+  check_rows "doubled salary" (rows_of_ints [ [ 10; 200 ] ]) rows
+
+let test_join () =
+  let db = org_db () in
+  let rows =
+    q db
+      "SELECT e.eno, d.dname FROM emp e, dept d WHERE e.edno = d.dno AND \
+       d.loc = 'ARC' ORDER BY e.eno"
+  in
+  check_rows "emp-dept join"
+    [ row [ vi 10; vs "tools" ]; row [ vi 11; vs "tools" ]; row [ vi 12; vs "db" ] ]
+    rows
+
+let test_exists_subquery () =
+  let db = org_db () in
+  let rows =
+    q db
+      "SELECT eno FROM emp e WHERE EXISTS (SELECT 1 FROM dept d WHERE d.loc \
+       = 'ARC' AND d.dno = e.edno) ORDER BY eno"
+  in
+  check_rows "exists" (rows_of_ints [ [ 10 ]; [ 11 ]; [ 12 ] ]) rows
+
+let test_exists_no_rewrite_same_result () =
+  let db = org_db () in
+  let sql =
+    "SELECT eno FROM emp e WHERE EXISTS (SELECT 1 FROM dept d WHERE d.loc = \
+     'ARC' AND d.dno = e.edno) ORDER BY eno"
+  in
+  let fast = Db.query_rows ~rewrite:true db sql in
+  let naive = Db.query_rows ~rewrite:false db sql in
+  check_rows "rewrite preserves semantics" naive fast
+
+let test_in_subquery () =
+  let db = org_db () in
+  let rows =
+    q db
+      "SELECT ename FROM emp WHERE edno IN (SELECT dno FROM dept WHERE loc = \
+       'ARC') ORDER BY ename"
+  in
+  check_rows "in subquery" [ row [ vs "anna" ]; row [ vs "ben" ]; row [ vs "carol" ] ] rows
+
+let test_or_exists () =
+  (* the xskills-style disjunctive reachability query: EXISTS under OR
+     must NOT be converted to a join *)
+  let db = org_db () in
+  let rows =
+    q db
+      "SELECT s.sno FROM skills s WHERE EXISTS (SELECT 1 FROM empskills es, \
+       emp e, dept d WHERE es.essno = s.sno AND es.eseno = e.eno AND e.edno \
+       = d.dno AND d.loc = 'ARC') OR EXISTS (SELECT 1 FROM projskills ps, \
+       proj p, dept d WHERE ps.pssno = s.sno AND ps.pspno = p.pno AND p.pdno \
+       = d.dno AND d.loc = 'ARC') ORDER BY s.sno"
+  in
+  (* reachable skills: ml(30), db(31), ui(33), hw(34); os(32) only via HAW *)
+  check_rows "disjunctive reachability"
+    (rows_of_ints [ [ 30 ]; [ 31 ]; [ 33 ]; [ 34 ] ])
+    rows
+
+let test_group_by () =
+  let db = org_db () in
+  let rows =
+    q db
+      "SELECT edno, COUNT(*), SUM(sal) FROM emp GROUP BY edno ORDER BY edno"
+  in
+  check_rows "group by"
+    (rows_of_ints [ [ 1; 2; 190 ]; [ 2; 1; 120 ]; [ 3; 1; 80 ] ])
+    rows
+
+let test_having () =
+  let db = org_db () in
+  let rows =
+    q db
+      "SELECT edno, COUNT(*) FROM emp GROUP BY edno HAVING COUNT(*) > 1"
+  in
+  check_rows "having" (rows_of_ints [ [ 1; 2 ] ]) rows
+
+let test_global_aggregate () =
+  let db = org_db () in
+  check_rows "count" (rows_of_ints [ [ 4 ] ]) (q db "SELECT COUNT(*) FROM emp");
+  check_rows "empty sum"
+    [ row [ vnull ] ]
+    (q db "SELECT SUM(sal) FROM emp WHERE sal > 1000")
+
+let test_distinct () =
+  let db = org_db () in
+  let rows = q db "SELECT DISTINCT loc FROM dept ORDER BY loc" in
+  check_rows "distinct" [ row [ vs "ARC" ]; row [ vs "HAW" ] ] rows
+
+let test_derived_table () =
+  let db = org_db () in
+  let rows =
+    q db
+      "SELECT t.dname FROM (SELECT dname, loc FROM dept WHERE loc = 'HAW') \
+       AS t"
+  in
+  check_rows "derived table" [ row [ vs "remote" ] ] rows
+
+let test_order_limit () =
+  let db = org_db () in
+  let rows = q db "SELECT eno FROM emp ORDER BY sal DESC LIMIT 2" in
+  check_rows "top 2 salaries" (rows_of_ints [ [ 12 ]; [ 10 ] ]) rows
+
+let test_update_delete () =
+  let db = org_db () in
+  (match Db.exec db "UPDATE emp SET sal = sal + 10 WHERE edno = 1" with
+  | Db.Affected 2 -> ()
+  | _ -> Alcotest.fail "expected 2 rows updated");
+  check_rows "updated" (rows_of_ints [ [ 110 ]; [ 100 ] ])
+    (q db "SELECT sal FROM emp WHERE edno = 1 ORDER BY eno");
+  (match Db.exec db "DELETE FROM emp WHERE sal < 105" with
+  | Db.Affected n -> Alcotest.(check int) "deleted" 2 n
+  | _ -> Alcotest.fail "expected Affected");
+  check_rows "remaining" (rows_of_ints [ [ 10 ]; [ 12 ] ])
+    (q db "SELECT eno FROM emp ORDER BY eno")
+
+let test_update_with_subquery () =
+  let db = org_db () in
+  (match
+     Db.exec db
+       "UPDATE emp SET sal = 0 WHERE edno IN (SELECT dno FROM dept WHERE loc \
+        = 'HAW')"
+   with
+  | Db.Affected 1 -> ()
+  | _ -> Alcotest.fail "expected 1 row updated");
+  check_rows "zeroed" (rows_of_ints [ [ 13; 0 ] ])
+    (q db "SELECT eno, sal FROM emp WHERE sal = 0")
+
+let test_insert_nulls_and_constraints () =
+  let db = org_db () in
+  ignore (Db.exec db "INSERT INTO emp (eno, ename) VALUES (99, 'zed')");
+  check_rows "null dept" [ row [ vnull ] ] (q db "SELECT edno FROM emp WHERE eno = 99");
+  Alcotest.check_raises "duplicate pk"
+    (Relcore.Errors.Db_error
+       ( Relcore.Errors.Constraint_error,
+         "unique index \"emp_pkey\" violated in table \"emp\"" ))
+    (fun () -> ignore (Db.exec db "INSERT INTO emp VALUES (99, 'dup', 1, 1)"))
+
+let test_sql_view () =
+  let db = org_db () in
+  ignore
+    (Db.exec db "CREATE VIEW arc_dept AS SELECT * FROM dept WHERE loc = 'ARC'");
+  let rows = q db "SELECT dno FROM arc_dept ORDER BY dno" in
+  check_rows "view" (rows_of_ints [ [ 1 ]; [ 2 ] ]) rows
+
+let test_explain_mentions_join () =
+  let db = org_db () in
+  let text =
+    Db.explain db "SELECT e.eno FROM emp e, dept d WHERE e.edno = d.dno"
+  in
+  Alcotest.(check bool) "has a join" true
+    (let re_has s sub =
+       let n = String.length s and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+       go 0
+     in
+     re_has text "Join")
+
+let test_script () =
+  let db = Db.create () in
+  let results =
+    Db.exec_script db
+      "CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2); SELECT a FROM \
+       t ORDER BY a"
+  in
+  match List.rev results with
+  | Db.Rows (_, rows) :: _ -> check_rows "script" (rows_of_ints [ [ 1 ]; [ 2 ] ]) rows
+  | _ -> Alcotest.fail "expected rows"
+
+let suite =
+  [
+    Alcotest.test_case "simple select" `Quick test_simple_select;
+    Alcotest.test_case "projection arithmetic" `Quick test_projection_arith;
+    Alcotest.test_case "join" `Quick test_join;
+    Alcotest.test_case "exists subquery" `Quick test_exists_subquery;
+    Alcotest.test_case "rewrite preserves exists" `Quick
+      test_exists_no_rewrite_same_result;
+    Alcotest.test_case "in subquery" `Quick test_in_subquery;
+    Alcotest.test_case "exists under or" `Quick test_or_exists;
+    Alcotest.test_case "group by" `Quick test_group_by;
+    Alcotest.test_case "having" `Quick test_having;
+    Alcotest.test_case "global aggregate" `Quick test_global_aggregate;
+    Alcotest.test_case "distinct" `Quick test_distinct;
+    Alcotest.test_case "derived table" `Quick test_derived_table;
+    Alcotest.test_case "order by / limit" `Quick test_order_limit;
+    Alcotest.test_case "update / delete" `Quick test_update_delete;
+    Alcotest.test_case "update with subquery" `Quick test_update_with_subquery;
+    Alcotest.test_case "insert nulls + constraints" `Quick
+      test_insert_nulls_and_constraints;
+    Alcotest.test_case "sql view" `Quick test_sql_view;
+    Alcotest.test_case "explain mentions join" `Quick test_explain_mentions_join;
+    Alcotest.test_case "script runner" `Quick test_script;
+  ]
+
+(* -- transactions ------------------------------------------------------ *)
+
+let test_txn_commit_rollback () =
+  let db = org_db () in
+  ignore (Db.exec db "BEGIN");
+  ignore (Db.exec db "UPDATE emp SET sal = 0 WHERE eno = 10");
+  ignore (Db.exec db "INSERT INTO emp VALUES (99, 'tmp', 1, 1)");
+  ignore (Db.exec db "DELETE FROM emp WHERE eno = 11");
+  ignore (Db.exec db "ROLLBACK");
+  check_rows "update undone" (rows_of_ints [ [ 100 ] ])
+    (q db "SELECT sal FROM emp WHERE eno = 10");
+  check_rows "insert undone" [] (q db "SELECT eno FROM emp WHERE eno = 99");
+  check_rows "delete undone" (rows_of_ints [ [ 11 ] ])
+    (q db "SELECT eno FROM emp WHERE eno = 11");
+  ignore (Db.exec db "BEGIN");
+  ignore (Db.exec db "UPDATE emp SET sal = 7 WHERE eno = 10");
+  ignore (Db.exec db "COMMIT");
+  check_rows "commit sticks" (rows_of_ints [ [ 7 ] ])
+    (q db "SELECT sal FROM emp WHERE eno = 10")
+
+let test_txn_ddl_rejected () =
+  let db = org_db () in
+  ignore (Db.exec db "BEGIN");
+  Alcotest.(check bool) "ddl rejected in txn" true
+    (try
+       ignore (Db.exec db "CREATE TABLE zz (a INT)");
+       false
+     with Relcore.Errors.Db_error (Relcore.Errors.Execution_error, _) -> true);
+  ignore (Db.exec db "ROLLBACK")
+
+let test_atomically_rolls_back_on_exception () =
+  let db = org_db () in
+  (try
+     Db.atomically db (fun () ->
+         ignore (Db.exec db "UPDATE emp SET sal = 0 WHERE eno = 10");
+         failwith "boom")
+   with Failure _ -> ());
+  check_rows "rolled back" (rows_of_ints [ [ 100 ] ])
+    (q db "SELECT sal FROM emp WHERE eno = 10")
+
+let txn_suite =
+  [
+    Alcotest.test_case "txn commit/rollback" `Quick test_txn_commit_rollback;
+    Alcotest.test_case "txn rejects ddl" `Quick test_txn_ddl_rejected;
+    Alcotest.test_case "atomically" `Quick test_atomically_rolls_back_on_exception;
+  ]
+
+let suite = suite @ txn_suite
+
+(* -- additional engine coverage ----------------------------------------- *)
+
+let test_self_join () =
+  let db = org_db () in
+  (* colleagues: pairs of distinct employees in the same department *)
+  let rows =
+    q db
+      "SELECT a.eno, b.eno FROM emp a, emp b WHERE a.edno = b.edno AND a.eno \
+       < b.eno ORDER BY a.eno, b.eno"
+  in
+  check_rows "self join" (rows_of_ints [ [ 10; 11 ] ]) rows
+
+let test_cross_join () =
+  let db = org_db () in
+  check_rows "cross product count" (rows_of_ints [ [ 12 ] ])
+    (q db "SELECT COUNT(*) FROM emp, dept")
+
+let test_multi_key_order_by () =
+  let db = Db.create () in
+  ignore
+    (Db.exec_script db
+       "CREATE TABLE t (a INT, b INT); INSERT INTO t VALUES (2, 1), (1, 2), \
+        (1, 1), (2, 2)");
+  check_rows "two sort keys"
+    (rows_of_ints [ [ 1; 2 ]; [ 1; 1 ]; [ 2; 2 ]; [ 2; 1 ] ])
+    (q db "SELECT a, b FROM t ORDER BY a, b DESC")
+
+let test_order_by_position () =
+  let db = org_db () in
+  check_rows "positional order" (rows_of_ints [ [ 13 ]; [ 12 ] ])
+    (q db "SELECT eno FROM emp ORDER BY 1 DESC LIMIT 2")
+
+let test_script_with_semicolons_in_strings () =
+  let db = Db.create () in
+  let results =
+    Db.exec_script db
+      "CREATE TABLE t (s STRING); INSERT INTO t VALUES ('a;b'); SELECT s \
+       FROM t"
+  in
+  match List.rev results with
+  | Db.Rows (_, rows) :: _ ->
+    check_rows "semicolon inside string" [ row [ vs "a;b" ] ] rows
+  | _ -> Alcotest.fail "expected rows"
+
+let test_render_empty () =
+  let db = org_db () in
+  let schema, rows = Db.query db "SELECT eno FROM emp WHERE eno = 0" in
+  let text = Db.render schema rows in
+  Alcotest.(check bool) "header only" true (String.length text > 0);
+  Alcotest.(check int) "no data lines" 2
+    (List.length (String.split_on_char '\n' text))
+
+let test_drop_table_and_view () =
+  let db = org_db () in
+  ignore (Db.exec db "CREATE VIEW v AS SELECT * FROM dept");
+  ignore (Db.exec db "DROP VIEW v");
+  ignore (Db.exec db "DROP TABLE skills");
+  Alcotest.(check bool) "table gone" true
+    (try
+       ignore (q db "SELECT * FROM skills");
+       false
+     with Relcore.Errors.Db_error (Relcore.Errors.Catalog_error, _) -> true)
+
+let test_insert_with_function_values () =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE t (s STRING)");
+  ignore (Db.exec db "INSERT INTO t VALUES (UPPER('abc'))");
+  check_rows "computed insert" [ row [ vs "ABC" ] ] (q db "SELECT s FROM t")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "self join" `Quick test_self_join;
+      Alcotest.test_case "cross join" `Quick test_cross_join;
+      Alcotest.test_case "multi-key order by" `Quick test_multi_key_order_by;
+      Alcotest.test_case "order by position" `Quick test_order_by_position;
+      Alcotest.test_case "script semicolons in strings" `Quick
+        test_script_with_semicolons_in_strings;
+      Alcotest.test_case "render empty result" `Quick test_render_empty;
+      Alcotest.test_case "drop table/view" `Quick test_drop_table_and_view;
+      Alcotest.test_case "insert computed values" `Quick
+        test_insert_with_function_values;
+    ]

@@ -1,0 +1,205 @@
+(** Executor tests: operator semantics, three-valued logic, aggregation
+    corner cases, pipelining, sharing at runtime. *)
+
+open Helpers
+module Db = Engine.Database
+
+let q db sql = Db.query_rows db sql
+
+let test_null_semantics () =
+  let db = Db.create () in
+  ignore
+    (Db.exec_script db
+       "CREATE TABLE t (a INT, b INT); INSERT INTO t VALUES (1, 10), (2, \
+        NULL), (NULL, 30)");
+  (* null never equals anything *)
+  check_rows "eq null" (rows_of_ints [ [ 1 ] ]) (q db "SELECT a FROM t WHERE b = 10");
+  check_rows "is null" [ row [ vnull; vi 30 ] ] (q db "SELECT a, b FROM t WHERE a IS NULL");
+  check_rows "is not null filters" (rows_of_ints [ [ 1 ]; [ 2 ] ])
+    (q db "SELECT a FROM t WHERE a IS NOT NULL ORDER BY a");
+  (* null arithmetic propagates *)
+  check_rows "null arith" [ row [ vnull ] ] (q db "SELECT b + 1 FROM t WHERE a = 2");
+  (* 3VL: NOT unknown is unknown -> row dropped *)
+  check_rows "not unknown" (rows_of_ints [ [ 1 ] ])
+    (q db "SELECT a FROM t WHERE NOT b = 99 AND a = 1")
+
+let test_in_subquery_null_semantics () =
+  let db = Db.create () in
+  ignore
+    (Db.exec_script db
+       "CREATE TABLE s (x INT); CREATE TABLE r (y INT); INSERT INTO s VALUES \
+        (1), (NULL); INSERT INTO r VALUES (1), (2)");
+  (* 1 IN {1, NULL} -> true; 2 IN {1, NULL} -> unknown -> dropped *)
+  check_rows "in with null" (rows_of_ints [ [ 1 ] ])
+    (q db "SELECT y FROM r WHERE y IN (SELECT x FROM s) OR y = 0")
+
+let test_like () =
+  let db = Db.create () in
+  ignore
+    (Db.exec_script db
+       "CREATE TABLE t (s STRING); INSERT INTO t VALUES ('hello'), ('help'), \
+        ('world'), ('hel')");
+  check_rows "percent" [ row [ vs "hel" ]; row [ vs "hello" ]; row [ vs "help" ] ]
+    (q db "SELECT s FROM t WHERE s LIKE 'hel%' ORDER BY s");
+  check_rows "underscore" [ row [ vs "help" ] ]
+    (q db "SELECT s FROM t WHERE s LIKE 'hel_' AND s <> 'hell'");
+  check_rows "inner percent" [ row [ vs "world" ] ]
+    (q db "SELECT s FROM t WHERE s LIKE 'w%d'")
+
+let test_aggregates_full () =
+  let db = Db.create () in
+  ignore
+    (Db.exec_script db
+       "CREATE TABLE t (g INT, v INT); INSERT INTO t VALUES (1, 10), (1, \
+        NULL), (1, 30), (2, 5)");
+  check_rows "count star vs count col"
+    (rows_of_ints [ [ 1; 3; 2 ]; [ 2; 1; 1 ] ])
+    (q db "SELECT g, COUNT(*), COUNT(v) FROM t GROUP BY g ORDER BY g");
+  check_rows "sum min max"
+    (rows_of_ints [ [ 40; 10; 30 ] ])
+    (q db "SELECT SUM(v), MIN(v), MAX(v) FROM t WHERE g = 1");
+  (match q db "SELECT AVG(v) FROM t WHERE g = 1" with
+  | [ [| Relcore.Value.Float avg |] ] ->
+    Alcotest.(check (float 0.001)) "avg ignores nulls" 20.0 avg
+  | _ -> Alcotest.fail "avg");
+  check_rows "empty group aggregate identities"
+    [ row [ vi 0; vnull ] ]
+    (q db "SELECT COUNT(*), SUM(v) FROM t WHERE g = 99")
+
+let test_group_by_expression_projection () =
+  let db = org_db () in
+  check_rows "arith over aggregate"
+    (rows_of_ints [ [ 1; 380 ]; [ 2; 240 ]; [ 3; 160 ] ])
+    (q db "SELECT edno, SUM(sal) * 2 FROM emp GROUP BY edno ORDER BY edno")
+
+let test_distinct_on_expressions () =
+  let db = org_db () in
+  check_rows "distinct dept of emps" (rows_of_ints [ [ 1 ]; [ 2 ]; [ 3 ] ])
+    (q db "SELECT DISTINCT edno FROM emp ORDER BY edno")
+
+let test_union_all_plan_node () =
+  (* exercised through an XNF union derivation at the executor level *)
+  let db = org_db () in
+  let stream =
+    Xnf.Xnf_compile.run db
+      "OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),\n\
+       xemp AS EMP, xproj AS PROJ, xskills AS SKILLS,\n\
+       employment AS (RELATE xdept VIA EMPLOYS, xemp WHERE xdept.dno = \
+       xemp.edno),\n\
+       ownership AS (RELATE xdept VIA HAS, xproj WHERE xdept.dno = \
+       xproj.pdno),\n\
+       empproperty AS (RELATE xemp VIA POSSESSES, xskills USING EMPSKILLS es \
+       WHERE xemp.eno = es.eseno AND es.essno = xskills.sno),\n\
+       projproperty AS (RELATE xproj VIA NEEDS, xskills USING PROJSKILLS ps \
+       WHERE xproj.pno = ps.pspno AND ps.pssno = xskills.sno)\n\
+       TAKE xskills"
+  in
+  Alcotest.(check int) "union-derived skills" 4
+    (List.assoc "xskills" (Xnf.Hetstream.counts stream))
+
+let test_pipelining_is_lazy () =
+  (* LIMIT must not force the full scan: use the ctx row counter *)
+  let db = Workloads.Org.generate { Workloads.Org.default with n_depts = 100 } in
+  let ctx = Executor.Exec.make_ctx () in
+  let c = Db.compile_query db "SELECT eno FROM emp LIMIT 5" in
+  let rows = Executor.Exec.run ~ctx c in
+  Alcotest.(check int) "five rows" 5 (List.length rows);
+  Alcotest.(check bool) "scan stopped early" true
+    (ctx.Executor.Exec.rows_scanned < 100)
+
+let test_shared_materialized_once () =
+  let db = org_db () in
+  let ctx = Executor.Exec.make_ctx () in
+  let compiled = Xnf.Xnf_compile.compile db Workloads.Org.deps_arc_query in
+  ignore (Xnf.Xnf_compile.extract ~ctx compiled);
+  let with_cse = ctx.Executor.Exec.rows_scanned in
+  let ctx2 = Executor.Exec.make_ctx () in
+  let compiled2 =
+    Xnf.Xnf_compile.compile ~share:false db Workloads.Org.deps_arc_query
+  in
+  ignore (Xnf.Xnf_compile.extract ~ctx:ctx2 compiled2);
+  let without_cse = ctx2.Executor.Exec.rows_scanned in
+  Alcotest.(check bool) "sharing reads fewer base rows" true
+    (with_cse < without_cse)
+
+let test_correlated_exists_depth2 () =
+  let db = org_db () in
+  (* two levels of correlation: departments that employ someone who has a
+     skill some project of the same department needs *)
+  let rows =
+    q db
+      "SELECT d.dno FROM dept d WHERE EXISTS (SELECT 1 FROM emp e, empskills \
+       es WHERE e.edno = d.dno AND es.eseno = e.eno AND EXISTS (SELECT 1 \
+       FROM proj p, projskills ps WHERE p.pdno = d.dno AND ps.pspno = p.pno \
+       AND ps.pssno = es.essno)) ORDER BY d.dno"
+  in
+  (* every department qualifies: each has an employee whose skill some
+     same-department project needs *)
+  check_rows "nested correlation" (rows_of_ints [ [ 1 ]; [ 2 ]; [ 3 ] ]) rows
+
+let test_division_by_zero_raises () =
+  let db = org_db () in
+  Alcotest.(check bool) "division by zero" true
+    (try
+       ignore (q db "SELECT sal / 0 FROM emp");
+       false
+     with Relcore.Errors.Db_error (Relcore.Errors.Execution_error, _) -> true)
+
+let test_order_by_nulls_first () =
+  let db = Db.create () in
+  ignore
+    (Db.exec_script db
+       "CREATE TABLE t (a INT); INSERT INTO t VALUES (2), (NULL), (1)");
+  check_rows "nulls sort first" [ row [ vnull ]; row [ vi 1 ]; row [ vi 2 ] ]
+    (q db "SELECT a FROM t ORDER BY a")
+
+let suite =
+  [
+    Alcotest.test_case "null 3vl" `Quick test_null_semantics;
+    Alcotest.test_case "in-subquery nulls" `Quick test_in_subquery_null_semantics;
+    Alcotest.test_case "like matching" `Quick test_like;
+    Alcotest.test_case "aggregates" `Quick test_aggregates_full;
+    Alcotest.test_case "group-by expression projection" `Quick
+      test_group_by_expression_projection;
+    Alcotest.test_case "distinct" `Quick test_distinct_on_expressions;
+    Alcotest.test_case "union-all node" `Quick test_union_all_plan_node;
+    Alcotest.test_case "pipelining laziness" `Quick test_pipelining_is_lazy;
+    Alcotest.test_case "shared materialized once" `Quick
+      test_shared_materialized_once;
+    Alcotest.test_case "correlated exists depth 2" `Quick
+      test_correlated_exists_depth2;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero_raises;
+    Alcotest.test_case "order by nulls" `Quick test_order_by_nulls_first;
+  ]
+
+let test_scalar_functions () =
+  let db = Db.create () in
+  ignore
+    (Db.exec_script db
+       "CREATE TABLE t (s STRING, n INT); INSERT INTO t VALUES ('Hello', \
+        -5), (NULL, 3)");
+  check_rows "string functions"
+    [ row [ vs "HELLO"; vs "hello"; vi 5; vs "ell" ] ]
+    (q db
+       "SELECT UPPER(s), LOWER(s), LENGTH(s), SUBSTR(s, 2, 3) FROM t WHERE s \
+        IS NOT NULL");
+  check_rows "abs" (rows_of_ints [ [ 5 ] ])
+    (q db "SELECT ABS(n) FROM t WHERE n < 0");
+  check_rows "null propagation" [ row [ vnull ] ]
+    (q db "SELECT UPPER(s) FROM t WHERE n = 3");
+  check_rows "coalesce" [ row [ vs "fallback" ] ]
+    (q db "SELECT COALESCE(s, 'fallback') FROM t WHERE n = 3");
+  (* functions compose with predicates and aggregation *)
+  check_rows "fn in where" [ row [ vs "Hello" ] ]
+    (q db "SELECT s FROM t WHERE LENGTH(s) = 5");
+  check_rows "fn of aggregate" (rows_of_ints [ [ 2 ] ])
+    (q db "SELECT ABS(MIN(n)) + COUNT(*) - 5 FROM t");
+  Alcotest.(check bool) "unknown function rejected" true
+    (try
+       ignore (q db "SELECT NOSUCHFN(s) FROM t");
+       false
+     with Relcore.Errors.Db_error (Relcore.Errors.Semantic_error, _) -> true)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "scalar functions" `Quick test_scalar_functions ]

@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "xnfdb"
+    [
+      ("relcore", Test_relcore.suite);
+      ("sqlkit", Test_sqlkit.suite);
+      ("qgm", Test_qgm.suite);
+      ("planner", Test_planner.suite);
+      ("executor", Test_executor.suite);
+      ("engine", Test_engine.suite);
+      ("xnf", Test_xnf.suite);
+      ("cocache", Test_cocache.suite);
+      ("workloads", Test_workloads.suite);
+      ("properties", Test_props.suite);
+    ]

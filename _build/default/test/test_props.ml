@@ -1,0 +1,448 @@
+(** Property-based tests (qcheck): algebraic invariants of the kernel
+    data structures and end-to-end equivalence of the three CO
+    derivation strategies on randomized databases. *)
+
+open Relcore
+
+let value_gen : Value.t QCheck.Gen.t =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return Value.Null);
+        (2, map (fun b -> Value.Bool b) bool);
+        (4, map (fun i -> Value.Int i) (int_range (-1000) 1000));
+        (3, map (fun f -> Value.Float (float_of_int f /. 8.0)) (int_range (-800) 800));
+        (4, map (fun s -> Value.Str s) (string_size ~gen:(char_range 'a' 'e') (int_range 0 6)));
+      ])
+
+let value_arb = QCheck.make ~print:Value.to_string value_gen
+
+let prop_value_compare_total_order =
+  QCheck.Test.make ~name:"Value.compare antisymmetric + transitive" ~count:500
+    (QCheck.triple value_arb value_arb value_arb)
+    (fun (a, b, c) ->
+      let ab = Value.compare a b and ba = Value.compare b a in
+      let anti = compare ab 0 = compare 0 ba in
+      let trans =
+        if Value.compare a b <= 0 && Value.compare b c <= 0 then
+          Value.compare a c <= 0
+        else true
+      in
+      anti && trans)
+
+let prop_value_hash_respects_equal =
+  QCheck.Test.make ~name:"Value equal implies same hash" ~count:500
+    (QCheck.pair value_arb value_arb)
+    (fun (a, b) -> (not (Value.equal a b)) || Value.hash a = Value.hash b)
+
+(* reference LIKE matcher: expand to position sets *)
+let like_reference ~pattern s =
+  let n = String.length s in
+  let step positions c =
+    match c with
+    | '%' ->
+      let reachable = Array.make (n + 1) false in
+      List.iter
+        (fun p ->
+          for i = p to n do
+            reachable.(i) <- true
+          done)
+        positions;
+      List.filter (fun i -> reachable.(i)) (List.init (n + 1) Fun.id)
+    | '_' -> List.filter_map (fun p -> if p < n then Some (p + 1) else None) positions
+    | c ->
+      List.filter_map
+        (fun p -> if p < n && s.[p] = c then Some (p + 1) else None)
+        positions
+  in
+  let final = String.fold_left step [ 0 ] pattern in
+  List.mem n final
+
+let pattern_gen =
+  QCheck.Gen.(
+    string_size ~gen:(oneof [ char_range 'a' 'c'; return '%'; return '_' ])
+      (int_range 0 8))
+
+let prop_like_matches_reference =
+  QCheck.Test.make ~name:"LIKE agrees with reference matcher" ~count:1000
+    (QCheck.pair
+       (QCheck.make ~print:Fun.id pattern_gen)
+       (QCheck.make ~print:Fun.id
+          QCheck.Gen.(string_size ~gen:(char_range 'a' 'c') (int_range 0 10))))
+    (fun (pattern, s) ->
+      Executor.Eval.like_match ~pattern s = like_reference ~pattern s)
+
+(* model-based heap test *)
+type heap_op = Ins of int | Del of int | Upd of int * int
+
+let heap_ops_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 60)
+      (frequency
+         [
+           (4, map (fun v -> Ins v) (int_range 0 100));
+           (2, map (fun i -> Del i) (int_range 0 30));
+           (2, map (fun (i, v) -> Upd (i, v)) (pair (int_range 0 30) (int_range 0 100)));
+         ]))
+
+let prop_heap_model =
+  QCheck.Test.make ~name:"Heap behaves like a map" ~count:300
+    (QCheck.make heap_ops_gen)
+    (fun ops ->
+      let h = Heap.create () in
+      let model : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      let live_rids () = Hashtbl.fold (fun r _ acc -> r :: acc) model [] in
+      List.iter
+        (fun op ->
+          match op with
+          | Ins v ->
+            let rid = Heap.insert h [| Value.Int v |] in
+            Hashtbl.replace model rid v
+          | Del i -> begin
+            match List.nth_opt (List.sort compare (live_rids ())) i with
+            | Some rid ->
+              Heap.delete h rid;
+              Hashtbl.remove model rid
+            | None -> ()
+          end
+          | Upd (i, v) -> begin
+            match List.nth_opt (List.sort compare (live_rids ())) i with
+            | Some rid ->
+              Heap.update h rid [| Value.Int v |];
+              Hashtbl.replace model rid v
+            | None -> ()
+          end)
+        ops;
+      Heap.cardinality h = Hashtbl.length model
+      && Hashtbl.fold
+           (fun rid v acc ->
+             acc
+             &&
+             match Heap.get h rid with
+             | Some t -> Value.equal t.(0) (Value.Int v)
+             | None -> false)
+           model true)
+
+(* vec model *)
+let prop_vec_model =
+  QCheck.Test.make ~name:"Vec behaves like a list" ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 200) QCheck.small_int)
+    (fun xs ->
+      let v = Vec.create ~dummy:(-1) in
+      List.iter (Vec.push v) xs;
+      Vec.to_list v = xs
+      && Vec.length v = List.length xs
+      && List.for_all (fun i -> Vec.get v i = List.nth xs i)
+           (List.init (min 5 (List.length xs)) Fun.id))
+
+(* tuple ordering *)
+let tuple_arb =
+  QCheck.make
+    ~print:(fun t -> Tuple.to_string t)
+    QCheck.Gen.(map Array.of_list (list_size (int_range 0 4) value_gen))
+
+let prop_tuple_compare_consistent =
+  QCheck.Test.make ~name:"Tuple compare/equal/hash consistent" ~count:500
+    (QCheck.pair tuple_arb tuple_arb)
+    (fun (a, b) ->
+      let eq = Tuple.equal a b in
+      (eq = (Tuple.compare a b = 0)) && ((not eq) || Tuple.hash a = Tuple.hash b))
+
+(* -- end-to-end equivalence on random databases -------------------------- *)
+
+let org_params_gen =
+  QCheck.Gen.(
+    map
+      (fun (n_depts, emps, projs, seed) ->
+        {
+          Workloads.Org.default with
+          n_depts;
+          emps_per_dept = emps;
+          projs_per_dept = projs;
+          n_skills = 12;
+          skills_per_emp = 2;
+          skills_per_proj = 2;
+          seed;
+        })
+      (quad (int_range 2 8) (int_range 1 5) (int_range 1 3) (int_range 0 10_000)))
+
+let org_params_arb =
+  QCheck.make
+    ~print:(fun (p : Workloads.Org.params) ->
+      Printf.sprintf "depts=%d emps=%d projs=%d seed=%d" p.Workloads.Org.n_depts
+        p.Workloads.Org.emps_per_dept p.Workloads.Org.projs_per_dept
+        p.Workloads.Org.seed)
+    org_params_gen
+
+(** The three derivation strategies must agree on every component
+    cardinality: XNF multi-table extraction, per-component SQL queries,
+    and the navigational walk. *)
+let prop_strategies_agree =
+  QCheck.Test.make ~name:"XNF = SQL-derivation = navigational (counts)"
+    ~count:25 org_params_arb
+    (fun params ->
+      let db = Workloads.Org.generate params in
+      let ast = Xnf.Xnf_parser.parse Workloads.Org.deps_arc_query in
+      let xnf = Xnf.Hetstream.counts (Xnf.Xnf_compile.run db Workloads.Org.deps_arc_query) in
+      let sql =
+        List.map
+          (fun (n, rows) -> (n, List.length rows))
+          (Xnf.Sql_derivation.extract db ast)
+      in
+      let nav = (Xnf.Navigational.extract ~mode:`Prepared db ast).Xnf.Navigational.counts in
+      let sorted l = List.sort compare l in
+      sorted xnf = sorted sql && sorted xnf = sorted nav)
+
+(** CSE on/off and NF-rewrite on/off must not change extraction results. *)
+let prop_ablations_preserve_semantics =
+  QCheck.Test.make ~name:"share/rewrite ablations preserve extraction"
+    ~count:20 org_params_arb
+    (fun params ->
+      let db = Workloads.Org.generate params in
+      let c ~share ~nf_rewrite =
+        Xnf.Hetstream.counts
+          (Xnf.Xnf_compile.run ~share ~nf_rewrite db Workloads.Org.deps_arc_query)
+      in
+      let base = c ~share:true ~nf_rewrite:true in
+      base = c ~share:false ~nf_rewrite:true
+      && base = c ~share:true ~nf_rewrite:false
+      && base = c ~share:false ~nf_rewrite:false)
+
+(** Stream serialization roundtrips on random extractions. *)
+let prop_stream_roundtrip =
+  QCheck.Test.make ~name:"hetstream serialize/deserialize roundtrip" ~count:20
+    org_params_arb
+    (fun params ->
+      let db = Workloads.Org.generate params in
+      let s = Xnf.Xnf_compile.run db Workloads.Org.deps_arc_query in
+      let s' = Xnf.Hetstream.deserialize (Xnf.Hetstream.serialize s) in
+      Xnf.Hetstream.counts s = Xnf.Hetstream.counts s'
+      && s.Xnf.Hetstream.items = s'.Xnf.Hetstream.items)
+
+(** Every connection in every random extraction resolves to shipped rows
+    (referential integrity of the heterogeneous stream). *)
+let prop_connections_resolve =
+  QCheck.Test.make ~name:"connections reference shipped tuples" ~count:20
+    org_params_arb
+    (fun params ->
+      let db = Workloads.Org.generate params in
+      let s = Xnf.Xnf_compile.run db Workloads.Org.deps_arc_query in
+      let ids = Hashtbl.create 256 in
+      List.iter
+        (function
+          | Xnf.Hetstream.Row { id; _ } -> Hashtbl.replace ids id ()
+          | Xnf.Hetstream.Conn _ -> ())
+        s.Xnf.Hetstream.items;
+      List.for_all
+        (function
+          | Xnf.Hetstream.Conn { parent; children; _ } ->
+            Hashtbl.mem ids parent
+            && Array.for_all (fun c -> Hashtbl.mem ids c) children
+          | Xnf.Hetstream.Row _ -> true)
+        s.Xnf.Hetstream.items)
+
+(** The recursive fixpoint evaluator agrees with the navigational walk
+    (which handles cycles through its dedup maps) on random BOMs. *)
+let bom_params_gen =
+  QCheck.Gen.(
+    map
+      (fun (n, levels, k, seed) ->
+        {
+          Workloads.Bom.default with
+          n_assemblies = n;
+          levels;
+          children_per_part = k;
+          seed;
+        })
+      (quad (int_range 1 3) (int_range 1 4) (int_range 1 3) (int_range 0 10_000)))
+
+let prop_recursive_agrees_with_navigational =
+  QCheck.Test.make ~name:"recursive fixpoint = navigational walk" ~count:15
+    (QCheck.make
+       ~print:(fun (p : Workloads.Bom.params) ->
+         Printf.sprintf "asm=%d levels=%d k=%d seed=%d" p.Workloads.Bom.n_assemblies
+           p.Workloads.Bom.levels p.Workloads.Bom.children_per_part
+           p.Workloads.Bom.seed)
+       bom_params_gen)
+    (fun params ->
+      let db = Workloads.Bom.generate params in
+      let ast = Xnf.Xnf_parser.parse Workloads.Bom.assembly_query in
+      let fixpoint =
+        Xnf.Hetstream.counts (Xnf.Xnf_compile.run db Workloads.Bom.assembly_query)
+      in
+      let nav = (Xnf.Navigational.extract ~mode:`Prepared db ast).Xnf.Navigational.counts in
+      List.sort compare fixpoint = List.sort compare nav)
+
+(** Cache persistence roundtrips: save/load preserves structure. *)
+let prop_persist_roundtrip =
+  QCheck.Test.make ~name:"cache persist/load roundtrip" ~count:10 org_params_arb
+    (fun params ->
+      let db = Workloads.Org.generate params in
+      let ws =
+        Cocache.Workspace.of_stream
+          (Xnf.Xnf_compile.run db Workloads.Org.deps_arc_query)
+      in
+      let file = Filename.temp_file "prop_cache" ".xnf" in
+      Cocache.Persist.save ws file;
+      let ws' = Cocache.Persist.load file in
+      Sys.remove file;
+      Cocache.Workspace.size ws = Cocache.Workspace.size ws'
+      && Cocache.Workspace.connection_count ws
+         = Cocache.Workspace.connection_count ws')
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_value_compare_total_order;
+      prop_value_hash_respects_equal;
+      prop_like_matches_reference;
+      prop_heap_model;
+      prop_vec_model;
+      prop_tuple_compare_consistent;
+      prop_strategies_agree;
+      prop_ablations_preserve_semantics;
+      prop_stream_roundtrip;
+      prop_connections_resolve;
+      prop_recursive_agrees_with_navigational;
+      prop_persist_roundtrip;
+    ]
+
+(** Hash and merge join must produce identical multisets on randomized
+    databases. *)
+let prop_join_methods_agree =
+  QCheck.Test.make ~name:"hash join = merge join (results)" ~count:20
+    org_params_arb
+    (fun params ->
+      let db = Workloads.Org.generate params in
+      let queries =
+        [
+          "SELECT e.eno, d.dname FROM emp e, dept d WHERE e.edno = d.dno";
+          "SELECT e.eno, es.essno FROM emp e, empskills es, dept d WHERE \
+           e.edno = d.dno AND es.eseno = e.eno AND d.loc = 'ARC'";
+          "SELECT d.dno, COUNT(*) FROM dept d, proj p WHERE p.pdno = d.dno \
+           GROUP BY d.dno";
+        ]
+      in
+      List.for_all
+        (fun sql ->
+          let run jm =
+            Executor.Exec.run
+              (Engine.Database.compile_query ~join_method:jm db sql)
+            |> List.sort Tuple.compare
+          in
+          run `Hash = run `Merge)
+        queries)
+
+let suite = suite @ List.map QCheck_alcotest.to_alcotest [ prop_join_methods_agree ]
+
+(** The parser must never crash with anything but a [Db_error] on
+    arbitrary input. *)
+let prop_parser_total =
+  let token_gen =
+    QCheck.Gen.(
+      oneofl
+        [
+          "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "("; ")"; ","; "*";
+          "="; "<"; "3"; "'s'"; "t"; "a"; "GROUP"; "BY"; "EXISTS"; "IN";
+          "OUT"; "OF"; "RELATE"; "VIA"; "TAKE"; "USING"; ";"; "."; "INSERT";
+          "UPDATE"; "NULL"; "LIKE"; "BETWEEN"; "AS"; "ORDER"; "LIMIT";
+        ])
+  in
+  let input_gen =
+    QCheck.Gen.(map (String.concat " ") (list_size (int_range 0 25) token_gen))
+  in
+  QCheck.Test.make ~name:"parser totality (Db_error only)" ~count:2000
+    (QCheck.make ~print:Fun.id input_gen)
+    (fun src ->
+      (try ignore (Sqlkit.Parser.parse_stmt src)
+       with Relcore.Errors.Db_error _ -> ());
+      (try ignore (Xnf.Xnf_parser.parse src)
+       with Relcore.Errors.Db_error _ -> ());
+      true)
+
+(** DML through a view component must match updating the base table
+    directly. *)
+let prop_component_dml_equiv =
+  QCheck.Test.make ~name:"DML on view.component = DML on base (ARC rows)"
+    ~count:15 org_params_arb
+    (fun params ->
+      let db1 = Workloads.Org.generate params in
+      let db2 = Workloads.Org.generate params in
+      ignore
+        (Engine.Database.exec db1
+           ("CREATE VIEW v AS " ^ Workloads.Org.deps_arc_query));
+      ignore
+        (Engine.Database.exec db1 "UPDATE v.xemp SET sal = sal + 7 WHERE sal > 80");
+      (* equivalent direct statement: view predicate is TRUE for xemp
+         (its table expression is SELECT * FROM EMP) *)
+      ignore
+        (Engine.Database.exec db2 "UPDATE emp SET sal = sal + 7 WHERE sal > 80");
+      let q = "SELECT eno, sal FROM emp ORDER BY eno" in
+      Engine.Database.query_rows db1 q = Engine.Database.query_rows db2 q)
+
+let suite =
+  suite
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_parser_total; prop_component_dml_equiv ]
+
+(** SQL over a composed component must agree with the extraction: the
+    component table seen through view.component has exactly the rows the
+    heterogeneous stream ships. *)
+let prop_composition_agrees_with_extraction =
+  QCheck.Test.make ~name:"SELECT FROM view.component = extraction rows"
+    ~count:15 org_params_arb
+    (fun params ->
+      let db = Workloads.Org.generate params in
+      ignore
+        (Engine.Database.exec db
+           ("CREATE VIEW v AS " ^ Workloads.Org.deps_arc_query));
+      let stream = Xnf.Xnf_compile.run db Workloads.Org.deps_arc_query in
+      List.for_all
+        (fun comp ->
+          let info = Xnf.Hetstream.find_comp stream.Xnf.Hetstream.header comp in
+          let shipped =
+            List.filter_map
+              (function
+                | Xnf.Hetstream.Row { comp = c; values; _ }
+                  when c = info.Xnf.Hetstream.comp_no ->
+                  Some values
+                | _ -> None)
+              stream.Xnf.Hetstream.items
+            |> List.sort Tuple.compare
+          in
+          let queried =
+            Engine.Database.query_rows db
+              (Printf.sprintf "SELECT * FROM v.%s" comp)
+            |> List.sort Tuple.compare
+          in
+          shipped = queried)
+        [ "xdept"; "xemp"; "xproj"; "xskills" ])
+
+(** Path expressions must agree with manual pointer navigation. *)
+let prop_path_agrees_with_navigation =
+  QCheck.Test.make ~name:"path expression = manual navigation" ~count:15
+    org_params_arb
+    (fun params ->
+      let db = Workloads.Org.generate params in
+      let ws =
+        Cocache.Workspace.of_stream
+          (Xnf.Xnf_compile.run db Workloads.Org.deps_arc_query)
+      in
+      let by_path =
+        Cocache.Path.eval ws "xdept.employment.xemp.empproperty.xskills"
+        |> List.map (fun (n : Cocache.Conode.t) -> n.Cocache.Conode.id)
+        |> List.sort_uniq compare
+      in
+      let manual =
+        Cocache.Workspace.nodes ws "xdept"
+        |> List.concat_map (fun d -> Cocache.Conode.children d ~rel:"employment")
+        |> List.concat_map (fun e -> Cocache.Conode.children e ~rel:"empproperty")
+        |> List.map (fun (n : Cocache.Conode.t) -> n.Cocache.Conode.id)
+        |> List.sort_uniq compare
+      in
+      by_path = manual)
+
+let suite =
+  suite
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_composition_agrees_with_extraction; prop_path_agrees_with_navigation ]

@@ -1,0 +1,233 @@
+(** Unit tests for the relational kernel: values, schemas, heap storage,
+    indexes, base tables, catalog. *)
+
+open Relcore
+open Helpers
+
+(* -- values -------------------------------------------------------------- *)
+
+let test_value_compare () =
+  Alcotest.(check int) "int order" (-1) (Value.compare (vi 1) (vi 2));
+  Alcotest.(check int) "mixed numeric" 0 (Value.compare (vi 3) (vf 3.0));
+  Alcotest.(check bool) "null below all" true (Value.compare vnull (vi 0) < 0);
+  Alcotest.(check bool) "str after num" true (Value.compare (vs "a") (vi 9) > 0)
+
+let test_value_sql_semantics () =
+  Alcotest.(check (option bool)) "null = null is unknown" None
+    (Value.sql_eq vnull vnull);
+  Alcotest.(check (option bool)) "1 = 1" (Some true) (Value.sql_eq (vi 1) (vi 1));
+  Alcotest.(check (option int)) "null cmp" None (Value.sql_compare vnull (vi 1))
+
+let test_value_hash_consistent () =
+  Alcotest.(check bool) "equal values hash equal" true
+    (Value.hash (vi 3) = Value.hash (vf 3.0))
+
+let test_value_literals () =
+  Alcotest.(check string) "string escaping" "'it''s'"
+    (Value.to_literal (vs "it's"));
+  Alcotest.(check string) "null" "NULL" (Value.to_literal vnull)
+
+(* -- dtype ---------------------------------------------------------------- *)
+
+let test_dtype_coerce () =
+  Alcotest.(check value_testable) "int to float" (vf 3.0)
+    (Dtype.coerce Dtype.Tfloat (vi 3));
+  Alcotest.(check value_testable) "null passes" vnull
+    (Dtype.coerce Dtype.Tint vnull);
+  Alcotest.check_raises "str to int rejected"
+    (Errors.Db_error (Errors.Type_error, "value x does not fit type INT"))
+    (fun () -> ignore (Dtype.coerce Dtype.Tint (vs "x")))
+
+(* -- schema ---------------------------------------------------------------- *)
+
+let test_schema_lookup () =
+  let s =
+    Schema.make [ Schema.column "A" Dtype.Tint; Schema.column "b" Dtype.Tstr ]
+  in
+  Alcotest.(check int) "case-insensitive" 0 (Schema.find s "a");
+  Alcotest.(check int) "second" 1 (Schema.find s "B");
+  Alcotest.(check (option int)) "missing" None (Schema.find_opt s "c")
+
+let test_schema_validate () =
+  let s =
+    Schema.make
+      [ Schema.column ~nullable:false "k" Dtype.Tint; Schema.column "v" Dtype.Tstr ]
+  in
+  let r = Schema.validate_row s [| vi 1; vnull |] in
+  Alcotest.(check value_testable) "nullable ok" vnull r.(1);
+  Alcotest.(check bool) "not-null enforced" true
+    (try
+       ignore (Schema.validate_row s [| vnull; vs "x" |]);
+       false
+     with Errors.Db_error (Errors.Constraint_error, _) -> true);
+  Alcotest.(check bool) "arity enforced" true
+    (try
+       ignore (Schema.validate_row s [| vi 1 |]);
+       false
+     with Errors.Db_error (Errors.Constraint_error, _) -> true)
+
+(* -- heap ------------------------------------------------------------------ *)
+
+let test_heap_rid_stability () =
+  let h = Heap.create () in
+  let r0 = Heap.insert h [| vi 0 |] in
+  let r1 = Heap.insert h [| vi 1 |] in
+  let r2 = Heap.insert h [| vi 2 |] in
+  Heap.delete h r1;
+  Alcotest.(check int) "live count" 2 (Heap.cardinality h);
+  (* deleted slot recycled, others stable *)
+  let r3 = Heap.insert h [| vi 3 |] in
+  Alcotest.(check int) "slot reuse" r1 r3;
+  Alcotest.(check value_testable) "r0 untouched" (vi 0) (Heap.get_exn h r0).(0);
+  Alcotest.(check value_testable) "r2 untouched" (vi 2) (Heap.get_exn h r2).(0)
+
+let test_heap_scan_skips_tombstones () =
+  let h = Heap.create () in
+  let rids = List.init 5 (fun i -> Heap.insert h [| vi i |]) in
+  Heap.delete h (List.nth rids 2);
+  let scan = Heap.scan h in
+  let rec drain acc =
+    match scan () with None -> List.rev acc | Some (_, t) -> drain (t.(0) :: acc)
+  in
+  Alcotest.(check (list value_testable)) "scan order"
+    [ vi 0; vi 1; vi 3; vi 4 ] (drain [])
+
+(* -- index / base table ----------------------------------------------------- *)
+
+let test_unique_index () =
+  let t =
+    Base_table.create ~primary_key:[ "k" ] ~name:"t"
+      (Schema.make [ Schema.column ~nullable:false "k" Dtype.Tint ])
+  in
+  ignore (Base_table.insert t [| vi 1 |]);
+  Alcotest.(check bool) "dup rejected" true
+    (try
+       ignore (Base_table.insert t [| vi 1 |]);
+       false
+     with Errors.Db_error (Errors.Constraint_error, _) -> true);
+  Alcotest.(check int) "still one row" 1 (Base_table.cardinality t)
+
+let test_secondary_index_maintenance () =
+  let t =
+    Base_table.create ~name:"t"
+      (Schema.make [ Schema.column "k" Dtype.Tint; Schema.column "v" Dtype.Tint ])
+  in
+  let idx = Base_table.create_index t ~idx_name:"t_k" ~columns:[ "k" ] ~unique:false in
+  let r1 = Base_table.insert t [| vi 1; vi 10 |] in
+  let _r2 = Base_table.insert t [| vi 1; vi 20 |] in
+  let r3 = Base_table.insert t [| vi 2; vi 30 |] in
+  Alcotest.(check int) "two rows under k=1" 2
+    (List.length (Index.lookup idx [| vi 1 |]));
+  Base_table.update t r1 [| vi 2; vi 10 |];
+  Alcotest.(check int) "k=1 after update" 1
+    (List.length (Index.lookup idx [| vi 1 |]));
+  Alcotest.(check int) "k=2 after update" 2
+    (List.length (Index.lookup idx [| vi 2 |]));
+  Base_table.delete t r3;
+  Alcotest.(check int) "k=2 after delete" 1
+    (List.length (Index.lookup idx [| vi 2 |]))
+
+let test_index_built_over_existing_rows () =
+  let t =
+    Base_table.create ~name:"t" (Schema.make [ Schema.column "k" Dtype.Tint ])
+  in
+  ignore (Base_table.insert t [| vi 5 |]);
+  ignore (Base_table.insert t [| vi 5 |]);
+  let idx = Base_table.create_index t ~idx_name:"late" ~columns:[ "k" ] ~unique:false in
+  Alcotest.(check int) "backfilled" 2 (List.length (Index.lookup idx [| vi 5 |]))
+
+(* -- catalog ---------------------------------------------------------------- *)
+
+let test_catalog_namespace () =
+  let cat = Catalog.create () in
+  let t =
+    Base_table.create ~name:"T1" (Schema.make [ Schema.column "a" Dtype.Tint ])
+  in
+  Catalog.add_table cat t;
+  Alcotest.(check bool) "case-insensitive lookup" true
+    (Catalog.find_table_opt cat "t1" <> None);
+  Alcotest.(check bool) "name clash rejected" true
+    (try
+       Catalog.add_view cat { Catalog.view_name = "T1"; language = `Sql; text = "" };
+       false
+     with Errors.Db_error (Errors.Catalog_error, _) -> true);
+  Catalog.drop_table cat "T1";
+  Alcotest.(check bool) "dropped" true (Catalog.find_table_opt cat "t1" = None)
+
+(* -- vec ---------------------------------------------------------------------- *)
+
+let test_vec () =
+  let v = Vec.create ~dummy:0 in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "len" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Alcotest.(check int) "pop" 99 (Vec.pop v);
+  Vec.set v 0 7;
+  Alcotest.(check int) "set" 7 (Vec.get v 0);
+  Alcotest.(check int) "fold" (7 + List.fold_left ( + ) 0 (List.init 98 (fun i -> i + 1)))
+    (Vec.fold_left ( + ) 0 v)
+
+let suite =
+  [
+    Alcotest.test_case "value compare" `Quick test_value_compare;
+    Alcotest.test_case "value sql 3vl" `Quick test_value_sql_semantics;
+    Alcotest.test_case "value hash" `Quick test_value_hash_consistent;
+    Alcotest.test_case "value literals" `Quick test_value_literals;
+    Alcotest.test_case "dtype coerce" `Quick test_dtype_coerce;
+    Alcotest.test_case "schema lookup" `Quick test_schema_lookup;
+    Alcotest.test_case "schema validate" `Quick test_schema_validate;
+    Alcotest.test_case "heap rid stability" `Quick test_heap_rid_stability;
+    Alcotest.test_case "heap scan tombstones" `Quick test_heap_scan_skips_tombstones;
+    Alcotest.test_case "unique index" `Quick test_unique_index;
+    Alcotest.test_case "secondary index maintenance" `Quick
+      test_secondary_index_maintenance;
+    Alcotest.test_case "index backfill" `Quick test_index_built_over_existing_rows;
+    Alcotest.test_case "catalog namespace" `Quick test_catalog_namespace;
+    Alcotest.test_case "vec" `Quick test_vec;
+  ]
+
+(* -- txn (engine) and rng (workloads) unit coverage ------------------- *)
+
+let test_txn_unit () =
+  let t =
+    Relcore.Base_table.create ~name:"t"
+      (Relcore.Schema.make [ Relcore.Schema.column "a" Relcore.Dtype.Tint ])
+  in
+  let txn = Engine.Txn.create () in
+  Alcotest.(check bool) "inactive" false (Engine.Txn.is_active txn);
+  Engine.Txn.begin_txn txn;
+  let r1 = Relcore.Base_table.insert t [| vi 1 |] in
+  Engine.Txn.record txn (Engine.Txn.U_insert (t, r1));
+  Alcotest.(check bool) "nested begin rejected" true
+    (try
+       Engine.Txn.begin_txn txn;
+       false
+     with Relcore.Errors.Db_error (Relcore.Errors.Execution_error, _) -> true);
+  Engine.Txn.rollback txn;
+  Alcotest.(check int) "insert rolled back" 0 (Relcore.Base_table.cardinality t);
+  Alcotest.(check bool) "commit without begin rejected" true
+    (try
+       Engine.Txn.commit txn;
+       false
+     with Relcore.Errors.Db_error (Relcore.Errors.Execution_error, _) -> true)
+
+let test_rng_determinism () =
+  let a = Workloads.Rng.create 7 and b = Workloads.Rng.create 7 in
+  let xs = List.init 50 (fun _ -> Workloads.Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Workloads.Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys;
+  List.iter
+    (fun x -> Alcotest.(check bool) "in range" true (x >= 0 && x < 1000))
+    xs;
+  let c = Workloads.Rng.create 8 in
+  let zs = List.init 50 (fun _ -> Workloads.Rng.int c 1000) in
+  Alcotest.(check bool) "different seed differs" true (xs <> zs)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "txn module unit" `Quick test_txn_unit;
+      Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    ]

@@ -1,0 +1,161 @@
+(** Lexer / parser / pretty-printer tests for the SQL front end. *)
+
+open Sqlkit
+
+let tokens_of s =
+  Array.to_list (Lexer.tokenize s) |> List.map (fun t -> t.Token.token)
+
+let test_lexer_basics () =
+  Alcotest.(check int) "token count" 7
+    (List.length (tokens_of "SELECT a FROM t WHERE b"));
+  (* includes Eof *)
+  match tokens_of "x <= 3.5 <> 'o''k' -- comment\n y" with
+  | [ Token.Ident "x"; Token.Punct "<="; Token.Float_lit f; Token.Punct "<>";
+      Token.Str_lit s; Token.Ident "y"; Token.Eof ] ->
+    Alcotest.(check (float 0.001)) "float" 3.5 f;
+    Alcotest.(check string) "escaped quote" "o'k" s
+  | ts ->
+    Alcotest.failf "unexpected tokens: %s"
+      (String.concat " " (List.map Token.to_string ts))
+
+let test_lexer_errors () =
+  Alcotest.(check bool) "unterminated string" true
+    (try
+       ignore (Lexer.tokenize "SELECT 'oops");
+       false
+     with Relcore.Errors.Db_error (Relcore.Errors.Parse_error _, _) -> true);
+  Alcotest.(check bool) "bad char" true
+    (try
+       ignore (Lexer.tokenize "SELECT @");
+       false
+     with Relcore.Errors.Db_error (Relcore.Errors.Parse_error _, _) -> true)
+
+let parse_q = Parser.parse_query_string
+
+let test_parse_select_shapes () =
+  let q = parse_q "SELECT DISTINCT a, t.b AS x, t.* FROM t, u v WHERE a = 1" in
+  Alcotest.(check bool) "distinct" true q.Ast.distinct;
+  Alcotest.(check int) "select items" 3 (List.length q.Ast.select);
+  Alcotest.(check int) "from items" 2 (List.length q.Ast.from);
+  match q.Ast.from with
+  | [ Ast.Table_name { name = "t"; alias = None };
+      Ast.Table_name { name = "u"; alias = Some "v" } ] ->
+    ()
+  | _ -> Alcotest.fail "from shape"
+
+let test_parse_precedence () =
+  let q = parse_q "SELECT a + b * 2 - c FROM t" in
+  match q.Ast.select with
+  | [ Ast.Sel_expr
+        ( Ast.Binop
+            ( Ast.Sub,
+              Ast.Binop (Ast.Add, Ast.Col _, Ast.Binop (Ast.Mul, Ast.Col _, _)),
+              Ast.Col _ ),
+          None ) ] ->
+    ()
+  | _ -> Alcotest.fail "arith precedence"
+
+let test_parse_pred_precedence () =
+  let p = Parser.parse_pred_string "a = 1 OR b = 2 AND NOT c = 3" in
+  match p with
+  | Ast.Or (Ast.Cmp _, Ast.And (Ast.Cmp _, Ast.Not (Ast.Cmp _))) -> ()
+  | _ -> Alcotest.fail "bool precedence (OR < AND < NOT)"
+
+let test_parse_subqueries () =
+  let q =
+    parse_q
+      "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.x = t.a) AND b \
+       IN (SELECT y FROM w)"
+  in
+  match Ast.conjuncts q.Ast.where with
+  | [ Ast.Exists _; Ast.In_query _ ] -> ()
+  | _ -> Alcotest.fail "subquery shapes"
+
+let test_parse_between_like_in () =
+  let p =
+    Parser.parse_pred_string
+      "a BETWEEN 1 AND 5 AND name LIKE 'ab%' AND k IN (1, 2, 3) AND v IS NOT \
+       NULL"
+  in
+  Alcotest.(check int) "conjuncts" 4 (List.length (Ast.conjuncts p))
+
+let test_parse_group_order () =
+  let q =
+    parse_q
+      "SELECT dno, COUNT(*) FROM emp GROUP BY dno HAVING COUNT(*) > 2 ORDER \
+       BY dno DESC LIMIT 5"
+  in
+  Alcotest.(check int) "group by" 1 (List.length q.Ast.group_by);
+  Alcotest.(check bool) "having" true (q.Ast.having <> None);
+  Alcotest.(check int) "order by" 1 (List.length q.Ast.order_by);
+  Alcotest.(check (option int)) "limit" (Some 5) q.Ast.limit
+
+let test_parse_stmts () =
+  (match Parser.parse_stmt "CREATE TABLE t (a INT NOT NULL, b STRING, PRIMARY KEY (a))" with
+  | Ast.Create_table { columns = [ c1; _ ]; primary_key = Some [ "a" ]; _ } ->
+    Alcotest.(check bool) "not null" false c1.Ast.col_nullable
+  | _ -> Alcotest.fail "create table");
+  (match Parser.parse_stmt "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')" with
+  | Ast.Insert { rows; columns = Some [ "a"; "b" ]; _ } ->
+    Alcotest.(check int) "rows" 2 (List.length rows)
+  | _ -> Alcotest.fail "insert");
+  (match Parser.parse_stmt "UPDATE t SET a = a + 1 WHERE b = 'x'" with
+  | Ast.Update { sets = [ ("a", _) ]; _ } -> ()
+  | _ -> Alcotest.fail "update");
+  match Parser.parse_stmt "CREATE VIEW v AS SELECT * FROM t" with
+  | Ast.Create_view { view_name = "v"; body_text } ->
+    Alcotest.(check string) "body preserved" "SELECT * FROM t" body_text
+  | _ -> Alcotest.fail "create view"
+
+let test_parse_errors () =
+  let bad sql =
+    Alcotest.(check bool)
+      (Printf.sprintf "reject %S" sql)
+      true
+      (try
+         ignore (Parser.parse_stmt sql);
+         false
+       with Relcore.Errors.Db_error (Relcore.Errors.Parse_error _, _) -> true)
+  in
+  bad "SELECT a FROM t WHERE (b = 1";
+  bad "SELECT a FROM";
+  bad "SELECT a FROM t WHERE";
+  bad "SELECT a FROM t GROUP";
+  bad "INSERT INTO t VALUES";
+  bad "SELECT a FROM t extra garbage here"
+
+let test_pretty_roundtrip () =
+  let cases =
+    [
+      "SELECT DISTINCT a, b FROM t WHERE (a = 1 AND b < 2) OR c IS NULL";
+      "SELECT t.a FROM t, u WHERE t.x = u.y AND u.z BETWEEN 1 AND 9";
+      "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.k = t.k)";
+      "SELECT dno, SUM(sal) FROM emp GROUP BY dno HAVING SUM(sal) > 10";
+      "SELECT a FROM (SELECT a FROM t WHERE a > 0) AS s ORDER BY a DESC LIMIT 3";
+    ]
+  in
+  List.iter
+    (fun sql ->
+      let q1 = parse_q sql in
+      let printed = Pretty.query_to_string q1 in
+      let q2 = parse_q printed in
+      let printed2 = Pretty.query_to_string q2 in
+      Alcotest.(check string)
+        (Printf.sprintf "fixpoint for %S" sql)
+        printed printed2)
+    cases
+
+let suite =
+  [
+    Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+    Alcotest.test_case "select shapes" `Quick test_parse_select_shapes;
+    Alcotest.test_case "arith precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "bool precedence" `Quick test_parse_pred_precedence;
+    Alcotest.test_case "subqueries" `Quick test_parse_subqueries;
+    Alcotest.test_case "between/like/in" `Quick test_parse_between_like_in;
+    Alcotest.test_case "group/order/limit" `Quick test_parse_group_order;
+    Alcotest.test_case "statements" `Quick test_parse_stmts;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "pretty roundtrip" `Quick test_pretty_roundtrip;
+  ]

@@ -1,0 +1,159 @@
+(** Workload generator tests: determinism, scale invariants, and
+    end-to-end extraction over generated data. *)
+
+module Db = Engine.Database
+module H = Xnf.Hetstream
+module Ws = Cocache.Workspace
+
+let count db sql =
+  match Db.query_rows db sql with
+  | [ [| Relcore.Value.Int n |] ] -> n
+  | _ -> Alcotest.fail ("bad count result for " ^ sql)
+
+let test_org_generator () =
+  let p = { Workloads.Org.default with n_depts = 20; seed = 1 } in
+  let db = Workloads.Org.generate p in
+  Alcotest.(check int) "depts" 20 (count db "SELECT COUNT(*) FROM dept");
+  Alcotest.(check int) "emps" (20 * p.Workloads.Org.emps_per_dept)
+    (count db "SELECT COUNT(*) FROM emp");
+  Alcotest.(check int) "empskills"
+    (20 * p.Workloads.Org.emps_per_dept * p.Workloads.Org.skills_per_emp)
+    (count db "SELECT COUNT(*) FROM empskills");
+  (* arc fraction respected *)
+  Alcotest.(check int) "arc depts" 6
+    (count db "SELECT COUNT(*) FROM dept WHERE loc = 'ARC'")
+
+let test_org_determinism () =
+  let p = { Workloads.Org.default with n_depts = 10 } in
+  let a = Workloads.Org.generate p and b = Workloads.Org.generate p in
+  let q = "SELECT eno, ename, sal, edno FROM emp ORDER BY eno" in
+  Helpers.check_rows "same data" (Db.query_rows a q) (Db.query_rows b q)
+
+let test_org_extraction_scales () =
+  let p = { Workloads.Org.default with n_depts = 10; arc_fraction = 0.5 } in
+  let db = Workloads.Org.generate p in
+  let stream = Xnf.Xnf_compile.run db Workloads.Org.deps_arc_query in
+  let counts = H.counts stream in
+  Alcotest.(check int) "xdept = arc depts" 5 (List.assoc "xdept" counts);
+  Alcotest.(check int) "xemp" (5 * p.Workloads.Org.emps_per_dept)
+    (List.assoc "xemp" counts);
+  Alcotest.(check int) "employment connections" (5 * p.Workloads.Org.emps_per_dept)
+    (List.assoc "employment" counts);
+  Alcotest.(check int) "empproperty connections"
+    (5 * p.Workloads.Org.emps_per_dept * p.Workloads.Org.skills_per_emp)
+    (List.assoc "empproperty" counts)
+
+let test_oo1_generator () =
+  let p = { Workloads.Oo1.default with n_parts = 500 } in
+  let db = Workloads.Oo1.generate p in
+  Alcotest.(check int) "parts" 500 (count db "SELECT COUNT(*) FROM parts");
+  Alcotest.(check int) "conns" (500 * 3) (count db "SELECT COUNT(*) FROM conns");
+  (* every connection target is a valid part *)
+  Alcotest.(check int) "dangling targets" 0
+    (count db
+       "SELECT COUNT(*) FROM conns WHERE NOT EXISTS (SELECT 1 FROM parts \
+        WHERE pid = cto)")
+
+let test_oo1_cache_and_traversal () =
+  let p = { Workloads.Oo1.default with n_parts = 300 } in
+  let db = Workloads.Oo1.generate p in
+  let stream = Xnf.Xnf_compile.run db Workloads.Oo1.parts_graph_query in
+  let ws = Ws.of_stream stream in
+  Alcotest.(check int) "all parts cached" 300 (Ws.node_count ws "xpart");
+  Alcotest.(check int) "all connections cached" (300 * 3)
+    (Ws.connection_count ws);
+  let index = Workloads.Oo1.build_pid_index ws in
+  let start = Hashtbl.find index 1 in
+  let visited = Workloads.Oo1.traverse start ~depth:3 in
+  (* depth-3 fanout-3 traversal visits 1 + 3 + 9 + 27 = 40 nodes *)
+  Alcotest.(check int) "traversal visit count" 40 visited
+
+let test_bom_recursive_extraction () =
+  let p = { Workloads.Bom.default with n_assemblies = 2; levels = 3 } in
+  let db = Workloads.Bom.generate p in
+  let stream = Xnf.Xnf_compile.run db Workloads.Bom.assembly_query in
+  let counts = H.counts stream in
+  Alcotest.(check int) "roots" 2 (List.assoc "asmroot" counts);
+  let total_parts = count db "SELECT COUNT(*) FROM part" in
+  (* everything except the top-level assemblies is reachable *)
+  Alcotest.(check int) "parts reachable" (total_parts - 2)
+    (List.assoc "xpart" counts)
+
+let test_shop_extraction () =
+  let p = { Workloads.Shop.default with n_customers = 20 } in
+  let db = Workloads.Shop.generate p in
+  let q = Workloads.Shop.region_query "EMEA" in
+  let stream = Xnf.Xnf_compile.run db q in
+  let ws = Ws.of_stream stream in
+  let n_cust = Ws.node_count ws "xcust" in
+  Alcotest.(check int) "emea customers match sql" n_cust
+    (count db "SELECT COUNT(*) FROM customer WHERE region = 'EMEA'");
+  Alcotest.(check int) "orders = customers * opc"
+    (n_cust * p.Workloads.Shop.orders_per_customer)
+    (Ws.node_count ws "xorder");
+  (* products are shared: strictly fewer product nodes than line items *)
+  Alcotest.(check bool) "object sharing on products" true
+    (Ws.node_count ws "xproduct" <= Ws.node_count ws "xitem")
+
+let suite =
+  [
+    Alcotest.test_case "org generator invariants" `Quick test_org_generator;
+    Alcotest.test_case "org determinism" `Quick test_org_determinism;
+    Alcotest.test_case "org extraction scales" `Quick test_org_extraction_scales;
+    Alcotest.test_case "oo1 generator invariants" `Quick test_oo1_generator;
+    Alcotest.test_case "oo1 cache + traversal" `Quick test_oo1_cache_and_traversal;
+    Alcotest.test_case "bom recursive extraction" `Quick
+      test_bom_recursive_extraction;
+    Alcotest.test_case "shop extraction" `Quick test_shop_extraction;
+  ]
+
+(* -- scale smoke tests (still fast enough for CI) ----------------------- *)
+
+let test_extraction_at_scale () =
+  let p =
+    {
+      Workloads.Org.default with
+      n_depts = 300;
+      arc_fraction = 0.3;
+      emps_per_dept = 12;
+      projs_per_dept = 4;
+      n_skills = 400;
+    }
+  in
+  let db = Workloads.Org.generate p in
+  let stream = Xnf.Xnf_compile.run db Workloads.Org.deps_arc_query in
+  let counts = H.counts stream in
+  Alcotest.(check int) "xdept" 90 (List.assoc "xdept" counts);
+  Alcotest.(check int) "xemp" (90 * 12) (List.assoc "xemp" counts);
+  Alcotest.(check int) "empproperty" (90 * 12 * 3)
+    (List.assoc "empproperty" counts);
+  (* and the cache builds cleanly at this size *)
+  let ws = Ws.of_stream stream in
+  Alcotest.(check int) "cache connections"
+    ((90 * 12) + (90 * 4) + (90 * 12 * 3) + (90 * 4 * 2))
+    (Ws.connection_count ws)
+
+let test_deep_recursion () =
+  let p =
+    {
+      Workloads.Bom.default with
+      n_assemblies = 1;
+      levels = 9;
+      children_per_part = 2;
+      share_prob = 0.0;
+    }
+  in
+  let db = Workloads.Bom.generate p in
+  let counts =
+    H.counts (Xnf.Xnf_compile.run db Workloads.Bom.assembly_query)
+  in
+  (* a full binary tree: 2^9 - 2 descendants of the root *)
+  Alcotest.(check int) "deep tree parts" 510 (List.assoc "xpart" counts);
+  Alcotest.(check int) "deep tree edges" 508 (List.assoc "subconn" counts)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "extraction at scale" `Slow test_extraction_at_scale;
+      Alcotest.test_case "deep recursion" `Slow test_deep_recursion;
+    ]
