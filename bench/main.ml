@@ -375,18 +375,115 @@ let bench_parallel () =
      benefit needs either more cores or CO extractions whose outputs do \
      not share derivations.\n"
 
+(* ---------------------------------------------------------------- E5 --- *)
+
+(** Batched table-queue execution vs the tuple-at-a-time reference
+    interpreter ([Executor.Exec_scalar]), on the OO1 database.  Results
+    are also recorded as a machine-readable [BENCH_exec.json] artifact
+    (one entry per query; `oo1_traversal` is the acceptance gate). *)
+let bench_exec_batching ?(n_parts = 20_000) () =
+  header
+    "E5. Batched table-queue execution vs tuple-at-a-time (rows/sec, OO1)";
+  let p = { Workloads.Oo1.default with n_parts } in
+  let db = Workloads.Oo1.generate p in
+  row "database: %d parts, %d connections; batch size %d\n"
+    p.Workloads.Oo1.n_parts (3 * p.Workloads.Oo1.n_parts)
+    Relcore.Batch.default_capacity;
+  row "%-18s | %8s | %12s | %12s | %12s | %8s\n" "query" "rows" "scalar (ms)"
+    "batched (ms)" "rows/s batch" "speedup";
+  row "%s\n" (String.make 84 '-');
+  let entries = ref [] in
+  let measure name (c : Optimizer.Plan.compiled) =
+    (* equivalence gate: both executors must agree, in order *)
+    let rows_scalar = Executor.Exec_scalar.run c in
+    let rows_batched = Executor.Exec.run c in
+    assert (rows_scalar = rows_batched);
+    let n = List.length rows_batched in
+    (* each side delivers results in its native form — a row list for
+       the tuple-at-a-time pipeline, table-queue batches for the batched
+       one (downstream consumers take batches directly) *)
+    let t_scalar =
+      time_median ~repeat:5 (fun () -> Executor.Exec_scalar.run c)
+    in
+    let t_batched =
+      time_median ~repeat:5 (fun () -> Executor.Exec.run_batches c)
+    in
+    let speedup = t_scalar /. t_batched in
+    row "%-18s | %8d | %12.2f | %12.2f | %12.0f | %7.2fx\n" name n
+      (ms t_scalar) (ms t_batched)
+      (float_of_int n /. t_batched)
+      speedup;
+    entries :=
+      Printf.sprintf
+        "    { \"name\": %S, \"rows\": %d, \"scalar_ms\": %.3f, \
+         \"batched_ms\": %.3f, \"rows_per_sec_scalar\": %.0f, \
+         \"rows_per_sec_batched\": %.0f, \"speedup\": %.3f }"
+        name n (ms t_scalar) (ms t_batched)
+        (float_of_int n /. t_scalar)
+        (float_of_int n /. t_batched)
+        speedup
+      :: !entries;
+    speedup
+  in
+  (* OO1 traversal: one-hop frontier expansion over the whole graph —
+     parts joined to their outgoing connections *)
+  let traversal =
+    Db.compile_query ~join_method:`Hash db
+      "SELECT c.cto FROM parts p, conns c WHERE p.pid = c.cfrom AND p.build \
+       < 5000"
+  in
+  let trav_speedup = measure "oo1_traversal" traversal in
+  ignore
+    (measure "oo1_scan_filter"
+       (Db.compile_query db
+          "SELECT cto, clength FROM conns WHERE clength < 500"));
+  ignore
+    (measure "oo1_fanout_agg"
+       (Db.compile_query db
+          "SELECT cfrom, COUNT(*) FROM conns GROUP BY cfrom"));
+  row
+    "\ngate: oo1_traversal speedup %.2fx (acceptance: >= 1.5x rows/sec over \
+     the tuple-at-a-time pipeline)\n"
+    trav_speedup;
+  let oc = open_out "BENCH_exec.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"exec_batching\",\n  \"n_parts\": %d,\n  \
+     \"batch_size\": %d,\n  \"entries\": [\n%s\n  ]\n}\n"
+    n_parts Relcore.Batch.default_capacity
+    (String.concat ",\n" (List.rev !entries));
+  close_out oc;
+  row "wrote BENCH_exec.json\n";
+  register_bechamel ~name:"E5.exec_scalar" (fun () ->
+      ignore (Executor.Exec_scalar.run traversal));
+  register_bechamel ~name:"E5.exec_batched" (fun () ->
+      ignore (Executor.Exec.run traversal))
+
 (* -------------------------------------------------------------- main --- *)
 
 let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   print_endline
     "XNF reproduction benches (Pirahesh et al., Information Systems 19(1), \
      1994)";
-  bench_table1 ();
-  bench_fig3 ();
-  bench_fig56 ();
-  bench_extraction ();
-  bench_oo1 ();
-  bench_shipping ();
-  bench_parallel ();
-  run_bechamel ();
-  print_endline "\nall benches complete."
+  if smoke then begin
+    (* CI smoke mode: just the executor-batching section, smaller DB *)
+    let n_parts =
+      match Sys.getenv_opt "XNFDB_BENCH_PARTS" with
+      | Some s -> int_of_string s
+      | None -> 5_000
+    in
+    bench_exec_batching ~n_parts ();
+    print_endline "\nsmoke bench complete."
+  end
+  else begin
+    bench_table1 ();
+    bench_fig3 ();
+    bench_fig56 ();
+    bench_extraction ();
+    bench_oo1 ();
+    bench_shipping ();
+    bench_parallel ();
+    bench_exec_batching ();
+    run_bechamel ();
+    print_endline "\nall benches complete."
+  end

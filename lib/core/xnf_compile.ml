@@ -130,12 +130,13 @@ let compile ?share ?nf_rewrite (db : Db.t) (text : string) : compiled =
 
 (* -- extraction ---------------------------------------------------------- *)
 
-(** Assemble the heterogeneous stream from per-output row lists:
+(** Assemble the heterogeneous stream from per-output table queues:
     assign tuple identifiers (one per distinct component-tuple value:
-    object sharing) and resolve connection partner ids.  [rows_of] is
+    object sharing) and resolve connection partner ids.  [batches_of] is
     called once per needed output (node outputs always; relationship
-    outputs only when in TAKE). *)
-let assemble (c : compiled) (rows_of : string -> Tuple.t list) : Hetstream.t =
+    outputs only when in TAKE); its batches are consumed in place,
+    without flattening to row lists. *)
+let assemble (c : compiled) (batches_of : string -> Batch.t list) : Hetstream.t =
   let id_counter = ref 0 in
   let fresh () =
     incr id_counter;
@@ -165,8 +166,7 @@ let assemble (c : compiled) (rows_of : string -> Tuple.t list) : Hetstream.t =
       in
       let map = Tuple.Tbl.create 256 in
       Hashtbl.replace id_maps name map;
-      let rows = rows_of name in
-      List.iter
+      Batch.list_iter
         (fun row ->
           if not (Tuple.Tbl.mem map row) then begin
             let id = fresh () in
@@ -176,7 +176,7 @@ let assemble (c : compiled) (rows_of : string -> Tuple.t list) : Hetstream.t =
                 (Hetstream.Row
                    { comp = info.Hetstream.comp_no; id; values = project row })
           end)
-        rows)
+        (batches_of name))
     c.rewritten.Xnf_rewrite.node_outputs;
   (* relationships: split each joined row into partner tuples, map to ids *)
   List.iter
@@ -197,8 +197,7 @@ let assemble (c : compiled) (rows_of : string -> Tuple.t list) : Hetstream.t =
               comp
         in
         let seen = Tuple.Tbl.create 256 in
-        let rows = rows_of name in
-        List.iter
+        Batch.list_iter
           (fun row ->
             let parent = lookup ro.Xnf_rewrite.ro_parent parent_span row in
             let children =
@@ -223,7 +222,7 @@ let assemble (c : compiled) (rows_of : string -> Tuple.t list) : Hetstream.t =
                      attrs = Array.sub row attr_off attr_w;
                    })
             end)
-          rows
+          (batches_of name)
       end)
     c.rewritten.Xnf_rewrite.rel_outputs;
   { Hetstream.header = c.header; items = List.rev !items }
@@ -232,7 +231,8 @@ let assemble (c : compiled) (rows_of : string -> Tuple.t list) : Hetstream.t =
     context (shared derivations materialize once). *)
 let extract_nonrecursive ?(ctx = Executor.Exec.make_ctx ()) (c : compiled) :
     Hetstream.t =
-  assemble c (fun name -> Executor.Exec.run ~ctx (List.assoc name c.plans))
+  assemble c (fun name ->
+      Executor.Exec.run_batches ~ctx (List.assoc name c.plans))
 
 (** Extract the CO defined by a compiled XNF query (dispatches to the
     fixpoint evaluator for recursive COs). *)
@@ -276,7 +276,8 @@ let extract_parallel ?(domains = 4) (c : compiled) : Hetstream.t =
     let run_chunk entries =
       let my_ctx = Executor.Exec.sibling_ctx ctx in
       List.map
-        (fun (name, (p : Plan.compiled)) -> (name, Executor.Exec.run ~ctx:my_ctx p))
+        (fun (name, (p : Plan.compiled)) ->
+          (name, Executor.Exec.run_batches ~ctx:my_ctx p))
         entries
     in
     let handles =

@@ -25,9 +25,10 @@ val compile_ast :
 
 val compile : ?share:bool -> ?nf_rewrite:bool -> Db.t -> string -> compiled
 
-val assemble : compiled -> (string -> Tuple.t list) -> Hetstream.t
-(** Assemble the stream from per-output row lists: id assignment (object
-    sharing) and connection resolution. *)
+val assemble : compiled -> (string -> Batch.t list) -> Hetstream.t
+(** Assemble the stream from per-output table queues (batch lists,
+    consumed without flattening): id assignment (object sharing) and
+    connection resolution. *)
 
 val extract : ?ctx:Executor.Exec.ctx -> compiled -> Hetstream.t
 (** Sequential extraction; dispatches to the fixpoint evaluator for

@@ -53,11 +53,18 @@ let compile_query ?rewrite ?share ?join_method db (sql : string) :
   compile_ast ?rewrite ?share ?join_method db
     (Sqlkit.Parser.parse_query_string sql)
 
+(** Run a SELECT and return schema + result batches — the table queue
+    itself, without flattening. *)
+let query_batches ?rewrite ?share ?ctx db (sql : string) :
+    Schema.t * Batch.t list =
+  let c = compile_query ?rewrite ?share db sql in
+  let batches = Executor.Exec.run_batches ?ctx c in
+  (c.Plan.out_schema, batches)
+
 (** Run a SELECT and return schema + rows. *)
 let query ?rewrite ?share ?ctx db (sql : string) : Schema.t * Tuple.t list =
-  let c = compile_query ?rewrite ?share db sql in
-  let rows = Executor.Exec.run ?ctx c in
-  (c.Plan.out_schema, rows)
+  let schema, batches = query_batches ?rewrite ?share ?ctx db sql in
+  (schema, Batch.list_to_rows batches)
 
 let query_rows ?rewrite ?share ?ctx db sql = snd (query ?rewrite ?share ?ctx db sql)
 

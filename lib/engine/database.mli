@@ -39,6 +39,12 @@ val compile_query :
   string ->
   Plan.compiled
 
+val query_batches :
+  ?rewrite:bool -> ?share:bool -> ?ctx:Executor.Exec.ctx -> t -> string ->
+  Schema.t * Batch.t list
+(** Run a SELECT and return schema + result batches — the table queue
+    itself, without flattening to a row list. *)
+
 val query :
   ?rewrite:bool -> ?share:bool -> ?ctx:Executor.Exec.ctx -> t -> string ->
   Schema.t * Tuple.t list

@@ -91,6 +91,30 @@ let rec scalar (frames : frames) (tuple : Tuple.t) (s : Plan.scalar) : Value.t =
   | Plan.P_fn (name, args) ->
     apply_fn name (List.map (scalar frames tuple) args)
 
+(* -- compiled (closure-specialized) evaluation --------------------------- *)
+
+(** Compile a scalar once into a closure so the per-row loop pays no AST
+    dispatch — the amortization that batch-at-a-time execution buys. *)
+let rec compile_scalar_fn (s : Plan.scalar) : frames -> Tuple.t -> Value.t =
+  match s with
+  | Plan.P_col i ->
+    fun _ tuple ->
+      if i < Array.length tuple then tuple.(i)
+      else
+        Errors.execution_error "column %d out of range (width %d)" i
+          (Array.length tuple)
+  | Plan.P_param (lvl, i) -> fun frames _ -> frame_get frames lvl i
+  | Plan.P_const v -> fun _ _ -> v
+  | Plan.P_bop (op, a, b) ->
+    let fa = compile_scalar_fn a and fb = compile_scalar_fn b in
+    fun frames tuple -> arith op (fa frames tuple) (fb frames tuple)
+  | Plan.P_neg a ->
+    let fa = compile_scalar_fn a in
+    fun frames tuple -> negate (fa frames tuple)
+  | Plan.P_fn (name, args) ->
+    let fs = List.map compile_scalar_fn args in
+    fun frames tuple -> apply_fn name (List.map (fun f -> f frames tuple) fs)
+
 (** SQL LIKE with [%] and [_] wildcards. *)
 let like_match ~pattern s =
   let np = String.length pattern and ns = String.length s in
@@ -139,3 +163,77 @@ let or3 a b =
   | _ -> None
 
 let not3 = Option.map not
+
+(** Compile a predicate with no subplan probes into a closure.  Returns
+    [None] when the predicate contains [P_exists]/[P_in] (those need the
+    executor's plan opener and stay tuple-at-a-time). *)
+let compile_pred_pure (p : Plan.ppred) :
+    (frames -> Tuple.t -> bool option) option =
+  let exception Has_subplan in
+  let rec go (p : Plan.ppred) : frames -> Tuple.t -> bool option =
+    match p with
+    | Plan.P_true -> fun _ _ -> Some true
+    | Plan.P_false -> fun _ _ -> Some false
+    | Plan.P_cmp (op, a, b) ->
+      let fa = compile_scalar_fn a and fb = compile_scalar_fn b in
+      fun frames t -> compare3 op (fa frames t) (fb frames t)
+    | Plan.P_and (a, b) ->
+      let fa = go a and fb = go b in
+      fun frames t -> and3 (fa frames t) (fb frames t)
+    | Plan.P_or (a, b) ->
+      let fa = go a and fb = go b in
+      fun frames t -> or3 (fa frames t) (fb frames t)
+    | Plan.P_not a ->
+      let fa = go a in
+      fun frames t -> not3 (fa frames t)
+    | Plan.P_is_null s ->
+      let fs = compile_scalar_fn s in
+      fun frames t -> Some (Value.is_null (fs frames t))
+    | Plan.P_is_not_null s ->
+      let fs = compile_scalar_fn s in
+      fun frames t -> Some (not (Value.is_null (fs frames t)))
+    | Plan.P_like (s, pat) ->
+      let fs = compile_scalar_fn s in
+      fun frames t -> begin
+        match fs frames t with
+        | Value.Null -> None
+        | Value.Str str -> Some (like_match ~pattern:pat str)
+        | v -> Errors.type_error "LIKE on non-string %s" (Value.to_string v)
+      end
+    | Plan.P_exists _ | Plan.P_in _ -> raise Has_subplan
+  in
+  match go p with f -> Some f | exception Has_subplan -> None
+
+(* -- batch entry points -------------------------------------------------- *)
+
+(** Evaluate [s] over every selected row of [b] into a dense array. *)
+let scalar_batch (frames : frames) (b : Batch.t) (s : Plan.scalar) :
+    Value.t array =
+  let f = compile_scalar_fn s in
+  Array.init (Batch.length b) (fun i -> f frames (Batch.get b i))
+
+(** Refine [b]'s selection in place, keeping rows where [test] yields
+    [Some true] (SQL semantics: unknown drops the row). *)
+let select_batch (frames : frames) (b : Batch.t)
+    (test : frames -> Tuple.t -> bool option) : unit =
+  Batch.refine b (fun row ->
+      match test frames row with Some true -> true | Some false | None -> false)
+
+(** Compile a projection once (operator open time); the returned closure
+    maps each batch through it — the vectorized [Project] body. *)
+let compile_project (cols : Plan.scalar array) : frames -> Batch.t -> Batch.t =
+  let fs = Array.map compile_scalar_fn cols in
+  let n = Array.length fs in
+  fun frames b ->
+    Batch.map b (fun row ->
+        let out = Array.make n Value.Null in
+        for k = 0 to n - 1 do
+          out.(k) <- fs.(k) frames row
+        done;
+        out)
+
+(** Project every selected row of [b] through [cols] into a fresh dense
+    batch. *)
+let project_batch (frames : frames) (b : Batch.t) (cols : Plan.scalar array) :
+    Batch.t =
+  compile_project cols frames b

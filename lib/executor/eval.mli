@@ -20,6 +20,10 @@ val apply_fn : string -> Value.t list -> Value.t
 
 val scalar : frames -> Tuple.t -> Plan.scalar -> Value.t
 
+val compile_scalar_fn : Plan.scalar -> frames -> Tuple.t -> Value.t
+(** Compile a scalar once into a closure so per-row evaluation pays no
+    AST dispatch — the amortization batch-at-a-time execution buys. *)
+
 val like_match : pattern:string -> string -> bool
 (** SQL LIKE with [%] and [_]. *)
 
@@ -29,3 +33,24 @@ val compare3 : Ast.cmpop -> Value.t -> Value.t -> bool option
 val and3 : bool option -> bool option -> bool option
 val or3 : bool option -> bool option -> bool option
 val not3 : bool option -> bool option
+
+val compile_pred_pure : Plan.ppred -> (frames -> Tuple.t -> bool option) option
+(** Compile a predicate with no subplan probes into a closure; [None]
+    when it contains [P_exists]/[P_in] (those need the executor). *)
+
+(** {2 Batch entry points} *)
+
+val scalar_batch : frames -> Batch.t -> Plan.scalar -> Value.t array
+(** Evaluate a scalar over every selected row into a dense array. *)
+
+val select_batch :
+  frames -> Batch.t -> (frames -> Tuple.t -> bool option) -> unit
+(** Refine the batch's selection vector in place, keeping rows where the
+    test yields [Some true] (SQL semantics: unknown drops the row). *)
+
+val compile_project : Plan.scalar array -> frames -> Batch.t -> Batch.t
+(** Compile a projection once; apply the result per batch. *)
+
+val project_batch : frames -> Batch.t -> Plan.scalar array -> Batch.t
+(** Project every selected row through the columns into a fresh dense
+    batch (the vectorized [Project] operator body). *)

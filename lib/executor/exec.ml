@@ -1,10 +1,16 @@
 (** The query evaluation system: demand-driven, pipelined interpretation
-    of QEPs ("table queue evaluation", paper Sect. 3.1).
+    of QEPs ("table queue evaluation", paper Sect. 3.1), executed a
+    {e batch} at a time.
 
-    Each plan operator becomes an iterator supplying tuples on demand.
-    [Shared] nodes materialize once into the execution context and are
-    re-scanned by every consumer — the runtime half of XNF's
-    common-subexpression sharing. *)
+    Each plan operator becomes a batch iterator supplying
+    {!Relcore.Batch.t} values on demand, so per-tuple closure dispatch
+    is amortized over [Batch.default_capacity] rows.  [Filter] and
+    [Distinct] mark surviving rows in the batch's selection vector
+    instead of copying; [Shared] nodes materialize once into the
+    execution context as batch lists re-read by every consumer — the
+    runtime half of XNF's common-subexpression sharing.  The one-tuple
+    API ({!cursor}, {!to_seq}) is a thin adapter over the batched
+    pipeline. *)
 
 open Relcore
 module Plan = Optimizer.Plan
@@ -13,177 +19,227 @@ module Ast = Sqlkit.Ast
 (** An execution context, shared across the (possibly many) plans of one
     multi-output query. *)
 type ctx = {
-  shared : (int, Tuple.t array) Hashtbl.t;
+  shared : (int, Batch.t list) Hashtbl.t;
+  (* materialized join inners, keyed by physical plan identity: running
+     two plans (or one plan twice) that share an inner subplan object
+     re-reads the first materialization instead of re-draining it *)
+  mutable materialized : (Plan.t * Batch.t list) list;
   mutable rows_scanned : int; (* base-table tuples fetched *)
   mutable subqueries_run : int; (* correlated subplan executions *)
+  mutable batches_emitted : int; (* batches delivered at plan roots *)
+  mutable materializations : int; (* shared/inner drain runs (cache misses) *)
 }
 
-let make_ctx () = { shared = Hashtbl.create 8; rows_scanned = 0; subqueries_run = 0 }
+let make_ctx () =
+  {
+    shared = Hashtbl.create 8;
+    materialized = [];
+    rows_scanned = 0;
+    subqueries_run = 0;
+    batches_emitted = 0;
+    materializations = 0;
+  }
 
 type iter = unit -> Tuple.t option
+type batch_iter = unit -> Batch.t option
 
-let iter_of_list (rows : Tuple.t list) : iter =
-  let rest = ref rows in
+(* hot-loop truth test: avoids the polymorphic [= Some true] compare *)
+let[@inline] is_true = function Some true -> true | Some false | None -> false
+
+(* value-keyed hash table for the single-column join fast path (skips
+   the per-row key-tuple allocation and array hashing) *)
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+(* int-keyed table for the all-integer join-key case: a multiplicative
+   hash stays out of the runtime's generic-hash C call, and odd-constant
+   multiplication is a bijection mod the (power-of-two) bucket count, so
+   sequential keys cannot collide *)
+module Itbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal (a : int) b = a = b
+  let hash i = (i * 0x9E3779B1) land max_int
+end)
+
+(* the single-column build table, specialized by key type after the
+   build side is drained *)
+type single_key_table =
+  | T_int of Tuple.t list Itbl.t (* every build key was a [Value.Int] *)
+  | T_val of Tuple.t list Vtbl.t
+
+let iter_of_batches (bs : Batch.t list) : batch_iter =
+  let rest = ref bs in
   fun () ->
     match !rest with
     | [] -> None
-    | r :: tl ->
+    | b :: tl ->
       rest := tl;
-      Some r
+      Some b
 
-let iter_of_array (rows : Tuple.t array) : iter =
-  let i = ref 0 in
-  fun () ->
-    if !i >= Array.length rows then None
-    else begin
-      let r = rows.(!i) in
-      incr i;
-      Some r
-    end
-
-let drain (it : iter) : Tuple.t list =
-  let rec go acc = match it () with None -> List.rev acc | Some t -> go (t :: acc) in
+let drain_batches (it : batch_iter) : Batch.t list =
+  let rec go acc = match it () with None -> List.rev acc | Some b -> go (b :: acc) in
   go []
 
-let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : iter =
+(** Pack rows produced by repeated [step] calls into dense batches.
+    [step ~emit] advances the producer by one unit of input (typically
+    one upstream batch), calling [emit] per output row; it returns
+    [false] once the input is exhausted. *)
+let pack ?(capacity = Batch.default_capacity) (step : emit:(Tuple.t -> unit) -> bool)
+    : batch_iter =
+  let ready = Queue.create () in
+  let cur = ref (Batch.create ~capacity ()) in
+  let finished = ref false in
+  let emit row =
+    Batch.push !cur row;
+    if Batch.is_full !cur then begin
+      Queue.push !cur ready;
+      cur := Batch.create ~capacity ()
+    end
+  in
+  let rec next () =
+    if not (Queue.is_empty ready) then Some (Queue.pop ready)
+    else if !finished then begin
+      let b = !cur in
+      cur := Batch.create ~capacity:1 ();
+      if Batch.is_empty b then None else Some b
+    end
+    else begin
+      if not (step ~emit) then finished := true;
+      next ()
+    end
+  in
+  next
+
+(** Compiled key extractor: writes key values into [scratch], returns
+    false if any is NULL (null keys never join). *)
+let make_key_fn (frames : Eval.frames) (keys : Plan.scalar list) =
+  let fs = Array.of_list (List.map Eval.compile_scalar_fn keys) in
+  let n = Array.length fs in
+  let scratch = Array.make n Value.Null in
+  let extract row =
+    let ok = ref true in
+    for k = 0 to n - 1 do
+      let v = fs.(k) frames row in
+      if Value.is_null v then ok := false;
+      scratch.(k) <- v
+    done;
+    !ok
+  in
+  (extract, scratch)
+
+let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : batch_iter =
   match p with
   | Plan.Scan t ->
-    let scan = Base_table.scan t in
+    (* batches grow geometrically from a small first batch so a Limit
+       just above the scan stays nearly as lazy as tuple-at-a-time *)
+    let cap = ref (min 64 Batch.default_capacity) in
+    let slot = ref 0 in
+    let exhausted = ref false in
     fun () ->
-      (match scan () with
-      | Some (_rid, tuple) ->
-        ctx.rows_scanned <- ctx.rows_scanned + 1;
-        Some tuple
-      | None -> None)
-  | Plan.Values rows -> iter_of_list rows
+      if !exhausted then None
+      else begin
+        let b = Batch.create ~capacity:!cap () in
+        cap := min Batch.default_capacity (!cap * 4);
+        let next_slot, n =
+          Base_table.scan_into t ~from:!slot b.Batch.rows ~start:0
+            ~max:(Batch.capacity b)
+        in
+        slot := next_slot;
+        b.Batch.len <- n;
+        ctx.rows_scanned <- ctx.rows_scanned + n;
+        if n = 0 then begin
+          exhausted := true;
+          None
+        end
+        else Some b
+      end
+  | Plan.Values rows -> iter_of_batches (Batch.of_list rows)
   | Plan.Filter (input, pred) ->
     let it = open_plan ctx frames input in
+    let test = compile_pred ctx pred in
     let rec next () =
       match it () with
       | None -> None
-      | Some t ->
-        if eval_pred ctx frames t pred = Some true then Some t else next ()
+      | Some b ->
+        Eval.select_batch frames b test;
+        if Batch.is_empty b then next () else Some b
     in
     next
+  | Plan.Project
+      ( (( Plan.Hash_join { residual = Plan.P_true; _ }
+         | Plan.Index_join { residual = Plan.P_true; _ } ) as join),
+        cols )
+    when Array.for_all (function Plan.P_col _ -> true | _ -> false) cols ->
+    (* late materialization: fuse a pure-column projection into the
+       join's emit so only the referenced columns flow through the
+       output table queue — the full concatenated tuple is never built *)
+    let picks =
+      Array.map (function Plan.P_col i -> i | _ -> assert false) cols
+    in
+    let n = Array.length picks in
+    let mk_row row m =
+      let w = Array.length row in
+      let out = Array.make n Value.Null in
+      for k = 0 to n - 1 do
+        let i = picks.(k) in
+        out.(k) <- (if i < w then row.(i) else m.(i - w))
+      done;
+      out
+    in
+    (match join with
+    | Plan.Hash_join { build; probe; build_keys; probe_keys; residual = _ } ->
+      open_hash_join ctx frames ~mk_row ~build ~probe ~build_keys ~probe_keys
+        ~residual:Plan.P_true
+    | Plan.Index_join { outer; table; index; keys; residual = _ } ->
+      open_index_join ctx frames ~mk_row ~outer ~table ~index ~keys
+        ~residual:Plan.P_true
+    | _ -> assert false)
   | Plan.Project (input, cols) ->
     let it = open_plan ctx frames input in
+    let project = Eval.compile_project cols in
     fun () ->
       (match it () with
       | None -> None
-      | Some t -> Some (Array.map (Eval.scalar frames t) cols))
+      | Some b -> Some (project frames b))
   | Plan.Nl_join { outer; inner; cond } ->
     let outer_it = open_plan ctx frames outer in
-    let inner_rows = lazy (Array.of_list (drain (open_plan ctx frames inner))) in
-    let cur_outer = ref None and inner_pos = ref 0 in
-    let rec next () =
-      match !cur_outer with
-      | None -> begin
+    let inner_bs = lazy (materialize ctx frames inner) in
+    let test = compile_pred ctx cond in
+    pack (fun ~emit ->
         match outer_it () with
-        | None -> None
-        | Some o ->
-          cur_outer := Some o;
-          inner_pos := 0;
-          next ()
-      end
-      | Some o ->
-        let rows = Lazy.force inner_rows in
-        if !inner_pos >= Array.length rows then begin
-          cur_outer := None;
-          next ()
-        end
-        else begin
-          let i = rows.(!inner_pos) in
-          incr inner_pos;
-          let t = Tuple.concat o i in
-          if eval_pred ctx frames t cond = Some true then Some t else next ()
-        end
-    in
-    next
+        | None -> false
+        | Some ob ->
+          let inner_bs = Lazy.force inner_bs in
+          Batch.iter
+            (fun o ->
+              List.iter
+                (Batch.iter (fun i ->
+                     let t = Tuple.concat o i in
+                     if is_true (test frames t) then emit t))
+                inner_bs)
+            ob;
+          true)
   | Plan.Hash_join { build; probe; build_keys; probe_keys; residual } ->
-    let table =
-      lazy
-        (let tbl = Tuple.Tbl.create 256 in
-         let it = open_plan ctx frames build in
-         let rec fill () =
-           match it () with
-           | None -> ()
-           | Some row ->
-             let key =
-               Array.of_list (List.map (Eval.scalar frames row) build_keys)
-             in
-             if not (Array.exists Value.is_null key) then begin
-               let prev =
-                 Option.value (Tuple.Tbl.find_opt tbl key) ~default:[]
-               in
-               Tuple.Tbl.replace tbl key (row :: prev)
-             end;
-             fill ()
-         in
-         fill ();
-         tbl)
-    in
-    let probe_it = open_plan ctx frames probe in
-    let matches = ref [] and cur_probe = ref [||] in
-    let rec next () =
-      match !matches with
-      | m :: rest ->
-        matches := rest;
-        let t = Tuple.concat !cur_probe m in
-        if eval_pred ctx frames t residual = Some true then Some t else next ()
-      | [] -> begin
-        match probe_it () with
-        | None -> None
-        | Some row ->
-          let key =
-            Array.of_list (List.map (Eval.scalar frames row) probe_keys)
-          in
-          if Array.exists Value.is_null key then next ()
-          else begin
-            cur_probe := row;
-            matches :=
-              Option.value (Tuple.Tbl.find_opt (Lazy.force table) key) ~default:[];
-            next ()
-          end
-      end
-    in
-    next
+    open_hash_join ctx frames ~mk_row:Tuple.concat ~build ~probe ~build_keys
+      ~probe_keys ~residual
   | Plan.Index_join { outer; table; index; keys; residual } ->
-    let outer_it = open_plan ctx frames outer in
-    let matches = ref [] and cur_outer = ref [||] in
-    let rec next () =
-      match !matches with
-      | rid :: rest -> begin
-        matches := rest;
-        match Base_table.get table rid with
-        | None -> next ()
-        | Some row ->
-          ctx.rows_scanned <- ctx.rows_scanned + 1;
-          let t = Tuple.concat !cur_outer row in
-          if eval_pred ctx frames t residual = Some true then Some t else next ()
-      end
-      | [] -> begin
-        match outer_it () with
-        | None -> None
-        | Some row ->
-          let key = Array.of_list (List.map (Eval.scalar frames row) keys) in
-          if Array.exists Value.is_null key then next ()
-          else begin
-            cur_outer := row;
-            matches := Index.lookup index key;
-            next ()
-          end
-      end
-    in
-    next
+    open_index_join ctx frames ~mk_row:Tuple.concat ~outer ~table ~index ~keys
+      ~residual
   | Plan.Merge_join { left; right; left_keys; right_keys; residual } ->
     (* sort both sides on their key values, then merge equal groups *)
     let keyed plan keys =
       lazy
-        (let rows = Array.of_list (drain (open_plan ctx frames plan)) in
+        (let kfs = List.map Eval.compile_scalar_fn keys in
+         let rows = Array.of_list (Batch.list_to_rows (materialize ctx frames plan)) in
          let with_keys =
            Array.map
              (fun row ->
-               (Array.of_list (List.map (Eval.scalar frames row) keys), row))
+               (Array.of_list (List.map (fun f -> f frames row) kfs), row))
              rows
          in
          (* null keys never join: drop them, as the hash join does *)
@@ -197,12 +253,12 @@ let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : iter =
          with_keys)
     in
     let ls = keyed left left_keys and rs = keyed right right_keys in
+    let test = compile_pred ctx residual in
     (* current output group: cross product of equal-key runs *)
     let li = ref 0 and ri = ref 0 in
-    let group = ref [] in
     let rec refill () =
       let l = Lazy.force ls and r = Lazy.force rs in
-      if !li >= Array.length l || !ri >= Array.length r then false
+      if !li >= Array.length l || !ri >= Array.length r then None
       else begin
         let lk, _ = l.(!li) and rk, _ = r.(!ri) in
         let c = Tuple.compare lk rk in
@@ -229,87 +285,124 @@ let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : iter =
               acc := Tuple.concat (snd l.(i)) (snd r.(j)) :: !acc
             done
           done;
-          group := List.rev !acc;
-          true
+          Some (List.rev !acc)
         end
       end
     in
-    let rec next () =
-      match !group with
-      | t :: rest ->
-        group := rest;
-        if eval_pred ctx frames t residual = Some true then Some t else next ()
-      | [] -> if refill () then next () else None
-    in
-    next
+    pack (fun ~emit ->
+        match refill () with
+        | None -> false
+        | Some group ->
+          List.iter (fun t -> if is_true (test frames t) then emit t) group;
+          true)
   | Plan.Distinct input ->
     let it = open_plan ctx frames input in
     let seen = Tuple.Tbl.create 256 in
     let rec next () =
       match it () with
       | None -> None
-      | Some t ->
-        if Tuple.Tbl.mem seen t then next ()
-        else begin
-          Tuple.Tbl.add seen t ();
-          Some t
-        end
+      | Some b ->
+        Batch.refine b (fun t ->
+            if Tuple.Tbl.mem seen t then false
+            else begin
+              Tuple.Tbl.add seen t ();
+              true
+            end);
+        if Batch.is_empty b then next () else Some b
     in
     next
   | Plan.Aggregate { input; keys; aggs } ->
     let result =
       lazy
         (let it = open_plan ctx frames input in
-         let groups = Tuple.Tbl.create 64 in
-         let order = ref [] in
-         let rec fill () =
+         let afs =
+           Array.of_list
+             (List.map
+                (fun (a : Plan.agg_spec) ->
+                  match a.Plan.agg_arg with
+                  | Some s ->
+                    let f = Eval.compile_scalar_fn s in
+                    fun row -> f frames row
+                  | None -> fun _ -> Value.Int 1)
+                aggs)
+         in
+         let new_accs () =
+           Array.map (fun a -> Agg_acc.create a.Plan.agg_fn) (Array.of_list aggs)
+         in
+         let rec fill add_row =
            match it () with
            | None -> ()
-           | Some row ->
-             let key = Array.of_list (List.map (Eval.scalar frames row) keys) in
-             let accs =
-               match Tuple.Tbl.find_opt groups key with
-               | Some accs -> accs
-               | None ->
-                 let accs = Array.map (fun a -> Agg_acc.create a.Plan.agg_fn) (Array.of_list aggs) in
-                 Tuple.Tbl.add groups key accs;
-                 order := key :: !order;
-                 accs
-             in
-             List.iteri
-               (fun i (a : Plan.agg_spec) ->
-                 let v =
-                   match a.Plan.agg_arg with
-                   | Some s -> Eval.scalar frames row s
-                   | None -> Value.Int 1
-                 in
-                 Agg_acc.add accs.(i) v)
-               aggs;
-             fill ()
+           | Some b ->
+             Batch.iter add_row b;
+             fill add_row
          in
-         fill ();
-         let emit key =
-           let accs = Tuple.Tbl.find groups key in
-           Tuple.concat key (Array.map Agg_acc.result accs)
-         in
-         if Tuple.Tbl.length groups = 0 && keys = [] then
-           (* global aggregate over empty input: identity row *)
-           [ Array.of_list
-               (List.map (fun a -> Agg_acc.empty_result a.Plan.agg_fn) aggs) ]
-         else List.rev_map emit !order)
+         match keys with
+         | [ k ] ->
+           (* single grouping column: hash the key value directly *)
+           let groups = Vtbl.create 64 in
+           let order = ref [] in
+           let kf = Eval.compile_scalar_fn k in
+           fill (fun row ->
+               let v = kf frames row in
+               let accs =
+                 match Vtbl.find groups v with
+                 | accs -> accs
+                 | exception Not_found ->
+                   let accs = new_accs () in
+                   Vtbl.add groups v accs;
+                   order := v :: !order;
+                   accs
+               in
+               for i = 0 to Array.length afs - 1 do
+                 Agg_acc.add accs.(i) (afs.(i) row)
+               done);
+           List.rev_map
+             (fun v ->
+               let accs = Vtbl.find groups v in
+               Tuple.concat [| v |] (Array.map Agg_acc.result accs))
+             !order
+         | _ ->
+           let groups = Tuple.Tbl.create 64 in
+           let order = ref [] in
+           let kfs = Array.of_list (List.map Eval.compile_scalar_fn keys) in
+           fill (fun row ->
+               let key = Array.map (fun f -> f frames row) kfs in
+               let accs =
+                 match Tuple.Tbl.find groups key with
+                 | accs -> accs
+                 | exception Not_found ->
+                   let accs = new_accs () in
+                   Tuple.Tbl.add groups key accs;
+                   order := key :: !order;
+                   accs
+               in
+               for i = 0 to Array.length afs - 1 do
+                 Agg_acc.add accs.(i) (afs.(i) row)
+               done);
+           let emit key =
+             let accs = Tuple.Tbl.find groups key in
+             Tuple.concat key (Array.map Agg_acc.result accs)
+           in
+           if Tuple.Tbl.length groups = 0 && keys = [] then
+             (* global aggregate over empty input: identity row *)
+             [ Array.of_list
+                 (List.map (fun a -> Agg_acc.empty_result a.Plan.agg_fn) aggs) ]
+           else List.rev_map emit !order)
     in
     let it = ref None in
     fun () ->
       (match !it with
       | Some i -> i ()
       | None ->
-        let i = iter_of_list (Lazy.force result) in
+        let i = iter_of_batches (Batch.of_list (Lazy.force result)) in
         it := Some i;
         i ())
   | Plan.Sort (input, specs) ->
     let sorted =
       lazy
-        (let rows = Array.of_list (drain (open_plan ctx frames input)) in
+        (let rows =
+           Array.of_list (Batch.list_to_rows (drain_batches (open_plan ctx frames input)))
+         in
          let cmp a b =
            let rec go = function
              | [] -> 0
@@ -321,31 +414,34 @@ let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : iter =
            go specs
          in
          Array.stable_sort cmp rows;
-         rows)
+         Batch.of_array rows)
     in
-    let pos = ref 0 in
+    let it = ref None in
     fun () ->
-      let rows = Lazy.force sorted in
-      if !pos >= Array.length rows then None
-      else begin
-        let r = rows.(!pos) in
-        incr pos;
-        Some r
-      end
+      (match !it with
+      | Some i -> i ()
+      | None ->
+        let i = iter_of_batches (Lazy.force sorted) in
+        it := Some i;
+        i ())
   | Plan.Limit (input, n) ->
     let it = open_plan ctx frames input in
-    let count = ref 0 in
+    let remaining = ref n in
     fun () ->
-      if !count >= n then None
+      if !remaining <= 0 then None
       else begin
-        incr count;
-        it ()
+        match it () with
+        | None -> None
+        | Some b ->
+          Batch.truncate b !remaining;
+          remaining := !remaining - Batch.length b;
+          Some b
       end
   | Plan.Union_all inputs ->
     let remaining = ref inputs and cur = ref (fun () -> None) in
     let rec next () =
       match !cur () with
-      | Some t -> Some t
+      | Some b -> Some b
       | None -> begin
         match !remaining with
         | [] -> None
@@ -356,14 +452,227 @@ let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : iter =
       end
     in
     next
-  | Plan.Shared (bid, input) -> begin
-    match Hashtbl.find_opt ctx.shared bid with
-    | Some rows -> iter_of_array rows
+  | Plan.Shared (bid, input) -> iter_of_batches (get_shared ctx frames bid input)
+
+(** Open an index join.  [mk_row] as in {!open_hash_join}. *)
+and open_index_join (ctx : ctx) (frames : Eval.frames)
+    ~(mk_row : Tuple.t -> Tuple.t -> Tuple.t) ~outer ~table ~index ~keys
+    ~residual : batch_iter =
+  let outer_it = open_plan ctx frames outer in
+  let extract, scratch = make_key_fn frames keys in
+  let emit_match =
+    match residual_test ctx residual with
+    | None -> fun emit row irow -> emit (mk_row row irow)
+    | Some test ->
+      fun emit row irow ->
+        let t = Tuple.concat row irow in
+        if is_true (test frames t) then emit (mk_row row irow)
+  in
+  let rec emit_rids emit row = function
+    | [] -> ()
+    | rid :: tl ->
+      (match Base_table.get table rid with
+      | None -> ()
+      | Some irow ->
+        ctx.rows_scanned <- ctx.rows_scanned + 1;
+        emit_match emit row irow);
+      emit_rids emit row tl
+  in
+  pack (fun ~emit ->
+      match outer_it () with
+      | None -> false
+      | Some ob ->
+        Batch.iter
+          (fun row ->
+            if extract row then
+              emit_rids emit row (Index.lookup index scratch))
+          ob;
+        true)
+
+(** Open a hash join.  [mk_row] builds each output row from a probe row
+    and a build match — [Tuple.concat] for the plain join, a column
+    picker when a projection has been fused into the emit.  The residual
+    (if any) is always evaluated over the full concatenation. *)
+and open_hash_join (ctx : ctx) (frames : Eval.frames)
+    ~(mk_row : Tuple.t -> Tuple.t -> Tuple.t) ~build ~probe ~build_keys
+    ~probe_keys ~residual : batch_iter =
+  let emit_match =
+    match residual_test ctx residual with
+    | None -> fun emit row m -> emit (mk_row row m)
+    | Some test ->
+      fun emit row m ->
+        let t = Tuple.concat row m in
+        if is_true (test frames t) then emit (mk_row row m)
+  in
+  (* full three-argument applications: no per-probe-row partial closure *)
+  let rec emit_matches emit row = function
+    | [] -> ()
+    | m :: tl ->
+      emit_match emit row m;
+      emit_matches emit row tl
+  in
+  match build_keys, probe_keys with
+  | [ bk ], [ pk ] ->
+    (* single-column equi-join fast path: hash the key value directly *)
+    let table =
+      lazy
+        (let tbl = Vtbl.create 256 in
+         let all_int = ref true in
+         let bf = Eval.compile_scalar_fn bk in
+         let bit = open_plan ctx frames build in
+         let rec drain () =
+           match bit () with
+           | None -> ()
+           | Some b ->
+             Batch.iter
+               (fun row ->
+                 let v = bf frames row in
+                 if not (Value.is_null v) then begin
+                   (match v with Value.Int _ -> () | _ -> all_int := false);
+                   let prev = try Vtbl.find tbl v with Not_found -> [] in
+                   Vtbl.replace tbl v (row :: prev)
+                 end)
+               b;
+             drain ()
+         in
+         drain ();
+         if !all_int then begin
+           (* re-key by raw int: the probe loop then skips the generic
+              value hash entirely *)
+           let itbl = Itbl.create (2 * Vtbl.length tbl) in
+           Vtbl.iter
+             (fun v rows ->
+               match v with
+               | Value.Int i -> Itbl.replace itbl i rows
+               | _ -> assert false)
+             tbl;
+           T_int itbl
+         end
+         else T_val tbl)
+    in
+    let probe_it = open_plan ctx frames probe in
+    let pf = Eval.compile_scalar_fn pk in
+    pack (fun ~emit ->
+        match probe_it () with
+        | None -> false
+        | Some pb ->
+          (match Lazy.force table with
+          | T_int itbl ->
+            Batch.iter
+              (fun row ->
+                (* Ints and integral Floats compare equal under SQL
+                   numeric equality, so integral Float probes fold onto
+                   the int key; other types never equal an Int key *)
+                let probe_int i =
+                  match Itbl.find itbl i with
+                  | exception Not_found -> ()
+                  | matches -> emit_matches emit row matches
+                in
+                match pf frames row with
+                | Value.Int i -> probe_int i
+                | Value.Float f when Float.is_integer f && Float.abs f < 1e18
+                  ->
+                  probe_int (int_of_float f)
+                | _ -> ())
+              pb
+          | T_val tbl ->
+            Batch.iter
+              (fun row ->
+                let v = pf frames row in
+                if not (Value.is_null v) then
+                  match Vtbl.find tbl v with
+                  | exception Not_found -> ()
+                  | matches -> emit_matches emit row matches)
+              pb);
+          true)
+  | _ ->
+    let table =
+      lazy
+        (let tbl = Tuple.Tbl.create 256 in
+         let bfs = List.map Eval.compile_scalar_fn build_keys in
+         let bit = open_plan ctx frames build in
+         let rec drain () =
+           match bit () with
+           | None -> ()
+           | Some b ->
+             Batch.iter
+               (fun row ->
+                 let key =
+                   Array.of_list (List.map (fun f -> f frames row) bfs)
+                 in
+                 if not (Array.exists Value.is_null key) then begin
+                   let prev =
+                     try Tuple.Tbl.find tbl key with Not_found -> []
+                   in
+                   Tuple.Tbl.replace tbl key (row :: prev)
+                 end)
+               b;
+             drain ()
+         in
+         drain ();
+         tbl)
+    in
+    let probe_it = open_plan ctx frames probe in
+    let extract, scratch = make_key_fn frames probe_keys in
+    pack (fun ~emit ->
+        match probe_it () with
+        | None -> false
+        | Some pb ->
+          let tbl = Lazy.force table in
+          Batch.iter
+            (fun row ->
+              if extract row then
+                match Tuple.Tbl.find tbl scratch with
+                | exception Not_found -> ()
+                | matches -> emit_matches emit row matches)
+            pb;
+          true)
+
+(** Materialize a subplan into a batch list.  Uncorrelated subplans
+    ([frames = []]) are cached by physical plan identity in the context,
+    so every consumer of the same subplan object — a [Shared] box, a
+    join inner re-opened by a second output plan of a multi-output
+    query, or a re-run of the same compiled plan — drains it exactly
+    once and re-reads the batches without copying. *)
+and materialize (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : Batch.t list =
+  match p with
+  | Plan.Shared (bid, inner) -> get_shared ctx frames bid inner
+  | _ when frames = [] -> begin
+    match List.find_opt (fun (q, _) -> q == p) ctx.materialized with
+    | Some (_, bs) -> bs
     | None ->
-      let rows = Array.of_list (drain (open_plan ctx frames input)) in
-      Hashtbl.replace ctx.shared bid rows;
-      iter_of_array rows
+      let bs = drain_batches (open_plan ctx frames p) in
+      ctx.materialized <- (p, bs) :: ctx.materialized;
+      ctx.materializations <- ctx.materializations + 1;
+      bs
   end
+  | _ -> drain_batches (open_plan ctx frames p)
+
+and get_shared (ctx : ctx) (frames : Eval.frames) (bid : int) (inner : Plan.t) :
+    Batch.t list =
+  match Hashtbl.find_opt ctx.shared bid with
+  | Some bs -> bs
+  | None ->
+    let bs = drain_batches (open_plan ctx frames inner) in
+    ctx.materializations <- ctx.materializations + 1;
+    Hashtbl.replace ctx.shared bid bs;
+    bs
+
+(** Compile a predicate for per-row use inside a batch loop: pure
+    predicates become one closure built at open time; predicates with
+    subplan probes fall back to the interpreting [eval_pred]. *)
+and compile_pred (ctx : ctx) (p : Plan.ppred) :
+    Eval.frames -> Tuple.t -> bool option =
+  match Eval.compile_pred_pure p with
+  | Some f -> f
+  | None -> fun frames tuple -> eval_pred ctx frames tuple p
+
+(** [None] when the join residual is trivially true (the common case
+    after predicate pushdown), so the match loop skips the per-row
+    test call entirely. *)
+and residual_test (ctx : ctx) (p : Plan.ppred) :
+    (Eval.frames -> Tuple.t -> bool option) option =
+  match p with Plan.P_true -> None | _ -> Some (compile_pred ctx p)
 
 and eval_pred ctx (frames : Eval.frames) (tuple : Tuple.t) (p : Plan.ppred) :
     bool option =
@@ -388,7 +697,12 @@ and eval_pred ctx (frames : Eval.frames) (tuple : Tuple.t) (p : Plan.ppred) :
   | Plan.P_exists sub ->
     ctx.subqueries_run <- ctx.subqueries_run + 1;
     let it = open_plan ctx (tuple :: frames) sub in
-    Some (it () <> None)
+    let rec nonempty () =
+      match it () with
+      | None -> false
+      | Some b -> (not (Batch.is_empty b)) || nonempty ()
+    in
+    Some (nonempty ())
   | Plan.P_in (s, sub) -> begin
     let v = Eval.scalar frames tuple s in
     ctx.subqueries_run <- ctx.subqueries_run + 1;
@@ -397,14 +711,21 @@ and eval_pred ctx (frames : Eval.frames) (tuple : Tuple.t) (p : Plan.ppred) :
     let rec go () =
       match it () with
       | None -> if Value.is_null v || !saw_null then None else Some false
-      | Some row ->
-        let w = row.(0) in
-        if Value.is_null w || Value.is_null v then begin
-          saw_null := true;
-          go ()
-        end
-        else if Value.compare v w = 0 then Some true
-        else go ()
+      | Some b ->
+        let n = Batch.length b in
+        let rec scan i =
+          if i >= n then go ()
+          else begin
+            let w = (Batch.get b i).(0) in
+            if Value.is_null w || Value.is_null v then begin
+              saw_null := true;
+              scan (i + 1)
+            end
+            else if Value.compare v w = 0 then Some true
+            else scan (i + 1)
+          end
+        in
+        scan 0
     in
     go ()
   end
@@ -418,10 +739,7 @@ let force_shared (ctx : ctx) (p : Plan.t) : unit =
     (match p with
     | Plan.Shared (bid, inner) ->
       walk inner;
-      if not (Hashtbl.mem ctx.shared bid) then begin
-        let rows = Array.of_list (drain (open_plan ctx [] inner)) in
-        Hashtbl.replace ctx.shared bid rows
-      end
+      ignore (get_shared ctx [] bid inner)
     | _ -> ());
     match p with
     | Plan.Scan _ | Plan.Values _ -> ()
@@ -464,12 +782,53 @@ let force_shared (ctx : ctx) (p : Plan.t) : unit =
 (** A context for another domain sharing this one's CSE cache (safe once
     {!force_shared} ran for every plan about to execute). *)
 let sibling_ctx (ctx : ctx) : ctx =
-  { shared = ctx.shared; rows_scanned = 0; subqueries_run = 0 }
+  {
+    shared = ctx.shared;
+    materialized = [];
+    rows_scanned = 0;
+    subqueries_run = 0;
+    batches_emitted = 0;
+    materializations = 0;
+  }
+
+(* -- public surface ------------------------------------------------------ *)
+
+(** Open a compiled plan as a demand-driven batch cursor (the table
+    queue itself).  Batches delivered here bump [ctx.batches_emitted]. *)
+let open_batches ?(ctx = make_ctx ()) (c : Plan.compiled) : batch_iter =
+  let it = open_plan ctx [] c.Plan.plan in
+  fun () ->
+    match it () with
+    | Some b ->
+      ctx.batches_emitted <- ctx.batches_emitted + 1;
+      Some b
+    | None -> None
+
+(** Run a compiled plan to completion, returning its batches. *)
+let run_batches ?ctx (c : Plan.compiled) : Batch.t list =
+  drain_batches (open_batches ?ctx c)
 
 (** Run a compiled plan to completion. *)
-let run ?(ctx = make_ctx ()) (c : Plan.compiled) : Tuple.t list =
-  drain (open_plan ctx [] c.Plan.plan)
+let run ?ctx (c : Plan.compiled) : Tuple.t list =
+  Batch.list_to_rows (run_batches ?ctx c)
 
-(** Open a compiled plan as a demand-driven cursor. *)
+(** One-tuple-at-a-time adapter over a batch cursor. *)
+let to_seq (it : batch_iter) : Tuple.t Seq.t =
+  let rec batches () =
+    match it () with None -> Seq.Nil | Some b -> rows b 0 ()
+  and rows b i () =
+    if i >= Batch.length b then batches ()
+    else Seq.Cons (Batch.get b i, rows b (i + 1))
+  in
+  batches
+
+(** Open a compiled plan as a demand-driven one-tuple cursor (compat
+    shim for cursors and examples). *)
 let cursor ?(ctx = make_ctx ()) (c : Plan.compiled) : iter =
-  open_plan ctx [] c.Plan.plan
+  let state = ref (to_seq (open_batches ~ctx c)) in
+  fun () ->
+    match !state () with
+    | Seq.Nil -> None
+    | Seq.Cons (x, tl) ->
+      state := tl;
+      Some x

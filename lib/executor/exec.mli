@@ -1,27 +1,39 @@
 (** The query evaluation system: demand-driven pipelined interpretation
-    of QEPs ("table queue evaluation", paper Sect. 3.1). *)
+    of QEPs ("table queue evaluation", paper Sect. 3.1), executed a
+    {e batch} at a time.  The one-tuple API ({!cursor}, {!to_seq}) is a
+    thin adapter over the batched pipeline. *)
 
 open Relcore
 module Plan = Optimizer.Plan
 
 (** Execution context shared across the (possibly many) plans of one
-    multi-output query: the CSE cache and instrumentation counters. *)
+    multi-output query: the CSE cache, the inner-materialization cache,
+    and instrumentation counters. *)
 type ctx = {
-  shared : (int, Tuple.t array) Hashtbl.t;
+  shared : (int, Batch.t list) Hashtbl.t;
+  mutable materialized : (Plan.t * Batch.t list) list;
+      (* join inners materialized once per physical plan object *)
   mutable rows_scanned : int; (* base-table tuples fetched *)
   mutable subqueries_run : int; (* correlated subplan executions *)
+  mutable batches_emitted : int; (* batches delivered at plan roots *)
+  mutable materializations : int; (* shared/inner drain runs (cache misses) *)
 }
 
 val make_ctx : unit -> ctx
 
 type iter = unit -> Tuple.t option
+type batch_iter = unit -> Batch.t option
 
-val iter_of_list : Tuple.t list -> iter
-val iter_of_array : Tuple.t array -> iter
-val drain : iter -> Tuple.t list
+val iter_of_batches : Batch.t list -> batch_iter
+val drain_batches : batch_iter -> Batch.t list
 
-val open_plan : ctx -> Eval.frames -> Plan.t -> iter
+val open_plan : ctx -> Eval.frames -> Plan.t -> batch_iter
 val eval_pred : ctx -> Eval.frames -> Tuple.t -> Plan.ppred -> bool option
+
+val materialize : ctx -> Eval.frames -> Plan.t -> Batch.t list
+(** Materialize a subplan into a batch list.  Uncorrelated subplans are
+    cached by physical plan identity in the context, so every consumer
+    of the same subplan object drains it exactly once. *)
 
 val force_shared : ctx -> Plan.t -> unit
 (** Materialize every [Shared] node reachable in the plan (bottom-up);
@@ -31,5 +43,15 @@ val force_shared : ctx -> Plan.t -> unit
 val sibling_ctx : ctx -> ctx
 (** A context for another domain sharing this one's CSE cache. *)
 
+val open_batches : ?ctx:ctx -> Plan.compiled -> batch_iter
+(** Open a compiled plan as a demand-driven batch cursor (the table
+    queue itself); counts delivered batches in [ctx.batches_emitted]. *)
+
+val run_batches : ?ctx:ctx -> Plan.compiled -> Batch.t list
 val run : ?ctx:ctx -> Plan.compiled -> Tuple.t list
+
+val to_seq : batch_iter -> Tuple.t Seq.t
+(** One-tuple-at-a-time adapter over a batch cursor. *)
+
 val cursor : ?ctx:ctx -> Plan.compiled -> iter
+(** Demand-driven one-tuple cursor (compat shim over {!open_batches}). *)

@@ -10,6 +10,29 @@ let eq_selectivity = 0.05
 let range_selectivity = 0.3
 let default_selectivity = 0.5
 
+(* -- batched streaming cost ---------------------------------------------- *)
+
+(** Cost of evaluating one tuple inside a batch loop (normalized unit). *)
+let tuple_cost = 1.0
+
+(** Fixed cost of moving one batch across an operator boundary: batch
+    allocation, iterator dispatch, selection-vector setup.  With
+    tuple-at-a-time execution this was paid {e per row}; batching
+    amortizes it over [Relcore.Batch.default_capacity] rows. *)
+let batch_overhead = 4.0
+
+(** Cost of streaming [rows] tuples through one operator hop under
+    batch-at-a-time execution: a per-tuple term plus a per-batch term
+    for however many batches the rows occupy. *)
+let stream_cost (rows : float) : float =
+  if rows <= 0.0 then batch_overhead
+  else
+    let batches =
+      Float.of_int Relcore.Batch.default_capacity
+      |> fun cap -> Float.ceil (rows /. cap)
+    in
+    (rows *. tuple_cost) +. (batches *. batch_overhead)
+
 (** Trace a body expression to a base-table column when the expression
     is a bare column reference whose quantifier (resolved by [resolve])
     ranges directly over a base table, or over a pass-through projection

@@ -8,6 +8,18 @@ val eq_selectivity : float
 val range_selectivity : float
 val default_selectivity : float
 
+val tuple_cost : float
+(** Cost of evaluating one tuple inside a batch loop (normalized). *)
+
+val batch_overhead : float
+(** Fixed cost of moving one batch across an operator boundary. *)
+
+val stream_cost : float -> float
+(** [stream_cost rows] is the cost of streaming that many tuples through
+    one operator hop under batch-at-a-time execution: a per-tuple term
+    plus a per-batch term for however many [Relcore.Batch] units the
+    rows occupy. *)
+
 val base_column_of :
   (int -> Qgm.box option) -> Qgm.bexpr -> (Relcore.Base_table.t * int) option
 (** Trace a bare column reference to a base-table column through

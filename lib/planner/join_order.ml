@@ -1,6 +1,7 @@
 (** Join-order selection: classic dynamic programming over quantifier
     subsets (System-R style), with a greedy fallback for very wide
-    joins.  Cost = sum of intermediate-result cardinalities. *)
+    joins.  Cost = sum of {!Cost.stream_cost} over intermediate results
+    (per-tuple work plus per-batch table-queue overhead). *)
 
 module Qgm = Starq.Qgm
 
@@ -60,7 +61,7 @@ let order_dp (inp : input) : int list =
       List.iter
         (fun j ->
           let mask' = mask lor (1 lsl j) in
-          let cost' = cost +. card in
+          let cost' = cost +. Cost.stream_cost card in
           match best.(mask') with
           | Some (c, _) when c <= cost' -> ()
           | _ -> best.(mask') <- Some (cost', j :: order))

@@ -93,6 +93,7 @@ let delete t rid =
 let iter f t = Heap.iter f t.heap
 let fold f acc t = Heap.fold f acc t.heap
 let scan t = Heap.scan t.heap
+let scan_into t ~from out ~start ~max = Heap.scan_into t.heap ~from out ~start ~max
 let to_list t = Heap.to_list t.heap
 
 (** Rids whose tuples match [key] on the primary key, via the pkey index. *)

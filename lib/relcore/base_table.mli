@@ -38,6 +38,12 @@ val delete : t -> Heap.rid -> unit
 val iter : (Heap.rid -> Tuple.t -> unit) -> t -> unit
 val fold : ('a -> Heap.rid -> Tuple.t -> 'a) -> 'a -> t -> 'a
 val scan : t -> unit -> (Heap.rid * Tuple.t) option
+
+val scan_into :
+  t -> from:int -> Tuple.t array -> start:int -> max:int -> int * int
+(** Batched scan into a caller-supplied row array (see
+    {!Heap.scan_into}): returns [(next_slot, n_filled)]. *)
+
 val to_list : t -> (Heap.rid * Tuple.t) list
 
 val pk_lookup : t -> Tuple.t -> Heap.rid list

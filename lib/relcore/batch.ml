@@ -1,0 +1,141 @@
+(** Fixed-capacity tuple batches — the unit of flow between plan
+    operators ("table queues" evaluated a batch at a time).
+
+    A batch is a dense prefix of rows plus an optional {e selection
+    vector}: filters mark surviving rows in the vector instead of
+    copying them, so a Scan→Filter→Filter chain touches each tuple
+    array exactly once.  Consumers must go through {!get}/{!iter}/
+    {!fold}, which respect the selection. *)
+
+type t = {
+  rows : Tuple.t array; (* capacity slots; only [0, len) are meaningful *)
+  mutable len : int; (* dense prefix filled by the producer *)
+  mutable sel : int array option; (* selection vector (ascending) over rows *)
+  mutable sel_len : int; (* live entries of [sel]; unused when [sel = None] *)
+}
+
+(** Default rows per batch; override with [XNFDB_BATCH_SIZE].  256 keeps
+    the row array within the runtime's minor-heap allocation limit
+    (larger arrays are allocated directly in the major heap, which costs
+    more than the dispatch the extra batch width would amortize). *)
+let default_capacity =
+  match Option.bind (Sys.getenv_opt "XNFDB_BATCH_SIZE") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> 256
+
+let empty_row : Tuple.t = [||]
+
+let create ?(capacity = default_capacity) () =
+  { rows = Array.make (max 1 capacity) empty_row; len = 0; sel = None; sel_len = 0 }
+
+let capacity b = Array.length b.rows
+let is_full b = b.len >= Array.length b.rows
+
+(** Number of {e selected} rows. *)
+let length b = match b.sel with None -> b.len | Some _ -> b.sel_len
+
+let is_empty b = length b = 0
+
+(** [i]-th selected row. *)
+let get b i =
+  match b.sel with None -> b.rows.(i) | Some s -> b.rows.(s.(i))
+
+(** Append to the dense prefix (producer side; batch must have no
+    selection vector yet). *)
+let push b row =
+  assert (match b.sel with None -> true | Some _ -> false);
+  b.rows.(b.len) <- row;
+  b.len <- b.len + 1
+
+let iter f b =
+  match b.sel with
+  | None ->
+    for i = 0 to b.len - 1 do
+      f b.rows.(i)
+    done
+  | Some s ->
+    for i = 0 to b.sel_len - 1 do
+      f b.rows.(s.(i))
+    done
+
+let fold f acc b =
+  let acc = ref acc in
+  iter (fun row -> acc := f !acc row) b;
+  !acc
+
+(** Refine the selection in place, keeping rows where [keep] holds.
+    Allocates the selection vector on first use; never copies tuples. *)
+let refine b keep =
+  match b.sel with
+  | None ->
+    let s = Array.make (max 1 b.len) 0 in
+    let k = ref 0 in
+    for i = 0 to b.len - 1 do
+      if keep b.rows.(i) then begin
+        s.(!k) <- i;
+        incr k
+      end
+    done;
+    b.sel <- Some s;
+    b.sel_len <- !k
+  | Some s ->
+    let k = ref 0 in
+    for i = 0 to b.sel_len - 1 do
+      let idx = s.(i) in
+      if keep b.rows.(idx) then begin
+        s.(!k) <- idx;
+        incr k
+      end
+    done;
+    b.sel_len <- !k
+
+(** Keep only the first [n] selected rows. *)
+let truncate b n =
+  match b.sel with
+  | None -> if n < b.len then b.len <- max 0 n
+  | Some _ -> if n < b.sel_len then b.sel_len <- max 0 n
+
+(** Dense copy of [b] with [f] applied to every selected row (the
+    projection primitive: output has no selection vector). *)
+let map b f =
+  let n = length b in
+  let out = create ~capacity:(max 1 n) () in
+  for i = 0 to n - 1 do
+    out.rows.(i) <- f (get b i)
+  done;
+  out.len <- n;
+  out
+
+let to_list b = List.rev (fold (fun acc row -> row :: acc) [] b)
+let to_array b = Array.init (length b) (get b)
+
+(** Chunk a row list into dense batches of at most [capacity] rows. *)
+let of_list ?(capacity = default_capacity) rows =
+  let rec go acc rows =
+    match rows with
+    | [] -> List.rev acc
+    | _ ->
+      let b = create ~capacity () in
+      let rec fill rows =
+        if is_full b then rows
+        else
+          match rows with
+          | [] -> []
+          | r :: tl ->
+            push b r;
+            fill tl
+      in
+      let rest = fill rows in
+      go (b :: acc) rest
+  in
+  go [] rows
+
+let of_array ?capacity rows = of_list ?capacity (Array.to_list rows)
+
+(* -- helpers over batch lists (materialized table queues) --------------- *)
+
+let list_length bs = List.fold_left (fun acc b -> acc + length b) 0 bs
+let list_iter f bs = List.iter (iter f) bs
+
+let list_to_rows bs =
+  List.rev (List.fold_left (fun acc b -> fold (fun acc r -> r :: acc) acc b) [] bs)

@@ -81,3 +81,20 @@ let scan h =
       end
     in
     go ()
+
+(** Batched scan: fill [out.(start .. start+max)] with live tuples
+    beginning at slot [from] — no per-row pair/option allocation.
+    Returns [(next_slot, n_filled)]; like {!scan}, tolerates concurrent
+    appends and skips tombstones. *)
+let scan_into h ~from (out : Tuple.t array) ~start ~max =
+  let pos = ref from and k = ref start in
+  let stop = start + max in
+  while !k < stop && !pos < Vec.length h.slots do
+    (match Vec.get h.slots !pos with
+    | Some t ->
+      out.(!k) <- t;
+      incr k
+    | None -> ());
+    incr pos
+  done;
+  (!pos, !k - start)

@@ -27,3 +27,9 @@ val to_list : t -> (rid * Tuple.t) list
 val scan : t -> unit -> (rid * Tuple.t) option
 (** Demand-driven cursor; skips tombstones and tolerates appends behind
     its position. *)
+
+val scan_into :
+  t -> from:int -> Tuple.t array -> start:int -> max:int -> int * int
+(** Batched scan: fill [out.(start .. start+max)] with live tuples
+    beginning at slot [from], with no per-row allocation.  Returns
+    [(next_slot, n_filled)]; skips tombstones like {!scan}. *)

@@ -6,6 +6,7 @@ let () =
       ("qgm", Test_qgm.suite);
       ("planner", Test_planner.suite);
       ("executor", Test_executor.suite);
+      ("batch", Test_batch.suite);
       ("engine", Test_engine.suite);
       ("xnf", Test_xnf.suite);
       ("cocache", Test_cocache.suite);
