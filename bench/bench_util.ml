@@ -19,6 +19,64 @@ let time_median ?(repeat = 5) f =
 
 let ms dt = dt *. 1000.0
 
+(* -- run metadata -------------------------------------------------------- *)
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "unknown" in
+    ignore (Unix.close_process_in ic : Unix.process_status);
+    line
+  with _ -> "unknown"
+
+(** JSON fragment recording the run environment — git revision, batch
+    size, configured domain count and the host's core count — so a
+    committed BENCH_*.json is interpretable later. *)
+let metadata_json () =
+  Printf.sprintf
+    "\"meta\": { \"git_rev\": %S, \"batch_size\": %d, \"domains\": %d, \
+     \"host_cores\": %d }"
+    (git_rev ())
+    (Relcore.Batch.default_capacity ())
+    (Relcore.Pool.default_domains ())
+    (Domain.recommended_domain_count ())
+
+(* -- baseline artifacts -------------------------------------------------- *)
+
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go from
+
+(** Read the numeric [field] of the entry named [name] from a committed
+    BENCH_*.json artifact (the writers' fixed formatting doubles as the
+    reader's grammar).  [None] when the file or entry is missing. *)
+let baseline_field ~file ~name ~field =
+  match
+    (try Some (In_channel.with_open_text file In_channel.input_all)
+     with _ -> None)
+  with
+  | None -> None
+  | Some s ->
+    Option.bind (find_sub s (Printf.sprintf "\"name\": %S" name) 0) (fun i ->
+        Option.bind (find_sub s (Printf.sprintf "%S: " field) i) (fun j ->
+            let k = j + String.length field + 4 in
+            let e = ref k in
+            let n = String.length s in
+            while
+              !e < n
+              && (match s.[!e] with
+                 | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+                 | _ -> false)
+            do
+              incr e
+            done;
+            float_of_string_opt (String.sub s k (!e - k))))
+
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 

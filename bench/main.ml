@@ -388,7 +388,7 @@ let bench_exec_batching ?(n_parts = 20_000) () =
   let db = Workloads.Oo1.generate p in
   row "database: %d parts, %d connections; batch size %d\n"
     p.Workloads.Oo1.n_parts (3 * p.Workloads.Oo1.n_parts)
-    Relcore.Batch.default_capacity;
+    (Relcore.Batch.default_capacity ());
   row "%-18s | %8s | %12s | %12s | %12s | %8s\n" "query" "rows" "scalar (ms)"
     "batched (ms)" "rows/s batch" "speedup";
   row "%s\n" (String.make 84 '-');
@@ -423,7 +423,7 @@ let bench_exec_batching ?(n_parts = 20_000) () =
         (float_of_int n /. t_batched)
         speedup
       :: !entries;
-    speedup
+    (speedup, float_of_int n /. t_batched)
   in
   (* OO1 traversal: one-hop frontier expansion over the whole graph —
      parts joined to their outgoing connections *)
@@ -432,31 +432,155 @@ let bench_exec_batching ?(n_parts = 20_000) () =
       "SELECT c.cto FROM parts p, conns c WHERE p.pid = c.cfrom AND p.build \
        < 5000"
   in
-  let trav_speedup = measure "oo1_traversal" traversal in
+  let trav_speedup, trav_rps = measure "oo1_traversal" traversal in
   ignore
     (measure "oo1_scan_filter"
        (Db.compile_query db
-          "SELECT cto, clength FROM conns WHERE clength < 500"));
+          "SELECT cto, clength FROM conns WHERE clength < 500")
+      : float * float);
   ignore
     (measure "oo1_fanout_agg"
        (Db.compile_query db
-          "SELECT cfrom, COUNT(*) FROM conns GROUP BY cfrom"));
+          "SELECT cfrom, COUNT(*) FROM conns GROUP BY cfrom")
+      : float * float);
   row
     "\ngate: oo1_traversal speedup %.2fx (acceptance: >= 1.5x rows/sec over \
      the tuple-at-a-time pipeline)\n"
     trav_speedup;
   let oc = open_out "BENCH_exec.json" in
   Printf.fprintf oc
-    "{\n  \"bench\": \"exec_batching\",\n  \"n_parts\": %d,\n  \
+    "{\n  \"bench\": \"exec_batching\",\n  %s,\n  \"n_parts\": %d,\n  \
      \"batch_size\": %d,\n  \"entries\": [\n%s\n  ]\n}\n"
-    n_parts Relcore.Batch.default_capacity
+    (metadata_json ()) n_parts
+    (Relcore.Batch.default_capacity ())
     (String.concat ",\n" (List.rev !entries));
   close_out oc;
   row "wrote BENCH_exec.json\n";
+  (* regression gate against a committed baseline artifact: CI points
+     XNFDB_BASELINE at the in-repo BENCH_exec.json and fails the smoke
+     run if batched throughput dropped by more than 20%. *)
+  (match Sys.getenv_opt "XNFDB_BASELINE" with
+  | None -> ()
+  | Some file -> (
+    match baseline_field ~file ~name:"oo1_traversal" ~field:"rows_per_sec_batched" with
+    | None ->
+      row "baseline %s: no oo1_traversal entry (gate skipped)\n" file
+    | Some base ->
+      let ratio = trav_rps /. base in
+      row "baseline gate: %.0f rows/s vs committed %.0f rows/s (%.2fx)\n"
+        trav_rps base ratio;
+      if ratio < 0.8 then begin
+        row
+          "FAIL: batched oo1_traversal throughput regressed more than 20%% \
+           vs %s\n"
+          file;
+        exit 1
+      end));
   register_bechamel ~name:"E5.exec_scalar" (fun () ->
       ignore (Executor.Exec_scalar.run traversal));
   register_bechamel ~name:"E5.exec_batched" (fun () ->
       ignore (Executor.Exec.run traversal))
+
+(* ---------------------------------------------------------------- E6 --- *)
+
+(** Parallel table queues: the OO1 traversal join and the four CO-view
+    extractions swept over domain counts, every parallel result checked
+    identical (row lists) or byte-identical (streams) to the sequential
+    executor.  Results land in [BENCH_parallel.json]. *)
+let bench_parallel_queues ?(n_parts = 20_000)
+    ?(domain_counts = [ 1; 2; 4; 8 ]) () =
+  header
+    "E6. Parallel table queues — domain sweep, bit-identical to sequential";
+  row "host cores: %d (speedup beyond 1 core cannot manifest on a smaller \
+       host; numbers are honest wall-clock)\n"
+    (Domain.recommended_domain_count ());
+  row "%-22s | %7s | %8s | %12s | %12s | %10s\n" "workload" "domains" "rows"
+    "seq (ms)" "par (ms)" "vs 1 dom";
+  row "%s\n" (String.make 84 '-');
+  let entries = ref [] in
+  let oo1_speedup4 = ref 1.0 in
+  let sweep name ~rows ~t_seq run =
+    let t1 = ref nan in
+    List.iter
+      (fun domains ->
+        let t = time_median ~repeat:3 (fun () -> run ~domains) in
+        if Float.is_nan !t1 then t1 := t;
+        let vs1 = !t1 /. t in
+        if name = "oo1_traversal" && domains = 4 then oo1_speedup4 := vs1;
+        row "%-22s | %7d | %8d | %12.2f | %12.2f | %9.2fx\n" name domains rows
+          (ms t_seq) (ms t) vs1;
+        entries :=
+          Printf.sprintf
+            "    { \"name\": %S, \"domains\": %d, \"rows\": %d, \
+             \"seq_ms\": %.3f, \"par_ms\": %.3f, \"rows_per_sec\": %.0f, \
+             \"speedup_vs_1\": %.3f }"
+            name domains rows (ms t_seq) (ms t)
+            (float_of_int rows /. t)
+            vs1
+          :: !entries)
+      domain_counts
+  in
+  (* flat traversal join: the morsel-parallel executor proper *)
+  let p = { Workloads.Oo1.default with n_parts } in
+  let oo1 = Workloads.Oo1.generate p in
+  let traversal =
+    Db.compile_query ~join_method:`Hash oo1
+      "SELECT c.cto FROM parts p, conns c WHERE p.pid = c.cfrom AND p.build \
+       < 5000"
+  in
+  let expected = Executor.Exec.run traversal in
+  List.iter
+    (fun domains ->
+      assert (Executor.Exec_par.run ~domains traversal = expected))
+    domain_counts;
+  let t_seq = time_median ~repeat:3 (fun () -> Executor.Exec.run_batches traversal) in
+  sweep "oo1_traversal" ~rows:(List.length expected) ~t_seq (fun ~domains ->
+      Executor.Exec_par.run_batches ~domains traversal);
+  (* CO-view extraction: component plans in parallel on the same pool *)
+  let extractions =
+    [
+      ("co_oo1_parts_graph", oo1, Workloads.Oo1.parts_graph_query);
+      ( "co_bom_assembly",
+        Workloads.Bom.generate Workloads.Bom.default,
+        Workloads.Bom.assembly_query );
+      ( "co_org_deps_arc",
+        Workloads.Org.generate Workloads.Org.default,
+        Workloads.Org.deps_arc_query );
+      ( "co_shop_region",
+        Workloads.Shop.generate Workloads.Shop.default,
+        Workloads.Shop.region_query "EMEA" );
+    ]
+  in
+  List.iter
+    (fun (name, db, q) ->
+      let compiled = Xnf.Xnf_compile.compile db q in
+      let seq = Xnf.Xnf_compile.extract compiled in
+      List.iter
+        (fun domains ->
+          assert
+            (H.equal seq (Xnf.Xnf_compile.extract_parallel ~domains compiled)))
+        domain_counts;
+      let t_seq =
+        time_median ~repeat:3 (fun () -> Xnf.Xnf_compile.extract compiled)
+      in
+      sweep name ~rows:(H.total_items seq) ~t_seq (fun ~domains ->
+          Xnf.Xnf_compile.extract_parallel ~domains compiled))
+    extractions;
+  row
+    "\ngate: oo1_traversal %.2fx at 4 domains (target >= 2.5x on a >= 4-core \
+     host; every parallel run above was verified identical to sequential)\n"
+    !oo1_speedup4;
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"parallel_queues\",\n  %s,\n  \"n_parts\": %d,\n  \
+     \"domain_counts\": [%s],\n  \"entries\": [\n%s\n  ]\n}\n"
+    (metadata_json ()) n_parts
+    (String.concat ", " (List.map string_of_int domain_counts))
+    (String.concat ",\n" (List.rev !entries));
+  close_out oc;
+  row "wrote BENCH_parallel.json\n";
+  register_bechamel ~name:"E6.par_traversal_d4" (fun () ->
+      ignore (Executor.Exec_par.run_batches ~domains:4 traversal))
 
 (* -------------------------------------------------------------- main --- *)
 
@@ -466,13 +590,15 @@ let () =
     "XNF reproduction benches (Pirahesh et al., Information Systems 19(1), \
      1994)";
   if smoke then begin
-    (* CI smoke mode: just the executor-batching section, smaller DB *)
+    (* CI smoke mode: the executor-batching and parallel sections only,
+       smaller DB *)
     let n_parts =
       match Sys.getenv_opt "XNFDB_BENCH_PARTS" with
       | Some s -> int_of_string s
       | None -> 5_000
     in
     bench_exec_batching ~n_parts ();
+    bench_parallel_queues ~n_parts ~domain_counts:[ 1; 2; 4 ] ();
     print_endline "\nsmoke bench complete."
   end
   else begin
@@ -484,6 +610,7 @@ let () =
     bench_shipping ();
     bench_parallel ();
     bench_exec_batching ();
+    bench_parallel_queues ();
     run_bechamel ();
     print_endline "\nall benches complete."
   end

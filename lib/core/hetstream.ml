@@ -235,6 +235,11 @@ let serialize (s : t) : string =
     s.items;
   Buffer.contents buf
 
+(** Structural stream equality via the wire format: headers, item order,
+    tags, ids and every value byte must agree — the check the
+    parallel-extraction equivalence tests rest on. *)
+let equal (a : t) (b : t) = String.equal (serialize a) (serialize b)
+
 let deserialize (data : string) : t =
   let r = { data; pos = 0 } in
   let header = read_header r in

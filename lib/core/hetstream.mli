@@ -51,6 +51,10 @@ val total_items : t -> int
     persistence.  The low-level reader/writer primitives are exposed for
     {!Cocache.Persist}. *)
 
+val equal : t -> t -> bool
+(** Structural equality via the wire format: item order, tags, ids and
+    every value byte must agree (byte-identical streams). *)
+
 val serialize : t -> string
 val deserialize : string -> t
 

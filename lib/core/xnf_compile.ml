@@ -240,16 +240,34 @@ let extract ?ctx (c : compiled) : Hetstream.t =
   if c.recursive then Xnf_recursive.extract c.db c.op
   else extract_nonrecursive ?ctx c
 
-(** Parallel extraction over OCaml domains (the paper's Sect. 6 outlook:
-    "set-oriented specification of COs as done in XNF particularly lends
-    itself to exploitation of parallelism technology").
+(** Parallel extraction on the shared domain pool (the paper's Sect. 6
+    outlook: "set-oriented specification of COs as done in XNF
+    particularly lends itself to exploitation of parallelism
+    technology").
 
-    All common subexpressions are forced sequentially first; the output
-    plans then run in parallel, each domain reading the now-immutable
-    shared cache.  Falls back to the fixpoint evaluator for recursive
-    COs. *)
-let extract_parallel ?(domains = 4) (c : compiled) : Hetstream.t =
+    Two-phase schedule over the per-component output plans:
+
+    1. plans the morsel-parallel executor can stream run one after
+       another, each fanned out {e within} the plan across the pool
+       ([Exec_par]); their shared-derivation drains populate the common
+       CSE cache as a side effect;
+    2. the remaining plans (correlated probes, LIMIT) first get every
+       reachable common subexpression forced, then run {e concurrently},
+       one plan per pool task, each domain reading the now-immutable
+       shared cache.
+
+    [assemble] then merges per-component batch lists in component order,
+    so the heterogeneous stream is bit-identical to {!extract}.  Falls
+    back to the fixpoint evaluator for recursive COs.  [domains]
+    defaults to [Relcore.Pool.default_domains ()] (the [XNFDB_DOMAINS]
+    knob); [morsel_rows]/[threshold] are forwarded to [Exec_par]. *)
+let extract_parallel ?domains ?morsel_rows ?threshold (c : compiled) :
+    Hetstream.t =
+  let domains =
+    match domains with Some d -> d | None -> Relcore.Pool.default_domains ()
+  in
   if c.recursive then Xnf_recursive.extract c.db c.op
+  else if domains <= 1 then extract_nonrecursive c
   else begin
     let ctx = Executor.Exec.make_ctx () in
     (* which outputs will actually run? *)
@@ -264,26 +282,46 @@ let extract_parallel ?(domains = 4) (c : compiled) : Hetstream.t =
           c.rewritten.Xnf_rewrite.rel_outputs
     in
     let plans = List.map (fun name -> (name, List.assoc name c.plans)) needed in
-    List.iter
-      (fun (_, (p : Plan.compiled)) -> Executor.Exec.force_shared ctx p.Plan.plan)
-      plans;
-    (* fan the plans out over worker domains *)
-    let n_workers = max 1 (min domains (List.length plans)) in
-    let chunks = Array.make n_workers [] in
-    List.iteri
-      (fun i entry -> chunks.(i mod n_workers) <- entry :: chunks.(i mod n_workers))
-      plans;
-    let run_chunk entries =
-      let my_ctx = Executor.Exec.sibling_ctx ctx in
+    let par, seq =
+      List.partition
+        (fun ((_, p) : string * Plan.compiled) ->
+          Executor.Exec_par.parallelizable p.Plan.plan)
+        plans
+    in
+    (* phase 1: intra-plan parallelism, one plan at a time *)
+    let par_results =
       List.map
-        (fun (name, (p : Plan.compiled)) ->
-          (name, Executor.Exec.run_batches ~ctx:my_ctx p))
-        entries
+        (fun (name, p) ->
+          ( name,
+            Executor.Exec_par.run_batches ~ctx ~domains ?morsel_rows ?threshold
+              p ))
+        par
     in
-    let handles =
-      Array.map (fun entries -> Domain.spawn (fun () -> run_chunk entries)) chunks
+    (* phase 2: inter-plan parallelism over the frozen shared cache *)
+    let seq_results =
+      match seq with
+      | [] -> []
+      | _ ->
+        List.iter
+          (fun (_, (p : Plan.compiled)) ->
+            Executor.Exec.force_shared ctx p.Plan.plan)
+          seq;
+        let arr = Array.of_list seq in
+        let out = Array.make (Array.length arr) [] in
+        let next = Atomic.make 0 in
+        Relcore.Pool.run ~domains:(min domains (Array.length arr)) (fun _ ->
+            let my_ctx = Executor.Exec.sibling_ctx ctx in
+            let rec loop () =
+              let i = Atomic.fetch_and_add next 1 in
+              if i < Array.length arr then begin
+                out.(i) <- Executor.Exec.run_batches ~ctx:my_ctx (snd arr.(i));
+                loop ()
+              end
+            in
+            loop ());
+        Array.to_list (Array.mapi (fun i bs -> (fst arr.(i), bs)) out)
     in
-    let results = Array.to_list handles |> List.concat_map Domain.join in
+    let results = par_results @ seq_results in
     assemble c (fun name -> List.assoc name results)
   end
 

@@ -34,9 +34,15 @@ val extract : ?ctx:Executor.Exec.ctx -> compiled -> Hetstream.t
 (** Sequential extraction; dispatches to the fixpoint evaluator for
     recursive COs. *)
 
-val extract_parallel : ?domains:int -> compiled -> Hetstream.t
-(** Parallel extraction over OCaml domains: CSE forced sequentially,
-    output plans fanned out (paper Sect. 6 outlook). *)
+val extract_parallel :
+  ?domains:int -> ?morsel_rows:int -> ?threshold:int -> compiled -> Hetstream.t
+(** Parallel extraction on the shared domain pool: morsel-parallel
+    plans run fanned-out one at a time (populating the CSE cache),
+    the rest run concurrently over the frozen cache; the merged stream
+    is bit-identical to {!extract}.  [domains] defaults to
+    [Relcore.Pool.default_domains ()] ([XNFDB_DOMAINS]); [morsel_rows]
+    and [threshold] tune the morsel scheduler (tests use tiny values to
+    force parallel paths on small data). *)
 
 val run : ?share:bool -> ?nf_rewrite:bool -> Db.t -> string -> Hetstream.t
 (** Compile and extract in one call. *)

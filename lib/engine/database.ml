@@ -54,19 +54,27 @@ let compile_query ?rewrite ?share ?join_method db (sql : string) :
     (Sqlkit.Parser.parse_query_string sql)
 
 (** Run a SELECT and return schema + result batches — the table queue
-    itself, without flattening. *)
-let query_batches ?rewrite ?share ?ctx db (sql : string) :
+    itself, without flattening.  [domains > 1] drains the plan through
+    the morsel-parallel executor (identical rows, multicore); default is
+    the sequential executor. *)
+let query_batches ?rewrite ?share ?ctx ?domains db (sql : string) :
     Schema.t * Batch.t list =
   let c = compile_query ?rewrite ?share db sql in
-  let batches = Executor.Exec.run_batches ?ctx c in
+  let batches =
+    match domains with
+    | Some d when d > 1 -> Executor.Exec_par.run_batches ?ctx ~domains:d c
+    | _ -> Executor.Exec.run_batches ?ctx c
+  in
   (c.Plan.out_schema, batches)
 
 (** Run a SELECT and return schema + rows. *)
-let query ?rewrite ?share ?ctx db (sql : string) : Schema.t * Tuple.t list =
-  let schema, batches = query_batches ?rewrite ?share ?ctx db sql in
+let query ?rewrite ?share ?ctx ?domains db (sql : string) :
+    Schema.t * Tuple.t list =
+  let schema, batches = query_batches ?rewrite ?share ?ctx ?domains db sql in
   (schema, Batch.list_to_rows batches)
 
-let query_rows ?rewrite ?share ?ctx db sql = snd (query ?rewrite ?share ?ctx db sql)
+let query_rows ?rewrite ?share ?ctx ?domains db sql =
+  snd (query ?rewrite ?share ?ctx ?domains db sql)
 
 (** EXPLAIN: the rewritten QGM and the chosen plan. *)
 let explain db (sql : string) : string =

@@ -40,18 +40,20 @@ val compile_query :
   Plan.compiled
 
 val query_batches :
-  ?rewrite:bool -> ?share:bool -> ?ctx:Executor.Exec.ctx -> t -> string ->
-  Schema.t * Batch.t list
+  ?rewrite:bool -> ?share:bool -> ?ctx:Executor.Exec.ctx -> ?domains:int ->
+  t -> string -> Schema.t * Batch.t list
 (** Run a SELECT and return schema + result batches — the table queue
-    itself, without flattening to a row list. *)
+    itself, without flattening to a row list.  [domains > 1] drains the
+    plan through the morsel-parallel executor (identical rows,
+    multicore). *)
 
 val query :
-  ?rewrite:bool -> ?share:bool -> ?ctx:Executor.Exec.ctx -> t -> string ->
-  Schema.t * Tuple.t list
+  ?rewrite:bool -> ?share:bool -> ?ctx:Executor.Exec.ctx -> ?domains:int ->
+  t -> string -> Schema.t * Tuple.t list
 
 val query_rows :
-  ?rewrite:bool -> ?share:bool -> ?ctx:Executor.Exec.ctx -> t -> string ->
-  Tuple.t list
+  ?rewrite:bool -> ?share:bool -> ?ctx:Executor.Exec.ctx -> ?domains:int ->
+  t -> string -> Tuple.t list
 
 val explain : t -> string -> string
 (** Rewritten QGM, rule firings and the chosen plan. *)

@@ -24,16 +24,21 @@ type ctx = {
      two plans (or one plan twice) that share an inner subplan object
      re-reads the first materialization instead of re-draining it *)
   mutable materialized : (Plan.t * Batch.t list) list;
+  batch_capacity : int; (* rows per batch for this query's table queues *)
   mutable rows_scanned : int; (* base-table tuples fetched *)
   mutable subqueries_run : int; (* correlated subplan executions *)
   mutable batches_emitted : int; (* batches delivered at plan roots *)
   mutable materializations : int; (* shared/inner drain runs (cache misses) *)
 }
 
-let make_ctx () =
+let make_ctx ?batch_capacity () =
   {
     shared = Hashtbl.create 8;
     materialized = [];
+    batch_capacity =
+      (match batch_capacity with
+      | Some c -> max 1 c
+      | None -> Batch.default_capacity ());
     rows_scanned = 0;
     subqueries_run = 0;
     batches_emitted = 0;
@@ -89,8 +94,10 @@ let drain_batches (it : batch_iter) : Batch.t list =
     [step ~emit] advances the producer by one unit of input (typically
     one upstream batch), calling [emit] per output row; it returns
     [false] once the input is exhausted. *)
-let pack ?(capacity = Batch.default_capacity) (step : emit:(Tuple.t -> unit) -> bool)
-    : batch_iter =
+let pack ?capacity (step : emit:(Tuple.t -> unit) -> bool) : batch_iter =
+  let capacity =
+    match capacity with Some c -> c | None -> Batch.default_capacity ()
+  in
   let ready = Queue.create () in
   let cur = ref (Batch.create ~capacity ()) in
   let finished = ref false in
@@ -137,14 +144,14 @@ let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : batch_iter =
   | Plan.Scan t ->
     (* batches grow geometrically from a small first batch so a Limit
        just above the scan stays nearly as lazy as tuple-at-a-time *)
-    let cap = ref (min 64 Batch.default_capacity) in
+    let cap = ref (min 64 ctx.batch_capacity) in
     let slot = ref 0 in
     let exhausted = ref false in
     fun () ->
       if !exhausted then None
       else begin
         let b = Batch.create ~capacity:!cap () in
-        cap := min Batch.default_capacity (!cap * 4);
+        cap := min ctx.batch_capacity (!cap * 4);
         let next_slot, n =
           Base_table.scan_into t ~from:!slot b.Batch.rows ~start:0
             ~max:(Batch.capacity b)
@@ -158,7 +165,8 @@ let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : batch_iter =
         end
         else Some b
       end
-  | Plan.Values rows -> iter_of_batches (Batch.of_list rows)
+  | Plan.Values rows ->
+    iter_of_batches (Batch.of_list ~capacity:ctx.batch_capacity rows)
   | Plan.Filter (input, pred) ->
     let it = open_plan ctx frames input in
     let test = compile_pred ctx pred in
@@ -210,7 +218,7 @@ let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : batch_iter =
     let outer_it = open_plan ctx frames outer in
     let inner_bs = lazy (materialize ctx frames inner) in
     let test = compile_pred ctx cond in
-    pack (fun ~emit ->
+    pack ~capacity:ctx.batch_capacity (fun ~emit ->
         match outer_it () with
         | None -> false
         | Some ob ->
@@ -289,7 +297,7 @@ let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : batch_iter =
         end
       end
     in
-    pack (fun ~emit ->
+    pack ~capacity:ctx.batch_capacity (fun ~emit ->
         match refill () with
         | None -> false
         | Some group ->
@@ -394,7 +402,10 @@ let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : batch_iter =
       (match !it with
       | Some i -> i ()
       | None ->
-        let i = iter_of_batches (Batch.of_list (Lazy.force result)) in
+        let i =
+          iter_of_batches
+            (Batch.of_list ~capacity:ctx.batch_capacity (Lazy.force result))
+        in
         it := Some i;
         i ())
   | Plan.Sort (input, specs) ->
@@ -414,7 +425,7 @@ let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : batch_iter =
            go specs
          in
          Array.stable_sort cmp rows;
-         Batch.of_array rows)
+         Batch.of_array ~capacity:ctx.batch_capacity rows)
     in
     let it = ref None in
     fun () ->
@@ -478,7 +489,7 @@ and open_index_join (ctx : ctx) (frames : Eval.frames)
         emit_match emit row irow);
       emit_rids emit row tl
   in
-  pack (fun ~emit ->
+  pack ~capacity:ctx.batch_capacity (fun ~emit ->
       match outer_it () with
       | None -> false
       | Some ob ->
@@ -552,7 +563,7 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
     in
     let probe_it = open_plan ctx frames probe in
     let pf = Eval.compile_scalar_fn pk in
-    pack (fun ~emit ->
+    pack ~capacity:ctx.batch_capacity (fun ~emit ->
         match probe_it () with
         | None -> false
         | Some pb ->
@@ -614,7 +625,7 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
     in
     let probe_it = open_plan ctx frames probe in
     let extract, scratch = make_key_fn frames probe_keys in
-    pack (fun ~emit ->
+    pack ~capacity:ctx.batch_capacity (fun ~emit ->
         match probe_it () with
         | None -> false
         | Some pb ->
@@ -785,6 +796,7 @@ let sibling_ctx (ctx : ctx) : ctx =
   {
     shared = ctx.shared;
     materialized = [];
+    batch_capacity = ctx.batch_capacity;
     rows_scanned = 0;
     subqueries_run = 0;
     batches_emitted = 0;

@@ -13,13 +13,24 @@ type ctx = {
   shared : (int, Batch.t list) Hashtbl.t;
   mutable materialized : (Plan.t * Batch.t list) list;
       (* join inners materialized once per physical plan object *)
+  batch_capacity : int; (* rows per batch for this query's table queues *)
   mutable rows_scanned : int; (* base-table tuples fetched *)
   mutable subqueries_run : int; (* correlated subplan executions *)
   mutable batches_emitted : int; (* batches delivered at plan roots *)
   mutable materializations : int; (* shared/inner drain runs (cache misses) *)
 }
 
-val make_ctx : unit -> ctx
+val make_ctx : ?batch_capacity:int -> unit -> ctx
+(** [batch_capacity] defaults to [Batch.default_capacity ()] (the
+    [XNFDB_BATCH_SIZE] knob), snapshotted at context creation so one
+    query sees one stable batch size. *)
+
+module Vtbl : Hashtbl.S with type key = Value.t
+(** Value-keyed table used by the single-column join fast path (shared
+    with the parallel executor's build-side mirror). *)
+
+module Itbl : Hashtbl.S with type key = int
+(** Raw-int-keyed table for the all-integer join-key case. *)
 
 type iter = unit -> Tuple.t option
 type batch_iter = unit -> Batch.t option

@@ -1,0 +1,755 @@
+(** Parallel table-queue execution on OCaml 5 domains.
+
+    The sequential executor ({!Exec}) drains a plan one batch at a time
+    on one domain.  This module runs the same plans across the shared
+    domain pool ({!Relcore.Pool}) with {e morsel-style} scheduling:
+
+    - the base-table scan at the bottom of a pipeline is partitioned
+      into row-range morsels handed out by an atomic counter;
+    - each worker pushes the streamable part of the pipeline
+      (scan/filter/project/join probe) over its morsels, packing output
+      rows into batches;
+    - per-morsel batch lists travel to the consumer over a bounded
+      {!Relcore.Chan} — a real inter-domain table queue — and are
+      re-merged {e by morsel index}, so the output row order is exactly
+      the sequential order and results are bit-identical to {!Exec};
+    - hash-join builds run partitioned too: per-morsel local tables are
+      merged in ascending morsel order, reproducing the sequential
+      build's match-list ordering;
+    - aggregates over the order-insensitive functions
+      (COUNT/MIN/MAX) merge partition-local group tables in morsel
+      order; float SUM/AVG instead drain their input in parallel and
+      splice the rows into the sequential operator, keeping float
+      accumulation order — and hence every bit of the result — intact.
+
+    Anything that cannot run this way (correlated subplan probes,
+    LIMIT's early-out) raises {!Not_parallel}, and {!run_batches} falls
+    back to {!Exec} on the whole plan.  Small inputs are detected via
+    [Cost.choose_dop] and run inline on the calling domain. *)
+
+open Relcore
+module Plan = Optimizer.Plan
+module Ast = Sqlkit.Ast
+module Cost = Optimizer.Cost
+
+exception Not_parallel
+
+let[@inline] is_true = function Some true -> true | Some false | None -> false
+
+(** Compile a pure predicate or refuse to parallelize: subplan probes
+    (EXISTS/IN) need the sequential executor's context. *)
+let compile_pure (p : Plan.ppred) =
+  match Eval.compile_pred_pure p with
+  | Some f -> f
+  | None -> raise Not_parallel
+
+(** [None] when the residual is trivially true (skip the per-row test). *)
+let residual_opt (p : Plan.ppred) =
+  match p with Plan.P_true -> None | _ -> Some (compile_pure p)
+
+(* per-worker counters, folded into the shared ctx once the fan-out is
+   over (workers never touch ctx concurrently) *)
+type stats = { mutable s_scanned : int }
+
+(** Where a pipeline's morsels come from: a slot-range-partitioned base
+    table, or an already-materialized batch list (one batch per morsel). *)
+type source = Src_table of Base_table.t | Src_batches of Batch.t array
+
+(** A streamable pipeline: a morsel source plus a per-worker row
+    transformer.  [make_feed] is called once per worker so compiled
+    scalar closures and key scratch buffers are never shared across
+    domains; the function it returns consumes one {e source} row and
+    emits the pipeline's output rows. *)
+type pipe = {
+  src : source;
+  src_rows : int; (* source cardinality estimate, for the DOP choice *)
+  make_feed : stats -> emit:(Tuple.t -> unit) -> Tuple.t -> unit;
+}
+
+type opts = {
+  domains : int;
+  morsel : int option; (* forced morsel size; None = adaptive *)
+  threshold : int; (* serial below this many source rows *)
+}
+
+(** Morsel geometry of a source: [(n_morsels, rows_per_morsel)].  Batch
+    sources use one batch per morsel (their unit of production). *)
+let morsels_of ~opts (src : source) =
+  match src with
+  | Src_table t ->
+    let slots = Base_table.slot_count t in
+    let msz =
+      match opts.morsel with
+      | Some n -> max 1 n
+      | None ->
+        (* enough morsels for dynamic load balancing (~8 per worker),
+           large enough that scheduling is noise *)
+        min 16384 (max 256 (slots / max 1 (opts.domains * 8)))
+    in
+    (((slots + msz - 1) / msz), msz)
+  | Src_batches arr -> (Array.length arr, 0)
+
+(** Drive [feed] over morsel [m]; returns base-table rows scanned. *)
+let iter_morsel (src : source) ~msz m feed =
+  match src with
+  | Src_table t -> Base_table.iter_range t ~lo:(m * msz) ~hi:((m + 1) * msz) feed
+  | Src_batches arr ->
+    Batch.iter feed arr.(m);
+    0
+
+let choose_dop ~opts ~rows ~n_morsels =
+  if Pool.in_worker () || n_morsels <= 1 then 1
+  else
+    min n_morsels
+      (Cost.choose_dop ~threshold:opts.threshold ~domains:opts.domains ~rows ())
+
+(* build-side hash tables, mirroring Exec's specializations *)
+type join_table =
+  | J_int of Tuple.t list Exec.Itbl.t
+  | J_val of Tuple.t list Exec.Vtbl.t
+  | J_multi of Tuple.t list Tuple.Tbl.t
+
+(** Per-worker multi-column key extractor (fresh scratch per worker). *)
+let make_key_fn (keys : Plan.scalar list) =
+  let fs = Array.of_list (List.map Eval.compile_scalar_fn keys) in
+  let n = Array.length fs in
+  let scratch = Array.make n Value.Null in
+  let extract row =
+    let ok = ref true in
+    for k = 0 to n - 1 do
+      let v = fs.(k) [] row in
+      if Value.is_null v then ok := false;
+      scratch.(k) <- v
+    done;
+    !ok
+  in
+  (extract, scratch)
+
+(* -- pipeline construction ----------------------------------------------- *)
+
+let rec pipe_of (ctx : Exec.ctx) ~opts (p : Plan.t) : pipe =
+  match p with
+  | Plan.Scan t ->
+    {
+      src = Src_table t;
+      src_rows = Base_table.cardinality t;
+      make_feed = (fun _ ~emit -> emit);
+    }
+  | Plan.Values rows ->
+    let bs =
+      Array.of_list (Batch.of_list ~capacity:ctx.Exec.batch_capacity rows)
+    in
+    {
+      src = Src_batches bs;
+      src_rows = List.length rows;
+      make_feed = (fun _ ~emit -> emit);
+    }
+  | Plan.Shared _ ->
+    (* materialized once on the calling domain; workers only read *)
+    let bs = Exec.materialize ctx [] p in
+    {
+      src = Src_batches (Array.of_list bs);
+      src_rows = Batch.list_length bs;
+      make_feed = (fun _ ~emit -> emit);
+    }
+  | Plan.Filter (input, pred) ->
+    let pipe = pipe_of ctx ~opts input in
+    (* force Not_parallel now, not at feed time *)
+    ignore (compile_pure pred : Eval.frames -> Tuple.t -> bool option);
+    {
+      pipe with
+      make_feed =
+        (fun st ~emit ->
+          let test = compile_pure pred in
+          pipe.make_feed st ~emit:(fun row ->
+              if is_true (test [] row) then emit row));
+    }
+  | Plan.Project (input, cols) ->
+    let pipe = pipe_of ctx ~opts input in
+    {
+      pipe with
+      make_feed =
+        (fun st ~emit ->
+          let fs = Array.map Eval.compile_scalar_fn cols in
+          let n = Array.length fs in
+          pipe.make_feed st ~emit:(fun row ->
+              let out = Array.make n Value.Null in
+              for k = 0 to n - 1 do
+                out.(k) <- fs.(k) [] row
+              done;
+              emit out));
+    }
+  | Plan.Nl_join { outer; inner; cond } ->
+    ignore (compile_pure cond : Eval.frames -> Tuple.t -> bool option);
+    let pipe = pipe_of ctx ~opts outer in
+    let inner_bs = Exec.materialize ctx [] inner in
+    {
+      pipe with
+      make_feed =
+        (fun st ~emit ->
+          let test = compile_pure cond in
+          pipe.make_feed st ~emit:(fun o ->
+              List.iter
+                (Batch.iter (fun i ->
+                     let t = Tuple.concat o i in
+                     if is_true (test [] t) then emit t))
+                inner_bs));
+    }
+  | Plan.Hash_join { build; probe; build_keys; probe_keys; residual } ->
+    ignore (residual_opt residual);
+    let table = build_join_table ctx ~opts build build_keys in
+    let pipe = pipe_of ctx ~opts probe in
+    {
+      pipe with
+      make_feed =
+        (fun st ~emit ->
+          let res = residual_opt residual in
+          let emit_match row m =
+            match res with
+            | None -> emit (Tuple.concat row m)
+            | Some test ->
+              let t = Tuple.concat row m in
+              if is_true (test [] t) then emit t
+          in
+          let rec emit_matches row = function
+            | [] -> ()
+            | m :: tl ->
+              emit_match row m;
+              emit_matches row tl
+          in
+          match table with
+          | J_int itbl ->
+            let pf =
+              Eval.compile_scalar_fn
+                (match probe_keys with [ pk ] -> pk | _ -> assert false)
+            in
+            let probe_int row i =
+              match Exec.Itbl.find itbl i with
+              | exception Not_found -> ()
+              | matches -> emit_matches row matches
+            in
+            pipe.make_feed st ~emit:(fun row ->
+                (* Ints and integral Floats compare equal under SQL
+                   numeric equality, exactly as in [Exec] *)
+                match pf [] row with
+                | Value.Int i -> probe_int row i
+                | Value.Float f when Float.is_integer f && Float.abs f < 1e18
+                  ->
+                  probe_int row (int_of_float f)
+                | _ -> ())
+          | J_val vtbl ->
+            let pf =
+              Eval.compile_scalar_fn
+                (match probe_keys with [ pk ] -> pk | _ -> assert false)
+            in
+            pipe.make_feed st ~emit:(fun row ->
+                let v = pf [] row in
+                if not (Value.is_null v) then
+                  match Exec.Vtbl.find vtbl v with
+                  | exception Not_found -> ()
+                  | matches -> emit_matches row matches)
+          | J_multi ttbl ->
+            let extract, scratch = make_key_fn probe_keys in
+            pipe.make_feed st ~emit:(fun row ->
+                if extract row then
+                  match Tuple.Tbl.find ttbl scratch with
+                  | exception Not_found -> ()
+                  | matches -> emit_matches row matches));
+    }
+  | Plan.Index_join { outer; table; index; keys; residual } ->
+    ignore (residual_opt residual);
+    let pipe = pipe_of ctx ~opts outer in
+    {
+      pipe with
+      make_feed =
+        (fun st ~emit ->
+          let res = residual_opt residual in
+          let extract, scratch = make_key_fn keys in
+          pipe.make_feed st ~emit:(fun row ->
+              if extract row then
+                List.iter
+                  (fun rid ->
+                    match Base_table.get table rid with
+                    | None -> ()
+                    | Some irow ->
+                      st.s_scanned <- st.s_scanned + 1;
+                      (match res with
+                      | None -> emit (Tuple.concat row irow)
+                      | Some test ->
+                        let t = Tuple.concat row irow in
+                        if is_true (test [] t) then emit t))
+                  (Index.lookup index scratch)));
+    }
+  | Plan.Aggregate _ | Plan.Sort _ | Plan.Distinct _ | Plan.Merge_join _
+  | Plan.Union_all _ | Plan.Limit _ ->
+    (* blocking operators are handled at the drain level; LIMIT's
+       early-out is inherently serial *)
+    raise Not_parallel
+
+(* -- parallel hash-join build -------------------------------------------- *)
+
+(** Build the join hash table.  When the build side is itself streamable
+    and large enough, workers fill {e per-morsel} local tables which are
+    then merged in ascending morsel order: since the sequential build
+    prepends each row to its key's match list (lists end up in reverse
+    scan order), [merged(k) = local_m(k) @ ... @ local_0(k)] reproduces
+    the sequential list for every key exactly. *)
+and build_join_table ctx ~opts (build : Plan.t) (build_keys : Plan.scalar list)
+    : join_table =
+  let promote_all_int tbl =
+    (* re-key by raw int so probes skip the generic value hash *)
+    let itbl = Exec.Itbl.create (2 * Exec.Vtbl.length tbl) in
+    Exec.Vtbl.iter
+      (fun v rows ->
+        match v with
+        | Value.Int i -> Exec.Itbl.replace itbl i rows
+        | _ -> assert false)
+      tbl;
+    J_int itbl
+  in
+  match pipe_of ctx ~opts build with
+  | exception Not_parallel -> build_sequential ctx build build_keys
+  | bpipe -> (
+    let n_morsels, msz = morsels_of ~opts bpipe.src in
+    let dop = choose_dop ~opts ~rows:bpipe.src_rows ~n_morsels in
+    if dop <= 1 then build_sequential ctx build build_keys
+    else
+      let stats = Array.init dop (fun _ -> { s_scanned = 0 }) in
+      let next = Atomic.make 0 in
+      match build_keys with
+      | [ bk ] ->
+        let all_int = Atomic.make true in
+        let locals = Array.init n_morsels (fun _ -> Exec.Vtbl.create 16) in
+        Pool.run ~domains:dop (fun w ->
+            let st = stats.(w) in
+            let bf = Eval.compile_scalar_fn bk in
+            let cur = ref locals.(0) in
+            let emit row =
+              let v = bf [] row in
+              if not (Value.is_null v) then begin
+                (match v with
+                | Value.Int _ -> ()
+                | _ -> Atomic.set all_int false);
+                let prev =
+                  try Exec.Vtbl.find !cur v with Not_found -> []
+                in
+                Exec.Vtbl.replace !cur v (row :: prev)
+              end
+            in
+            let feed = bpipe.make_feed st ~emit in
+            let rec loop () =
+              let m = Atomic.fetch_and_add next 1 in
+              if m < n_morsels then begin
+                cur := locals.(m);
+                st.s_scanned <-
+                  st.s_scanned + iter_morsel bpipe.src ~msz m feed;
+                loop ()
+              end
+            in
+            loop ());
+        Array.iter
+          (fun st -> ctx.Exec.rows_scanned <- ctx.Exec.rows_scanned + st.s_scanned)
+          stats;
+        let g = Exec.Vtbl.create 256 in
+        for m = 0 to n_morsels - 1 do
+          Exec.Vtbl.iter
+            (fun k l ->
+              let old = try Exec.Vtbl.find g k with Not_found -> [] in
+              Exec.Vtbl.replace g k (l @ old))
+            locals.(m)
+        done;
+        if Atomic.get all_int then promote_all_int g else J_val g
+      | _ ->
+        let locals = Array.init n_morsels (fun _ -> Tuple.Tbl.create 16) in
+        Pool.run ~domains:dop (fun w ->
+            let st = stats.(w) in
+            let bfs = List.map Eval.compile_scalar_fn build_keys in
+            let cur = ref locals.(0) in
+            let emit row =
+              let key = Array.of_list (List.map (fun f -> f [] row) bfs) in
+              if not (Array.exists Value.is_null key) then begin
+                let prev = try Tuple.Tbl.find !cur key with Not_found -> [] in
+                Tuple.Tbl.replace !cur key (row :: prev)
+              end
+            in
+            let feed = bpipe.make_feed st ~emit in
+            let rec loop () =
+              let m = Atomic.fetch_and_add next 1 in
+              if m < n_morsels then begin
+                cur := locals.(m);
+                st.s_scanned <-
+                  st.s_scanned + iter_morsel bpipe.src ~msz m feed;
+                loop ()
+              end
+            in
+            loop ());
+        Array.iter
+          (fun st -> ctx.Exec.rows_scanned <- ctx.Exec.rows_scanned + st.s_scanned)
+          stats;
+        let g = Tuple.Tbl.create 256 in
+        for m = 0 to n_morsels - 1 do
+          Tuple.Tbl.iter
+            (fun k l ->
+              let old = try Tuple.Tbl.find g k with Not_found -> [] in
+              Tuple.Tbl.replace g k (l @ old))
+            locals.(m)
+        done;
+        J_multi g)
+
+(** Sequential build through {!Exec.open_plan}: handles any build-side
+    plan (including ones with subplan probes) and is, by construction,
+    the ordering oracle the parallel build reproduces. *)
+and build_sequential (ctx : Exec.ctx) (build : Plan.t)
+    (build_keys : Plan.scalar list) : join_table =
+  let it = Exec.open_plan ctx [] build in
+  match build_keys with
+  | [ bk ] ->
+    let tbl = Exec.Vtbl.create 256 in
+    let all_int = ref true in
+    let bf = Eval.compile_scalar_fn bk in
+    let rec drain () =
+      match it () with
+      | None -> ()
+      | Some b ->
+        Batch.iter
+          (fun row ->
+            let v = bf [] row in
+            if not (Value.is_null v) then begin
+              (match v with Value.Int _ -> () | _ -> all_int := false);
+              let prev = try Exec.Vtbl.find tbl v with Not_found -> [] in
+              Exec.Vtbl.replace tbl v (row :: prev)
+            end)
+          b;
+        drain ()
+    in
+    drain ();
+    if !all_int then begin
+      let itbl = Exec.Itbl.create (2 * Exec.Vtbl.length tbl) in
+      Exec.Vtbl.iter
+        (fun v rows ->
+          match v with
+          | Value.Int i -> Exec.Itbl.replace itbl i rows
+          | _ -> assert false)
+        tbl;
+      J_int itbl
+    end
+    else J_val tbl
+  | _ ->
+    let tbl = Tuple.Tbl.create 256 in
+    let bfs = List.map Eval.compile_scalar_fn build_keys in
+    let rec drain () =
+      match it () with
+      | None -> ()
+      | Some b ->
+        Batch.iter
+          (fun row ->
+            let key = Array.of_list (List.map (fun f -> f [] row) bfs) in
+            if not (Array.exists Value.is_null key) then begin
+              let prev = try Tuple.Tbl.find tbl key with Not_found -> [] in
+              Tuple.Tbl.replace tbl key (row :: prev)
+            end)
+          b;
+        drain ()
+    in
+    drain ();
+    J_multi tbl
+
+(* -- streaming a pipe over the pool -------------------------------------- *)
+
+(** Run a pipe over its morsels and return its output batches in
+    sequential row order.  Parallel mode sends per-morsel batch lists
+    over a bounded channel and the consumer re-merges them by morsel
+    index — the deterministic-merge half of the table queue. *)
+and stream (ctx : Exec.ctx) ~opts (pipe : pipe) : Batch.t list =
+  let n_morsels, msz = morsels_of ~opts pipe.src in
+  let dop = choose_dop ~opts ~rows:pipe.src_rows ~n_morsels in
+  let capacity = ctx.Exec.batch_capacity in
+  if dop <= 1 then begin
+    (* serial inline: same morsel walk, no channel *)
+    let st = { s_scanned = 0 } in
+    let out = ref [] in
+    let buf = ref (Batch.create ~capacity ()) in
+    let emit row =
+      Batch.push !buf row;
+      if Batch.is_full !buf then begin
+        out := !buf :: !out;
+        buf := Batch.create ~capacity ()
+      end
+    in
+    let feed = pipe.make_feed st ~emit in
+    for m = 0 to n_morsels - 1 do
+      st.s_scanned <- st.s_scanned + iter_morsel pipe.src ~msz m feed
+    done;
+    if not (Batch.is_empty !buf) then out := !buf :: !out;
+    ctx.Exec.rows_scanned <- ctx.Exec.rows_scanned + st.s_scanned;
+    List.rev !out
+  end
+  else begin
+    let chan = Chan.create ~capacity:(2 * dop) in
+    let next = Atomic.make 0 in
+    let active = Atomic.make dop in
+    let stats = Array.init dop (fun _ -> { s_scanned = 0 }) in
+    let worker w =
+      (* the last worker out closes the queue, even on error, so the
+         consumer below can never block forever *)
+      Fun.protect
+        ~finally:(fun () ->
+          if Atomic.fetch_and_add active (-1) = 1 then Chan.close chan)
+        (fun () ->
+          let st = stats.(w) in
+          let out = ref [] in
+          let buf = ref (Batch.create ~capacity ()) in
+          let emit row =
+            Batch.push !buf row;
+            if Batch.is_full !buf then begin
+              out := !buf :: !out;
+              buf := Batch.create ~capacity ()
+            end
+          in
+          let feed = pipe.make_feed st ~emit in
+          let rec loop () =
+            let m = Atomic.fetch_and_add next 1 in
+            if m < n_morsels then begin
+              out := [];
+              buf := Batch.create ~capacity ();
+              st.s_scanned <- st.s_scanned + iter_morsel pipe.src ~msz m feed;
+              if not (Batch.is_empty !buf) then out := !buf :: !out;
+              Chan.push chan (m, List.rev !out);
+              loop ()
+            end
+          in
+          loop ())
+    in
+    let h = Pool.launch ~n:dop worker in
+    (* consumer: re-merge by morsel index *)
+    let pending = Hashtbl.create 32 in
+    let next_m = ref 0 in
+    let acc = ref [] in
+    let rec flush () =
+      match Hashtbl.find_opt pending !next_m with
+      | Some bs ->
+        Hashtbl.remove pending !next_m;
+        acc := bs :: !acc;
+        incr next_m;
+        flush ()
+      | None -> ()
+    in
+    let rec pump () =
+      match Chan.pop chan with
+      | None -> ()
+      | Some (m, bs) ->
+        if m = !next_m then begin
+          acc := bs :: !acc;
+          incr next_m;
+          flush ()
+        end
+        else Hashtbl.replace pending m bs;
+        pump ()
+    in
+    pump ();
+    Pool.await h;
+    Array.iter
+      (fun st -> ctx.Exec.rows_scanned <- ctx.Exec.rows_scanned + st.s_scanned)
+      stats;
+    List.concat (List.rev !acc)
+  end
+
+(* -- blocking operators at the drain level ------------------------------- *)
+
+(** Drain [input] in parallel and splice the resulting rows — already in
+    sequential order — into the {e sequential} operator as a [Values]
+    leaf.  Blocking operators thus parallelize their input while the
+    order-sensitive part (float accumulation, sorting, distinct's
+    first-occurrence scan) stays bit-exact. *)
+and splice ctx ~opts (input : Plan.t) (rebuild : Plan.t -> Plan.t) :
+    Batch.t list =
+  let rows = Batch.list_to_rows (drain ctx ~opts input) in
+  Exec.drain_batches (Exec.open_plan ctx [] (rebuild (Plan.Values rows)))
+
+and drain_aggregate ctx ~opts ~input ~(keys : Plan.scalar list)
+    ~(aggs : Plan.agg_spec list) : Batch.t list =
+  let rebuild v = Plan.Aggregate { input = v; keys; aggs } in
+  let mergeable =
+    List.for_all
+      (fun (a : Plan.agg_spec) ->
+        match a.Plan.agg_fn with
+        | Ast.Count_star | Ast.Count | Ast.Min | Ast.Max -> true
+        | Ast.Sum | Ast.Avg -> false (* float addition is not associative *))
+      aggs
+  in
+  if not mergeable then splice ctx ~opts input rebuild
+  else
+    match pipe_of ctx ~opts input with
+    | exception Not_parallel -> splice ctx ~opts input rebuild
+    | pipe -> (
+      let n_morsels, msz = morsels_of ~opts pipe.src in
+      let dop = choose_dop ~opts ~rows:pipe.src_rows ~n_morsels in
+      if dop <= 1 then splice ctx ~opts input rebuild
+      else begin
+        (* per-morsel group tables, merged in morsel order so group
+           first-appearance order matches the sequential scan *)
+        let stats = Array.init dop (fun _ -> { s_scanned = 0 }) in
+        let next = Atomic.make 0 in
+        let aggs_a = Array.of_list aggs in
+        let new_accs () =
+          Array.map (fun (a : Plan.agg_spec) -> Agg_acc.create a.Plan.agg_fn) aggs_a
+        in
+        let locals =
+          Array.init n_morsels (fun _ -> (Tuple.Tbl.create 16, ref []))
+        in
+        Pool.run ~domains:dop (fun w ->
+            let st = stats.(w) in
+            let kfs = Array.of_list (List.map Eval.compile_scalar_fn keys) in
+            let afs =
+              Array.map
+                (fun (a : Plan.agg_spec) ->
+                  match a.Plan.agg_arg with
+                  | Some s ->
+                    let f = Eval.compile_scalar_fn s in
+                    fun row -> f [] row
+                  | None -> fun _ -> Value.Int 1)
+                aggs_a
+            in
+            let cur = ref locals.(0) in
+            let emit row =
+              let groups, order = !cur in
+              let key = Array.map (fun f -> f [] row) kfs in
+              let accs =
+                match Tuple.Tbl.find groups key with
+                | accs -> accs
+                | exception Not_found ->
+                  let accs = new_accs () in
+                  Tuple.Tbl.add groups key accs;
+                  order := key :: !order;
+                  accs
+              in
+              for i = 0 to Array.length afs - 1 do
+                Agg_acc.add accs.(i) (afs.(i) row)
+              done
+            in
+            let feed = pipe.make_feed st ~emit in
+            let rec loop () =
+              let m = Atomic.fetch_and_add next 1 in
+              if m < n_morsels then begin
+                cur := locals.(m);
+                st.s_scanned <- st.s_scanned + iter_morsel pipe.src ~msz m feed;
+                loop ()
+              end
+            in
+            loop ());
+        Array.iter
+          (fun st -> ctx.Exec.rows_scanned <- ctx.Exec.rows_scanned + st.s_scanned)
+          stats;
+        let groups = Tuple.Tbl.create 64 in
+        let order = ref [] in
+        for m = 0 to n_morsels - 1 do
+          let ltbl, lorder = locals.(m) in
+          List.iter
+            (fun key ->
+              let laccs = Tuple.Tbl.find ltbl key in
+              match Tuple.Tbl.find groups key with
+              | accs ->
+                for i = 0 to Array.length accs - 1 do
+                  Agg_acc.merge accs.(i) laccs.(i)
+                done
+              | exception Not_found ->
+                Tuple.Tbl.add groups key laccs;
+                order := key :: !order)
+            (List.rev !lorder)
+        done;
+        let rows =
+          if Tuple.Tbl.length groups = 0 && keys = [] then
+            (* global aggregate over empty input: identity row *)
+            [
+              Array.of_list
+                (List.map
+                   (fun (a : Plan.agg_spec) -> Agg_acc.empty_result a.Plan.agg_fn)
+                   aggs);
+            ]
+          else
+            List.rev_map
+              (fun key ->
+                let accs = Tuple.Tbl.find groups key in
+                Tuple.concat key (Array.map Agg_acc.result accs))
+              !order
+        in
+        Batch.of_list ~capacity:ctx.Exec.batch_capacity rows
+      end)
+
+(** Drain a plan to its batch list with sequential-identical row order.
+    @raise Not_parallel if the plan cannot run on this path. *)
+and drain (ctx : Exec.ctx) ~opts (p : Plan.t) : Batch.t list =
+  match p with
+  | Plan.Aggregate { input; keys; aggs } ->
+    drain_aggregate ctx ~opts ~input ~keys ~aggs
+  | Plan.Sort (input, specs) ->
+    splice ctx ~opts input (fun v -> Plan.Sort (v, specs))
+  | Plan.Distinct input -> splice ctx ~opts input (fun v -> Plan.Distinct v)
+  | Plan.Merge_join { left; right; left_keys; right_keys; residual } ->
+    let l = Batch.list_to_rows (drain ctx ~opts left) in
+    let r = Batch.list_to_rows (drain ctx ~opts right) in
+    Exec.drain_batches
+      (Exec.open_plan ctx []
+         (Plan.Merge_join
+            {
+              left = Plan.Values l;
+              right = Plan.Values r;
+              left_keys;
+              right_keys;
+              residual;
+            }))
+  | Plan.Union_all inputs -> List.concat_map (drain ctx ~opts) inputs
+  | Plan.Shared _ -> Exec.materialize ctx [] p
+  | Plan.Limit _ -> raise Not_parallel
+  | _ -> stream ctx ~opts (pipe_of ctx ~opts p)
+
+(* -- public surface ------------------------------------------------------ *)
+
+(** Cheap syntactic check: will {!run_batches} take the parallel path
+    for this plan (as opposed to falling back to {!Exec})?  Used by
+    schedulers to decide which plans to fan out; a mispredict only
+    affects scheduling, never results. *)
+let parallelizable (p : Plan.t) : bool =
+  let pure pred = Eval.compile_pred_pure pred <> None in
+  let rec go = function
+    | Plan.Scan _ | Plan.Values _ | Plan.Shared _ -> true
+    | Plan.Filter (i, pred) -> pure pred && go i
+    | Plan.Project (i, _) -> go i
+    | Plan.Nl_join { outer; cond; _ } -> pure cond && go outer
+    | Plan.Hash_join { probe; residual; _ } -> pure residual && go probe
+    | Plan.Index_join { outer; residual; _ } -> pure residual && go outer
+    | Plan.Merge_join { left; right; _ } -> go left && go right
+    | Plan.Aggregate { input; _ } -> go input
+    | Plan.Sort (i, _) | Plan.Distinct i -> go i
+    | Plan.Union_all is -> List.for_all go is
+    | Plan.Limit _ -> false
+  in
+  go p
+
+let default_morsel_rows () =
+  Option.bind (Sys.getenv_opt "XNFDB_MORSEL_ROWS") int_of_string_opt
+
+let make_opts ?domains ?morsel_rows ?threshold () =
+  {
+    domains = (match domains with Some d -> d | None -> Pool.default_domains ());
+    morsel = (match morsel_rows with Some _ -> morsel_rows | None -> default_morsel_rows ());
+    threshold = Option.value threshold ~default:Cost.parallel_threshold_rows;
+  }
+
+(** Run a compiled plan across the domain pool; falls back to the
+    sequential executor when the plan (or its size) does not warrant the
+    parallel path.  Row order — and hence the result — is always
+    identical to {!Exec.run_batches}. *)
+let run_batches ?ctx ?domains ?morsel_rows ?threshold (c : Plan.compiled) :
+    Batch.t list =
+  let ctx = match ctx with Some c -> c | None -> Exec.make_ctx () in
+  let opts = make_opts ?domains ?morsel_rows ?threshold () in
+  match drain ctx ~opts c.Plan.plan with
+  | bs ->
+    ctx.Exec.batches_emitted <- ctx.Exec.batches_emitted + List.length bs;
+    bs
+  | exception Not_parallel -> Exec.run_batches ~ctx c
+
+let run ?ctx ?domains ?morsel_rows ?threshold (c : Plan.compiled) :
+    Tuple.t list =
+  Batch.list_to_rows (run_batches ?ctx ?domains ?morsel_rows ?threshold c)

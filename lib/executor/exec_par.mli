@@ -1,0 +1,40 @@
+(** Parallel table-queue execution on OCaml 5 domains: morsel-partitioned
+    scans, partitioned hash-join builds, and a deterministic
+    merge-by-morsel-index over bounded inter-domain channels, so results
+    are bit-identical to the sequential executor ({!Exec}).  Plans the
+    parallel path cannot run (correlated subplan probes, LIMIT) fall
+    back to {!Exec} wholesale. *)
+
+open Relcore
+module Plan = Optimizer.Plan
+
+exception Not_parallel
+(** Raised internally when a plan fragment cannot take the parallel
+    path; {!run_batches} catches it and falls back to {!Exec}. *)
+
+val parallelizable : Plan.t -> bool
+(** Will {!run_batches} take the parallel path for this plan?  A cheap
+    syntactic check for schedulers; a mispredict only affects
+    scheduling, never results. *)
+
+val run_batches :
+  ?ctx:Exec.ctx ->
+  ?domains:int ->
+  ?morsel_rows:int ->
+  ?threshold:int ->
+  Plan.compiled ->
+  Batch.t list
+(** Drain a compiled plan across the shared domain pool.  [domains]
+    defaults to [Pool.default_domains ()] (the [XNFDB_DOMAINS] knob);
+    [morsel_rows] defaults to [XNFDB_MORSEL_ROWS] or an adaptive size;
+    [threshold] (default [Cost.parallel_threshold_rows]) is the
+    source-row count below which the fragment runs inline.  Row order is
+    identical to {!Exec.run_batches}. *)
+
+val run :
+  ?ctx:Exec.ctx ->
+  ?domains:int ->
+  ?morsel_rows:int ->
+  ?threshold:int ->
+  Plan.compiled ->
+  Tuple.t list

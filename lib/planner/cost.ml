@@ -28,10 +28,41 @@ let stream_cost (rows : float) : float =
   if rows <= 0.0 then batch_overhead
   else
     let batches =
-      Float.of_int Relcore.Batch.default_capacity
+      Float.of_int (Relcore.Batch.default_capacity ())
       |> fun cap -> Float.ceil (rows /. cap)
     in
     (rows *. tuple_cost) +. (batches *. batch_overhead)
+
+(* -- parallel streaming cost --------------------------------------------- *)
+
+(** Below this many input rows a parallel plan fragment is not worth its
+    scheduling overhead (channel traffic, morsel dispatch, worker
+    wake-up): the executor falls back to the serial path. *)
+let parallel_threshold_rows = 2048
+
+(** Fixed cost of fanning a fragment out over the domain pool: task
+    enqueue, channel setup, deterministic re-merge. *)
+let parallel_overhead = 64.0
+
+(** Degree of parallelism for a fragment of [rows] input rows given
+    [domains] available workers: serial under the threshold, and never
+    more workers than there are threshold-sized chunks of work. *)
+let choose_dop ?(threshold = parallel_threshold_rows) ~domains ~rows () =
+  if domains <= 1 || rows < threshold then 1
+  else min domains (max 1 (rows / threshold))
+
+(** {!stream_cost} under a degree of parallelism: per-tuple work divides
+    across workers, per-batch overhead does not (every batch still
+    crosses the merge queue), plus the fan-out fixed cost. *)
+let parallel_stream_cost ~domains (rows : float) : float =
+  let dop = choose_dop ~domains ~rows:(int_of_float rows) () in
+  if dop <= 1 then stream_cost rows
+  else
+    let batches =
+      Float.ceil (rows /. Float.of_int (Relcore.Batch.default_capacity ()))
+    in
+    (rows *. tuple_cost /. Float.of_int dop)
+    +. (batches *. batch_overhead) +. parallel_overhead
 
 (** Trace a body expression to a base-table column when the expression
     is a bare column reference whose quantifier (resolved by [resolve])

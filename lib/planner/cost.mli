@@ -20,6 +20,24 @@ val stream_cost : float -> float
     plus a per-batch term for however many [Relcore.Batch] units the
     rows occupy. *)
 
+val parallel_threshold_rows : int
+(** Input-row count below which a fragment runs serially (scheduling a
+    parallel fan-out would cost more than it saves). *)
+
+val parallel_overhead : float
+(** Fixed cost of one parallel fan-out (pool dispatch, channel setup,
+    deterministic re-merge). *)
+
+val choose_dop : ?threshold:int -> domains:int -> rows:int -> unit -> int
+(** Degree of parallelism for a fragment: 1 under [threshold] rows,
+    otherwise at most one worker per threshold-sized chunk, capped at
+    [domains]. *)
+
+val parallel_stream_cost : domains:int -> float -> float
+(** {!stream_cost} with per-tuple work divided across the chosen degree
+    of parallelism; per-batch merge overhead and the fan-out fixed cost
+    are not divided. *)
+
 val base_column_of :
   (int -> Qgm.box option) -> Qgm.bexpr -> (Relcore.Base_table.t * int) option
 (** Trace a bare column reference to a base-table column through

@@ -94,6 +94,12 @@ let iter f t = Heap.iter f t.heap
 let fold f acc t = Heap.fold f acc t.heap
 let scan t = Heap.scan t.heap
 let scan_into t ~from out ~start ~max = Heap.scan_into t.heap ~from out ~start ~max
+
+(** Slots ever allocated — the slot-range domain that morsel scans
+    partition (live rows may be fewer; tombstones are skipped). *)
+let slot_count t = Heap.capacity t.heap
+
+let iter_range t ~lo ~hi f = Heap.iter_range t.heap ~lo ~hi f
 let to_list t = Heap.to_list t.heap
 
 (** Rids whose tuples match [key] on the primary key, via the pkey index. *)

@@ -44,6 +44,13 @@ val scan_into :
 (** Batched scan into a caller-supplied row array (see
     {!Heap.scan_into}): returns [(next_slot, n_filled)]. *)
 
+val slot_count : t -> int
+(** Slots ever allocated — the domain morsel scans partition (live rows
+    may be fewer; tombstones are skipped). *)
+
+val iter_range : t -> lo:int -> hi:int -> (Tuple.t -> unit) -> int
+(** Apply [f] to live tuples in slots [lo, hi); returns rows visited. *)
+
 val to_list : t -> (Heap.rid * Tuple.t) list
 
 val pk_lookup : t -> Tuple.t -> Heap.rid list

@@ -17,15 +17,22 @@ type t = {
 (** Default rows per batch; override with [XNFDB_BATCH_SIZE].  256 keeps
     the row array within the runtime's minor-heap allocation limit
     (larger arrays are allocated directly in the major heap, which costs
-    more than the dispatch the extra batch width would amortize). *)
-let default_capacity =
+    more than the dispatch the extra batch width would amortize).
+
+    Read on every call so tests and benches can vary the knob
+    in-process; executors that need a stable per-query value snapshot it
+    into their context ([Exec.make_ctx ?batch_capacity]). *)
+let default_capacity () =
   match Option.bind (Sys.getenv_opt "XNFDB_BATCH_SIZE") int_of_string_opt with
   | Some n when n > 0 -> n
   | _ -> 256
 
 let empty_row : Tuple.t = [||]
 
-let create ?(capacity = default_capacity) () =
+let create ?capacity () =
+  let capacity =
+    match capacity with Some c -> c | None -> default_capacity ()
+  in
   { rows = Array.make (max 1 capacity) empty_row; len = 0; sel = None; sel_len = 0 }
 
 let capacity b = Array.length b.rows
@@ -43,7 +50,10 @@ let get b i =
 (** Append to the dense prefix (producer side; batch must have no
     selection vector yet). *)
 let push b row =
-  assert (match b.sel with None -> true | Some _ -> false);
+  (match b.sel with
+  | None -> ()
+  | Some _ -> invalid_arg "Batch.push: batch already has a selection vector");
+  if b.len >= Array.length b.rows then invalid_arg "Batch.push: batch is full";
   b.rows.(b.len) <- row;
   b.len <- b.len + 1
 
@@ -110,7 +120,10 @@ let to_list b = List.rev (fold (fun acc row -> row :: acc) [] b)
 let to_array b = Array.init (length b) (get b)
 
 (** Chunk a row list into dense batches of at most [capacity] rows. *)
-let of_list ?(capacity = default_capacity) rows =
+let of_list ?capacity rows =
+  let capacity =
+    match capacity with Some c -> c | None -> default_capacity ()
+  in
   let rec go acc rows =
     match rows with
     | [] -> List.rev acc

@@ -1,0 +1,75 @@
+(** Bounded multi-producer single-consumer channel — the inter-domain
+    table queue.
+
+    This is the runtime realisation of Starburst's table queue: a
+    bounded buffer of batches between a producing plan fragment and a
+    consuming one, providing flow control (producers block when the
+    consumer falls behind) and a clean end-of-stream protocol ([close]
+    once every producer is done; [pop] returns [None] after the last
+    element drains). *)
+
+exception Closed
+
+type 'a t = {
+  ring : 'a option array;
+  mutable head : int; (* index of the oldest element *)
+  mutable len : int;
+  mutable closed : bool;
+  m : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Chan.create: capacity must be positive";
+  {
+    ring = Array.make capacity None;
+    head = 0;
+    len = 0;
+    closed = false;
+    m = Mutex.create ();
+    not_full = Condition.create ();
+    not_empty = Condition.create ();
+  }
+
+let push t x =
+  Mutex.lock t.m;
+  while t.len = Array.length t.ring && not t.closed do
+    Condition.wait t.not_full t.m
+  done;
+  if t.closed then begin
+    Mutex.unlock t.m;
+    raise Closed
+  end;
+  t.ring.((t.head + t.len) mod Array.length t.ring) <- Some x;
+  t.len <- t.len + 1;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.m
+
+let pop t =
+  Mutex.lock t.m;
+  while t.len = 0 && not t.closed do
+    Condition.wait t.not_empty t.m
+  done;
+  let r =
+    if t.len = 0 then None (* closed and drained *)
+    else begin
+      let x = t.ring.(t.head) in
+      t.ring.(t.head) <- None;
+      t.head <- (t.head + 1) mod Array.length t.ring;
+      t.len <- t.len - 1;
+      Condition.signal t.not_full;
+      x
+    end
+  in
+  Mutex.unlock t.m;
+  r
+
+let close t =
+  Mutex.lock t.m;
+  t.closed <- true;
+  (* wake blocked producers (they raise Closed) and the consumer (it
+     drains the remainder, then sees None) *)
+  Condition.broadcast t.not_full;
+  Condition.broadcast t.not_empty;
+  Mutex.unlock t.m

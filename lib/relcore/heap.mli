@@ -33,3 +33,7 @@ val scan_into :
 (** Batched scan: fill [out.(start .. start+max)] with live tuples
     beginning at slot [from], with no per-row allocation.  Returns
     [(next_slot, n_filled)]; skips tombstones like {!scan}. *)
+
+val iter_range : t -> lo:int -> hi:int -> (Tuple.t -> unit) -> int
+(** Apply [f] to every live tuple in slots [lo, hi) (the morsel
+    primitive for partitioned scans); returns live rows visited. *)

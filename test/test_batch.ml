@@ -39,7 +39,7 @@ let test_selection_vectors () =
   check_rows "truncate selected" (rows_of_ints [ [ 4 ] ]) (Batch.to_list b)
 
 let test_capacity_boundary () =
-  let cap = Batch.default_capacity in
+  let cap = Batch.default_capacity () in
   let mk n = List.init n (fun i -> row [ vi i ]) in
   (* exactly one full batch *)
   (match Batch.of_list (mk cap) with
@@ -60,6 +60,40 @@ let test_capacity_boundary () =
   let bs = Batch.of_list ~capacity:4 (mk 9) in
   Alcotest.(check (list int)) "4+4+1 chunks" [ 4; 4; 1 ]
     (List.map Batch.length bs)
+
+let test_push_guard () =
+  (* push after a selection vector exists must fail loudly even in
+     release builds (invalid_arg, not a vanishing assert) *)
+  let b = match Batch.of_list ~capacity:8 (rows_of_ints [ [ 1 ]; [ 2 ] ]) with
+    | [ b ] -> b | _ -> Alcotest.fail "one batch"
+  in
+  Batch.refine b (fun _ -> true);
+  (match Batch.push b (row [ vi 3 ]) with
+  | () -> Alcotest.fail "push past a selection vector must raise"
+  | exception Invalid_argument _ -> ());
+  (* and so must pushing past capacity *)
+  let b = Batch.create ~capacity:1 () in
+  Batch.push b (row [ vi 1 ]);
+  (match Batch.push b (row [ vi 2 ]) with
+  | () -> Alcotest.fail "push past capacity must raise"
+  | exception Invalid_argument _ -> ())
+
+let test_ctx_capacity () =
+  (* the per-query batch size is a ctx knob, no longer frozen at module
+     load: a small-capacity ctx emits proportionally more batches *)
+  let db = Workloads.Oo1.generate { Workloads.Oo1.default with n_parts = 300 } in
+  let c = Db.compile_query db "SELECT pid FROM parts WHERE build >= 0" in
+  let run cap =
+    let ctx = Exec.make_ctx ~batch_capacity:cap () in
+    let bs = Exec.run_batches ~ctx c in
+    (Batch.list_to_rows bs, List.length bs)
+  in
+  let rows_small, n_small = run 16 in
+  let rows_big, n_big = run 4096 in
+  check_rows "capacity does not change results" rows_big rows_small;
+  Alcotest.(check bool) "smaller capacity, more batches" true
+    (n_small > n_big);
+  Alcotest.(check bool) "16-row batches" true (n_small >= 300 / 16)
 
 let test_empty_batch () =
   let b = Batch.create () in
@@ -202,6 +236,8 @@ let suite =
   [
     Alcotest.test_case "selection vectors" `Quick test_selection_vectors;
     Alcotest.test_case "capacity boundary" `Quick test_capacity_boundary;
+    Alcotest.test_case "push guard" `Quick test_push_guard;
+    Alcotest.test_case "ctx batch capacity" `Quick test_ctx_capacity;
     Alcotest.test_case "empty batch" `Quick test_empty_batch;
     Alcotest.test_case "batched = scalar (oo1)" `Quick test_equiv_oo1;
     Alcotest.test_case "batched = scalar (bom)" `Quick test_equiv_bom;
