@@ -67,6 +67,23 @@ let counts (s : t) : (string * int) list =
 
 let total_items (s : t) = List.length s.items
 
+(** Rough heap footprint — the result cache's size accounting. *)
+let approx_bytes (s : t) : int =
+  let value_bytes = function
+    | Value.Str str -> 24 + String.length str
+    | Value.Null | Value.Bool _ | Value.Int _ | Value.Float _ -> 16
+  in
+  let tuple_bytes vs =
+    Array.fold_left (fun acc v -> acc + value_bytes v) 16 vs
+  in
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Row { values; _ } -> acc + 48 + tuple_bytes values
+      | Conn { children; attrs; _ } ->
+        acc + 64 + (8 * Array.length children) + tuple_bytes attrs)
+    256 s.items
+
 (* -- binary serialization ---------------------------------------------- *)
 (* A compact wire format: this is what "shipping the CO to the client in
    one call" means concretely; it is also reused by the CO cache's disk

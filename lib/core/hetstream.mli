@@ -44,6 +44,9 @@ val find_comp : header -> string -> comp_info
 val counts : t -> (string * int) list
 val total_items : t -> int
 
+val approx_bytes : t -> int
+(** Rough heap footprint (result-cache size accounting). *)
+
 (** {2 Wire format}
 
     The single bulk message from server to client (Sect. 5.1's "only one

@@ -117,16 +117,40 @@ let compile_ast ?(share = true) ?(nf_rewrite = true) (db : Db.t)
     { db; ast; op; rewritten; plans; header; rewrite_stats; recursive }
   end
 
-let compile ?share ?nf_rewrite (db : Db.t) (text : string) : compiled =
-  let c = compile_ast ?share ?nf_rewrite db (Xnf_parser.parse text) in
-  Log.debug (fun m ->
-      m "compiled XNF query: %d outputs, recursive=%b, rules fired: %s"
-        (List.length c.plans) c.recursive
-        (String.concat ", "
-           (List.map
-              (fun (n, k) -> Printf.sprintf "%s x%d" n k)
-              c.rewrite_stats)));
-  c
+exception Cached_compiled of compiled
+(** Payload constructor for XNF compilations parked in the database's
+    plugin cache (cleared together with the plan cache on DDL). *)
+
+let compile ?share ?nf_rewrite ?cache (db : Db.t) (text : string) : compiled =
+  let compile_now () =
+    let c = compile_ast ?share ?nf_rewrite db (Xnf_parser.parse text) in
+    Log.debug (fun m ->
+        m "compiled XNF query: %d outputs, recursive=%b, rules fired: %s"
+          (List.length c.plans) c.recursive
+          (String.concat ", "
+             (List.map
+                (fun (n, k) -> Printf.sprintf "%s x%d" n k)
+                c.rewrite_stats)));
+    c
+  in
+  let use =
+    match cache with Some b -> b | None -> Db.plan_cache_enabled ()
+  in
+  if not use then compile_now ()
+  else begin
+    let key =
+      Printf.sprintf "xnfplan|%b|%b|%s"
+        (Option.value share ~default:true)
+        (Option.value nf_rewrite ~default:true)
+        (Db.normalize_query_text text)
+    in
+    match Db.plugin_cache_find db key with
+    | Some (Cached_compiled c) -> c
+    | Some _ | None ->
+      let c = compile_now () in
+      Db.plugin_cache_store db key (Cached_compiled c);
+      c
+  end
 
 (* -- extraction ---------------------------------------------------------- *)
 
@@ -234,11 +258,98 @@ let extract_nonrecursive ?(ctx = Executor.Exec.make_ctx ()) (c : compiled) :
   assemble c (fun name ->
       Executor.Exec.run_batches ~ctx (List.assoc name c.plans))
 
+exception Cached_stream of Hetstream.t
+(** {!Executor.Result_cache} payload constructor for assembled CO-view
+    streams. *)
+
+(** Result-cache key for a whole extraction, or [None] when the result
+    is not cacheable (recursive COs build plans per fixpoint iteration).
+    The key covers everything [assemble] depends on — per-plan
+    structural fingerprints, header/connection layout — plus the version
+    fragment of every table read, computed {e at lookup time}: any DML
+    (or txn commit/rollback) against those tables moves a version and
+    the stale entry is simply never found again. *)
+let stream_cache_key (c : compiled) : string option =
+  if c.recursive || c.plans = [] then None
+  else begin
+    let buf = Buffer.create 256 in
+    let add = Buffer.add_string buf in
+    add "xnfres|";
+    Array.iter
+      (fun (ci : Hetstream.comp_info) ->
+        add ci.Hetstream.comp_name;
+        add
+          (match ci.Hetstream.comp_kind with
+          | `Node -> ":n"
+          | `Rel m ->
+            Printf.sprintf ":r(%s<-%s->%s)" m.Hetstream.rm_parent
+              m.Hetstream.rm_role
+              (String.concat "," m.Hetstream.rm_children));
+        if ci.Hetstream.in_take then add "!";
+        (match ci.Hetstream.take_cols with
+        | Some cols -> add ("[" ^ String.concat "," cols ^ "]")
+        | None -> ());
+        add ";")
+      c.header.Hetstream.components;
+    add (String.concat "," c.header.Hetstream.root_components);
+    List.iter
+      (fun (ro : Xnf_rewrite.rel_output) ->
+        let span (o, w) = Printf.sprintf "%d+%d" o w in
+        add
+          (Printf.sprintf "|%s@%s/%s/%s" ro.Xnf_rewrite.ro_name
+             (span ro.Xnf_rewrite.ro_parent_span)
+             (String.concat ","
+                (List.map
+                   (fun (ch, s) -> ch ^ "@" ^ span s)
+                   ro.Xnf_rewrite.ro_child_spans))
+             (span ro.Xnf_rewrite.ro_attr_span)))
+      c.rewritten.Xnf_rewrite.rel_outputs;
+    List.iter
+      (fun (name, (p : Plan.compiled)) ->
+        add
+          (Printf.sprintf "|%s=%s#%s" name
+             (Plan.fingerprint p.Plan.plan)
+             (Plan.version_key p.Plan.plan)))
+      c.plans;
+    Some (Buffer.contents buf)
+  end
+
+(** Run [body] through the stream cache when [use] allows it. *)
+let with_stream_cache ~use (c : compiled) (body : unit -> Hetstream.t) :
+    Hetstream.t =
+  match (if use then stream_cache_key c else None) with
+  | None -> body ()
+  | Some key -> (
+    match Executor.Result_cache.find key with
+    | Some (Cached_stream s) -> s
+    | Some _ | None ->
+      let s = body () in
+      Executor.Result_cache.store key
+        ~bytes:(Hetstream.approx_bytes s)
+        (Cached_stream s);
+      s)
+
+let use_result_cache = function
+  | Some b -> b
+  | None -> Executor.Result_cache.enabled ()
+
 (** Extract the CO defined by a compiled XNF query (dispatches to the
-    fixpoint evaluator for recursive COs). *)
-let extract ?ctx (c : compiled) : Hetstream.t =
+    fixpoint evaluator for recursive COs).  [cache] (default: the
+    [XNFDB_RESULT_CACHE_MB] knob) consults the cross-query result cache:
+    a warm repeat returns the previously assembled stream without
+    touching the executor. *)
+let extract ?ctx ?cache (c : compiled) : Hetstream.t =
   if c.recursive then Xnf_recursive.extract c.db c.op
-  else extract_nonrecursive ?ctx c
+  else begin
+    let use = use_result_cache cache in
+    with_stream_cache ~use c (fun () ->
+        let ctx =
+          match ctx with
+          | Some ctx -> ctx
+          | None -> Executor.Exec.make_ctx ~result_cache:use ()
+        in
+        extract_nonrecursive ~ctx c)
+  end
 
 (** Parallel extraction on the shared domain pool (the paper's Sect. 6
     outlook: "set-oriented specification of COs as done in XNF
@@ -261,15 +372,19 @@ let extract ?ctx (c : compiled) : Hetstream.t =
     back to the fixpoint evaluator for recursive COs.  [domains]
     defaults to [Relcore.Pool.default_domains ()] (the [XNFDB_DOMAINS]
     knob); [morsel_rows]/[threshold] are forwarded to [Exec_par]. *)
-let extract_parallel ?domains ?morsel_rows ?threshold (c : compiled) :
+let extract_parallel ?domains ?morsel_rows ?threshold ?cache (c : compiled) :
     Hetstream.t =
   let domains =
     match domains with Some d -> d | None -> Relcore.Pool.default_domains ()
   in
+  let use = use_result_cache cache in
   if c.recursive then Xnf_recursive.extract c.db c.op
-  else if domains <= 1 then extract_nonrecursive c
-  else begin
-    let ctx = Executor.Exec.make_ctx () in
+  else if domains <= 1 then
+    with_stream_cache ~use c (fun () ->
+        extract_nonrecursive ~ctx:(Executor.Exec.make_ctx ~result_cache:use ()) c)
+  else
+    with_stream_cache ~use c @@ fun () ->
+    let ctx = Executor.Exec.make_ctx ~result_cache:use () in
     (* which outputs will actually run? *)
     let needed =
       List.map (fun (n : Xnf_rewrite.node_output) -> n.Xnf_rewrite.no_name)
@@ -323,16 +438,18 @@ let extract_parallel ?domains ?morsel_rows ?threshold (c : compiled) :
     in
     let results = par_results @ seq_results in
     assemble c (fun name -> List.assoc name results)
-  end
 
-(** One-call convenience: compile and extract. *)
-let run ?share ?nf_rewrite (db : Db.t) (text : string) : Hetstream.t =
-  extract (compile ?share ?nf_rewrite db text)
+(** One-call convenience: compile and extract.  [cache] governs both
+    levels: the compiled-query cache and the result cache. *)
+let run ?share ?nf_rewrite ?cache (db : Db.t) (text : string) : Hetstream.t =
+  extract ?cache (compile ?share ?nf_rewrite ?cache db text)
 
 (** Compile and extract a stored XNF view by name. *)
-let run_view ?share ?nf_rewrite (db : Db.t) (view_name : string) : Hetstream.t =
+let run_view ?share ?nf_rewrite ?cache (db : Db.t) (view_name : string) :
+    Hetstream.t =
   match Catalog.find_view_opt (Db.catalog db) view_name with
-  | Some { Catalog.language = `Xnf; text; _ } -> run ?share ?nf_rewrite db text
+  | Some { Catalog.language = `Xnf; text; _ } ->
+    run ?share ?nf_rewrite ?cache db text
   | Some { Catalog.language = `Sql; _ } ->
     Errors.semantic_error "view %S is a plain SQL view, not an XNF view"
       view_name

@@ -23,32 +23,59 @@ val compile_ast :
 (** [share] enables common-subexpression sharing (the Table-1 ablation);
     [nf_rewrite] runs the shared NF rule engine. *)
 
-val compile : ?share:bool -> ?nf_rewrite:bool -> Db.t -> string -> compiled
+exception Cached_compiled of compiled
+(** Plugin-cache payload constructor for compiled XNF queries (stored in
+    [Db.plugin_cache_*], invalidated with the plan cache on DDL). *)
+
+val compile :
+  ?share:bool -> ?nf_rewrite:bool -> ?cache:bool -> Db.t -> string -> compiled
+(** Goes through the database's compiled-query cache keyed by normalized
+    text × flags; [cache] (default: [Db.plan_cache_enabled ()]) bypasses
+    it when [false]. *)
 
 val assemble : compiled -> (string -> Batch.t list) -> Hetstream.t
 (** Assemble the stream from per-output table queues (batch lists,
     consumed without flattening): id assignment (object sharing) and
     connection resolution. *)
 
-val extract : ?ctx:Executor.Exec.ctx -> compiled -> Hetstream.t
+exception Cached_stream of Hetstream.t
+(** {!Executor.Result_cache} payload constructor for assembled CO-view
+    streams. *)
+
+val stream_cache_key : compiled -> string option
+(** Result-cache key for a whole extraction: plan fingerprints, header
+    and connection layout, and the version of every table read (looked
+    up fresh on each call, so DML invalidates by key drift).  [None]
+    when uncacheable (recursive COs). *)
+
+val extract : ?ctx:Executor.Exec.ctx -> ?cache:bool -> compiled -> Hetstream.t
 (** Sequential extraction; dispatches to the fixpoint evaluator for
-    recursive COs. *)
+    recursive COs.  [cache] (default: the [XNFDB_RESULT_CACHE_MB] knob)
+    consults the cross-query result cache — a warm repeat returns the
+    previously assembled stream without touching the executor. *)
 
 val extract_parallel :
-  ?domains:int -> ?morsel_rows:int -> ?threshold:int -> compiled -> Hetstream.t
+  ?domains:int ->
+  ?morsel_rows:int ->
+  ?threshold:int ->
+  ?cache:bool ->
+  compiled ->
+  Hetstream.t
 (** Parallel extraction on the shared domain pool: morsel-parallel
     plans run fanned-out one at a time (populating the CSE cache),
     the rest run concurrently over the frozen cache; the merged stream
     is bit-identical to {!extract}.  [domains] defaults to
     [Relcore.Pool.default_domains ()] ([XNFDB_DOMAINS]); [morsel_rows]
     and [threshold] tune the morsel scheduler (tests use tiny values to
-    force parallel paths on small data). *)
+    force parallel paths on small data).  [cache] as in {!extract}. *)
 
-val run : ?share:bool -> ?nf_rewrite:bool -> Db.t -> string -> Hetstream.t
-(** Compile and extract in one call. *)
+val run :
+  ?share:bool -> ?nf_rewrite:bool -> ?cache:bool -> Db.t -> string -> Hetstream.t
+(** Compile and extract in one call; [cache] governs both the
+    compiled-query cache and the result cache. *)
 
 val run_view :
-  ?share:bool -> ?nf_rewrite:bool -> Db.t -> string -> Hetstream.t
+  ?share:bool -> ?nf_rewrite:bool -> ?cache:bool -> Db.t -> string -> Hetstream.t
 (** Compile and extract a stored XNF view by name. *)
 
 val expand_component : Catalog.t -> view:string -> component:string -> Starq.Qgm.box

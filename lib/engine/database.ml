@@ -13,16 +13,117 @@ let log_src = Logs.Src.create "xnfdb.engine" ~doc:"query pipeline tracing"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type t = { catalog : Catalog.t; txn : Txn.t }
+type t = {
+  catalog : Catalog.t;
+  txn : Txn.t;
+  (* prepared-plan cache: normalized query text × ablation flags → plan.
+     Invalidated wholesale by DDL; DML leaves plans valid (they reference
+     table objects, not snapshots), it only ages their cost estimates —
+     standard prepared-statement behavior. *)
+  plan_cache : (string, Plan.compiled) Hashtbl.t;
+  (* compiled-object cache slot for layers above the engine (the XNF
+     compiler stores its [compiled] values here behind its own exception
+     constructor); shares the plan cache's DDL invalidation. *)
+  plugin_cache : (string, exn) Hashtbl.t;
+  mutable plan_hits : int;
+  mutable plan_misses : int;
+}
 
 type result =
   | Rows of Schema.t * Tuple.t list
   | Affected of int
   | Done of string
 
-let create () = { catalog = Catalog.create (); txn = Txn.create () }
+let create () =
+  {
+    catalog = Catalog.create ();
+    txn = Txn.create ();
+    plan_cache = Hashtbl.create 32;
+    plugin_cache = Hashtbl.create 16;
+    plan_hits = 0;
+    plan_misses = 0;
+  }
+
 let catalog db = db.catalog
 let txn db = db.txn
+
+(* -- plan-cache plumbing ------------------------------------------------- *)
+
+(** [XNFDB_PLAN_CACHE] knob: default on; "0"/"false"/"off"/"no" disable.
+    Read per call, like the other env knobs, so tests can flip it. *)
+let plan_cache_enabled () =
+  match Sys.getenv_opt "XNFDB_PLAN_CACHE" with
+  | Some ("0" | "false" | "off" | "no") -> false
+  | _ -> true
+
+(** Collapse whitespace runs and trim, so formatting differences don't
+    split cache entries.  Contents of string literals are preserved
+    whitespace and all (a space inside quotes is data). *)
+let normalize_query_text (sql : string) : string =
+  let buf = Buffer.create (String.length sql) in
+  let in_str = ref false and pending_sp = ref false in
+  String.iter
+    (fun c ->
+      if !in_str then begin
+        Buffer.add_char buf c;
+        if c = '\'' then in_str := false
+      end
+      else
+        match c with
+        | ' ' | '\t' | '\n' | '\r' -> pending_sp := true
+        | c ->
+          if !pending_sp && Buffer.length buf > 0 then Buffer.add_char buf ' ';
+          pending_sp := false;
+          Buffer.add_char buf c;
+          if c = '\'' then in_str := true)
+    sql;
+  Buffer.contents buf
+
+(* Crude bound so a query-generating workload can't grow the table
+   without limit; wholesale reset is fine at this size. *)
+let plan_cache_capacity = 512
+
+let invalidate_plans db =
+  Hashtbl.reset db.plan_cache;
+  Hashtbl.reset db.plugin_cache
+
+let plugin_cache_find db key =
+  match Hashtbl.find_opt db.plugin_cache key with
+  | Some _ as hit ->
+    db.plan_hits <- db.plan_hits + 1;
+    hit
+  | None ->
+    db.plan_misses <- db.plan_misses + 1;
+    None
+
+let plugin_cache_store db key payload =
+  if Hashtbl.length db.plugin_cache >= plan_cache_capacity then
+    Hashtbl.reset db.plugin_cache;
+  Hashtbl.replace db.plugin_cache key payload
+
+type cache_stats = {
+  plan_hits : int;
+  plan_misses : int;
+  plan_entries : int; (* prepared plans + plugin-cached compilations *)
+  result_hits : int;
+  result_misses : int;
+  result_evictions : int;
+  result_entries : int;
+  result_bytes : int;
+}
+
+let cache_stats (db : t) =
+  let r = Executor.Result_cache.stats () in
+  {
+    plan_hits = db.plan_hits;
+    plan_misses = db.plan_misses;
+    plan_entries = Hashtbl.length db.plan_cache + Hashtbl.length db.plugin_cache;
+    result_hits = r.Executor.Result_cache.hits;
+    result_misses = r.Executor.Result_cache.misses;
+    result_evictions = r.Executor.Result_cache.evictions;
+    result_entries = r.Executor.Result_cache.entries;
+    result_bytes = r.Executor.Result_cache.bytes;
+  }
 
 (** Run [f] as one atomic transaction against this database. *)
 let atomically db f = Txn.atomically db.txn f
@@ -48,18 +149,52 @@ let compile_ast ?(rewrite = true) ?(share = true) ?join_method db
         (Plan.explain compiled.Plan.plan));
   compiled
 
-let compile_query ?rewrite ?share ?join_method db (sql : string) :
+(** Compile query text, going through the prepared-plan cache: a repeat
+    of the same (normalized) text with the same ablation flags skips
+    parse → QGM build → rewrite → join ordering and returns the compiled
+    plan directly.  [cache] defaults to the [XNFDB_PLAN_CACHE] knob. *)
+let compile_query ?rewrite ?share ?join_method ?cache db (sql : string) :
     Plan.compiled =
-  compile_ast ?rewrite ?share ?join_method db
-    (Sqlkit.Parser.parse_query_string sql)
+  let use =
+    match cache with Some b -> b | None -> plan_cache_enabled ()
+  in
+  if not use then
+    compile_ast ?rewrite ?share ?join_method db
+      (Sqlkit.Parser.parse_query_string sql)
+  else begin
+    let key =
+      Printf.sprintf "%b|%b|%s|%s"
+        (Option.value rewrite ~default:true)
+        (Option.value share ~default:true)
+        (match join_method with
+        | None | Some `Auto -> "auto"
+        | Some `Hash -> "hash"
+        | Some `Merge -> "merge")
+        (normalize_query_text sql)
+    in
+    match Hashtbl.find_opt db.plan_cache key with
+    | Some c ->
+      db.plan_hits <- db.plan_hits + 1;
+      c
+    | None ->
+      db.plan_misses <- db.plan_misses + 1;
+      let c =
+        compile_ast ?rewrite ?share ?join_method db
+          (Sqlkit.Parser.parse_query_string sql)
+      in
+      if Hashtbl.length db.plan_cache >= plan_cache_capacity then
+        Hashtbl.reset db.plan_cache;
+      Hashtbl.replace db.plan_cache key c;
+      c
+  end
 
 (** Run a SELECT and return schema + result batches — the table queue
     itself, without flattening.  [domains > 1] drains the plan through
     the morsel-parallel executor (identical rows, multicore); default is
     the sequential executor. *)
-let query_batches ?rewrite ?share ?ctx ?domains db (sql : string) :
+let query_batches ?rewrite ?share ?ctx ?domains ?cache db (sql : string) :
     Schema.t * Batch.t list =
-  let c = compile_query ?rewrite ?share db sql in
+  let c = compile_query ?rewrite ?share ?cache db sql in
   let batches =
     match domains with
     | Some d when d > 1 -> Executor.Exec_par.run_batches ?ctx ~domains:d c
@@ -68,13 +203,15 @@ let query_batches ?rewrite ?share ?ctx ?domains db (sql : string) :
   (c.Plan.out_schema, batches)
 
 (** Run a SELECT and return schema + rows. *)
-let query ?rewrite ?share ?ctx ?domains db (sql : string) :
+let query ?rewrite ?share ?ctx ?domains ?cache db (sql : string) :
     Schema.t * Tuple.t list =
-  let schema, batches = query_batches ?rewrite ?share ?ctx ?domains db sql in
+  let schema, batches =
+    query_batches ?rewrite ?share ?ctx ?domains ?cache db sql
+  in
   (schema, Batch.list_to_rows batches)
 
-let query_rows ?rewrite ?share ?ctx ?domains db sql =
-  snd (query ?rewrite ?share ?ctx ?domains db sql)
+let query_rows ?rewrite ?share ?ctx ?domains ?cache db sql =
+  snd (query ?rewrite ?share ?ctx ?domains ?cache db sql)
 
 (** EXPLAIN: the rewritten QGM and the chosen plan. *)
 let explain db (sql : string) : string =
@@ -91,6 +228,19 @@ let explain db (sql : string) : string =
     stats;
   Buffer.add_string buf "== plan ==\n";
   Buffer.add_string buf (Plan.explain c.Plan.plan);
+  let s = cache_stats db in
+  Buffer.add_string buf "== caches ==\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  plan cache: %d entries, %d hits, %d misses%s\n"
+       s.plan_entries s.plan_hits s.plan_misses
+       (if plan_cache_enabled () then "" else " (disabled)"));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  result cache: %d entries, %d bytes, %d hits, %d misses, %d \
+        evictions%s\n"
+       s.result_entries s.result_bytes s.result_hits s.result_misses
+       s.result_evictions
+       (if Executor.Result_cache.enabled () then "" else " (disabled)"));
   Buffer.contents buf
 
 (* -- DML helpers -------------------------------------------------------- *)
@@ -269,14 +419,17 @@ let rec exec_stmt db (stmt : Ast.stmt) : result =
     in
     let table = Base_table.create ?primary_key ~name:table_name schema in
     Catalog.add_table db.catalog table;
+    invalidate_plans db;
     Done (Printf.sprintf "table %s created" table_name)
   | Ast.Create_index { index_name; on_table; columns; unique } ->
     let table = Catalog.find_table db.catalog on_table in
     ignore (Base_table.create_index table ~idx_name:index_name ~columns ~unique);
+    invalidate_plans db;
     Done (Printf.sprintf "index %s created" index_name)
   | Ast.Create_view { view_name; body_text } ->
     let language = if looks_like_xnf body_text then `Xnf else `Sql in
     Catalog.add_view db.catalog { Catalog.view_name; language; text = body_text };
+    invalidate_plans db;
     Done (Printf.sprintf "view %s created" view_name)
   | Ast.Insert { table_name; columns; rows } -> begin
     match resolve_dml_target db table_name stmt with
@@ -295,9 +448,11 @@ let rec exec_stmt db (stmt : Ast.stmt) : result =
   end
   | Ast.Drop_table name ->
     Catalog.drop_table db.catalog name;
+    invalidate_plans db;
     Done (Printf.sprintf "table %s dropped" name)
   | Ast.Drop_view name ->
     Catalog.drop_view db.catalog name;
+    invalidate_plans db;
     Done (Printf.sprintf "view %s dropped" name)
   | Ast.Begin_txn ->
     Txn.begin_txn db.txn;
@@ -309,8 +464,16 @@ let rec exec_stmt db (stmt : Ast.stmt) : result =
     Txn.rollback db.txn;
     Done "rolled back"
 
-(** Execute one SQL statement given as text. *)
-let exec db (sql : string) : result = exec_stmt db (Sqlkit.Parser.parse_stmt sql)
+(** Execute one SQL statement given as text.  SELECTs route through the
+    prepared-plan cache (the text is at hand here, unlike in
+    {!exec_stmt}), so the REPL and script surfaces get repeat-query
+    reuse too. *)
+let exec db (sql : string) : result =
+  match Sqlkit.Parser.parse_stmt sql with
+  | Ast.Select_stmt _ ->
+    let c = compile_query db sql in
+    Rows (c.Plan.out_schema, Executor.Exec.run c)
+  | stmt -> exec_stmt db stmt
 
 (** Split a script on ';' at top level: string literals and [--]
     comments are respected. *)

@@ -20,6 +20,47 @@ val txn : t -> Txn.t
 val atomically : t -> (unit -> 'a) -> 'a
 (** Run [f] as one atomic transaction against this database. *)
 
+(** {2 Caches}
+
+    Two levels.  (1) A per-database {e prepared-plan cache}: normalized
+    query text × ablation flags → compiled plan, so repeat queries skip
+    parse → QGM → rewrite → join ordering ([XNFDB_PLAN_CACHE] knob,
+    default on; invalidated by any DDL).  (2) The process-wide
+    {!Executor.Result_cache} of materialized results, keyed by plan
+    fingerprint × per-table version counters ([XNFDB_RESULT_CACHE_MB]
+    budget; DML invalidates by version drift). *)
+
+val plan_cache_enabled : unit -> bool
+
+val normalize_query_text : string -> string
+(** Whitespace-collapsed, trimmed cache-key form of query text (string
+    literals kept verbatim). *)
+
+val invalidate_plans : t -> unit
+(** Drop every prepared plan and plugin-cached compilation (DDL hook). *)
+
+val plugin_cache_find : t -> string -> exn option
+val plugin_cache_store : t -> string -> exn -> unit
+(** Compiled-object cache slot for layers above the engine (the XNF
+    compiler); cleared together with the plan cache on DDL, and counted
+    in the same plan hit/miss statistics.  Callers namespace their keys
+    and match their own exception constructor. *)
+
+type cache_stats = {
+  plan_hits : int;
+  plan_misses : int;
+  plan_entries : int; (* prepared plans + plugin-cached compilations *)
+  result_hits : int;
+  result_misses : int;
+  result_evictions : int;
+  result_entries : int;
+  result_bytes : int;
+}
+
+val cache_stats : t -> cache_stats
+(** Plan-cache counters are per-database; result-cache counters are the
+    process-wide {!Executor.Result_cache.stats}. *)
+
 (** {2 Query pipeline} *)
 
 val compile_ast :
@@ -35,13 +76,16 @@ val compile_query :
   ?rewrite:bool ->
   ?share:bool ->
   ?join_method:Optimizer.Planner.join_method ->
+  ?cache:bool ->
   t ->
   string ->
   Plan.compiled
+(** Goes through the prepared-plan cache; [cache] (default: the
+    [XNFDB_PLAN_CACHE] knob) bypasses it when [false]. *)
 
 val query_batches :
   ?rewrite:bool -> ?share:bool -> ?ctx:Executor.Exec.ctx -> ?domains:int ->
-  t -> string -> Schema.t * Batch.t list
+  ?cache:bool -> t -> string -> Schema.t * Batch.t list
 (** Run a SELECT and return schema + result batches — the table queue
     itself, without flattening to a row list.  [domains > 1] drains the
     plan through the morsel-parallel executor (identical rows,
@@ -49,14 +93,14 @@ val query_batches :
 
 val query :
   ?rewrite:bool -> ?share:bool -> ?ctx:Executor.Exec.ctx -> ?domains:int ->
-  t -> string -> Schema.t * Tuple.t list
+  ?cache:bool -> t -> string -> Schema.t * Tuple.t list
 
 val query_rows :
   ?rewrite:bool -> ?share:bool -> ?ctx:Executor.Exec.ctx -> ?domains:int ->
-  t -> string -> Tuple.t list
+  ?cache:bool -> t -> string -> Tuple.t list
 
 val explain : t -> string -> string
-(** Rewritten QGM, rule firings and the chosen plan. *)
+(** Rewritten QGM, rule firings, the chosen plan, and cache stats. *)
 
 (** {2 Statements} *)
 

@@ -13,24 +13,48 @@ type undo =
   | U_update of Base_table.t * Heap.rid * Tuple.t (* undo: restore old row *)
   | U_delete of Base_table.t * Tuple.t (* undo: reinsert the row *)
 
-type t = { mutable log : undo list; mutable active : bool }
+type t = {
+  mutable log : undo list;
+  mutable active : bool;
+  mutable touched : Base_table.t list; (* tables mutated by the open txn *)
+}
 
-let create () = { log = []; active = false }
+let create () = { log = []; active = false; touched = [] }
 
 let is_active t = t.active
 
 let begin_txn t =
   if t.active then Errors.execution_error "transaction already in progress";
   t.active <- true;
-  t.log <- []
+  t.log <- [];
+  t.touched <- []
+
+let table_of = function
+  | U_insert (table, _) | U_update (table, _, _) | U_delete (table, _) -> table
 
 (** Record an undo entry (no-op outside a transaction). *)
-let record t undo = if t.active then t.log <- undo :: t.log
+let record t undo =
+  if t.active then begin
+    t.log <- undo :: t.log;
+    let table = table_of undo in
+    if not (List.memq table t.touched) then t.touched <- table :: t.touched
+  end
+
+(* Advance the version of every table the txn wrote.  The individual
+   mutations already bumped versions (monotonically, so an aborted txn's
+   in-flight versions can never be reused), but bumping again at the
+   boundary makes commit and rollback themselves invalidation points:
+   no version-keyed cache entry filled while the txn was open survives
+   past its end. *)
+let bump_touched t =
+  List.iter Base_table.bump_version t.touched;
+  t.touched <- []
 
 let commit t =
   if not t.active then Errors.execution_error "no transaction in progress";
   t.active <- false;
-  t.log <- []
+  t.log <- [];
+  bump_touched t
 
 let rollback t =
   if not t.active then Errors.execution_error "no transaction in progress";
@@ -43,7 +67,8 @@ let rollback t =
       | U_insert (table, rid) -> Base_table.delete table rid
       | U_update (table, rid, old_row) -> Base_table.update table rid old_row
       | U_delete (table, row) -> ignore (Base_table.insert table row))
-    log
+    log;
+  bump_touched t
 
 (** Run [f] atomically: begin, commit on success, roll back on any
     exception (which is re-raised). *)

@@ -25,13 +25,14 @@ type ctx = {
      re-reads the first materialization instead of re-draining it *)
   mutable materialized : (Plan.t * Batch.t list) list;
   batch_capacity : int; (* rows per batch for this query's table queues *)
+  result_cache : bool; (* promote CSE materializations to Result_cache *)
   mutable rows_scanned : int; (* base-table tuples fetched *)
   mutable subqueries_run : int; (* correlated subplan executions *)
   mutable batches_emitted : int; (* batches delivered at plan roots *)
   mutable materializations : int; (* shared/inner drain runs (cache misses) *)
 }
 
-let make_ctx ?batch_capacity () =
+let make_ctx ?batch_capacity ?result_cache () =
   {
     shared = Hashtbl.create 8;
     materialized = [];
@@ -39,11 +40,17 @@ let make_ctx ?batch_capacity () =
       (match batch_capacity with
       | Some c -> max 1 c
       | None -> Batch.default_capacity ());
+    result_cache =
+      (match result_cache with
+      | Some b -> b
+      | None -> Result_cache.enabled ());
     rows_scanned = 0;
     subqueries_run = 0;
     batches_emitted = 0;
     materializations = 0;
   }
+
+exception Cached_batches of Batch.t list
 
 type iter = unit -> Tuple.t option
 type batch_iter = unit -> Batch.t option
@@ -479,15 +486,12 @@ and open_index_join (ctx : ctx) (frames : Eval.frames)
         let t = Tuple.concat row irow in
         if is_true (test frames t) then emit (mk_row row irow)
   in
-  let rec emit_rids emit row = function
-    | [] -> ()
-    | rid :: tl ->
-      (match Base_table.get table rid with
-      | None -> ()
-      | Some irow ->
-        ctx.rows_scanned <- ctx.rows_scanned + 1;
-        emit_match emit row irow);
-      emit_rids emit row tl
+  let emit_rid emit row rid =
+    match Base_table.get table rid with
+    | None -> ()
+    | Some irow ->
+      ctx.rows_scanned <- ctx.rows_scanned + 1;
+      emit_match emit row irow
   in
   pack ~capacity:ctx.batch_capacity (fun ~emit ->
       match outer_it () with
@@ -496,7 +500,8 @@ and open_index_join (ctx : ctx) (frames : Eval.frames)
         Batch.iter
           (fun row ->
             if extract row then
-              emit_rids emit row (Index.lookup index scratch))
+              (* Index.iter probes without building a rid list. *)
+              Index.iter index scratch (emit_rid emit row))
           ob;
         true)
 
@@ -664,8 +669,40 @@ and get_shared (ctx : ctx) (frames : Eval.frames) (bid : int) (inner : Plan.t) :
   match Hashtbl.find_opt ctx.shared bid with
   | Some bs -> bs
   | None ->
-    let bs = drain_batches (open_plan ctx frames inner) in
-    ctx.materializations <- ctx.materializations + 1;
+    (* Cross-query promotion: an uncorrelated CSE materialization is a
+       pure function of (plan structure, table versions), so consult the
+       process-wide cache before draining.  Batches are handed out (and
+       stored) through [Batch.share_list]: consumers mutate selection
+       vectors on their own records, never on the cached ones. *)
+    let global_key =
+      if ctx.result_cache && frames = [] then
+        Some
+          ("cse|" ^ Plan.fingerprint inner ^ "|" ^ Plan.version_key inner)
+      else None
+    in
+    let cached =
+      match global_key with
+      | Some key -> (
+        match Result_cache.find key with
+        | Some (Cached_batches bs) -> Some (Batch.share_list bs)
+        | Some _ | None -> None)
+      | None -> None
+    in
+    let bs =
+      match cached with
+      | Some bs -> bs
+      | None ->
+        let bs = drain_batches (open_plan ctx frames inner) in
+        ctx.materializations <- ctx.materializations + 1;
+        (match global_key with
+        | Some key ->
+          let snapshot = Batch.share_list bs in
+          Result_cache.store key
+            ~bytes:(Result_cache.batch_list_bytes snapshot)
+            (Cached_batches snapshot)
+        | None -> ());
+        bs
+    in
     Hashtbl.replace ctx.shared bid bs;
     bs
 
@@ -797,6 +834,7 @@ let sibling_ctx (ctx : ctx) : ctx =
     shared = ctx.shared;
     materialized = [];
     batch_capacity = ctx.batch_capacity;
+    result_cache = ctx.result_cache;
     rows_scanned = 0;
     subqueries_run = 0;
     batches_emitted = 0;

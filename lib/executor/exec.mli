@@ -14,16 +14,23 @@ type ctx = {
   mutable materialized : (Plan.t * Batch.t list) list;
       (* join inners materialized once per physical plan object *)
   batch_capacity : int; (* rows per batch for this query's table queues *)
+  result_cache : bool; (* promote CSE materializations to Result_cache *)
   mutable rows_scanned : int; (* base-table tuples fetched *)
   mutable subqueries_run : int; (* correlated subplan executions *)
   mutable batches_emitted : int; (* batches delivered at plan roots *)
   mutable materializations : int; (* shared/inner drain runs (cache misses) *)
 }
 
-val make_ctx : ?batch_capacity:int -> unit -> ctx
+exception Cached_batches of Batch.t list
+(** {!Result_cache} payload constructor for materialized table queues
+    (the executor's slice of the universal-type cache). *)
+
+val make_ctx : ?batch_capacity:int -> ?result_cache:bool -> unit -> ctx
 (** [batch_capacity] defaults to [Batch.default_capacity ()] (the
     [XNFDB_BATCH_SIZE] knob), snapshotted at context creation so one
-    query sees one stable batch size. *)
+    query sees one stable batch size.  [result_cache] (default
+    [Result_cache.enabled ()]) controls cross-query promotion of
+    uncorrelated CSE materializations. *)
 
 module Vtbl : Hashtbl.S with type key = Value.t
 (** Value-keyed table used by the single-column join fast path (shared

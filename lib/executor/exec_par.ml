@@ -267,8 +267,8 @@ let rec pipe_of (ctx : Exec.ctx) ~opts (p : Plan.t) : pipe =
           let extract, scratch = make_key_fn keys in
           pipe.make_feed st ~emit:(fun row ->
               if extract row then
-                List.iter
-                  (fun rid ->
+                (* Index.iter probes without building a rid list. *)
+                Index.iter index scratch (fun rid ->
                     match Base_table.get table rid with
                     | None -> ()
                     | Some irow ->
@@ -277,8 +277,7 @@ let rec pipe_of (ctx : Exec.ctx) ~opts (p : Plan.t) : pipe =
                       | None -> emit (Tuple.concat row irow)
                       | Some test ->
                         let t = Tuple.concat row irow in
-                        if is_true (test [] t) then emit t))
-                  (Index.lookup index scratch)));
+                        if is_true (test [] t) then emit t))));
     }
   | Plan.Aggregate _ | Plan.Sort _ | Plan.Distinct _ | Plan.Merge_join _
   | Plan.Union_all _ | Plan.Limit _ ->

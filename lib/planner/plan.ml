@@ -192,6 +192,219 @@ let explain (plan : t) : string =
   go 0 plan;
   Buffer.contents buf
 
+(* -- structural fingerprint (cache keys) -------------------------------- *)
+
+(** Structural fingerprint of a plan, suitable as a cache key: two plans
+    with the same fingerprint compute the same relation over the same
+    base tables.  Tables are identified by {!Base_table.tid} (names can
+    collide across databases); predicate subplans ([P_exists]/[P_in])
+    are fingerprinted recursively; [Shared] nodes are fingerprinted by
+    structure only — QGM box ids differ across compilations of the same
+    query, so including them would defeat cross-query matching. *)
+let fingerprint (plan : t) : string =
+  let buf = Buffer.create 128 in
+  let add = Buffer.add_string buf in
+  let addf fmt = Printf.ksprintf add fmt in
+  let scalars ss = add (String.concat "," (List.map scalar_to_string ss)) in
+  let rec pred = function
+    | P_true -> add "T"
+    | P_false -> add "F"
+    | P_cmp (op, a, b) ->
+      addf "cmp(%s %s %s)" (scalar_to_string a) (Sqlkit.Pretty.cmpop_str op)
+        (scalar_to_string b)
+    | P_and (a, b) ->
+      add "and(";
+      pred a;
+      add ",";
+      pred b;
+      add ")"
+    | P_or (a, b) ->
+      add "or(";
+      pred a;
+      add ",";
+      pred b;
+      add ")"
+    | P_not p ->
+      add "not(";
+      pred p;
+      add ")"
+    | P_is_null s -> addf "isnull(%s)" (scalar_to_string s)
+    | P_is_not_null s -> addf "notnull(%s)" (scalar_to_string s)
+    | P_like (s, pat) -> addf "like(%s,%s)" (scalar_to_string s) pat
+    | P_exists sub ->
+      add "exists(";
+      plan_fp sub;
+      add ")"
+    | P_in (s, sub) ->
+      addf "in(%s," (scalar_to_string s);
+      plan_fp sub;
+      add ")"
+  and plan_fp = function
+    | Scan t -> addf "scan#%d" (Base_table.tid t)
+    | Values rows ->
+      add "values[";
+      List.iter (fun r -> addf "%s;" (Tuple.to_string r)) rows;
+      add "]"
+    | Filter (input, p) ->
+      add "filter(";
+      pred p;
+      add ")(";
+      plan_fp input;
+      add ")"
+    | Project (input, cols) ->
+      add "project[";
+      scalars (Array.to_list cols);
+      add "](";
+      plan_fp input;
+      add ")"
+    | Nl_join { outer; inner; cond } ->
+      add "nlj(";
+      pred cond;
+      add ")(";
+      plan_fp outer;
+      add ",";
+      plan_fp inner;
+      add ")"
+    | Hash_join { build; probe; build_keys; probe_keys; residual } ->
+      add "hj[";
+      scalars probe_keys;
+      add "=";
+      scalars build_keys;
+      add "](";
+      pred residual;
+      add ")(";
+      plan_fp probe;
+      add ",";
+      plan_fp build;
+      add ")"
+    | Index_join { outer; table; index; keys; residual } ->
+      addf "ij#%d/%s[" (Base_table.tid table) index.Index.name;
+      scalars keys;
+      add "](";
+      pred residual;
+      add ")(";
+      plan_fp outer;
+      add ")"
+    | Merge_join { left; right; left_keys; right_keys; residual } ->
+      add "mj[";
+      scalars left_keys;
+      add "=";
+      scalars right_keys;
+      add "](";
+      pred residual;
+      add ")(";
+      plan_fp left;
+      add ",";
+      plan_fp right;
+      add ")"
+    | Distinct input ->
+      add "distinct(";
+      plan_fp input;
+      add ")"
+    | Aggregate { input; keys; aggs } ->
+      add "agg[";
+      scalars keys;
+      add "|";
+      List.iter
+        (fun a ->
+          add (Sqlkit.Pretty.agg_str a.agg_fn);
+          (match a.agg_arg with
+          | Some s -> addf "(%s)" (scalar_to_string s)
+          | None -> add "(*)");
+          add ";")
+        aggs;
+      add "](";
+      plan_fp input;
+      add ")"
+    | Sort (input, specs) ->
+      add "sort[";
+      List.iter
+        (fun (i, d) ->
+          addf "%d%s;" i (match d with `Asc -> "a" | `Desc -> "d"))
+        specs;
+      add "](";
+      plan_fp input;
+      add ")"
+    | Limit (input, n) ->
+      addf "limit%d(" n;
+      plan_fp input;
+      add ")"
+    | Union_all inputs ->
+      add "union(";
+      List.iter
+        (fun i ->
+          plan_fp i;
+          add ";")
+        inputs;
+      add ")"
+    | Shared (_bid, input) ->
+      add "shared(";
+      plan_fp input;
+      add ")"
+  in
+  plan_fp plan;
+  Buffer.contents buf
+
+(** Every base table the plan (including predicate subplans) reads,
+    deduplicated by tid. *)
+let tables (plan : t) : Base_table.t list =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let visit t =
+    let tid = Base_table.tid t in
+    if not (Hashtbl.mem seen tid) then begin
+      Hashtbl.add seen tid ();
+      acc := t :: !acc
+    end
+  in
+  let rec pred = function
+    | P_exists sub | P_in (_, sub) -> plan_t sub
+    | P_and (a, b) | P_or (a, b) ->
+      pred a;
+      pred b
+    | P_not p -> pred p
+    | P_true | P_false | P_cmp _ | P_is_null _ | P_is_not_null _ | P_like _ ->
+      ()
+  and plan_t = function
+    | Scan t -> visit t
+    | Values _ -> ()
+    | Filter (input, p) ->
+      plan_t input;
+      pred p
+    | Project (input, _) | Distinct input | Sort (input, _) | Limit (input, _)
+    | Shared (_, input) ->
+      plan_t input
+    | Nl_join { outer; inner; cond } ->
+      plan_t outer;
+      plan_t inner;
+      pred cond
+    | Hash_join { build; probe; residual; _ } ->
+      plan_t probe;
+      plan_t build;
+      pred residual
+    | Index_join { outer; table; residual; _ } ->
+      visit table;
+      plan_t outer;
+      pred residual
+    | Merge_join { left; right; residual; _ } ->
+      plan_t left;
+      plan_t right;
+      pred residual
+    | Aggregate { input; _ } -> plan_t input
+    | Union_all inputs -> List.iter plan_t inputs
+  in
+  plan_t plan;
+  List.rev !acc
+
+(** Version fragment for result-cache keys: the (tid, version) pair of
+    every table the plan reads.  Any DML against any of them changes the
+    fragment, so stale entries simply stop being found. *)
+let version_key (plan : t) : string =
+  tables plan
+  |> List.map (fun t ->
+         Printf.sprintf "t%d:v%d" (Base_table.tid t) (Base_table.version t))
+  |> String.concat ","
+
 (** Structural statistics used by tests. *)
 let rec count_nodes p =
   match p with

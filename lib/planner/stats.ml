@@ -1,26 +1,30 @@
 (** Table statistics for the cost model: per-column distinct-value
     counts (NDV), computed on demand and cached until the table's
-    cardinality changes. *)
+    version counter moves (any DML — an UPDATE that rewrites values
+    without changing the row count still invalidates, which a
+    cardinality-keyed cache would miss).  Keys use {!Base_table.tid}, so
+    same-named tables in different databases never collide. *)
 
 open Relcore
 
-type entry = { at_cardinality : int; ndv : int }
+type entry = { at_version : int; ndv : int }
 
-let cache : (string * int, entry) Hashtbl.t = Hashtbl.create 64
+let cache : (int * int, entry) Hashtbl.t = Hashtbl.create 64
 
 (** Number of distinct values in column [col] of [table]. *)
 let column_ndv (table : Base_table.t) (col : int) : int =
-  let key = (Base_table.name table, col) in
-  let card = Base_table.cardinality table in
+  let key = (Base_table.tid table, col) in
+  let version = Base_table.version table in
   match Hashtbl.find_opt cache key with
-  | Some e when e.at_cardinality = card -> e.ndv
+  | Some e when e.at_version = version -> e.ndv
   | _ ->
+    let card = Base_table.cardinality table in
     let seen = Hashtbl.create (max 16 card) in
     Base_table.iter
       (fun _rid tuple -> Hashtbl.replace seen (Value.hash tuple.(col), tuple.(col)) ())
       table;
     let ndv = Hashtbl.length seen in
-    Hashtbl.replace cache key { at_cardinality = card; ndv };
+    Hashtbl.replace cache key { at_version = version; ndv };
     ndv
 
 (** Selectivity of an equality against a constant on this column. *)

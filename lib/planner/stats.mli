@@ -1,6 +1,7 @@
 (** Table statistics for the cost model: per-column distinct-value
     counts (NDV), computed on demand and cached until the table's
-    cardinality changes. *)
+    version counter moves (any DML invalidates, including UPDATEs that
+    keep the row count). *)
 
 open Relcore
 

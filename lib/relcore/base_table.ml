@@ -3,11 +3,14 @@
 
 type t = {
   name : string;
+  tid : int; (* process-unique table id; names can collide across databases *)
   schema : Schema.t;
   heap : Heap.t;
   mutable indexes : Index.t list;
   primary_key : int array option; (* column positions *)
 }
+
+let next_tid = Atomic.make 0
 
 let create ?primary_key ~name schema =
   let pk_positions =
@@ -18,6 +21,7 @@ let create ?primary_key ~name schema =
   let t =
     {
       name;
+      tid = Atomic.fetch_and_add next_tid 1;
       schema;
       heap = Heap.create ();
       indexes = [];
@@ -32,8 +36,11 @@ let create ?primary_key ~name schema =
   t
 
 let name t = t.name
+let tid t = t.tid
 let schema t = t.schema
 let cardinality t = Heap.cardinality t.heap
+let version t = Heap.version t.heap
+let bump_version t = Heap.touch t.heap
 
 let find_index t idx_name =
   List.find_opt (fun i -> String.equal i.Index.name idx_name) t.indexes
@@ -58,7 +65,7 @@ let insert t row =
      table unchanged. *)
   List.iter
     (fun idx ->
-      if idx.Index.unique && Index.lookup_tuple idx tuple <> [] then
+      if idx.Index.unique && Index.mem_tuple idx tuple then
         Errors.constraint_error "unique index %S violated in table %S"
           idx.Index.name t.name)
     t.indexes;
@@ -77,7 +84,7 @@ let update t rid row =
       let new_key = Index.key_of idx tuple in
       if idx.Index.unique && not (Tuple.equal new_key (Index.key_of idx old_tuple))
       then
-        if Index.lookup idx new_key <> [] then
+        if Index.mem idx new_key then
           Errors.constraint_error "unique index %S violated in table %S"
             idx.Index.name t.name)
     t.indexes;

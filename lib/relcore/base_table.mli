@@ -3,6 +3,7 @@
 
 type t = {
   name : string;
+  tid : int; (* process-unique table id; names can collide across databases *)
   schema : Schema.t;
   heap : Heap.t;
   mutable indexes : Index.t list;
@@ -13,8 +14,21 @@ val create : ?primary_key:string list -> name:string -> Schema.t -> t
 (** A primary key implies a unique index named ["<table>_pkey"]. *)
 
 val name : t -> string
+
+val tid : t -> int
+(** Process-unique table id — the stable cache-key component (table
+    names can collide across databases in one process). *)
+
 val schema : t -> Schema.t
 val cardinality : t -> int
+
+val version : t -> int
+(** The heap's monotonic mutation counter (see {!Heap.version});
+    version-keyed caches compare it to detect any DML since fill. *)
+
+val bump_version : t -> unit
+(** Advance {!version} without changing contents (txn commit/rollback
+    hook). *)
 
 val find_index : t -> string -> Index.t option
 

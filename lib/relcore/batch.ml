@@ -116,6 +116,18 @@ let map b f =
   out.len <- n;
   out
 
+(** A hand-out copy safe to share with readers that may {!refine} or
+    {!truncate} it: the (immutable once published) rows array is shared,
+    but the record — whose [sel]/[sel_len]/[len] fields consumers mutate
+    — is fresh.  Batches carrying a selection are densified so the
+    shared copy starts selection-free. *)
+let share b =
+  match b.sel with
+  | None -> { rows = b.rows; len = b.len; sel = None; sel_len = 0 }
+  | Some _ -> map b Fun.id
+
+let share_list bs = List.map share bs
+
 let to_list b = List.rev (fold (fun acc row -> row :: acc) [] b)
 let to_array b = Array.init (length b) (get b)
 

@@ -11,17 +11,29 @@ type t = {
   slots : Tuple.t option Vec.t;
   free : int Vec.t; (* stack of tombstoned slots available for reuse *)
   mutable live : int;
+  mutable version : int;
+      (* monotonic mutation counter: every insert/update/delete bumps it,
+         so (heap, version) identifies a snapshot of the contents.
+         Versions never repeat — undoing a change still moves forward. *)
 }
 
 let create () =
-  { slots = Vec.create ~dummy:None; free = Vec.create ~dummy:(-1); live = 0 }
+  {
+    slots = Vec.create ~dummy:None;
+    free = Vec.create ~dummy:(-1);
+    live = 0;
+    version = 0;
+  }
 
 let cardinality h = h.live
+let version h = h.version
+let touch h = h.version <- h.version + 1
 
 (** Number of slots ever allocated (live + tombstoned). *)
 let capacity h = Vec.length h.slots
 
 let insert h tuple =
+  touch h;
   h.live <- h.live + 1;
   if Vec.length h.free > 0 then begin
     let rid = Vec.pop h.free in
@@ -43,12 +55,15 @@ let get_exn h rid =
 
 let update h rid tuple =
   match get h rid with
-  | Some _ -> Vec.set h.slots rid (Some tuple)
+  | Some _ ->
+    touch h;
+    Vec.set h.slots rid (Some tuple)
   | None -> Errors.execution_error "update of dangling rid %d" rid
 
 let delete h rid =
   match get h rid with
   | Some _ ->
+    touch h;
     Vec.set h.slots rid None;
     Vec.push h.free rid;
     h.live <- h.live - 1

@@ -14,6 +14,15 @@ val cardinality : t -> int
 val capacity : t -> int
 (** Slots ever allocated (live + tombstoned). *)
 
+val version : t -> int
+(** Monotonic mutation counter: bumped by every insert/update/delete (and
+    by {!touch}), so [(heap, version)] identifies a snapshot of the
+    contents.  Versions never repeat — undoing a change still advances. *)
+
+val touch : t -> unit
+(** Advance {!version} without changing contents (used by the txn layer
+    so commit and rollback both invalidate version-keyed caches). *)
+
 val insert : t -> Tuple.t -> rid
 val get : t -> rid -> Tuple.t option
 val get_exn : t -> rid -> Tuple.t

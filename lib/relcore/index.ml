@@ -1,13 +1,22 @@
 (** Hash index over a base table.
 
     Maps a key (the sub-tuple of the indexed columns) to the set of rids
-    holding that key.  Supports unique and non-unique variants. *)
+    holding that key.  Supports unique and non-unique variants.
+
+    Postings are growable int arrays rather than lists: probing with
+    {!iter} allocates nothing, which matters on the index-join hot path
+    where every outer row probes.  Insertion appends; {!iter} and
+    {!lookup} walk newest-first, matching the historical cons-list
+    ordering so result orderings (and CO-view byte identity) are
+    unchanged. *)
+
+type posting = { mutable rids : Heap.rid array; mutable n : int }
 
 type t = {
   name : string;
   key_columns : int array; (* positions within the table schema *)
   unique : bool;
-  entries : Heap.rid list ref Tuple.Tbl.t;
+  entries : posting Tuple.Tbl.t;
 }
 
 let create ~name ~key_columns ~unique =
@@ -15,29 +24,66 @@ let create ~name ~key_columns ~unique =
 
 let key_of idx tuple = Tuple.key tuple idx.key_columns
 
+(** Newest-first, like the cons-list representation this replaces. *)
+let iter idx key f =
+  match Tuple.Tbl.find_opt idx.entries key with
+  | None -> ()
+  | Some p ->
+    for i = p.n - 1 downto 0 do
+      f p.rids.(i)
+    done
+
 let lookup idx key =
   match Tuple.Tbl.find_opt idx.entries key with
-  | Some rids -> !rids
   | None -> []
+  | Some p ->
+    let acc = ref [] in
+    for i = 0 to p.n - 1 do
+      acc := p.rids.(i) :: !acc
+    done;
+    !acc
 
 let lookup_tuple idx tuple = lookup idx (key_of idx tuple)
+
+let mem idx key =
+  match Tuple.Tbl.find_opt idx.entries key with
+  | Some p -> p.n > 0
+  | None -> false
+
+let mem_tuple idx tuple = mem idx (key_of idx tuple)
 
 let insert idx rid tuple =
   let key = key_of idx tuple in
   match Tuple.Tbl.find_opt idx.entries key with
-  | Some rids ->
-    if idx.unique && !rids <> [] then
+  | Some p ->
+    if idx.unique && p.n > 0 then
       Errors.constraint_error "unique index %S violated by key %s" idx.name
         (Tuple.to_string key);
-    rids := rid :: !rids
-  | None -> Tuple.Tbl.add idx.entries key (ref [ rid ])
+    if p.n = Array.length p.rids then begin
+      let bigger = Array.make (2 * p.n) 0 in
+      Array.blit p.rids 0 bigger 0 p.n;
+      p.rids <- bigger
+    end;
+    p.rids.(p.n) <- rid;
+    p.n <- p.n + 1
+  | None ->
+    let rids = Array.make 2 0 in
+    rids.(0) <- rid;
+    Tuple.Tbl.add idx.entries key { rids; n = 1 }
 
 let remove idx rid tuple =
   let key = key_of idx tuple in
   match Tuple.Tbl.find_opt idx.entries key with
-  | Some rids ->
-    rids := List.filter (fun r -> r <> rid) !rids;
-    if !rids = [] then Tuple.Tbl.remove idx.entries key
   | None -> ()
+  | Some p ->
+    let k = ref 0 in
+    for i = 0 to p.n - 1 do
+      if p.rids.(i) <> rid then begin
+        p.rids.(!k) <- p.rids.(i);
+        incr k
+      end
+    done;
+    p.n <- !k;
+    if p.n = 0 then Tuple.Tbl.remove idx.entries key
 
 let cardinality idx = Tuple.Tbl.length idx.entries

@@ -1,17 +1,34 @@
 (** Hash index over a base table: key (sub-tuple of the indexed
-    columns) to the rids holding that key. *)
+    columns) to the rids holding that key.  Postings are growable int
+    arrays; probing with {!iter} allocates nothing. *)
+
+type posting = { mutable rids : Heap.rid array; mutable n : int }
+(** Rids live in [rids.(0 .. n-1)], oldest first; [iter]/[lookup]
+    present them newest-first (the historical cons-list order). *)
 
 type t = {
   name : string;
   key_columns : int array; (* positions within the table schema *)
   unique : bool;
-  entries : Heap.rid list ref Tuple.Tbl.t;
+  entries : posting Tuple.Tbl.t;
 }
 
 val create : name:string -> key_columns:int array -> unique:bool -> t
 val key_of : t -> Tuple.t -> Tuple.t
+
+val iter : t -> Tuple.t -> (Heap.rid -> unit) -> unit
+(** Apply to every rid under [key], newest-first, without allocating —
+    the probe primitive for index joins. *)
+
 val lookup : t -> Tuple.t -> Heap.rid list
+(** Newest-first rid list (allocates; prefer {!iter} on hot paths). *)
+
 val lookup_tuple : t -> Tuple.t -> Heap.rid list
+
+val mem : t -> Tuple.t -> bool
+(** Any rid under this key?  Allocation-free unique-violation probe. *)
+
+val mem_tuple : t -> Tuple.t -> bool
 
 val insert : t -> Heap.rid -> Tuple.t -> unit
 (** Raises on unique violation. *)

@@ -109,15 +109,17 @@ let test_pipelining_is_lazy () =
 
 let test_shared_materialized_once () =
   let db = org_db () in
-  let ctx = Executor.Exec.make_ctx () in
+  (* ~cache:false / ~result_cache:false: the row counters must reflect
+     real executor work, not cross-query cache hits *)
+  let ctx = Executor.Exec.make_ctx ~result_cache:false () in
   let compiled = Xnf.Xnf_compile.compile db Workloads.Org.deps_arc_query in
-  ignore (Xnf.Xnf_compile.extract ~ctx compiled);
+  ignore (Xnf.Xnf_compile.extract ~ctx ~cache:false compiled);
   let with_cse = ctx.Executor.Exec.rows_scanned in
-  let ctx2 = Executor.Exec.make_ctx () in
+  let ctx2 = Executor.Exec.make_ctx ~result_cache:false () in
   let compiled2 =
     Xnf.Xnf_compile.compile ~share:false db Workloads.Org.deps_arc_query
   in
-  ignore (Xnf.Xnf_compile.extract ~ctx:ctx2 compiled2);
+  ignore (Xnf.Xnf_compile.extract ~ctx:ctx2 ~cache:false compiled2);
   let without_cse = ctx2.Executor.Exec.rows_scanned in
   Alcotest.(check bool) "sharing reads fewer base rows" true
     (with_cse < without_cse)

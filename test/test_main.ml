@@ -9,6 +9,7 @@ let () =
       ("batch", Test_batch.suite);
       ("parallel", Test_parallel.suite);
       ("engine", Test_engine.suite);
+      ("cache", Test_cache.suite);
       ("xnf", Test_xnf.suite);
       ("cocache", Test_cocache.suite);
       ("workloads", Test_workloads.suite);

@@ -159,14 +159,17 @@ let hetstream_testable : Xnf.Hetstream.t Alcotest.testable =
       Format.fprintf fmt "stream of %d items" (Xnf.Hetstream.total_items s))
     Xnf.Hetstream.equal
 
+(* ~cache:false: the point is comparing the two executors, so the
+   parallel run must not be served from the stream cached by the
+   sequential one *)
 let check_extraction name db query =
   let c = Xnf.Xnf_compile.compile db query in
-  let seq = Xnf.Xnf_compile.extract c in
+  let seq = Xnf.Xnf_compile.extract ~cache:false c in
   List.iter
     (fun domains ->
       let par =
         Xnf.Xnf_compile.extract_parallel ~domains ~threshold:1 ~morsel_rows:17
-          c
+          ~cache:false c
       in
       Alcotest.check hetstream_testable
         (Printf.sprintf "%s @ %d domains" name domains)
