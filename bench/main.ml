@@ -716,9 +716,186 @@ let bench_cache () =
     exit 1
   end
 
+(* ---------------------------------------------------------------- E8 --- *)
+
+module Cs = Relcore.Colstore
+
+(** Columnar chunk storage: unboxed column scans with zone-map pruning
+    vs the row store, on identical plans.  The [XNFDB_COLSTORE] knob is
+    flipped around each timed run; every columnar result is verified
+    against the row-store result in the same run (ordered row lists for
+    SQL, byte-identical streams for CO extraction).  Results land in
+    [BENCH_colstore.json]; `oo1_scan_filter` is the acceptance gate. *)
+let bench_colstore ?(n_parts = 20_000) () =
+  header "E8. Columnar chunk storage — zone-pruned unboxed scans vs row store";
+  let p = { Workloads.Oo1.default with n_parts } in
+  let db = Workloads.Oo1.generate p in
+  let with_knob v f =
+    let old = Sys.getenv_opt "XNFDB_COLSTORE" in
+    Unix.putenv "XNFDB_COLSTORE" v;
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.putenv "XNFDB_COLSTORE" (Option.value old ~default:""))
+      f
+  in
+  row "database: %d parts, %d connections; batch size %d, chunk rows %s\n"
+    p.Workloads.Oo1.n_parts (3 * p.Workloads.Oo1.n_parts)
+    (Relcore.Batch.default_capacity ())
+    (Option.value (Sys.getenv_opt "XNFDB_CHUNK_ROWS") ~default:"1024");
+  row "%-18s | %8s | %11s | %11s | %8s | %7s/%-3s | %9s\n" "query" "rows"
+    "row st (ms)" "colstore(ms)" "speedup" "scanned" "skip" "matzd";
+  row "%s\n" (String.make 88 '-');
+  let entries = ref [] in
+  let measure name ?join_method sql =
+    let c = Db.compile_query ?join_method db sql in
+    (* equivalence gate: both storage paths must agree, in order *)
+    let rows_off = with_knob "0" (fun () -> Executor.Exec.run c) in
+    let s0, k0, m0 =
+      (Cs.totals.Cs.chunks_scanned, Cs.totals.Cs.chunks_skipped,
+       Cs.totals.Cs.rows_materialized)
+    in
+    let rows_on = with_knob "1" (fun () -> Executor.Exec.run c) in
+    assert (rows_off = rows_on);
+    let scanned = Cs.totals.Cs.chunks_scanned - s0
+    and skipped = Cs.totals.Cs.chunks_skipped - k0
+    and materialized = Cs.totals.Cs.rows_materialized - m0 in
+    let n = List.length rows_on in
+    let t_off =
+      with_knob "0" (fun () ->
+          time_median ~repeat:5 (fun () -> Executor.Exec.run_batches c))
+    in
+    let t_on =
+      with_knob "1" (fun () ->
+          time_median ~repeat:5 (fun () -> Executor.Exec.run_batches c))
+    in
+    let speedup = t_off /. t_on in
+    row "%-18s | %8d | %11.2f | %11.2f | %7.2fx | %7d/%-3d | %9d\n" name n
+      (ms t_off) (ms t_on) speedup scanned skipped materialized;
+    entries :=
+      Printf.sprintf
+        "    { \"name\": %S, \"rows\": %d, \"rowstore_ms\": %.3f, \
+         \"colstore_ms\": %.3f, \"speedup\": %.3f, \"chunks_scanned\": %d, \
+         \"chunks_skipped\": %d, \"rows_materialized\": %d }"
+        name n (ms t_off) (ms t_on) speedup scanned skipped materialized
+      :: !entries;
+    speedup
+  in
+  let gate =
+    measure "oo1_scan_filter"
+      "SELECT cto, clength FROM conns WHERE clength < 500"
+  in
+  (* cfrom is clustered by generation order: zone maps prune nearly
+     every chunk *)
+  ignore
+    (measure "oo1_pruned_scan" "SELECT cfrom, cto FROM conns WHERE cfrom < 100"
+      : float);
+  ignore
+    (measure "oo1_traversal" ~join_method:`Hash
+       "SELECT c.cto FROM parts p, conns c WHERE p.pid = c.cfrom AND p.build \
+        < 5000"
+      : float);
+  (* CO extraction: the full multi-output pipeline, byte-identical
+     streams under both storage paths *)
+  let compiled = Xnf.Xnf_compile.compile db Workloads.Oo1.parts_graph_query in
+  let stream_off =
+    with_knob "0" (fun () -> Xnf.Xnf_compile.extract ~cache:false compiled)
+  in
+  let stream_on =
+    with_knob "1" (fun () -> Xnf.Xnf_compile.extract ~cache:false compiled)
+  in
+  assert (H.equal stream_off stream_on);
+  let t_x_off =
+    with_knob "0" (fun () ->
+        time_median ~repeat:3 (fun () ->
+            Xnf.Xnf_compile.extract ~cache:false compiled))
+  in
+  let t_x_on =
+    with_knob "1" (fun () ->
+        time_median ~repeat:3 (fun () ->
+            Xnf.Xnf_compile.extract ~cache:false compiled))
+  in
+  row "%-18s | %8d | %11.2f | %11.2f | %7.2fx | (Hetstream.equal verified)\n"
+    "co_parts_graph"
+    (H.total_items stream_on)
+    (ms t_x_off) (ms t_x_on) (t_x_off /. t_x_on);
+  entries :=
+    Printf.sprintf
+      "    { \"name\": \"co_oo1_parts_graph\", \"rows\": %d, \
+       \"rowstore_ms\": %.3f, \"colstore_ms\": %.3f, \"speedup\": %.3f, \
+       \"hetstream_equal\": true }"
+      (H.total_items stream_on)
+      (ms t_x_off) (ms t_x_on) (t_x_off /. t_x_on)
+    :: !entries;
+  row
+    "\ngate: oo1_scan_filter speedup %.2fx (acceptance: >= 1.3x over the row \
+     store; every columnar result above was verified identical to the row \
+     store in this run)\n"
+    gate;
+  let oc = open_out "BENCH_colstore.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"colstore\",\n  %s,\n  \"n_parts\": %d,\n  \
+     \"chunk_rows\": %s,\n  \"entries\": [\n%s\n  ]\n}\n"
+    (metadata_json ()) n_parts
+    (Option.value (Sys.getenv_opt "XNFDB_CHUNK_ROWS") ~default:"1024")
+    (String.concat ",\n" (List.rev !entries));
+  close_out oc;
+  row "wrote BENCH_colstore.json\n";
+  if gate < 1.3 then begin
+    row "FAIL: oo1_scan_filter did not reach the 1.3x columnar-scan gate\n";
+    exit 1
+  end;
+  let scan =
+    Db.compile_query db "SELECT cto, clength FROM conns WHERE clength < 500"
+  in
+  register_bechamel ~name:"E8.colstore_scan" (fun () ->
+      ignore (Executor.Exec.run_batches scan))
+
+(* ------------------------------------------------------------ summary --- *)
+
+(** Merge every BENCH_*.json artifact in the working directory into one
+    consolidated BENCH_summary.json (raw reports inlined under their
+    file stem, plus this run's metadata). *)
+let write_summary () =
+  let reports =
+    Sys.readdir "."
+    |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 6
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json"
+           && f <> "BENCH_summary.json")
+    |> List.sort compare
+  in
+  let oc = open_out "BENCH_summary.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"summary\",\n  %s,\n  \"reports\": {\n"
+    (metadata_json ());
+  let first = ref true in
+  List.iter
+    (fun file ->
+      match
+        (try Some (In_channel.with_open_text file In_channel.input_all)
+         with _ -> None)
+      with
+      | None -> ()
+      | Some content ->
+        if not !first then output_string oc ",\n";
+        first := false;
+        Printf.fprintf oc "    %S: %s"
+          (Filename.chop_suffix file ".json")
+          (String.trim content))
+    reports;
+  output_string oc "\n  }\n}\n";
+  close_out oc;
+  row "\nwrote BENCH_summary.json (%d reports merged)\n" (List.length reports)
+
 (* -------------------------------------------------------------- main --- *)
 
 let () =
+  (* reproducibility: committed BENCH numbers must not silently shift
+     with the shell — pin the batch size to the default unless the
+     caller overrode it *)
+  if Sys.getenv_opt "XNFDB_BATCH_SIZE" = None then
+    Unix.putenv "XNFDB_BATCH_SIZE" "256";
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   print_endline
     "XNF reproduction benches (Pirahesh et al., Information Systems 19(1), \
@@ -734,6 +911,8 @@ let () =
     bench_exec_batching ~n_parts ();
     bench_parallel_queues ~n_parts ~domain_counts:[ 1; 2; 4 ] ();
     bench_cache ();
+    bench_colstore ~n_parts ();
+    write_summary ();
     print_endline "\nsmoke bench complete."
   end
   else begin
@@ -747,6 +926,8 @@ let () =
     bench_exec_batching ();
     bench_parallel_queues ();
     bench_cache ();
+    bench_colstore ();
+    write_summary ();
     run_bechamel ();
     print_endline "\nall benches complete."
   end

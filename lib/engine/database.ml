@@ -241,6 +241,14 @@ let explain db (sql : string) : string =
        s.result_entries s.result_bytes s.result_hits s.result_misses
        s.result_evictions
        (if Executor.Result_cache.enabled () then "" else " (disabled)"));
+  let ct = Colstore.totals in
+  Buffer.add_string buf "== colstore ==\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  chunks scanned: %d, chunks skipped: %d, rows materialized: %d%s\n"
+       ct.Colstore.chunks_scanned ct.Colstore.chunks_skipped
+       ct.Colstore.rows_materialized
+       (if Colstore.enabled () then "" else " (disabled)"));
   Buffer.contents buf
 
 (* -- DML helpers -------------------------------------------------------- *)

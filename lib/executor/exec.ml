@@ -30,6 +30,9 @@ type ctx = {
   mutable subqueries_run : int; (* correlated subplan executions *)
   mutable batches_emitted : int; (* batches delivered at plan roots *)
   mutable materializations : int; (* shared/inner drain runs (cache misses) *)
+  mutable chunks_scanned : int; (* colstore chunks whose rows were visited *)
+  mutable chunks_skipped : int; (* colstore chunks zone-pruned wholesale *)
+  mutable rows_materialized : int; (* heap tuples fetched by columnar scans *)
 }
 
 let make_ctx ?batch_capacity ?result_cache () =
@@ -48,6 +51,9 @@ let make_ctx ?batch_capacity ?result_cache () =
     subqueries_run = 0;
     batches_emitted = 0;
     materializations = 0;
+    chunks_scanned = 0;
+    chunks_skipped = 0;
+    rows_materialized = 0;
   }
 
 exception Cached_batches of Batch.t list
@@ -174,17 +180,25 @@ let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : batch_iter =
       end
   | Plan.Values rows ->
     iter_of_batches (Batch.of_list ~capacity:ctx.batch_capacity rows)
-  | Plan.Filter (input, pred) ->
-    let it = open_plan ctx frames input in
-    let test = compile_pred ctx pred in
-    let rec next () =
-      match it () with
-      | None -> None
-      | Some b ->
-        Eval.select_batch frames b test;
-        if Batch.is_empty b then next () else Some b
-    in
-    next
+  | Plan.Filter (input, pred) -> begin
+    (* columnar access path: when the subtree is Filter*(Scan) and at
+       least one conjunct compiles to an unboxed chunk kernel, evaluate
+       against the column arrays — zone-pruned, selection-vectored,
+       with heap tuples materialized only for surviving rows *)
+    match Colscan.of_plan p with
+    | Some cs -> open_colscan ctx frames cs
+    | None ->
+      let it = open_plan ctx frames input in
+      let test = compile_pred ctx pred in
+      let rec next () =
+        match it () with
+        | None -> None
+        | Some b ->
+          Eval.select_batch frames b test;
+          if Batch.is_empty b then next () else Some b
+      in
+      next
+  end
   | Plan.Project
       ( (( Plan.Hash_join { residual = Plan.P_true; _ }
          | Plan.Index_join { residual = Plan.P_true; _ } ) as join),
@@ -421,18 +435,68 @@ let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : batch_iter =
         (let rows =
            Array.of_list (Batch.list_to_rows (drain_batches (open_plan ctx frames input)))
          in
-         let cmp a b =
-           let rec go = function
-             | [] -> 0
-             | (i, dir) :: rest ->
-               let c = Value.compare a.(i) b.(i) in
-               let c = match dir with `Asc -> c | `Desc -> -c in
-               if c <> 0 then c else go rest
-           in
-           go specs
+         (* decorate-sort-undecorate: pull each row's key vector out
+            once (an O(n) pass) instead of chasing row.(i) pointers in
+            every one of the O(n log n) comparisons *)
+         let n = Array.length rows in
+         let specs_a = Array.of_list specs in
+         let k = Array.length specs_a in
+         let dirs =
+           Array.map (fun (_, d) -> match d with `Asc -> 1 | `Desc -> -1) specs_a
          in
-         Array.stable_sort cmp rows;
-         Batch.of_array ~capacity:ctx.batch_capacity rows)
+         let keys = Array.make (max 1 (n * k)) Value.Null in
+         for r = 0 to n - 1 do
+           let row = rows.(r) in
+           for j = 0 to k - 1 do
+             keys.((r * k) + j) <- row.(fst specs_a.(j))
+           done
+         done;
+         let idx = Array.init n Fun.id in
+         (* single all-int key: sort over an unboxed int array (the
+            usual case when the key rode in from a colstore Tint
+            column), skipping the polymorphic compare entirely *)
+         let int_keys =
+           if k = 1 then begin
+             let ik = Array.make (max 1 n) 0 in
+             let ok = ref true in
+             (try
+                for r = 0 to n - 1 do
+                  match keys.(r) with
+                  | Value.Int i -> ik.(r) <- i
+                  | _ ->
+                    ok := false;
+                    raise Exit
+                done
+              with Exit -> ());
+             if !ok then Some ik else None
+           end
+           else None
+         in
+         (match int_keys with
+         | Some ik ->
+           let dir = dirs.(0) in
+           Array.stable_sort
+             (fun a b -> dir * Int.compare ik.(a) ik.(b))
+             idx
+         | None ->
+           let cmp a b =
+             let rec go j =
+               if j >= k then 0
+               else begin
+                 let c =
+                   dirs.(j) * Value.compare keys.((a * k) + j) keys.((b * k) + j)
+                 in
+                 if c <> 0 then c else go (j + 1)
+               end
+             in
+             go 0
+           in
+           Array.stable_sort cmp idx);
+         (* stable_sort over indices keeps equal keys in index (= input)
+            order, so the undecorated permutation matches what a stable
+            sort of the rows themselves would produce *)
+         let out = Array.map (fun i -> rows.(i)) idx in
+         Batch.of_array ~capacity:ctx.batch_capacity out)
     in
     let it = ref None in
     fun () ->
@@ -471,6 +535,52 @@ let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : batch_iter =
     in
     next
   | Plan.Shared (bid, input) -> iter_of_batches (get_shared ctx frames bid input)
+
+(** Open a columnar scan: chunk-at-a-time over the table's colstore.
+    Per chunk: zone-map prune, then selection-vector generation by the
+    compiled atoms, then deferred materialization — the heap tuple is
+    fetched only for rows that survive the atoms — and finally the
+    residual predicate (if any) over the materialized row.  Chunks are
+    visited in slot order, so emission order is byte-identical to the
+    row path. *)
+and open_colscan (ctx : ctx) (frames : Eval.frames) (cs : Colscan.t) :
+    batch_iter =
+  let store = cs.Colscan.store in
+  let table = cs.Colscan.table in
+  let katoms = cs.Colscan.katoms in
+  let test = Option.map (compile_pred ctx) cs.Colscan.residual in
+  let sel = Array.make (Colstore.chunk_rows store) 0 in
+  (* snapshotted: queries never mutate their own base tables here *)
+  let n_chunks = Colstore.n_chunks store in
+  let chunk = ref 0 in
+  pack ~capacity:ctx.batch_capacity (fun ~emit ->
+      if !chunk >= n_chunks then false
+      else begin
+        let c = !chunk in
+        incr chunk;
+        if Colstore.prune_chunk store katoms c then begin
+          ctx.chunks_skipped <- ctx.chunks_skipped + 1;
+          Colstore.add_totals ~scanned:0 ~skipped:1 ~materialized:0
+        end
+        else begin
+          ctx.chunks_scanned <- ctx.chunks_scanned + 1;
+          ctx.rows_scanned <- ctx.rows_scanned + Colstore.live_in_chunk store c;
+          let n = Colstore.select_chunk store katoms c sel in
+          ctx.rows_materialized <- ctx.rows_materialized + n;
+          Colstore.add_totals ~scanned:1 ~skipped:0 ~materialized:n;
+          (match test with
+          | None ->
+            for i = 0 to n - 1 do
+              emit (Base_table.get_exn table (Array.unsafe_get sel i))
+            done
+          | Some t ->
+            for i = 0 to n - 1 do
+              let row = Base_table.get_exn table (Array.unsafe_get sel i) in
+              if is_true (t frames row) then emit row
+            done)
+        end;
+        true
+      end)
 
 (** Open an index join.  [mk_row] as in {!open_hash_join}. *)
 and open_index_join (ctx : ctx) (frames : Eval.frames)
@@ -532,75 +642,167 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
     (* single-column equi-join fast path: hash the key value directly *)
     let table =
       lazy
-        (let tbl = Vtbl.create 256 in
-         let all_int = ref true in
-         let bf = Eval.compile_scalar_fn bk in
-         let bit = open_plan ctx frames build in
-         let rec drain () =
-           match bit () with
-           | None -> ()
-           | Some b ->
-             Batch.iter
-               (fun row ->
-                 let v = bf frames row in
-                 if not (Value.is_null v) then begin
-                   (match v with Value.Int _ -> () | _ -> all_int := false);
-                   let prev = try Vtbl.find tbl v with Not_found -> [] in
-                   Vtbl.replace tbl v (row :: prev)
-                 end)
-               b;
-             drain ()
-         in
-         drain ();
-         if !all_int then begin
-           (* re-key by raw int: the probe loop then skips the generic
-              value hash entirely *)
-           let itbl = Itbl.create (2 * Vtbl.length tbl) in
-           Vtbl.iter
-             (fun v rows ->
-               match v with
-               | Value.Int i -> Itbl.replace itbl i rows
-               | _ -> assert false)
-             tbl;
-           T_int itbl
-         end
-         else T_val tbl)
+        (match columnar_build ctx frames ~build ~key:bk with
+        | Some tbl -> tbl
+        | None ->
+          let tbl = Vtbl.create 256 in
+          let all_int = ref true in
+          let bf = Eval.compile_scalar_fn bk in
+          let bit = open_plan ctx frames build in
+          let rec drain () =
+            match bit () with
+            | None -> ()
+            | Some b ->
+              Batch.iter
+                (fun row ->
+                  let v = bf frames row in
+                  if not (Value.is_null v) then begin
+                    (match v with Value.Int _ -> () | _ -> all_int := false);
+                    let prev = try Vtbl.find tbl v with Not_found -> [] in
+                    Vtbl.replace tbl v (row :: prev)
+                  end)
+                b;
+              drain ()
+          in
+          drain ();
+          if !all_int then begin
+            (* re-key by raw int: the probe loop then skips the generic
+               value hash entirely *)
+            let itbl = Itbl.create (2 * Vtbl.length tbl) in
+            Vtbl.iter
+              (fun v rows ->
+                match v with
+                | Value.Int i -> Itbl.replace itbl i rows
+                | _ -> assert false)
+              tbl;
+            T_int itbl
+          end
+          else T_val tbl)
     in
-    let probe_it = open_plan ctx frames probe in
-    let pf = Eval.compile_scalar_fn pk in
-    pack ~capacity:ctx.batch_capacity (fun ~emit ->
-        match probe_it () with
-        | None -> false
-        | Some pb ->
-          (match Lazy.force table with
-          | T_int itbl ->
-            Batch.iter
-              (fun row ->
-                (* Ints and integral Floats compare equal under SQL
-                   numeric equality, so integral Float probes fold onto
-                   the int key; other types never equal an Int key *)
-                let probe_int i =
-                  match Itbl.find itbl i with
-                  | exception Not_found -> ()
-                  | matches -> emit_matches emit row matches
-                in
-                match pf frames row with
-                | Value.Int i -> probe_int i
-                | Value.Float f when Float.is_integer f && Float.abs f < 1e18
-                  ->
-                  probe_int (int_of_float f)
-                | _ -> ())
-              pb
-          | T_val tbl ->
-            Batch.iter
-              (fun row ->
-                let v = pf frames row in
-                if not (Value.is_null v) then
-                  match Vtbl.find tbl v with
-                  | exception Not_found -> ()
-                  | matches -> emit_matches emit row matches)
-              pb);
-          true)
+    let columnar_probe =
+      match Colscan.of_plan ~require_atoms:false probe with
+      | Some cs ->
+        (match Colscan.int_key_column cs pk with
+        | Some (data, knulls) -> Some (cs, data, knulls)
+        | None -> None)
+      | None -> None
+    in
+    (match columnar_probe with
+    | Some (cs, data, knulls) ->
+      (* chunk-driven probe: keys come straight off the unboxed column;
+         the probe-side heap tuple is materialized only for rows that
+         survive the atoms (and, with no residual, only on a match) *)
+      let store = cs.Colscan.store in
+      let ptable = cs.Colscan.table in
+      let katoms = cs.Colscan.katoms in
+      let test = Option.map (compile_pred ctx) cs.Colscan.residual in
+      let sel = Array.make (Colstore.chunk_rows store) 0 in
+      let n_chunks = Colstore.n_chunks store in
+      let chunk = ref 0 in
+      pack ~capacity:ctx.batch_capacity (fun ~emit ->
+          if !chunk >= n_chunks then false
+          else begin
+            let c = !chunk in
+            incr chunk;
+            if Colstore.prune_chunk store katoms c then begin
+              ctx.chunks_skipped <- ctx.chunks_skipped + 1;
+              Colstore.add_totals ~scanned:0 ~skipped:1 ~materialized:0
+            end
+            else begin
+              ctx.chunks_scanned <- ctx.chunks_scanned + 1;
+              ctx.rows_scanned <-
+                ctx.rows_scanned + Colstore.live_in_chunk store c;
+              let n = Colstore.select_chunk store katoms c sel in
+              let mat = ref 0 in
+              (match Lazy.force table, test with
+              | T_int itbl, None ->
+                for j = 0 to n - 1 do
+                  let s = Array.unsafe_get sel j in
+                  if not (Colstore.bit_get knulls s) then begin
+                    match Itbl.find itbl (Array.unsafe_get data s) with
+                    | exception Not_found -> ()
+                    | matches ->
+                      incr mat;
+                      emit_matches emit (Base_table.get_exn ptable s) matches
+                  end
+                done
+              | T_int itbl, Some t ->
+                for j = 0 to n - 1 do
+                  let s = Array.unsafe_get sel j in
+                  if not (Colstore.bit_get knulls s) then begin
+                    let row = Base_table.get_exn ptable s in
+                    incr mat;
+                    if is_true (t frames row) then begin
+                      match Itbl.find itbl (Array.unsafe_get data s) with
+                      | exception Not_found -> ()
+                      | matches -> emit_matches emit row matches
+                    end
+                  end
+                done
+              | T_val vtbl, test ->
+                (* build side fell back to value keys (possible when it
+                   was empty of ints only in theory — keys here are
+                   ints, so this probes with boxed Int values) *)
+                for j = 0 to n - 1 do
+                  let s = Array.unsafe_get sel j in
+                  if not (Colstore.bit_get knulls s) then begin
+                    let row = Base_table.get_exn ptable s in
+                    incr mat;
+                    let keep =
+                      match test with None -> true | Some t -> is_true (t frames row)
+                    in
+                    if keep then begin
+                      match Vtbl.find vtbl (Value.Int (Array.unsafe_get data s)) with
+                      | exception Not_found -> ()
+                      | matches -> emit_matches emit row matches
+                    end
+                  end
+                done);
+              ctx.rows_materialized <- ctx.rows_materialized + !mat;
+              Colstore.add_totals ~scanned:1 ~skipped:0 ~materialized:!mat
+            end;
+            true
+          end)
+    | None ->
+      let probe_it = open_plan ctx frames probe in
+      let pf = Eval.compile_scalar_fn pk in
+      pack ~capacity:ctx.batch_capacity (fun ~emit ->
+          match probe_it () with
+          | None -> false
+          | Some pb ->
+            (match Lazy.force table with
+            | T_int itbl ->
+              Batch.iter
+                (fun row ->
+                  (* Ints and integral Floats compare equal under SQL
+                     numeric equality, so integral Float probes fold onto
+                     the int key; other types never equal an Int key.
+                     [int_key_of_float] bounds the fold to floats that
+                     really carry an int key — exact at 2^53 and beyond,
+                     where the old [abs f < 1e18] test was lossy. *)
+                  let probe_int i =
+                    match Itbl.find itbl i with
+                    | exception Not_found -> ()
+                    | matches -> emit_matches emit row matches
+                  in
+                  match pf frames row with
+                  | Value.Int i -> probe_int i
+                  | Value.Float f -> (
+                    match Value.int_key_of_float f with
+                    | Some i -> probe_int i
+                    | None -> ())
+                  | _ -> ())
+                pb
+            | T_val tbl ->
+              Batch.iter
+                (fun row ->
+                  let v = pf frames row in
+                  if not (Value.is_null v) then
+                    match Vtbl.find tbl v with
+                    | exception Not_found -> ()
+                    | matches -> emit_matches emit row matches)
+                pb);
+            true))
   | _ ->
     let table =
       lazy
@@ -643,6 +845,56 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
                 | matches -> emit_matches emit row matches)
             pb;
           true)
+
+(** Columnar build for a single-[Tint]-column hash-join key: drain the
+    build side chunk-at-a-time and fill the int-keyed table straight
+    from the unboxed key column — no per-row key closure, no [Value]
+    match.  [None] when the build side is not a columnar scan or the
+    key is not a bare [Tint] column. *)
+and columnar_build (ctx : ctx) (frames : Eval.frames) ~build ~key :
+    single_key_table option =
+  match Colscan.of_plan ~require_atoms:false build with
+  | None -> None
+  | Some cs ->
+    (match Colscan.int_key_column cs key with
+    | None -> None
+    | Some (data, knulls) ->
+      let store = cs.Colscan.store in
+      let katoms = cs.Colscan.katoms in
+      let test = Option.map (compile_pred ctx) cs.Colscan.residual in
+      let sel = Array.make (Colstore.chunk_rows store) 0 in
+      let itbl = Itbl.create 256 in
+      for c = 0 to Colstore.n_chunks store - 1 do
+        if Colstore.prune_chunk store katoms c then begin
+          ctx.chunks_skipped <- ctx.chunks_skipped + 1;
+          Colstore.add_totals ~scanned:0 ~skipped:1 ~materialized:0
+        end
+        else begin
+          ctx.chunks_scanned <- ctx.chunks_scanned + 1;
+          ctx.rows_scanned <- ctx.rows_scanned + Colstore.live_in_chunk store c;
+          let n = Colstore.select_chunk store katoms c sel in
+          let mat = ref 0 in
+          for j = 0 to n - 1 do
+            let s = Array.unsafe_get sel j in
+            (* null keys never join: skip before materializing *)
+            if not (Colstore.bit_get knulls s) then begin
+              let row = Base_table.get_exn cs.Colscan.table s in
+              incr mat;
+              let keep =
+                match test with None -> true | Some t -> is_true (t frames row)
+              in
+              if keep then begin
+                let k = Array.unsafe_get data s in
+                let prev = try Itbl.find itbl k with Not_found -> [] in
+                Itbl.replace itbl k (row :: prev)
+              end
+            end
+          done;
+          ctx.rows_materialized <- ctx.rows_materialized + !mat;
+          Colstore.add_totals ~scanned:1 ~skipped:0 ~materialized:!mat
+        end
+      done;
+      Some (T_int itbl))
 
 (** Materialize a subplan into a batch list.  Uncorrelated subplans
     ([frames = []]) are cached by physical plan identity in the context,
@@ -839,6 +1091,9 @@ let sibling_ctx (ctx : ctx) : ctx =
     subqueries_run = 0;
     batches_emitted = 0;
     materializations = 0;
+    chunks_scanned = 0;
+    chunks_skipped = 0;
+    rows_materialized = 0;
   }
 
 (* -- public surface ------------------------------------------------------ *)

@@ -19,6 +19,9 @@ type ctx = {
   mutable subqueries_run : int; (* correlated subplan executions *)
   mutable batches_emitted : int; (* batches delivered at plan roots *)
   mutable materializations : int; (* shared/inner drain runs (cache misses) *)
+  mutable chunks_scanned : int; (* colstore chunks whose rows were visited *)
+  mutable chunks_skipped : int; (* colstore chunks zone-pruned wholesale *)
+  mutable rows_materialized : int; (* heap tuples fetched by columnar scans *)
 }
 
 exception Cached_batches of Batch.t list

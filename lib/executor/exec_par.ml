@@ -49,11 +49,37 @@ let residual_opt (p : Plan.ppred) =
 
 (* per-worker counters, folded into the shared ctx once the fan-out is
    over (workers never touch ctx concurrently) *)
-type stats = { mutable s_scanned : int }
+type stats = {
+  mutable s_scanned : int;
+  mutable s_chunks_scanned : int; (* colstore chunks visited *)
+  mutable s_chunks_skipped : int; (* colstore chunks zone-pruned *)
+  mutable s_materialized : int; (* heap tuples fetched by columnar scans *)
+}
+
+let new_stats () =
+  { s_scanned = 0; s_chunks_scanned = 0; s_chunks_skipped = 0; s_materialized = 0 }
+
+(* single-threaded fold of per-worker counters into the shared ctx and
+   the process-wide colstore totals (runs after Pool.await) *)
+let fold_stats (ctx : Exec.ctx) (stats : stats array) =
+  Array.iter
+    (fun st ->
+      ctx.Exec.rows_scanned <- ctx.Exec.rows_scanned + st.s_scanned;
+      ctx.Exec.chunks_scanned <- ctx.Exec.chunks_scanned + st.s_chunks_scanned;
+      ctx.Exec.chunks_skipped <- ctx.Exec.chunks_skipped + st.s_chunks_skipped;
+      ctx.Exec.rows_materialized <-
+        ctx.Exec.rows_materialized + st.s_materialized;
+      Colstore.add_totals ~scanned:st.s_chunks_scanned
+        ~skipped:st.s_chunks_skipped ~materialized:st.s_materialized)
+    stats
 
 (** Where a pipeline's morsels come from: a slot-range-partitioned base
-    table, or an already-materialized batch list (one batch per morsel). *)
-type source = Src_table of Base_table.t | Src_batches of Batch.t array
+    table, an already-materialized batch list (one batch per morsel), or
+    a columnar scan whose morsels are whole chunk ranges. *)
+type source =
+  | Src_table of Base_table.t
+  | Src_batches of Batch.t array
+  | Src_colscan of Colscan.t
 
 (** A streamable pipeline: a morsel source plus a per-worker row
     transformer.  [make_feed] is called once per worker so compiled
@@ -88,14 +114,54 @@ let morsels_of ~opts (src : source) =
     in
     (((slots + msz - 1) / msz), msz)
   | Src_batches arr -> (Array.length arr, 0)
+  | Src_colscan cs ->
+    (* morsels aligned to chunk boundaries: a chunk is never split, so
+       zone pruning and selection run whole-chunk inside one worker *)
+    let store = cs.Colscan.store in
+    let ch = Colstore.chunk_rows store in
+    let n_chunks = Colstore.n_chunks store in
+    let target =
+      match opts.morsel with
+      | Some n -> max 1 n
+      | None ->
+        let slots = n_chunks * ch in
+        min 16384 (max 256 (slots / max 1 (opts.domains * 8)))
+    in
+    let cpm = max 1 ((target + ch - 1) / ch) in
+    (((n_chunks + cpm - 1) / cpm), cpm)
 
-(** Drive [feed] over morsel [m]; returns base-table rows scanned. *)
-let iter_morsel (src : source) ~msz m feed =
+(** Drive [feed] over morsel [m]; returns base-table rows scanned.
+    For columnar sources [msz] counts chunks, and [st] additionally
+    collects per-worker chunk/materialization counters. *)
+let iter_morsel (src : source) ~msz (st : stats) m feed =
   match src with
   | Src_table t -> Base_table.iter_range t ~lo:(m * msz) ~hi:((m + 1) * msz) feed
   | Src_batches arr ->
     Batch.iter feed arr.(m);
     0
+  | Src_colscan cs ->
+    let store = cs.Colscan.store in
+    let katoms = cs.Colscan.katoms in
+    let table = cs.Colscan.table in
+    let n_chunks = Colstore.n_chunks store in
+    let sel = Array.make (Colstore.chunk_rows store) 0 in
+    let lo = m * msz
+    and hi = min ((m + 1) * msz) n_chunks in
+    let visited = ref 0 in
+    for c = lo to hi - 1 do
+      if Colstore.prune_chunk store katoms c then
+        st.s_chunks_skipped <- st.s_chunks_skipped + 1
+      else begin
+        st.s_chunks_scanned <- st.s_chunks_scanned + 1;
+        visited := !visited + Colstore.live_in_chunk store c;
+        let n = Colstore.select_chunk store katoms c sel in
+        st.s_materialized <- st.s_materialized + n;
+        for i = 0 to n - 1 do
+          feed (Base_table.get_exn table (Array.unsafe_get sel i))
+        done
+      end
+    done;
+    !visited
 
 let choose_dop ~opts ~rows ~n_morsels =
   if Pool.in_worker () || n_morsels <= 1 then 1
@@ -152,18 +218,40 @@ let rec pipe_of (ctx : Exec.ctx) ~opts (p : Plan.t) : pipe =
       src_rows = Batch.list_length bs;
       make_feed = (fun _ ~emit -> emit);
     }
-  | Plan.Filter (input, pred) ->
-    let pipe = pipe_of ctx ~opts input in
-    (* force Not_parallel now, not at feed time *)
-    ignore (compile_pure pred : Eval.frames -> Tuple.t -> bool option);
-    {
-      pipe with
-      make_feed =
-        (fun st ~emit ->
-          let test = compile_pure pred in
-          pipe.make_feed st ~emit:(fun row ->
-              if is_true (test [] row) then emit row));
-    }
+  | Plan.Filter (input, pred) -> begin
+    match Colscan.of_plan p with
+    | Some cs ->
+      (* columnar access path: the source itself prunes chunks and runs
+         the unboxed atoms, feeding only surviving (materialized) heap
+         tuples; the residual — if any — filters per worker exactly
+         like a plain Filter feed *)
+      let residual =
+        match cs.Colscan.residual with None -> Plan.P_true | Some r -> r
+      in
+      (* force Not_parallel now, not at feed time *)
+      ignore (residual_opt residual);
+      {
+        src = Src_colscan cs;
+        src_rows = Base_table.cardinality cs.Colscan.table;
+        make_feed =
+          (fun _ ~emit ->
+            match residual_opt residual with
+            | None -> emit
+            | Some test -> fun row -> if is_true (test [] row) then emit row);
+      }
+    | None ->
+      let pipe = pipe_of ctx ~opts input in
+      (* force Not_parallel now, not at feed time *)
+      ignore (compile_pure pred : Eval.frames -> Tuple.t -> bool option);
+      {
+        pipe with
+        make_feed =
+          (fun st ~emit ->
+            let test = compile_pure pred in
+            pipe.make_feed st ~emit:(fun row ->
+                if is_true (test [] row) then emit row));
+      }
+  end
   | Plan.Project (input, cols) ->
     let pipe = pipe_of ctx ~opts input in
     {
@@ -230,12 +318,15 @@ let rec pipe_of (ctx : Exec.ctx) ~opts (p : Plan.t) : pipe =
             in
             pipe.make_feed st ~emit:(fun row ->
                 (* Ints and integral Floats compare equal under SQL
-                   numeric equality, exactly as in [Exec] *)
+                   numeric equality, exactly as in [Exec]; the fold is
+                   bounded by [int_key_of_float] so it stays exact at
+                   2^53 and beyond *)
                 match pf [] row with
                 | Value.Int i -> probe_int row i
-                | Value.Float f when Float.is_integer f && Float.abs f < 1e18
-                  ->
-                  probe_int row (int_of_float f)
+                | Value.Float f -> (
+                  match Value.int_key_of_float f with
+                  | Some i -> probe_int row i
+                  | None -> ())
                 | _ -> ())
           | J_val vtbl ->
             let pf =
@@ -313,7 +404,7 @@ and build_join_table ctx ~opts (build : Plan.t) (build_keys : Plan.scalar list)
     let dop = choose_dop ~opts ~rows:bpipe.src_rows ~n_morsels in
     if dop <= 1 then build_sequential ctx build build_keys
     else
-      let stats = Array.init dop (fun _ -> { s_scanned = 0 }) in
+      let stats = Array.init dop (fun _ -> new_stats ()) in
       let next = Atomic.make 0 in
       match build_keys with
       | [ bk ] ->
@@ -341,14 +432,12 @@ and build_join_table ctx ~opts (build : Plan.t) (build_keys : Plan.scalar list)
               if m < n_morsels then begin
                 cur := locals.(m);
                 st.s_scanned <-
-                  st.s_scanned + iter_morsel bpipe.src ~msz m feed;
+                  st.s_scanned + iter_morsel bpipe.src ~msz st m feed;
                 loop ()
               end
             in
             loop ());
-        Array.iter
-          (fun st -> ctx.Exec.rows_scanned <- ctx.Exec.rows_scanned + st.s_scanned)
-          stats;
+        fold_stats ctx stats;
         let g = Exec.Vtbl.create 256 in
         for m = 0 to n_morsels - 1 do
           Exec.Vtbl.iter
@@ -377,14 +466,12 @@ and build_join_table ctx ~opts (build : Plan.t) (build_keys : Plan.scalar list)
               if m < n_morsels then begin
                 cur := locals.(m);
                 st.s_scanned <-
-                  st.s_scanned + iter_morsel bpipe.src ~msz m feed;
+                  st.s_scanned + iter_morsel bpipe.src ~msz st m feed;
                 loop ()
               end
             in
             loop ());
-        Array.iter
-          (fun st -> ctx.Exec.rows_scanned <- ctx.Exec.rows_scanned + st.s_scanned)
-          stats;
+        fold_stats ctx stats;
         let g = Tuple.Tbl.create 256 in
         for m = 0 to n_morsels - 1 do
           Tuple.Tbl.iter
@@ -465,7 +552,7 @@ and stream (ctx : Exec.ctx) ~opts (pipe : pipe) : Batch.t list =
   let capacity = ctx.Exec.batch_capacity in
   if dop <= 1 then begin
     (* serial inline: same morsel walk, no channel *)
-    let st = { s_scanned = 0 } in
+    let st = new_stats () in
     let out = ref [] in
     let buf = ref (Batch.create ~capacity ()) in
     let emit row =
@@ -477,17 +564,17 @@ and stream (ctx : Exec.ctx) ~opts (pipe : pipe) : Batch.t list =
     in
     let feed = pipe.make_feed st ~emit in
     for m = 0 to n_morsels - 1 do
-      st.s_scanned <- st.s_scanned + iter_morsel pipe.src ~msz m feed
+      st.s_scanned <- st.s_scanned + iter_morsel pipe.src ~msz st m feed
     done;
     if not (Batch.is_empty !buf) then out := !buf :: !out;
-    ctx.Exec.rows_scanned <- ctx.Exec.rows_scanned + st.s_scanned;
+    fold_stats ctx [| st |];
     List.rev !out
   end
   else begin
     let chan = Chan.create ~capacity:(2 * dop) in
     let next = Atomic.make 0 in
     let active = Atomic.make dop in
-    let stats = Array.init dop (fun _ -> { s_scanned = 0 }) in
+    let stats = Array.init dop (fun _ -> new_stats ()) in
     let worker w =
       (* the last worker out closes the queue, even on error, so the
          consumer below can never block forever *)
@@ -511,7 +598,7 @@ and stream (ctx : Exec.ctx) ~opts (pipe : pipe) : Batch.t list =
             if m < n_morsels then begin
               out := [];
               buf := Batch.create ~capacity ();
-              st.s_scanned <- st.s_scanned + iter_morsel pipe.src ~msz m feed;
+              st.s_scanned <- st.s_scanned + iter_morsel pipe.src ~msz st m feed;
               if not (Batch.is_empty !buf) then out := !buf :: !out;
               Chan.push chan (m, List.rev !out);
               loop ()
@@ -547,9 +634,7 @@ and stream (ctx : Exec.ctx) ~opts (pipe : pipe) : Batch.t list =
     in
     pump ();
     Pool.await h;
-    Array.iter
-      (fun st -> ctx.Exec.rows_scanned <- ctx.Exec.rows_scanned + st.s_scanned)
-      stats;
+    fold_stats ctx stats;
     List.concat (List.rev !acc)
   end
 
@@ -587,7 +672,7 @@ and drain_aggregate ctx ~opts ~input ~(keys : Plan.scalar list)
       else begin
         (* per-morsel group tables, merged in morsel order so group
            first-appearance order matches the sequential scan *)
-        let stats = Array.init dop (fun _ -> { s_scanned = 0 }) in
+        let stats = Array.init dop (fun _ -> new_stats ()) in
         let next = Atomic.make 0 in
         let aggs_a = Array.of_list aggs in
         let new_accs () =
@@ -631,14 +716,12 @@ and drain_aggregate ctx ~opts ~input ~(keys : Plan.scalar list)
               let m = Atomic.fetch_and_add next 1 in
               if m < n_morsels then begin
                 cur := locals.(m);
-                st.s_scanned <- st.s_scanned + iter_morsel pipe.src ~msz m feed;
+                st.s_scanned <- st.s_scanned + iter_morsel pipe.src ~msz st m feed;
                 loop ()
               end
             in
             loop ());
-        Array.iter
-          (fun st -> ctx.Exec.rows_scanned <- ctx.Exec.rows_scanned + st.s_scanned)
-          stats;
+        fold_stats ctx stats;
         let groups = Tuple.Tbl.create 64 in
         let order = ref [] in
         for m = 0 to n_morsels - 1 do

@@ -87,9 +87,60 @@ let rec base_column_of resolve (e : Qgm.bexpr) :
   end
   | _ -> None
 
+let value_as_float : Relcore.Value.t -> float option = function
+  | Relcore.Value.Int i -> Some (float_of_int i)
+  | Relcore.Value.Float f when not (Float.is_nan f) -> Some f
+  | _ -> None
+
+(** Interpolated selectivity of [col op k] against the zone-derived
+    column range [lo, hi]: the fraction (k - lo) / (hi - lo) of the
+    span falls below [k], clamped away from 0 and 1 (zone bounds may be
+    conservative, and a zero estimate would hide the row-visit cost).
+    [None] when either side is not a numeric base column vs. constant,
+    or no range is known — the caller keeps its textbook constant. *)
+let range_const_selectivity resolve (op : Sqlkit.Ast.cmpop) (a : Qgm.bexpr)
+    (b : Qgm.bexpr) : float option =
+  let attempt col_e k_v (op : Sqlkit.Ast.cmpop) =
+    match base_column_of resolve col_e with
+    | None -> None
+    | Some (t, c) -> begin
+      match Stats.column_range t c, value_as_float k_v with
+      | Some (lo_v, hi_v), Some k -> begin
+        match value_as_float lo_v, value_as_float hi_v with
+        | Some lo, Some hi when hi > lo ->
+          let below = Float.max 0.0 (Float.min 1.0 ((k -. lo) /. (hi -. lo))) in
+          let s =
+            match op with
+            | Sqlkit.Ast.Lt | Sqlkit.Ast.Le -> below
+            | Sqlkit.Ast.Gt | Sqlkit.Ast.Ge -> 1.0 -. below
+            | _ -> range_selectivity
+          in
+          Some (Float.max 0.02 (Float.min 0.98 s))
+        | _ -> None
+      end
+      | _ -> None
+    end
+  in
+  match a, b with
+  | _, Qgm.Const k -> attempt a k op
+  | Qgm.Const k, _ ->
+    (* [k op col] reads as [col (mirrored op) k] *)
+    let mirrored : Sqlkit.Ast.cmpop =
+      match op with
+      | Sqlkit.Ast.Lt -> Sqlkit.Ast.Gt
+      | Sqlkit.Ast.Le -> Sqlkit.Ast.Ge
+      | Sqlkit.Ast.Gt -> Sqlkit.Ast.Lt
+      | Sqlkit.Ast.Ge -> Sqlkit.Ast.Le
+      | o -> o
+    in
+    attempt b k mirrored
+  | _ -> None
+
 (** Predicate selectivity.  With [resolve] (quantifier id -> input box),
-    equality predicates consult per-column NDV statistics; without it,
-    fixed textbook constants are used. *)
+    equality predicates consult per-column NDV statistics, range
+    predicates against constants interpolate over zone-map column
+    bounds, and NULL tests use zone null counts; without it (or with
+    the colstore off), fixed textbook constants are used. *)
 let pred_selectivity ?resolve (p : Qgm.bpred) =
   let resolve = Option.value resolve ~default:(fun _ -> None) in
   let rec go = function
@@ -100,13 +151,33 @@ let pred_selectivity ?resolve (p : Qgm.bpred) =
       | Some (t, c), None | None, Some (t, c) -> Stats.eq_const_selectivity t c
       | None, None -> eq_selectivity
     end
-    | Qgm.Bcmp ((Sqlkit.Ast.Lt | Le | Gt | Ge), _, _) -> range_selectivity
+    | Qgm.Bcmp ((Sqlkit.Ast.Lt | Le | Gt | Ge) as op, a, b) -> begin
+      match range_const_selectivity resolve op a b with
+      | Some s -> s
+      | None -> range_selectivity
+    end
     | Qgm.Bcmp (Sqlkit.Ast.Ne, _, _) -> 1.0 -. eq_selectivity
     | Qgm.Band (a, b) -> go a *. go b
     | Qgm.Bor (a, b) -> min 1.0 (go a +. go b)
     | Qgm.Bnot a -> 1.0 -. go a
-    | Qgm.Bis_null _ -> 0.1
-    | Qgm.Bis_not_null _ -> 0.9
+    | Qgm.Bis_null e -> begin
+      match base_column_of resolve e with
+      | Some (t, c) -> begin
+        match Stats.null_fraction t c with
+        | Some f -> Float.max 0.001 (Float.min 0.999 f)
+        | None -> 0.1
+      end
+      | None -> 0.1
+    end
+    | Qgm.Bis_not_null e -> begin
+      match base_column_of resolve e with
+      | Some (t, c) -> begin
+        match Stats.null_fraction t c with
+        | Some f -> Float.max 0.001 (Float.min 0.999 (1.0 -. f))
+        | None -> 0.9
+      end
+      | None -> 0.9
+    end
     | Qgm.Blike _ -> 0.25
     | Qgm.Bexists _ | Qgm.Bin_sub _ -> default_selectivity
   in

@@ -43,9 +43,21 @@ val base_column_of :
 (** Trace a bare column reference to a base-table column through
     identity projections. *)
 
+val range_const_selectivity :
+  (int -> Qgm.box option) ->
+  Sqlkit.Ast.cmpop ->
+  Qgm.bexpr ->
+  Qgm.bexpr ->
+  float option
+(** Interpolated selectivity of a column-vs-constant range comparison
+    over the zone-derived column bounds ((k - lo) / (hi - lo), clamped);
+    [None] when the shape or the statistics don't apply. *)
+
 val pred_selectivity : ?resolve:(int -> Qgm.box option) -> Qgm.bpred -> float
 (** With [resolve] (quantifier id -> input box), equality predicates
-    consult per-column NDV statistics. *)
+    consult per-column NDV statistics, range predicates against
+    constants interpolate over zone-map bounds, and NULL tests use zone
+    null counts. *)
 
 val box_cardinality : Qgm.box -> float
 (** Estimated output cardinality of a box. *)

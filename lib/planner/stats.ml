@@ -38,4 +38,27 @@ let eq_join_selectivity t1 c1 t2 c2 =
   let n1 = max 1 (column_ndv t1 c1) and n2 = max 1 (column_ndv t2 c2) in
   1.0 /. float_of_int (max n1 n2)
 
+(** Zone-derived [lo, hi] of a numeric column over live rows, possibly
+    conservative (never narrower than the data).  Reads the columnar
+    store's aggregated chunk zone maps — O(chunks), no table scan — so
+    it needs no version cache.  [None] when the colstore knob is off or
+    the column is non-numeric / all-NULL / empty. *)
+let column_range (table : Base_table.t) (col : int) :
+    (Value.t * Value.t) option =
+  if not (Colstore.enabled ()) then None
+  else Colstore.col_range table.Base_table.colstore col
+
+(** Fraction of live rows holding NULL in the column, from zone null
+    counts.  [None] when the colstore knob is off or the table is
+    empty. *)
+let null_fraction (table : Base_table.t) (col : int) : float option =
+  if not (Colstore.enabled ()) then None
+  else
+    let card = Base_table.cardinality table in
+    if card <= 0 then None
+    else
+      Some
+        (float_of_int (Colstore.col_null_count table.Base_table.colstore col)
+        /. float_of_int card)
+
 let reset () = Hashtbl.reset cache

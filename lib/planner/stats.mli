@@ -11,4 +11,14 @@ val eq_const_selectivity : Base_table.t -> int -> float
 val eq_join_selectivity : Base_table.t -> int -> Base_table.t -> int -> float
 (** The classic 1 / max(ndv_left, ndv_right). *)
 
+val column_range : Base_table.t -> int -> (Value.t * Value.t) option
+(** Zone-derived [lo, hi] of a numeric column over live rows (possibly
+    conservative).  [None] when [XNFDB_COLSTORE] is off or the column
+    has no numeric bounds. *)
+
+val null_fraction : Base_table.t -> int -> float option
+(** Fraction of live rows with NULL in the column, from zone null
+    counts.  [None] when [XNFDB_COLSTORE] is off or the table is
+    empty. *)
+
 val reset : unit -> unit

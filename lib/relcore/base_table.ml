@@ -6,6 +6,7 @@ type t = {
   tid : int; (* process-unique table id; names can collide across databases *)
   schema : Schema.t;
   heap : Heap.t;
+  colstore : Colstore.t; (* columnar mirror of the heap's slots *)
   mutable indexes : Index.t list;
   primary_key : int array option; (* column positions *)
 }
@@ -24,6 +25,7 @@ let create ?primary_key ~name schema =
       tid = Atomic.fetch_and_add next_tid 1;
       schema;
       heap = Heap.create ();
+      colstore = Colstore.create schema;
       indexes = [];
       primary_key = pk_positions;
     }
@@ -70,6 +72,7 @@ let insert t row =
           idx.Index.name t.name)
     t.indexes;
   let rid = Heap.insert t.heap tuple in
+  Colstore.insert t.colstore rid tuple;
   List.iter (fun idx -> Index.insert idx rid tuple) t.indexes;
   rid
 
@@ -90,12 +93,14 @@ let update t rid row =
     t.indexes;
   List.iter (fun idx -> Index.remove idx rid old_tuple) t.indexes;
   Heap.update t.heap rid tuple;
+  Colstore.update t.colstore rid ~old:old_tuple tuple;
   List.iter (fun idx -> Index.insert idx rid tuple) t.indexes
 
 let delete t rid =
   let old_tuple = Heap.get_exn t.heap rid in
   List.iter (fun idx -> Index.remove idx rid old_tuple) t.indexes;
-  Heap.delete t.heap rid
+  Heap.delete t.heap rid;
+  Colstore.delete t.colstore rid old_tuple
 
 let iter f t = Heap.iter f t.heap
 let fold f acc t = Heap.fold f acc t.heap

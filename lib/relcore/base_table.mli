@@ -6,6 +6,7 @@ type t = {
   tid : int; (* process-unique table id; names can collide across databases *)
   schema : Schema.t;
   heap : Heap.t;
+  colstore : Colstore.t; (* columnar mirror, maintained on every DML *)
   mutable indexes : Index.t list;
   primary_key : int array option;
 }

@@ -14,7 +14,14 @@ val is_null : t -> bool
 
 val compare : t -> t -> int
 (** Total order used for sorting and index organisation (not SQL
-    comparison): Null < Bool < numerics (Int and Float mix) < Str. *)
+    comparison): Null < Bool < numerics (Int and Float mix) < Str.
+    Int-vs-Float comparison is exact — no [float_of_int] rounding at
+    magnitudes >= 2^53 — so the mixed numeric order is transitive. *)
+
+val int_key_of_float : float -> int option
+(** The int that carries this float's key under {!compare}/{!hash}, if
+    one exists: integral floats in the native int range.  Floats outside
+    that range compare equal to no int. *)
 
 val equal : t -> t -> bool
 

@@ -7,6 +7,7 @@ let () =
       ("planner", Test_planner.suite);
       ("executor", Test_executor.suite);
       ("batch", Test_batch.suite);
+      ("colstore", Test_colstore.suite);
       ("parallel", Test_parallel.suite);
       ("engine", Test_engine.suite);
       ("cache", Test_cache.suite);
