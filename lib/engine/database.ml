@@ -249,6 +249,15 @@ let explain db (sql : string) : string =
        ct.Colstore.chunks_scanned ct.Colstore.chunks_skipped
        ct.Colstore.rows_materialized
        (if Colstore.enabled () then "" else " (disabled)"));
+  let jt = Bloom.totals in
+  Buffer.add_string buf "== join filters ==\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  filters built: %d, chunks skipped: %d, rows skipped: %d, filters \
+        dropped: %d%s\n"
+       jt.Bloom.filters_built jt.Bloom.chunks_skipped jt.Bloom.rows_skipped
+       jt.Bloom.filters_dropped
+       (if Bloom.enabled () then "" else " (disabled)"));
   Buffer.contents buf
 
 (* -- DML helpers -------------------------------------------------------- *)

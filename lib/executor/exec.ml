@@ -33,6 +33,10 @@ type ctx = {
   mutable chunks_scanned : int; (* colstore chunks whose rows were visited *)
   mutable chunks_skipped : int; (* colstore chunks zone-pruned wholesale *)
   mutable rows_materialized : int; (* heap tuples fetched by columnar scans *)
+  mutable jf_built : int; (* sideways join filters built *)
+  mutable jf_chunks_skipped : int; (* probe chunks pruned by join-filter range *)
+  mutable jf_rows_skipped : int; (* probe rows dropped by a join filter *)
+  mutable jf_dropped : int; (* join filters adaptively disabled *)
 }
 
 let make_ctx ?batch_capacity ?result_cache () =
@@ -54,6 +58,10 @@ let make_ctx ?batch_capacity ?result_cache () =
     chunks_scanned = 0;
     chunks_skipped = 0;
     rows_materialized = 0;
+    jf_built = 0;
+    jf_chunks_skipped = 0;
+    jf_rows_skipped = 0;
+    jf_dropped = 0;
   }
 
 exception Cached_batches of Batch.t list
@@ -221,9 +229,10 @@ let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : batch_iter =
       out
     in
     (match join with
-    | Plan.Hash_join { build; probe; build_keys; probe_keys; residual = _ } ->
+    | Plan.Hash_join
+        { build; probe; build_keys; probe_keys; residual = _; jfilter } ->
       open_hash_join ctx frames ~mk_row ~build ~probe ~build_keys ~probe_keys
-        ~residual:Plan.P_true
+        ~residual:Plan.P_true ~jfilter
     | Plan.Index_join { outer; table; index; keys; residual = _ } ->
       open_index_join ctx frames ~mk_row ~outer ~table ~index ~keys
         ~residual:Plan.P_true
@@ -253,9 +262,10 @@ let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : batch_iter =
                 inner_bs)
             ob;
           true)
-  | Plan.Hash_join { build; probe; build_keys; probe_keys; residual } ->
+  | Plan.Hash_join { build; probe; build_keys; probe_keys; residual; jfilter }
+    ->
     open_hash_join ctx frames ~mk_row:Tuple.concat ~build ~probe ~build_keys
-      ~probe_keys ~residual
+      ~probe_keys ~residual ~jfilter
   | Plan.Index_join { outer; table; index; keys; residual } ->
     open_index_join ctx frames ~mk_row:Tuple.concat ~outer ~table ~index ~keys
       ~residual
@@ -618,10 +628,17 @@ and open_index_join (ctx : ctx) (frames : Eval.frames)
 (** Open a hash join.  [mk_row] builds each output row from a probe row
     and a build match — [Tuple.concat] for the plain join, a column
     picker when a projection has been fused into the emit.  The residual
-    (if any) is always evaluated over the full concatenation. *)
+    (if any) is always evaluated over the full concatenation.
+
+    [jfilter] is the planner's sideways-information-passing hint: when
+    set (and [XNFDB_JOINFILTER] allows it), the single-int-key build
+    also produces a {!Bloom} filter pushed into the probe scan — key
+    range atoms prune whole probe chunks, and the Bloom is tested per
+    probe key before the heap tuple is materialized.  The filter is
+    false-positive-only, so output is byte-identical with it off. *)
 and open_hash_join (ctx : ctx) (frames : Eval.frames)
     ~(mk_row : Tuple.t -> Tuple.t -> Tuple.t) ~build ~probe ~build_keys
-    ~probe_keys ~residual : batch_iter =
+    ~probe_keys ~residual ~(jfilter : Plan.jfilter option) : batch_iter =
   let emit_match =
     match residual_test ctx residual with
     | None -> fun emit row m -> emit (mk_row row m)
@@ -640,44 +657,94 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
   match build_keys, probe_keys with
   | [ bk ], [ pk ] ->
     (* single-column equi-join fast path: hash the key value directly *)
+    let want_jf = jfilter <> None && Bloom.enabled () in
     let table =
       lazy
-        (match columnar_build ctx frames ~build ~key:bk with
-        | Some tbl -> tbl
-        | None ->
-          let tbl = Vtbl.create 256 in
-          let all_int = ref true in
-          let bf = Eval.compile_scalar_fn bk in
-          let bit = open_plan ctx frames build in
-          let rec drain () =
-            match bit () with
-            | None -> ()
-            | Some b ->
-              Batch.iter
-                (fun row ->
-                  let v = bf frames row in
-                  if not (Value.is_null v) then begin
-                    (match v with Value.Int _ -> () | _ -> all_int := false);
-                    let prev = try Vtbl.find tbl v with Not_found -> [] in
-                    Vtbl.replace tbl v (row :: prev)
-                  end)
-                b;
-              drain ()
-          in
-          drain ();
-          if !all_int then begin
-            (* re-key by raw int: the probe loop then skips the generic
-               value hash entirely *)
-            let itbl = Itbl.create (2 * Vtbl.length tbl) in
-            Vtbl.iter
-              (fun v rows ->
-                match v with
-                | Value.Int i -> Itbl.replace itbl i rows
-                | _ -> assert false)
-              tbl;
-            T_int itbl
+        (let tbl =
+           match columnar_build ctx frames ~build ~key:bk with
+           | Some tbl -> tbl
+           | None ->
+             let tbl = Vtbl.create 256 in
+             let all_int = ref true in
+             let bf = Eval.compile_scalar_fn bk in
+             let bit = open_plan ctx frames build in
+             let rec drain () =
+               match bit () with
+               | None -> ()
+               | Some b ->
+                 Batch.iter
+                   (fun row ->
+                     let v = bf frames row in
+                     if not (Value.is_null v) then begin
+                       (match v with Value.Int _ -> () | _ -> all_int := false);
+                       let prev = try Vtbl.find tbl v with Not_found -> [] in
+                       Vtbl.replace tbl v (row :: prev)
+                     end)
+                   b;
+                 drain ()
+             in
+             drain ();
+             if !all_int then begin
+               (* re-key by raw int: the probe loop then skips the generic
+                  value hash entirely *)
+               let itbl = Itbl.create (2 * Vtbl.length tbl) in
+               Vtbl.iter
+                 (fun v rows ->
+                   match v with
+                   | Value.Int i -> Itbl.replace itbl i rows
+                   | _ -> assert false)
+                 tbl;
+               T_int itbl
+             end
+             else T_val tbl
+         in
+         (* sideways filter: one pass over the finished table gives the
+            exact distinct key set (and so an exactly sized Bloom) *)
+         let flt =
+           match tbl with
+           | T_int itbl when want_jf ->
+             let bl = Bloom.create ~expected:(Itbl.length itbl) in
+             Itbl.iter (fun k _ -> Bloom.add bl k) itbl;
+             ctx.jf_built <- ctx.jf_built + 1;
+             Bloom.add_totals ~built:1 ~chunks:0 ~rows:0 ~dropped:0;
+             Some bl
+           | _ -> None
+         in
+         (tbl, flt))
+    in
+    (* adaptive per-row state: observe the first [adaptive_sample] probe
+       keys; a filter passing more than [drop_threshold] of them is
+       dropped (range chunk pruning stays — it is exact and ~free) *)
+    let jf_live = ref true in
+    let jf_decided = ref false in
+    let jf_tested = ref 0 and jf_passed = ref 0 in
+    let jf_pass bl k =
+      if !jf_decided then (not !jf_live) || Bloom.mem bl k
+      else begin
+        let pass = Bloom.mem bl k in
+        incr jf_tested;
+        if pass then incr jf_passed;
+        if !jf_tested >= Bloom.adaptive_sample then begin
+          jf_decided := true;
+          if
+            float_of_int !jf_passed
+            > Bloom.drop_threshold *. float_of_int !jf_tested
+          then begin
+            jf_live := false;
+            ctx.jf_dropped <- ctx.jf_dropped + 1;
+            Bloom.add_totals ~built:0 ~chunks:0 ~rows:0 ~dropped:1
           end
-          else T_val tbl)
+        end;
+        pass
+      end
+    in
+    let jf_pass_counted bl k =
+      let p = jf_pass bl k in
+      if not p then begin
+        ctx.jf_rows_skipped <- ctx.jf_rows_skipped + 1;
+        Bloom.add_totals ~built:0 ~chunks:0 ~rows:1 ~dropped:0
+      end;
+      p
     in
     let columnar_probe =
       match Colscan.of_plan ~require_atoms:false probe with
@@ -699,6 +766,23 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
       let sel = Array.make (Colstore.chunk_rows store) 0 in
       let n_chunks = Colstore.n_chunks store in
       let chunk = ref 0 in
+      (* build-side key range as zone-prunable atoms over the probe's
+         key column (forces the build) *)
+      let jf_atoms =
+        lazy
+          (match snd (Lazy.force table), pk with
+          | Some bl, Plan.P_col ki -> begin
+            match Bloom.range bl with
+            | Some (lo, hi) ->
+              Colstore.compile store
+                [
+                  Colstore.A_cmp (ki, Colstore.Cge, Value.Int lo);
+                  Colstore.A_cmp (ki, Colstore.Cle, Value.Int hi);
+                ]
+            | None -> None
+          end
+          | _ -> None)
+      in
       pack ~capacity:ctx.batch_capacity (fun ~emit ->
           if !chunk >= n_chunks then false
           else begin
@@ -709,69 +793,169 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
               Colstore.add_totals ~scanned:0 ~skipped:1 ~materialized:0
             end
             else begin
-              ctx.chunks_scanned <- ctx.chunks_scanned + 1;
-              ctx.rows_scanned <-
-                ctx.rows_scanned + Colstore.live_in_chunk store c;
-              let n = Colstore.select_chunk store katoms c sel in
-              let mat = ref 0 in
-              (match Lazy.force table, test with
-              | T_int itbl, None ->
-                for j = 0 to n - 1 do
-                  let s = Array.unsafe_get sel j in
-                  if not (Colstore.bit_get knulls s) then begin
-                    match Itbl.find itbl (Array.unsafe_get data s) with
-                    | exception Not_found -> ()
-                    | matches ->
+              match Lazy.force jf_atoms with
+              | Some ja when Colstore.prune_chunk store ja c ->
+                (* every key in the chunk is outside the build's range *)
+                ctx.jf_chunks_skipped <- ctx.jf_chunks_skipped + 1;
+                Bloom.add_totals ~built:0 ~chunks:1 ~rows:0 ~dropped:0
+              | _ ->
+                ctx.chunks_scanned <- ctx.chunks_scanned + 1;
+                ctx.rows_scanned <-
+                  ctx.rows_scanned + Colstore.live_in_chunk store c;
+                let n = Colstore.select_chunk store katoms c sel in
+                let mat = ref 0 in
+                let tbl, flt = Lazy.force table in
+                let jfb =
+                  match flt with Some bl when !jf_live -> Some bl | _ -> None
+                in
+                (match tbl, test with
+                | T_int itbl, None ->
+                  for j = 0 to n - 1 do
+                    let s = Array.unsafe_get sel j in
+                    if not (Colstore.bit_get knulls s) then begin
+                      let k = Array.unsafe_get data s in
+                      if
+                        match jfb with
+                        | None -> true
+                        | Some bl -> jf_pass_counted bl k
+                      then begin
+                        match Itbl.find itbl k with
+                        | exception Not_found -> ()
+                        | matches ->
+                          incr mat;
+                          emit_matches emit (Base_table.get_exn ptable s)
+                            matches
+                      end
+                    end
+                  done
+                | T_int itbl, Some t ->
+                  for j = 0 to n - 1 do
+                    let s = Array.unsafe_get sel j in
+                    if not (Colstore.bit_get knulls s) then begin
+                      let k = Array.unsafe_get data s in
+                      (* the Bloom runs before materialization: a key
+                         absent from the build can't survive the join
+                         whatever the residual says *)
+                      if
+                        match jfb with
+                        | None -> true
+                        | Some bl -> jf_pass_counted bl k
+                      then begin
+                        let row = Base_table.get_exn ptable s in
+                        incr mat;
+                        if is_true (t frames row) then begin
+                          match Itbl.find itbl k with
+                          | exception Not_found -> ()
+                          | matches -> emit_matches emit row matches
+                        end
+                      end
+                    end
+                  done
+                | T_val vtbl, test ->
+                  (* build side fell back to value keys (possible when it
+                     was empty of ints only in theory — keys here are
+                     ints, so this probes with boxed Int values) *)
+                  for j = 0 to n - 1 do
+                    let s = Array.unsafe_get sel j in
+                    if not (Colstore.bit_get knulls s) then begin
+                      let row = Base_table.get_exn ptable s in
                       incr mat;
-                      emit_matches emit (Base_table.get_exn ptable s) matches
-                  end
-                done
-              | T_int itbl, Some t ->
-                for j = 0 to n - 1 do
-                  let s = Array.unsafe_get sel j in
-                  if not (Colstore.bit_get knulls s) then begin
-                    let row = Base_table.get_exn ptable s in
-                    incr mat;
-                    if is_true (t frames row) then begin
-                      match Itbl.find itbl (Array.unsafe_get data s) with
-                      | exception Not_found -> ()
-                      | matches -> emit_matches emit row matches
+                      let keep =
+                        match test with
+                        | None -> true
+                        | Some t -> is_true (t frames row)
+                      in
+                      if keep then begin
+                        match
+                          Vtbl.find vtbl (Value.Int (Array.unsafe_get data s))
+                        with
+                        | exception Not_found -> ()
+                        | matches -> emit_matches emit row matches
+                      end
                     end
-                  end
-                done
-              | T_val vtbl, test ->
-                (* build side fell back to value keys (possible when it
-                   was empty of ints only in theory — keys here are
-                   ints, so this probes with boxed Int values) *)
-                for j = 0 to n - 1 do
-                  let s = Array.unsafe_get sel j in
-                  if not (Colstore.bit_get knulls s) then begin
-                    let row = Base_table.get_exn ptable s in
-                    incr mat;
-                    let keep =
-                      match test with None -> true | Some t -> is_true (t frames row)
-                    in
-                    if keep then begin
-                      match Vtbl.find vtbl (Value.Int (Array.unsafe_get data s)) with
-                      | exception Not_found -> ()
-                      | matches -> emit_matches emit row matches
-                    end
-                  end
-                done);
-              ctx.rows_materialized <- ctx.rows_materialized + !mat;
-              Colstore.add_totals ~scanned:1 ~skipped:0 ~materialized:!mat
+                  done);
+                ctx.rows_materialized <- ctx.rows_materialized + !mat;
+                Colstore.add_totals ~scanned:1 ~skipped:0 ~materialized:!mat
             end;
             true
           end)
     | None ->
-      let probe_it = open_plan ctx frames probe in
       let pf = Eval.compile_scalar_fn pk in
+      (* the probe source is chosen once the build table (and so the
+         filter) exists: a bare base-table probe with an int-keyed build
+         applies the join filter inside [scan_into] itself, so dropped
+         rows never enter a batch *)
+      let state =
+        lazy
+          (let tbl, flt = Lazy.force table in
+           (* [loop_flt] is the filter still owed by the probe loop: None
+              once the scan itself already applied it *)
+           let probe_it, loop_flt =
+             match probe, pk, tbl, flt with
+             | Plan.Scan pt, Plan.P_col ki, T_int _, Some bl ->
+               let keep row =
+                 ctx.rows_scanned <- ctx.rows_scanned + 1;
+                 let pass_int i =
+                   let p = jf_pass bl i in
+                   if not p then begin
+                     ctx.jf_rows_skipped <- ctx.jf_rows_skipped + 1;
+                     Bloom.add_totals ~built:0 ~chunks:0 ~rows:1 ~dropped:0
+                   end;
+                   p
+                 in
+                 (* rows whose key cannot equal any int build key (NULL,
+                    strings, fractional floats) never join and are safe
+                    to drop here too, exactly as the probe loop below
+                    ignores them *)
+                 match Array.unsafe_get row ki with
+                 | Value.Int i -> pass_int i
+                 | Value.Float f -> (
+                   match Value.int_key_of_float f with
+                   | Some i -> pass_int i
+                   | None -> false)
+                 | _ -> false
+               in
+               let cap = ref (min 64 ctx.batch_capacity) in
+               let slot = ref 0 in
+               let exhausted = ref false in
+               let it () =
+                 if !exhausted then None
+                 else begin
+                   let b = Batch.create ~capacity:!cap () in
+                   cap := min ctx.batch_capacity (!cap * 4);
+                   let next_slot, n =
+                     Base_table.scan_into ~filter:keep pt ~from:!slot
+                       b.Batch.rows ~start:0 ~max:(Batch.capacity b)
+                   in
+                   slot := next_slot;
+                   b.Batch.len <- n;
+                   (* [scan_into] only under-fills at the end of the
+                      heap, so an empty batch means exhaustion even with
+                      the filter dropping rows *)
+                   if n = 0 then begin
+                     exhausted := true;
+                     None
+                   end
+                   else Some b
+                 end
+               in
+               (it, None)
+             | _ -> (open_plan ctx frames probe, flt)
+           in
+           (tbl, probe_it, loop_flt))
+      in
       pack ~capacity:ctx.batch_capacity (fun ~emit ->
+          let tbl, probe_it, loop_flt = Lazy.force state in
           match probe_it () with
           | None -> false
           | Some pb ->
-            (match Lazy.force table with
+            (match tbl with
             | T_int itbl ->
+              let may =
+                match loop_flt with
+                | Some bl when !jf_live -> fun i -> jf_pass_counted bl i
+                | _ -> fun _ -> true
+              in
               Batch.iter
                 (fun row ->
                   (* Ints and integral Floats compare equal under SQL
@@ -781,9 +965,10 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
                      really carry an int key — exact at 2^53 and beyond,
                      where the old [abs f < 1e18] test was lossy. *)
                   let probe_int i =
-                    match Itbl.find itbl i with
-                    | exception Not_found -> ()
-                    | matches -> emit_matches emit row matches
+                    if may i then
+                      match Itbl.find itbl i with
+                      | exception Not_found -> ()
+                      | matches -> emit_matches emit row matches
                   in
                   match pf frames row with
                   | Value.Int i -> probe_int i
@@ -1094,6 +1279,10 @@ let sibling_ctx (ctx : ctx) : ctx =
     chunks_scanned = 0;
     chunks_skipped = 0;
     rows_materialized = 0;
+    jf_built = 0;
+    jf_chunks_skipped = 0;
+    jf_rows_skipped = 0;
+    jf_dropped = 0;
   }
 
 (* -- public surface ------------------------------------------------------ *)

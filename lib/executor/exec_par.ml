@@ -54,10 +54,21 @@ type stats = {
   mutable s_chunks_scanned : int; (* colstore chunks visited *)
   mutable s_chunks_skipped : int; (* colstore chunks zone-pruned *)
   mutable s_materialized : int; (* heap tuples fetched by columnar scans *)
+  mutable s_jf_chunks_skipped : int; (* probe chunks pruned by join-filter range *)
+  mutable s_jf_rows_skipped : int; (* probe rows dropped by a join filter *)
+  mutable s_jf_dropped : int; (* per-worker adaptive join-filter disables *)
 }
 
 let new_stats () =
-  { s_scanned = 0; s_chunks_scanned = 0; s_chunks_skipped = 0; s_materialized = 0 }
+  {
+    s_scanned = 0;
+    s_chunks_scanned = 0;
+    s_chunks_skipped = 0;
+    s_materialized = 0;
+    s_jf_chunks_skipped = 0;
+    s_jf_rows_skipped = 0;
+    s_jf_dropped = 0;
+  }
 
 (* single-threaded fold of per-worker counters into the shared ctx and
    the process-wide colstore totals (runs after Pool.await) *)
@@ -69,17 +80,26 @@ let fold_stats (ctx : Exec.ctx) (stats : stats array) =
       ctx.Exec.chunks_skipped <- ctx.Exec.chunks_skipped + st.s_chunks_skipped;
       ctx.Exec.rows_materialized <-
         ctx.Exec.rows_materialized + st.s_materialized;
+      ctx.Exec.jf_chunks_skipped <-
+        ctx.Exec.jf_chunks_skipped + st.s_jf_chunks_skipped;
+      ctx.Exec.jf_rows_skipped <- ctx.Exec.jf_rows_skipped + st.s_jf_rows_skipped;
+      ctx.Exec.jf_dropped <- ctx.Exec.jf_dropped + st.s_jf_dropped;
       Colstore.add_totals ~scanned:st.s_chunks_scanned
-        ~skipped:st.s_chunks_skipped ~materialized:st.s_materialized)
+        ~skipped:st.s_chunks_skipped ~materialized:st.s_materialized;
+      Bloom.add_totals ~built:0 ~chunks:st.s_jf_chunks_skipped
+        ~rows:st.s_jf_rows_skipped ~dropped:st.s_jf_dropped)
     stats
 
 (** Where a pipeline's morsels come from: a slot-range-partitioned base
     table, an already-materialized batch list (one batch per morsel), or
-    a columnar scan whose morsels are whole chunk ranges. *)
+    a columnar scan whose morsels are whole chunk ranges.  A columnar
+    source additionally carries the sideways join-filter key-range atoms
+    — if a hash join above it produced any — tried as a second-chance
+    zone prune after the scan's own atoms. *)
 type source =
   | Src_table of Base_table.t
   | Src_batches of Batch.t array
-  | Src_colscan of Colscan.t
+  | Src_colscan of Colscan.t * Colstore.catom array option
 
 (** A streamable pipeline: a morsel source plus a per-worker row
     transformer.  [make_feed] is called once per worker so compiled
@@ -114,7 +134,7 @@ let morsels_of ~opts (src : source) =
     in
     (((slots + msz - 1) / msz), msz)
   | Src_batches arr -> (Array.length arr, 0)
-  | Src_colscan cs ->
+  | Src_colscan (cs, _) ->
     (* morsels aligned to chunk boundaries: a chunk is never split, so
        zone pruning and selection run whole-chunk inside one worker *)
     let store = cs.Colscan.store in
@@ -139,7 +159,7 @@ let iter_morsel (src : source) ~msz (st : stats) m feed =
   | Src_batches arr ->
     Batch.iter feed arr.(m);
     0
-  | Src_colscan cs ->
+  | Src_colscan (cs, jf) ->
     let store = cs.Colscan.store in
     let katoms = cs.Colscan.katoms in
     let table = cs.Colscan.table in
@@ -151,15 +171,19 @@ let iter_morsel (src : source) ~msz (st : stats) m feed =
     for c = lo to hi - 1 do
       if Colstore.prune_chunk store katoms c then
         st.s_chunks_skipped <- st.s_chunks_skipped + 1
-      else begin
-        st.s_chunks_scanned <- st.s_chunks_scanned + 1;
-        visited := !visited + Colstore.live_in_chunk store c;
-        let n = Colstore.select_chunk store katoms c sel in
-        st.s_materialized <- st.s_materialized + n;
-        for i = 0 to n - 1 do
-          feed (Base_table.get_exn table (Array.unsafe_get sel i))
-        done
-      end
+      else
+        match jf with
+        | Some ja when Colstore.prune_chunk store ja c ->
+          (* every key in the chunk is outside the build side's range *)
+          st.s_jf_chunks_skipped <- st.s_jf_chunks_skipped + 1
+        | _ ->
+          st.s_chunks_scanned <- st.s_chunks_scanned + 1;
+          visited := !visited + Colstore.live_in_chunk store c;
+          let n = Colstore.select_chunk store katoms c sel in
+          st.s_materialized <- st.s_materialized + n;
+          for i = 0 to n - 1 do
+            feed (Base_table.get_exn table (Array.unsafe_get sel i))
+          done
     done;
     !visited
 
@@ -231,7 +255,7 @@ let rec pipe_of (ctx : Exec.ctx) ~opts (p : Plan.t) : pipe =
       (* force Not_parallel now, not at feed time *)
       ignore (residual_opt residual);
       {
-        src = Src_colscan cs;
+        src = Src_colscan (cs, None);
         src_rows = Base_table.cardinality cs.Colscan.table;
         make_feed =
           (fun _ ~emit ->
@@ -283,10 +307,48 @@ let rec pipe_of (ctx : Exec.ctx) ~opts (p : Plan.t) : pipe =
                      if is_true (test [] t) then emit t))
                 inner_bs));
     }
-  | Plan.Hash_join { build; probe; build_keys; probe_keys; residual } ->
+  | Plan.Hash_join { build; probe; build_keys; probe_keys; residual; jfilter }
+    ->
     ignore (residual_opt residual);
-    let table = build_join_table ctx ~opts build build_keys in
+    let table, bloom = build_join_table ctx ~opts ~jfilter build build_keys in
     let pipe = pipe_of ctx ~opts probe in
+    (* sideways information passing: when the probe source's rows ARE
+       the probe rows (a bare — possibly filtered — scan, no Project in
+       between) the build side's exact key range becomes a second-chance
+       zone prune on the probe's chunks.  A bare [Scan] probe is
+       upgraded to a columnar source for this, as in [Exec]. *)
+    let range_atoms (cs : Colscan.t) ki =
+      match bloom with
+      | None -> None
+      | Some bl -> (
+        match Bloom.range bl with
+        | Some (lo, hi) ->
+          Colstore.compile cs.Colscan.store
+            [
+              Colstore.A_cmp (ki, Colstore.Cge, Value.Int lo);
+              Colstore.A_cmp (ki, Colstore.Cle, Value.Int hi);
+            ]
+        | None -> None)
+    in
+    let pipe =
+      match (pipe.src, probe, probe_keys) with
+      | Src_colscan (cs, None), Plan.Filter (Plan.Scan _, _), [ Plan.P_col ki ]
+        -> begin
+        match range_atoms cs ki with
+        | Some ja -> { pipe with src = Src_colscan (cs, Some ja) }
+        | None -> pipe
+      end
+      | Src_table _, Plan.Scan _, [ Plan.P_col ki ] when bloom <> None -> begin
+        match Colscan.of_plan ~require_atoms:false probe with
+        | Some cs -> begin
+          match range_atoms cs ki with
+          | Some ja -> { pipe with src = Src_colscan (cs, Some ja) }
+          | None -> pipe
+        end
+        | None -> pipe
+      end
+      | _ -> pipe
+    in
     {
       pipe with
       make_feed =
@@ -311,10 +373,46 @@ let rec pipe_of (ctx : Exec.ctx) ~opts (p : Plan.t) : pipe =
               Eval.compile_scalar_fn
                 (match probe_keys with [ pk ] -> pk | _ -> assert false)
             in
+            (* per-worker adaptive filter state: [make_feed] runs once
+               per worker, so nothing here is shared across domains *)
+            let jf_test =
+              match bloom with
+              | None -> None
+              | Some bl ->
+                let live = ref true and decided = ref false in
+                let tested = ref 0 and passed = ref 0 in
+                Some
+                  (fun k ->
+                    if !decided then (not !live) || Bloom.mem bl k
+                    else begin
+                      let pass = Bloom.mem bl k in
+                      incr tested;
+                      if pass then incr passed;
+                      if !tested >= Bloom.adaptive_sample then begin
+                        decided := true;
+                        if
+                          float_of_int !passed
+                          > Bloom.drop_threshold *. float_of_int !tested
+                        then begin
+                          live := false;
+                          st.s_jf_dropped <- st.s_jf_dropped + 1
+                        end
+                      end;
+                      pass
+                    end)
+            in
             let probe_int row i =
               match Exec.Itbl.find itbl i with
               | exception Not_found -> ()
               | matches -> emit_matches row matches
+            in
+            let probe_int =
+              match jf_test with
+              | None -> probe_int
+              | Some test ->
+                fun row i ->
+                  if test i then probe_int row i
+                  else st.s_jf_rows_skipped <- st.s_jf_rows_skipped + 1
             in
             pipe.make_feed st ~emit:(fun row ->
                 (* Ints and integral Floats compare equal under SQL
@@ -384,8 +482,10 @@ let rec pipe_of (ctx : Exec.ctx) ~opts (p : Plan.t) : pipe =
     prepends each row to its key's match list (lists end up in reverse
     scan order), [merged(k) = local_m(k) @ ... @ local_0(k)] reproduces
     the sequential list for every key exactly. *)
-and build_join_table ctx ~opts (build : Plan.t) (build_keys : Plan.scalar list)
-    : join_table =
+and build_join_table ctx ~opts ~(jfilter : Plan.jfilter option)
+    (build : Plan.t) (build_keys : Plan.scalar list) :
+    join_table * Bloom.t option =
+  let want_jf = jfilter <> None && Bloom.enabled () in
   let promote_all_int tbl =
     (* re-key by raw int so probes skip the generic value hash *)
     let itbl = Exec.Itbl.create (2 * Exec.Vtbl.length tbl) in
@@ -398,11 +498,11 @@ and build_join_table ctx ~opts (build : Plan.t) (build_keys : Plan.scalar list)
     J_int itbl
   in
   match pipe_of ctx ~opts build with
-  | exception Not_parallel -> build_sequential ctx build build_keys
+  | exception Not_parallel -> build_sequential ctx ~want_jf build build_keys
   | bpipe -> (
     let n_morsels, msz = morsels_of ~opts bpipe.src in
     let dop = choose_dop ~opts ~rows:bpipe.src_rows ~n_morsels in
-    if dop <= 1 then build_sequential ctx build build_keys
+    if dop <= 1 then build_sequential ctx ~want_jf build build_keys
     else
       let stats = Array.init dop (fun _ -> new_stats ()) in
       let next = Atomic.make 0 in
@@ -410,6 +510,14 @@ and build_join_table ctx ~opts (build : Plan.t) (build_keys : Plan.scalar list)
       | [ bk ] ->
         let all_int = Atomic.make true in
         let locals = Array.init n_morsels (fun _ -> Exec.Vtbl.create 16) in
+        (* per-worker partial join filters: one shared [expected] means
+           one shared geometry, so the OR-merge below is exact — the
+           mirror of the per-morsel table merge *)
+        let partials =
+          if want_jf then
+            Some (Array.init dop (fun _ -> Bloom.create ~expected:bpipe.src_rows))
+          else None
+        in
         Pool.run ~domains:dop (fun w ->
             let st = stats.(w) in
             let bf = Eval.compile_scalar_fn bk in
@@ -417,8 +525,9 @@ and build_join_table ctx ~opts (build : Plan.t) (build_keys : Plan.scalar list)
             let emit row =
               let v = bf [] row in
               if not (Value.is_null v) then begin
-                (match v with
-                | Value.Int _ -> ()
+                (match v, partials with
+                | Value.Int i, Some bs -> Bloom.add bs.(w) i
+                | Value.Int _, None -> ()
                 | _ -> Atomic.set all_int false);
                 let prev =
                   try Exec.Vtbl.find !cur v with Not_found -> []
@@ -446,7 +555,22 @@ and build_join_table ctx ~opts (build : Plan.t) (build_keys : Plan.scalar list)
               Exec.Vtbl.replace g k (l @ old))
             locals.(m)
         done;
-        if Atomic.get all_int then promote_all_int g else J_val g
+        if Atomic.get all_int then begin
+          let bloom =
+            match partials with
+            | Some bs ->
+              let b0 = bs.(0) in
+              for w = 1 to dop - 1 do
+                Bloom.union_into ~into:b0 bs.(w)
+              done;
+              ctx.Exec.jf_built <- ctx.Exec.jf_built + 1;
+              Bloom.add_totals ~built:1 ~chunks:0 ~rows:0 ~dropped:0;
+              Some b0
+            | None -> None
+          in
+          (promote_all_int g, bloom)
+        end
+        else (J_val g, None)
       | _ ->
         let locals = Array.init n_morsels (fun _ -> Tuple.Tbl.create 16) in
         Pool.run ~domains:dop (fun w ->
@@ -480,13 +604,13 @@ and build_join_table ctx ~opts (build : Plan.t) (build_keys : Plan.scalar list)
               Tuple.Tbl.replace g k (l @ old))
             locals.(m)
         done;
-        J_multi g)
+        (J_multi g, None))
 
 (** Sequential build through {!Exec.open_plan}: handles any build-side
     plan (including ones with subplan probes) and is, by construction,
     the ordering oracle the parallel build reproduces. *)
-and build_sequential (ctx : Exec.ctx) (build : Plan.t)
-    (build_keys : Plan.scalar list) : join_table =
+and build_sequential (ctx : Exec.ctx) ~want_jf (build : Plan.t)
+    (build_keys : Plan.scalar list) : join_table * Bloom.t option =
   let it = Exec.open_plan ctx [] build in
   match build_keys with
   | [ bk ] ->
@@ -517,9 +641,21 @@ and build_sequential (ctx : Exec.ctx) (build : Plan.t)
           | Value.Int i -> Exec.Itbl.replace itbl i rows
           | _ -> assert false)
         tbl;
-      J_int itbl
+      let bloom =
+        if want_jf then begin
+          (* the finished table holds the exact distinct key set, so the
+             filter is sized exactly *)
+          let bl = Bloom.create ~expected:(Exec.Itbl.length itbl) in
+          Exec.Itbl.iter (fun k _ -> Bloom.add bl k) itbl;
+          ctx.Exec.jf_built <- ctx.Exec.jf_built + 1;
+          Bloom.add_totals ~built:1 ~chunks:0 ~rows:0 ~dropped:0;
+          Some bl
+        end
+        else None
+      in
+      (J_int itbl, bloom)
     end
-    else J_val tbl
+    else (J_val tbl, None)
   | _ ->
     let tbl = Tuple.Tbl.create 256 in
     let bfs = List.map Eval.compile_scalar_fn build_keys in
@@ -538,7 +674,7 @@ and build_sequential (ctx : Exec.ctx) (build : Plan.t)
         drain ()
     in
     drain ();
-    J_multi tbl
+    (J_multi tbl, None)
 
 (* -- streaming a pipe over the pool -------------------------------------- *)
 

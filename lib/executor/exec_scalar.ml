@@ -94,7 +94,8 @@ let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : iter =
         end
     in
     next
-  | Plan.Hash_join { build; probe; build_keys; probe_keys; residual } ->
+  | Plan.Hash_join { build; probe; build_keys; probe_keys; residual; jfilter = _ }
+    ->
     let table =
       lazy
         (let tbl = Tuple.Tbl.create 256 in

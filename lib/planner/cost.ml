@@ -92,6 +92,14 @@ let value_as_float : Relcore.Value.t -> float option = function
   | Relcore.Value.Float f when not (Float.is_nan f) -> Some f
   | _ -> None
 
+(* [k op col] reads as [col (mirrored op) k] *)
+let mirror_cmp : Sqlkit.Ast.cmpop -> Sqlkit.Ast.cmpop = function
+  | Sqlkit.Ast.Lt -> Sqlkit.Ast.Gt
+  | Sqlkit.Ast.Le -> Sqlkit.Ast.Ge
+  | Sqlkit.Ast.Gt -> Sqlkit.Ast.Lt
+  | Sqlkit.Ast.Ge -> Sqlkit.Ast.Le
+  | o -> o
+
 (** Interpolated selectivity of [col op k] against the zone-derived
     column range [lo, hi]: the fraction (k - lo) / (hi - lo) of the
     span falls below [k], clamped away from 0 and 1 (zone bounds may be
@@ -123,17 +131,7 @@ let range_const_selectivity resolve (op : Sqlkit.Ast.cmpop) (a : Qgm.bexpr)
   in
   match a, b with
   | _, Qgm.Const k -> attempt a k op
-  | Qgm.Const k, _ ->
-    (* [k op col] reads as [col (mirrored op) k] *)
-    let mirrored : Sqlkit.Ast.cmpop =
-      match op with
-      | Sqlkit.Ast.Lt -> Sqlkit.Ast.Gt
-      | Sqlkit.Ast.Le -> Sqlkit.Ast.Ge
-      | Sqlkit.Ast.Gt -> Sqlkit.Ast.Lt
-      | Sqlkit.Ast.Ge -> Sqlkit.Ast.Le
-      | o -> o
-    in
-    attempt b k mirrored
+  | Qgm.Const k, _ -> attempt b k (mirror_cmp op)
   | _ -> None
 
 (** Predicate selectivity.  With [resolve] (quantifier id -> input box),
@@ -143,6 +141,67 @@ let range_const_selectivity resolve (op : Sqlkit.Ast.cmpop) (a : Qgm.bexpr)
     the colstore off), fixed textbook constants are used. *)
 let pred_selectivity ?resolve (p : Qgm.bpred) =
   let resolve = Option.value resolve ~default:(fun _ -> None) in
+  (* one [col op const] conjunct, normalized so the column is on the
+     left; these are the shapes where treating conjuncts as independent
+     double-counts (e.g. [col >= a AND col <= b] multiplies two range
+     fractions where the truth is the intersection of one interval) *)
+  let atom_of = function
+    | Qgm.Bcmp (((Sqlkit.Ast.Eq | Lt | Le | Gt | Ge) as op), a, Qgm.Const k)
+      -> begin
+      match base_column_of resolve a, value_as_float k with
+      | Some (t, c), Some kf -> Some (t, c, op, kf)
+      | _ -> None
+    end
+    | Qgm.Bcmp
+        (((Sqlkit.Ast.Eq | Lt | Le | Gt | Ge) as op), (Qgm.Const k), b) -> begin
+      match base_column_of resolve b, value_as_float k with
+      | Some (t, c), Some kf -> Some (t, c, mirror_cmp op, kf)
+      | _ -> None
+    end
+    | _ -> None
+  in
+  let rec flatten acc = function
+    | Qgm.Band (a, b) -> flatten (flatten acc a) b
+    | p -> p :: acc
+  in
+  (* combined selectivity of every column-vs-constant conjunct on one
+     column: an equality dominates (the interval can only shrink it
+     further), range bounds intersect into a single interval measured
+     against the zone-derived column span *)
+  let group_sel (t, c) atoms =
+    let has_eq = List.exists (fun (op, _) -> op = Sqlkit.Ast.Eq) atoms in
+    let has_range = List.exists (fun (op, _) -> op <> Sqlkit.Ast.Eq) atoms in
+    let interval =
+      if not has_range then None
+      else
+        match Stats.column_range t c with
+        | Some (lo_v, hi_v) -> begin
+          match value_as_float lo_v, value_as_float hi_v with
+          | Some lo, Some hi when hi > lo ->
+            let glo = ref lo and ghi = ref hi in
+            List.iter
+              (fun ((op : Sqlkit.Ast.cmpop), k) ->
+                match op with
+                | Sqlkit.Ast.Lt | Sqlkit.Ast.Le -> if k < !ghi then ghi := k
+                | Sqlkit.Ast.Gt | Sqlkit.Ast.Ge -> if k > !glo then glo := k
+                | _ -> ())
+              atoms;
+            Some
+              (Float.max 0.02
+                 (Float.min 0.98 ((!ghi -. !glo) /. (hi -. lo))))
+          | _ -> None
+        end
+        | None -> None
+    in
+    match has_eq, interval with
+    | true, Some f -> Float.min (Stats.eq_const_selectivity t c) f
+    | true, None -> Stats.eq_const_selectivity t c
+    | false, Some f -> f
+    | false, None ->
+      (* no zone statistics: one textbook constant for the whole
+         interval, not one per bound *)
+      range_selectivity
+  in
   let rec go = function
     | Qgm.Btrue -> 1.0
     | Qgm.Bcmp (Sqlkit.Ast.Eq, a, b) -> begin
@@ -157,7 +216,28 @@ let pred_selectivity ?resolve (p : Qgm.bpred) =
       | None -> range_selectivity
     end
     | Qgm.Bcmp (Sqlkit.Ast.Ne, _, _) -> 1.0 -. eq_selectivity
-    | Qgm.Band (a, b) -> go a *. go b
+    | Qgm.Band _ as band ->
+      let conjuncts = List.rev (flatten [] band) in
+      let groups = Hashtbl.create 4 in
+      let rest_sel =
+        List.fold_left
+          (fun acc p ->
+            match atom_of p with
+            | Some (t, c, op, k) ->
+              let key = (Relcore.Base_table.tid t, c) in
+              let prev =
+                match Hashtbl.find_opt groups key with
+                | Some (_, atoms) -> atoms
+                | None -> []
+              in
+              Hashtbl.replace groups key ((t, c), (op, k) :: prev);
+              acc
+            | None -> acc *. go p)
+          1.0 conjuncts
+      in
+      Hashtbl.fold
+        (fun _ (col, atoms) acc -> acc *. group_sel col atoms)
+        groups rest_sel
     | Qgm.Bor (a, b) -> min 1.0 (go a +. go b)
     | Qgm.Bnot a -> 1.0 -. go a
     | Qgm.Bis_null e -> begin
@@ -182,6 +262,43 @@ let pred_selectivity ?resolve (p : Qgm.bpred) =
     | Qgm.Bexists _ | Qgm.Bin_sub _ -> default_selectivity
   in
   go p
+
+(* -- sideways information passing ---------------------------------------- *)
+
+(** Estimated fraction of probe rows whose join key survives a filter
+    built from the build side's key set (range check + Bloom): the
+    overlap of the two zone-derived key ranges, capped by how many of
+    the probe's distinct keys the build side can possibly contain
+    (ndv containment).  [build_card] bounds the build-side NDV when the
+    build input is itself filtered.  Falls back to
+    {!default_selectivity} when statistics are unavailable — cheap
+    insurance, since the executor adaptively drops useless filters. *)
+let join_filter_pass_est resolve ~(probe : Qgm.bexpr) ~(build : Qgm.bexpr)
+    ~(build_card : float) : float =
+  match base_column_of resolve probe, base_column_of resolve build with
+  | Some (tp, cp), Some (tb, cb) ->
+    let overlap =
+      match Stats.column_range tp cp, Stats.column_range tb cb with
+      | Some (plo_v, phi_v), Some (blo_v, bhi_v) -> begin
+        match
+          ( value_as_float plo_v,
+            value_as_float phi_v,
+            value_as_float blo_v,
+            value_as_float bhi_v )
+        with
+        | Some plo, Some phi, Some blo, Some bhi when phi > plo ->
+          let lo = Float.max plo blo and hi = Float.min phi bhi in
+          Float.max 0.0 (Float.min 1.0 ((hi -. lo) /. (phi -. plo)))
+        | _ -> 1.0
+      end
+      | _ -> 1.0
+    in
+    let probe_ndv = float_of_int (max 1 (Stats.column_ndv tp cp)) in
+    let build_ndv =
+      Float.min (float_of_int (max 1 (Stats.column_ndv tb cb))) build_card
+    in
+    Float.min overlap (build_ndv /. probe_ndv) |> Float.max 0.0 |> Float.min 1.0
+  | _ -> default_selectivity
 
 (** Estimated output cardinality of a box (memoized per call tree). *)
 let rec box_cardinality (b : Qgm.box) : float =

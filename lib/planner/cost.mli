@@ -57,7 +57,21 @@ val pred_selectivity : ?resolve:(int -> Qgm.box option) -> Qgm.bpred -> float
 (** With [resolve] (quantifier id -> input box), equality predicates
     consult per-column NDV statistics, range predicates against
     constants interpolate over zone-map bounds, and NULL tests use zone
-    null counts. *)
+    null counts.  Conjunctions group column-vs-constant comparisons per
+    base column and combine each group by interval intersection over the
+    zone span (an equality dominating its group) instead of multiplying
+    them as if independent. *)
+
+val join_filter_pass_est :
+  (int -> Qgm.box option) ->
+  probe:Qgm.bexpr ->
+  build:Qgm.bexpr ->
+  build_card:float ->
+  float
+(** Estimated fraction of probe rows whose join key passes a build-side
+    join filter (range + Bloom): zone-range overlap capped by NDV
+    containment, with [build_card] bounding the build-side NDV.
+    {!default_selectivity} when statistics are unavailable. *)
 
 val box_cardinality : Qgm.box -> float
 (** Estimated output cardinality of a box. *)

@@ -32,6 +32,13 @@ type ppred =
 
 and agg_spec = { agg_fn : Ast.agg_fn; agg_arg : scalar option }
 
+(** Planner hint for sideways information passing: attach a build-side
+    join filter (Bloom + key range) to the probe scan.  [None] means the
+    cost model predicts the filter would pass nearly everything and the
+    executor should not bother.  Purely advisory — the relation computed
+    is identical either way, so it is excluded from {!fingerprint}. *)
+and jfilter = { jf_pass_est : float  (** estimated probe-key pass rate *) }
+
 and t =
   | Scan of Base_table.t
   | Values of Tuple.t list
@@ -44,6 +51,7 @@ and t =
       build_keys : scalar list; (* over build tuples *)
       probe_keys : scalar list; (* over probe tuples *)
       residual : ppred; (* over concat (probe, build) *)
+      jfilter : jfilter option; (* sideways-information-passing hint *)
     }
   | Index_join of {
       outer : t;
@@ -123,13 +131,17 @@ let explain (plan : t) : string =
       line "NestedLoopJoin on %s" (ppred_to_string cond);
       go (indent + 1) outer;
       go (indent + 1) inner
-    | Hash_join { build; probe; build_keys; probe_keys; residual } ->
-      line "HashJoin probe[%s] = build[%s]%s"
+    | Hash_join { build; probe; build_keys; probe_keys; residual; jfilter } ->
+      line "HashJoin probe[%s] = build[%s]%s%s"
         (String.concat ", " (List.map scalar_to_string probe_keys))
         (String.concat ", " (List.map scalar_to_string build_keys))
         (match residual with
         | P_true -> ""
-        | r -> " residual " ^ ppred_to_string r);
+        | r -> " residual " ^ ppred_to_string r)
+        (match jfilter with
+        | Some { jf_pass_est } ->
+          Printf.sprintf " jfilter(pass~%.2f)" jf_pass_est
+        | None -> "");
       go (indent + 1) probe;
       go (indent + 1) build
     | Index_join { outer; table; index; keys; residual } ->
@@ -265,7 +277,10 @@ let fingerprint (plan : t) : string =
       add ",";
       plan_fp inner;
       add ")"
-    | Hash_join { build; probe; build_keys; probe_keys; residual } ->
+    (* [jfilter] is advisory (same relation either way), so it is
+       deliberately excluded from the fingerprint *)
+    | Hash_join { build; probe; build_keys; probe_keys; residual; jfilter = _ }
+      ->
       add "hj[";
       scalars probe_keys;
       add "=";

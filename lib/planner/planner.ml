@@ -174,23 +174,72 @@ and compile_joins ctx (box : Qgm.box) : Plan.t * layout =
             | p -> Right p)
           preds_now
       in
+      (* subquery-free conjuncts over the newly placed quantifier alone
+         become a Filter under the inner input instead of join residual:
+         the hash table (and any sideways join filter derived from it)
+         then holds only rows that could contribute to output.  Rows
+         removed would have failed the residual anyway, and survivor
+         order is unchanged, so results are identical. *)
+      let rec has_subquery = function
+        | Qgm.Bexists _ | Qgm.Bin_sub _ -> true
+        | Qgm.Band (a, b) | Qgm.Bor (a, b) ->
+          has_subquery a || has_subquery b
+        | Qgm.Bnot a -> has_subquery a
+        | _ -> false
+      in
+      let inner_only, residual =
+        List.partition
+          (fun p ->
+            (not (has_subquery p))
+            && Qgm.bpred_quants p <> []
+            && List.for_all (fun qid -> qid = q.Qgm.qid) (Qgm.bpred_quants p))
+          residual
+      in
       let probe_frames = !layout :: ctx.outer in
       (* build-side scalars are evaluated on the inner row alone *)
       let build_layout = [ (q.Qgm.qid, (0, next_w)) ] in
       let build_frames = build_layout :: probe_frames in
       let concat_layout = (q.Qgm.qid, (next_off, next_w)) :: !layout in
       let concat_frames = concat_layout :: ctx.outer in
-      let residual_pred =
+      let conj frames ps =
         List.fold_left
           (fun acc p ->
-            let cp = compile_pred ctx concat_frames p in
+            let cp = compile_pred ctx frames p in
             if acc = Plan.P_true then cp else Plan.P_and (acc, cp))
-          Plan.P_true residual
+          Plan.P_true ps
+      in
+      let residual_pred = conj concat_frames residual in
+      let with_inner_filter inner =
+        match inner_only with
+        | [] -> inner
+        | ps -> Plan.Filter (inner, conj build_frames ps)
+      in
+      (* quantifier id -> input box, for statistics lookups *)
+      let stats_resolve qid =
+        Option.map (fun qu -> qu.Qgm.over) (Qgm.find_quant box qid)
+      in
+      let jfilter_hint () =
+        match eq_pairs with
+        | (a, b) :: _ ->
+          let build_card =
+            Cost.box_cardinality q.Qgm.over
+            *. List.fold_left
+                 (fun acc p ->
+                   acc *. Cost.pred_selectivity ~resolve:stats_resolve p)
+                 1.0 inner_only
+          in
+          let est =
+            Cost.join_filter_pass_est stats_resolve ~probe:a ~build:b
+              ~build_card
+          in
+          if est < Bloom.drop_threshold then Some { Plan.jf_pass_est = est }
+          else None
+        | [] -> None
       in
       let plan =
         match eq_pairs with
         | [] ->
-          let inner = compile_box ctx q.Qgm.over in
+          let inner = with_inner_filter (compile_box ctx q.Qgm.over) in
           Plan.Nl_join { outer = acc; inner; cond = residual_pred }
         | _ -> begin
           (* try an index join when the inner is a plain base table and
@@ -222,10 +271,18 @@ and compile_joins ctx (box : Qgm.box) : Plan.t * layout =
                 (fun (a, _) -> compile_scalar (resolver probe_frames) a)
                 eq_pairs
             in
+            (* no inner plan to filter: single-quantifier conjuncts stay
+               in the index join's residual *)
             Plan.Index_join
-              { outer = acc; table = t; index = idx; keys; residual = residual_pred }
+              {
+                outer = acc;
+                table = t;
+                index = idx;
+                keys;
+                residual = conj concat_frames (inner_only @ residual);
+              }
           | _ ->
-            let inner = compile_box ctx q.Qgm.over in
+            let inner = with_inner_filter (compile_box ctx q.Qgm.over) in
             let probe_keys =
               List.map
                 (fun (a, _) -> compile_scalar (resolver probe_frames) a)
@@ -253,6 +310,7 @@ and compile_joins ctx (box : Qgm.box) : Plan.t * layout =
                   build_keys;
                   probe_keys;
                   residual = residual_pred;
+                  jfilter = jfilter_hint ();
                 }
         end
       in

@@ -105,7 +105,8 @@ let delete t rid =
 let iter f t = Heap.iter f t.heap
 let fold f acc t = Heap.fold f acc t.heap
 let scan t = Heap.scan t.heap
-let scan_into t ~from out ~start ~max = Heap.scan_into t.heap ~from out ~start ~max
+let scan_into ?filter t ~from out ~start ~max =
+  Heap.scan_into ?filter t.heap ~from out ~start ~max
 
 (** Slots ever allocated — the slot-range domain that morsel scans
     partition (live rows may be fewer; tombstones are skipped). *)

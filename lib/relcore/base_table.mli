@@ -55,9 +55,16 @@ val fold : ('a -> Heap.rid -> Tuple.t -> 'a) -> 'a -> t -> 'a
 val scan : t -> unit -> (Heap.rid * Tuple.t) option
 
 val scan_into :
-  t -> from:int -> Tuple.t array -> start:int -> max:int -> int * int
+  ?filter:(Tuple.t -> bool) ->
+  t ->
+  from:int ->
+  Tuple.t array ->
+  start:int ->
+  max:int ->
+  int * int
 (** Batched scan into a caller-supplied row array (see
-    {!Heap.scan_into}): returns [(next_slot, n_filled)]. *)
+    {!Heap.scan_into}): returns [(next_slot, n_filled)].  [filter]
+    drops failing rows before they reach the output array. *)
 
 val slot_count : t -> int
 (** Slots ever allocated — the domain morsel scans partition (live rows

@@ -101,17 +101,32 @@ let scan h =
     beginning at slot [from] — no per-row pair/option allocation.
     Returns [(next_slot, n_filled)]; like {!scan}, tolerates concurrent
     appends and skips tombstones. *)
-let scan_into h ~from (out : Tuple.t array) ~start ~max =
+let scan_into ?filter h ~from (out : Tuple.t array) ~start ~max =
   let pos = ref from and k = ref start in
   let stop = start + max in
-  while !k < stop && !pos < Vec.length h.slots do
-    (match Vec.get h.slots !pos with
-    | Some t ->
-      out.(!k) <- t;
-      incr k
-    | None -> ());
-    incr pos
-  done;
+  (match filter with
+  | None ->
+    while !k < stop && !pos < Vec.length h.slots do
+      (match Vec.get h.slots !pos with
+      | Some t ->
+        out.(!k) <- t;
+        incr k
+      | None -> ());
+      incr pos
+    done
+  | Some keep ->
+    (* push-down filter (e.g. a sideways join filter): visited live rows
+       failing it are dropped before they reach the output batch *)
+    while !k < stop && !pos < Vec.length h.slots do
+      (match Vec.get h.slots !pos with
+      | Some t ->
+        if keep t then begin
+          out.(!k) <- t;
+          incr k
+        end
+      | None -> ());
+      incr pos
+    done);
   (!pos, !k - start)
 
 (** Apply [f] to every live tuple in slots [lo, hi) — the morsel

@@ -38,10 +38,18 @@ val scan : t -> unit -> (rid * Tuple.t) option
     its position. *)
 
 val scan_into :
-  t -> from:int -> Tuple.t array -> start:int -> max:int -> int * int
+  ?filter:(Tuple.t -> bool) ->
+  t ->
+  from:int ->
+  Tuple.t array ->
+  start:int ->
+  max:int ->
+  int * int
 (** Batched scan: fill [out.(start .. start+max)] with live tuples
     beginning at slot [from], with no per-row allocation.  Returns
-    [(next_slot, n_filled)]; skips tombstones like {!scan}. *)
+    [(next_slot, n_filled)]; skips tombstones like {!scan}.  [filter]
+    (a push-down predicate such as a sideways join filter) sees every
+    visited live tuple and drops failing rows before the output. *)
 
 val iter_range : t -> lo:int -> hi:int -> (Tuple.t -> unit) -> int
 (** Apply [f] to every live tuple in slots [lo, hi) (the morsel
