@@ -629,11 +629,13 @@ let bench_cache () =
         "UPDATE orders SET total = total + 1 WHERE oid < 10" );
     ]
   in
-  row "%-22s | %9s | %9s | %8s | %9s | %9s | %9s\n" "workload" "cold(ms)"
-    "warm(ms)" "speedup" "dml(ms)" "rlbk(ms)" "compile x";
-  row "%s\n" (String.make 92 '-');
+  row "%-22s | %9s | %9s | %8s | %9s | %9s | %9s | %9s\n" "workload"
+    "cold(ms)" "warm(ms)" "speedup" "dml(ms)" "maint(ms)" "rlbk(ms)"
+    "compile x";
+  row "%s\n" (String.make 104 '-');
   let entries = ref [] in
   let best = ref ("-", 0.0) in
+  let worst_post_dml = ref ("-", 0.0) in
   List.iter
     (fun (name, db, q, dml) ->
       (* plan cache: the first compile populates, repeats must hit the
@@ -670,6 +672,21 @@ let bench_cache () =
       assert (H.equal (fresh ()) post_dml);
       if cacheable && Executor.Result_cache.enabled () then
         assert ((Executor.Result_cache.stats ()).misses > misses0);
+      (* steady state: the read above paid the one-time instrumented
+         refill; further DML rounds are served by delta maintenance.
+         Median of three so a stray GC major cannot fail the gate. *)
+      let t_maint =
+        let ts =
+          List.init 3 (fun _ ->
+              ignore (Db.exec db dml);
+              let m, t = time_once (fun () -> Xnf.Xnf_compile.extract c) in
+              assert (H.equal (fresh ()) m);
+              t)
+        in
+        List.nth (List.sort compare ts) 1
+      in
+      if cacheable && t_maint /. t_cold > snd !worst_post_dml then
+        worst_post_dml := (name, t_maint /. t_cold);
       (* rolled-back txn: the in-txn extraction caches uncommitted state
          under the in-txn versions; ROLLBACK's undo and boundary bumps
          move the monotonic counters past that key forever *)
@@ -680,17 +697,18 @@ let bench_cache () =
       let post_rb, t_rb = time_once (fun () -> Xnf.Xnf_compile.extract c) in
       assert (H.equal (fresh ()) post_rb);
       let compile_x = t_comp_cold /. t_comp_warm in
-      row "%-22s | %9.2f | %9.3f | %7.1fx | %9.2f | %9.2f | %8.1fx%s\n" name
-        (ms t_cold) (ms t_warm) speedup (ms t_dml) (ms t_rb) compile_x
+      row "%-22s | %9.2f | %9.3f | %7.1fx | %9.2f | %9.3f | %9.2f | %8.1fx%s\n"
+        name (ms t_cold) (ms t_warm) speedup (ms t_dml) (ms t_maint) (ms t_rb)
+        compile_x
         (if cacheable then "" else "  (recursive: uncached)");
       entries :=
         Printf.sprintf
           "    { \"name\": %S, \"cacheable\": %b, \"cold_ms\": %.3f, \
            \"warm_ms\": %.4f, \"speedup\": %.2f, \"post_dml_ms\": %.3f, \
-           \"post_rollback_ms\": %.3f, \"compile_cold_ms\": %.3f, \
-           \"compile_warm_ms\": %.4f }"
-          name cacheable (ms t_cold) (ms t_warm) speedup (ms t_dml) (ms t_rb)
-          (ms t_comp_cold) (ms t_comp_warm)
+           \"maintained_ms\": %.4f, \"post_rollback_ms\": %.3f, \
+           \"compile_cold_ms\": %.3f, \"compile_warm_ms\": %.4f }"
+          name cacheable (ms t_cold) (ms t_warm) speedup (ms t_dml)
+          (ms t_maint) (ms t_rb) (ms t_comp_cold) (ms t_comp_warm)
         :: !entries)
     workloads;
   let s = Executor.Result_cache.stats () in
@@ -714,6 +732,23 @@ let bench_cache () =
   if Executor.Result_cache.enabled () && best_speedup < 5.0 then begin
     row "FAIL: no CO workload reached the 5x warm-over-cold gate\n";
     exit 1
+  end;
+  (* steady-state maintenance gate: once the one-time instrumented
+     refill has been paid (the dml(ms) column reports it), every further
+     post-DML read must be served by delta maintenance, far below a cold
+     recompute.  The refill itself is not gated — it is a single
+     measurement of recompute-sized work, too exposed to GC timing. *)
+  let pd_name, pd_x = !worst_post_dml in
+  row
+    "gate: worst cacheable maintained post-DML read %.2fx of cold on %s \
+     (acceptance: <= 1.5x cold — maintained reads patch deltas in place \
+     instead of recomputing)\n"
+    pd_x pd_name;
+  if Executor.Result_cache.enabled () && Xnf.Xnf_ivm.enabled () && pd_x > 1.5
+  then begin
+    row "FAIL: maintained post-DML read exceeded 1.5x cold (maintenance \
+         regression)\n";
+    exit 1
   end
 
 (* ---------------------------------------------------------------- E8 --- *)
@@ -728,6 +763,11 @@ module Cs = Relcore.Colstore
     [BENCH_colstore.json]; `oo1_scan_filter` is the acceptance gate. *)
 let bench_colstore ?(n_parts = 20_000) () =
   header "E8. Columnar chunk storage — zone-pruned unboxed scans vs row store";
+  (* drop the previous section's resident result cache and compact, so
+     the scan timings below are not taxed with GC majors over another
+     workload's live heap *)
+  Executor.Result_cache.clear ();
+  Gc.compact ();
   let p = { Workloads.Oo1.default with n_parts } in
   let db = Workloads.Oo1.generate p in
   let with_knob v f =
@@ -873,6 +913,8 @@ let bench_joinfilter ?(n_probe = 200_000) () =
   header
     "E9. Sideways information passing — build-side join filters (Bloom + \
      min/max) in probe scans";
+  Executor.Result_cache.clear ();
+  Gc.compact ();
   let module Bt = Relcore.Base_table in
   let module Sc = Relcore.Schema in
   let with_knob v f =
@@ -1076,6 +1118,145 @@ let bench_joinfilter ?(n_probe = 200_000) () =
   register_bechamel ~name:"E9.jf_probe_filtered" (fun () ->
       ignore (Executor.Exec.run_batches band_join))
 
+(* --------------------------------------------------------------- E10 --- *)
+
+(** Incremental CO-view maintenance: single-row and small-batch DML
+    against a warm OO1 parts-graph cache.  Each round executes the DML
+    and times the next cache-enabled read — with [XNFDB_IVM] on (the
+    default) that read is served by pushing the table deltas through the
+    compiled plans and patching the cached stream in place, verified
+    byte-identical to a cold recompute of the same state in the same
+    run.  Gate: the MEDIAN maintained read across all rounds is >= 50x
+    faster than cold recompute (median, because a stray GC major can
+    spike any single round), and [XNFDB_IVM=0] reproduces plain
+    invalidate-on-write exactly.  Results land in [BENCH_ivm.json]. *)
+let bench_ivm ?(n_parts = 20_000) () =
+  header "E10. Incremental CO-view maintenance — post-DML reads on warm OO1";
+  Executor.Result_cache.clear ();
+  Xnf.Xnf_ivm.reset ();
+  Xnf.Xnf_ivm.reset_stats ();
+  Gc.compact ();
+  let db = Workloads.Oo1.generate { Workloads.Oo1.default with n_parts } in
+  let c = Xnf.Xnf_compile.compile db Workloads.Oo1.parts_graph_query in
+  let fresh () = Xnf.Xnf_compile.extract ~cache:false c in
+  let t_cold = time_median ~repeat:3 (fun () -> ignore (fresh () : H.t)) in
+  (* the first cache-enabled read is a plain store; the first miss
+     after DML is the one-time instrumented refill that builds the
+     maintenance mirrors — pay both here so every round below measures
+     a maintained read *)
+  ignore (Xnf.Xnf_compile.extract c : H.t);
+  ignore (Db.exec db "UPDATE parts SET x = x + 1 WHERE pid = 50");
+  let _, t_fill = time_once (fun () -> Xnf.Xnf_compile.extract c) in
+  let next_pid = ref (2 * n_parts) in
+  let dml_rounds =
+    List.concat
+      [
+        List.init 10 (fun i ->
+            ( "update_1row",
+              [
+                Printf.sprintf "UPDATE parts SET x = x + 1 WHERE pid = %d"
+                  (101 + (977 * i)) ;
+              ] ));
+        List.init 5 (fun i ->
+            ( "update_batch8",
+              [
+                Printf.sprintf
+                  "UPDATE parts SET y = y + 1 WHERE pid >= %d AND pid < %d"
+                  (500 + (1000 * i))
+                  (508 + (1000 * i));
+              ] ));
+        List.init 5 (fun i ->
+            incr next_pid;
+            let pid = !next_pid in
+            ( "insert_part+conn",
+              [
+                Printf.sprintf
+                  "INSERT INTO parts VALUES (%d, 'part-type0', %d, %d, 7)" pid
+                  (pid mod 1000) (pid mod 997);
+                Printf.sprintf "INSERT INTO conns VALUES (%d, %d, 'link', %d)"
+                  (1 + i) pid
+                  (1 + (pid mod 9));
+              ] ));
+      ]
+  in
+  row "%-18s | %9s | %9s | %9s\n" "round" "cold(ms)" "ivm(ms)" "speedup";
+  row "%s\n" (String.make 54 '-');
+  let entries = ref [] in
+  let times = ref [] in
+  List.iter
+    (fun (label, stmts) ->
+      List.iter (fun s -> ignore (Db.exec db s)) stmts;
+      let maintained, t_m = time_once (fun () -> Xnf.Xnf_compile.extract c) in
+      (* byte-identity against a cold recompute of the same state *)
+      assert (H.equal (fresh ()) maintained);
+      times := t_m :: !times;
+      row "%-18s | %9.2f | %9.3f | %8.0fx\n" label (ms t_cold) (ms t_m)
+        (t_cold /. t_m);
+      entries :=
+        Printf.sprintf
+          "    { \"round\": %S, \"maintained_ms\": %.4f, \"speedup\": %.1f }"
+          label (ms t_m) (t_cold /. t_m)
+        :: !entries)
+    dml_rounds;
+  let sorted = List.sort compare !times in
+  let t_median = List.nth sorted (List.length sorted / 2) in
+  let gate = t_cold /. t_median in
+  let s = Xnf.Xnf_ivm.stats in
+  row
+    "\nivm: %d fills, %d maintained (%d patched / %d reassembled), %d \
+     fallbacks, %d mismatches; instrumented refill %.1f ms (%.1fx cold)\n"
+    s.Xnf.Xnf_ivm.fills s.Xnf.Xnf_ivm.maintained s.Xnf.Xnf_ivm.patched
+    s.Xnf.Xnf_ivm.reassembled s.Xnf.Xnf_ivm.fallbacks
+    s.Xnf.Xnf_ivm.mismatches (ms t_fill) (t_fill /. t_cold);
+  (* XNFDB_IVM=0 must reproduce plain invalidate-on-write: same
+     answers, no maintained reads *)
+  let old_ivm = Sys.getenv_opt "XNFDB_IVM" in
+  Unix.putenv "XNFDB_IVM" "0";
+  let off_ok =
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.putenv "XNFDB_IVM" (Option.value old_ivm ~default:""))
+      (fun () ->
+        let maintained0 = Xnf.Xnf_ivm.stats.Xnf.Xnf_ivm.maintained in
+        ignore (Db.exec db "UPDATE parts SET x = x + 1 WHERE pid = 42");
+        let off = Xnf.Xnf_compile.extract c in
+        let warm_off = Xnf.Xnf_compile.extract c in
+        H.equal (fresh ()) off
+        && H.equal off warm_off
+        && Xnf.Xnf_ivm.stats.Xnf.Xnf_ivm.maintained = maintained0)
+  in
+  row
+    "gate: median maintained post-DML read %.0fx over cold recompute \
+     (acceptance: >= 50x; every maintained stream was byte-identical to a \
+     cold recompute of the same state; XNFDB_IVM=0 equivalence %s)\n"
+    gate
+    (if off_ok then "verified" else "FAILED");
+  let oc = open_out "BENCH_ivm.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"ivm\",\n  %s,\n  \"n_parts\": %d,\n  \"cold_ms\": \
+     %.3f,\n  \"refill_ms\": %.3f,\n  \"median_maintained_ms\": %.4f,\n  \
+     \"median_speedup\": %.1f,\n  \"ivm_off_equivalent\": %b,\n  \
+     \"entries\": [\n%s\n  ]\n}\n"
+    (metadata_json ()) n_parts (ms t_cold) (ms t_fill) (ms t_median) gate
+    off_ok
+    (String.concat ",\n" (List.rev !entries));
+  close_out oc;
+  row "wrote BENCH_ivm.json\n";
+  if Executor.Result_cache.enabled () && Xnf.Xnf_ivm.enabled () then begin
+    if gate < 50.0 then begin
+      row "FAIL: median maintained read did not reach the 50x gate\n";
+      exit 1
+    end;
+    if s.Xnf.Xnf_ivm.mismatches > 0 then begin
+      row "FAIL: instrumented refill detected mirror mismatches\n";
+      exit 1
+    end;
+    if not off_ok then begin
+      row "FAIL: XNFDB_IVM=0 did not reproduce invalidate-on-write\n";
+      exit 1
+    end
+  end
+
 (* ------------------------------------------------------------ summary --- *)
 
 (** Merge every BENCH_*.json artifact in the working directory into one
@@ -1139,6 +1320,7 @@ let () =
     bench_cache ();
     bench_colstore ~n_parts ();
     bench_joinfilter ~n_probe:50_000 ();
+    bench_ivm ();
     write_summary ();
     print_endline "\nsmoke bench complete."
   end
@@ -1155,6 +1337,7 @@ let () =
     bench_cache ();
     bench_colstore ();
     bench_joinfilter ();
+    bench_ivm ();
     write_summary ();
     run_bechamel ();
     print_endline "\nall benches complete."

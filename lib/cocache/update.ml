@@ -214,14 +214,47 @@ let translate (db : Db.t) (ast : Xnf_ast.query) ws (op : Workspace.pending_op) :
       Errors.semantic_error "relationship %S is not updatable" rel
   end
 
+(* Coalesce consecutive single-row INSERTs into the same table and
+   column list into one multi-row INSERT.  Op order is preserved:
+   only adjacent statements merge, so an interleaved UPDATE or DELETE
+   still sees exactly the rows inserted before it. *)
+let batch_inserts (stmts : Ast.stmt list) : Ast.stmt list =
+  let flush_run run acc =
+    match run with
+    | None -> acc
+    | Some (table_name, columns, rows) ->
+      Ast.Insert { table_name; columns; rows = List.rev rows } :: acc
+  in
+  let acc, run =
+    List.fold_left
+      (fun (acc, run) stmt ->
+        match stmt with
+        | Ast.Insert { table_name; columns; rows } -> begin
+          match run with
+          | Some (t, c, prev) when String.equal t table_name && c = columns ->
+            (acc, Some (t, c, List.rev_append rows prev))
+          | _ -> (flush_run run acc, Some (table_name, columns, List.rev rows))
+        end
+        | other -> (other :: flush_run run acc, None))
+      ([], None) stmts
+  in
+  List.rev (flush_run run acc)
+
 (** Flush all pending cache operations back to the database.  Returns
-    the SQL statements executed (in order). *)
+    the SQL statements executed (in order); runs of inserts into the
+    same table go as single multi-row statements. *)
 let flush (db : Db.t) (ast : Xnf_ast.query) (ws : Workspace.t) : string list =
   let stmts =
-    List.concat_map (translate db ast ws) (Workspace.pending_ops ws)
+    batch_inserts
+      (List.concat_map (translate db ast ws) (Workspace.pending_ops ws))
   in
-  let sqls = List.map Sqlkit.Pretty.stmt_to_string stmts in
-  List.iter (fun sql -> ignore (Db.exec db sql)) sqls;
+  let sqls =
+    List.map
+      (fun stmt ->
+        ignore (Db.exec_stmt db stmt);
+        Sqlkit.Pretty.stmt_to_string stmt)
+      stmts
+  in
   Workspace.clear_pending ws;
   sqls
 

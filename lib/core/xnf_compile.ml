@@ -269,7 +269,7 @@ exception Cached_stream of Hetstream.t
     fragment of every table read, computed {e at lookup time}: any DML
     (or txn commit/rollback) against those tables moves a version and
     the stale entry is simply never found again. *)
-let stream_cache_key (c : compiled) : string option =
+let stream_key ~(versions : bool) (c : compiled) : string option =
   if c.recursive || c.plans = [] then None
   else begin
     let buf = Buffer.create 256 in
@@ -307,14 +307,27 @@ let stream_cache_key (c : compiled) : string option =
     List.iter
       (fun (name, (p : Plan.compiled)) ->
         add
-          (Printf.sprintf "|%s=%s#%s" name
-             (Plan.fingerprint p.Plan.plan)
-             (Plan.version_key p.Plan.plan)))
+          (if versions then
+             Printf.sprintf "|%s=%s#%s" name
+               (Plan.fingerprint p.Plan.plan)
+               (Plan.version_key p.Plan.plan)
+           else Printf.sprintf "|%s=%s" name (Plan.fingerprint p.Plan.plan)))
       c.plans;
     Some (Buffer.contents buf)
   end
 
-(** Run [body] through the stream cache when [use] allows it. *)
+let stream_cache_key (c : compiled) : string option =
+  stream_key ~versions:true c
+
+(** The version-free part of {!stream_cache_key} — the identity under
+    which {!Xnf_ivm} registers maintainer state that survives DML. *)
+let structural_key (c : compiled) : string option =
+  stream_key ~versions:false c
+
+(** Run [body] through the stream cache when [use] allows it.  On a
+    version-key miss with [XNFDB_IVM] on, {!Xnf_ivm} first tries to
+    maintain (or instrument) the cached extraction instead of running
+    [body]; with the knob off this is exactly the old store-on-miss. *)
 let with_stream_cache ~use (c : compiled) (body : unit -> Hetstream.t) :
     Hetstream.t =
   match (if use then stream_cache_key c else None) with
@@ -323,11 +336,22 @@ let with_stream_cache ~use (c : compiled) (body : unit -> Hetstream.t) :
     match Executor.Result_cache.find key with
     | Some (Cached_stream s) -> s
     | Some _ | None ->
-      let s = body () in
-      Executor.Result_cache.store key
-        ~bytes:(Hetstream.approx_bytes s)
-        (Cached_stream s);
-      s)
+      let store ?bytes s =
+        let bytes =
+          match bytes with
+          | Some b -> b
+          | None -> Hetstream.approx_bytes s
+        in
+        Executor.Result_cache.store key ~bytes (Cached_stream s)
+      in
+      (match (if Xnf_ivm.enabled () then structural_key c else None) with
+      | Some skey ->
+        Xnf_ivm.extract ~skey ~header:c.header ~rewritten:c.rewritten
+          ~plans:c.plans ~store body
+      | None ->
+        let s = body () in
+        store s;
+        s))
 
 let use_result_cache = function
   | Some b -> b

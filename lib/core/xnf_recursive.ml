@@ -51,6 +51,76 @@ let take_cols_of (ast : Xnf_ast.query) n =
 let graph_of box =
   { Qgm.top = box; order_by = []; limit = None; strip = None }
 
+(* -- per-iteration plan skeleton ---------------------------------------- *)
+
+(* The seed and step plans depend only on the operator's boxes, never on
+   table contents — [Exec.run] reads base tables live, and each step
+   re-fills its swapped-in delta table before running.  Compiling them
+   anew on every extraction made the fixpoint pay full QGM planning per
+   read; cache the compiled skeleton per operator instead.  Keyed by
+   physical identity: the QGM graph is cyclic (that cycle {e is} the
+   recursion), so structural hashing or comparison would not terminate. *)
+
+type step = {
+  sp_rel : Xnf_semantic.relbox;
+  sp_tmp : Base_table.t; (* replaces the parent quantifier's box *)
+  sp_plan : Optimizer.Plan.compiled;
+  sp_name : string;
+}
+
+type skeleton = {
+  sk_roots : (string * Optimizer.Plan.compiled) list;
+  sk_steps : step list;
+  sk_mu : Mutex.t; (* steps share delta tables; one fixpoint at a time *)
+}
+
+let skel_memo : (Xnf_semantic.xnf_op * skeleton) list ref = ref []
+let skel_mu = Mutex.create ()
+let skel_cap = 8
+
+let build_skeleton (op : Xnf_semantic.xnf_op) : skeleton =
+  let sk_roots =
+    List.map
+      (fun root ->
+        let box = Option.get (Xnf_semantic.find_node op root) in
+        (root, Optimizer.Planner.compile ~share:false (graph_of box)))
+      op.Xnf_semantic.roots
+  in
+  let sk_steps =
+    List.map
+      (fun (name, (r : Xnf_semantic.relbox)) ->
+        let parent_box =
+          Option.get (Xnf_semantic.find_node op r.Xnf_semantic.rparent)
+        in
+        let parent_schema = Optimizer.Planner.schema_of_box parent_box in
+        let tmp =
+          Base_table.create
+            ~name:("__delta_" ^ r.Xnf_semantic.rparent ^ "_" ^ name)
+            parent_schema
+        in
+        r.Xnf_semantic.rparent_quant.Qgm.over <- Qgm.base_box tmp;
+        let plan =
+          Optimizer.Planner.compile ~share:false (graph_of r.Xnf_semantic.rbox)
+        in
+        { sp_rel = r; sp_tmp = tmp; sp_plan = plan; sp_name = name })
+      op.Xnf_semantic.rel_boxes
+  in
+  { sk_roots; sk_steps; sk_mu = Mutex.create () }
+
+let skeleton_of (op : Xnf_semantic.xnf_op) : skeleton =
+  Mutex.protect skel_mu @@ fun () ->
+  match List.find_opt (fun (o, _) -> o == op) !skel_memo with
+  | Some (_, sk) -> sk
+  | None ->
+    let sk = build_skeleton op in
+    let kept =
+      if List.length !skel_memo >= skel_cap then
+        List.filteri (fun i _ -> i < skel_cap - 1) !skel_memo
+      else !skel_memo
+    in
+    skel_memo := (op, sk) :: kept;
+    sk
+
 (** Evaluate an XNF operator by fixpoint iteration. *)
 let extract (_db : Db.t) (op : Xnf_semantic.xnf_op) : Hetstream.t =
   let ast = op.Xnf_semantic.xquery in
@@ -127,39 +197,38 @@ let extract (_db : Db.t) (op : Xnf_semantic.xnf_op) : Hetstream.t =
         emit (Hetstream.Row { comp = st.info.Hetstream.comp_no; id; values = row });
       id
   in
+  let sk = skeleton_of op in
+  Mutex.protect sk.sk_mu @@ fun () ->
   (* seed the roots with their defining queries *)
   List.iter
-    (fun root ->
-      let box = Option.get (Xnf_semantic.find_node op root) in
-      let plan = Optimizer.Planner.compile ~share:false (graph_of box) in
-      List.iter
-        (fun row -> ignore (discover root row))
-        (Executor.Exec.run plan))
-    op.Xnf_semantic.roots;
+    (fun (root, plan) ->
+      List.iter (fun row -> ignore (discover root row)) (Executor.Exec.run plan))
+    sk.sk_roots;
   (* per-relationship iteration step: a temp table replaces the parent *)
   let rel_steps =
     List.map
-      (fun (name, (r : Xnf_semantic.relbox)) ->
-        let parent_schema = (Hashtbl.find states r.Xnf_semantic.rparent).schema in
-        let tmp =
-          Base_table.create ~name:("__delta_" ^ r.Xnf_semantic.rparent ^ "_" ^ name)
-            parent_schema
-        in
-        r.Xnf_semantic.rparent_quant.Qgm.over <- Qgm.base_box tmp;
-        let plan =
-          Optimizer.Planner.compile ~share:false (graph_of r.Xnf_semantic.rbox)
-        in
+      (fun sp ->
+        let r = sp.sp_rel in
         let parent_span = r.Xnf_semantic.rparent_span in
         let child_spans = r.Xnf_semantic.rchild_spans in
         let attr_off, attr_w = r.Xnf_semantic.rattr_span in
         let info =
-          List.find (fun (i : Hetstream.comp_info) -> i.Hetstream.comp_name = name)
+          List.find
+            (fun (i : Hetstream.comp_info) ->
+              i.Hetstream.comp_name = sp.sp_name)
             rel_infos
         in
         let conn_seen = Tuple.Tbl.create 256 in
-        (name, r, tmp, plan, parent_span, child_spans, (attr_off, attr_w), info,
-         conn_seen))
-      op.Xnf_semantic.rel_boxes
+        ( sp.sp_name,
+          r,
+          sp.sp_tmp,
+          sp.sp_plan,
+          parent_span,
+          child_spans,
+          (attr_off, attr_w),
+          info,
+          conn_seen ))
+      sk.sk_steps
   in
   (* fixpoint loop with a conservative safety bound *)
   let max_rounds = 100_000 in

@@ -17,9 +17,12 @@ type t = {
   mutable log : undo list;
   mutable active : bool;
   mutable touched : Base_table.t list; (* tables mutated by the open txn *)
+  mutable delta_marks : (Base_table.t * int) list;
+      (* per-table delta-log position just before the txn's first write
+         there, so ROLLBACK can discard the txn's published deltas *)
 }
 
-let create () = { log = []; active = false; touched = [] }
+let create () = { log = []; active = false; touched = []; delta_marks = [] }
 
 let is_active t = t.active
 
@@ -27,17 +30,28 @@ let begin_txn t =
   if t.active then Errors.execution_error "transaction already in progress";
   t.active <- true;
   t.log <- [];
-  t.touched <- []
+  t.touched <- [];
+  t.delta_marks <- []
 
 let table_of = function
   | U_insert (table, _) | U_update (table, _, _) | U_delete (table, _) -> table
+
+(* Delta-log entries the mutation now being recorded already appended,
+   so the pre-write mark can be reconstructed after the fact. *)
+let delta_cost = function
+  | U_insert _ | U_delete _ -> 1
+  | U_update _ -> 2 (* delete + insert *)
 
 (** Record an undo entry (no-op outside a transaction). *)
 let record t undo =
   if t.active then begin
     t.log <- undo :: t.log;
     let table = table_of undo in
-    if not (List.memq table t.touched) then t.touched <- table :: t.touched
+    if not (List.memq table t.touched) then begin
+      t.touched <- table :: t.touched;
+      t.delta_marks <-
+        (table, Base_table.delta_mark table - delta_cost undo) :: t.delta_marks
+    end
   end
 
 (* Advance the version of every table the txn wrote.  The individual
@@ -48,8 +62,11 @@ let record t undo =
    past its end. *)
 let bump_touched t =
   List.iter Base_table.bump_version t.touched;
-  t.touched <- []
+  t.touched <- [];
+  t.delta_marks <- []
 
+(* COMMIT publishes the consolidated delta simply by leaving the logged
+   entries in place for [Base_table.deltas_since] readers. *)
 let commit t =
   if not t.active then Errors.execution_error "no transaction in progress";
   t.active <- false;
@@ -59,6 +76,7 @@ let commit t =
 let rollback t =
   if not t.active then Errors.execution_error "no transaction in progress";
   let log = t.log in
+  let marks = t.delta_marks in
   t.active <- false;
   t.log <- [];
   List.iter
@@ -68,6 +86,12 @@ let rollback t =
       | U_update (table, rid, old_row) -> Base_table.update table rid old_row
       | U_delete (table, row) -> ignore (Base_table.insert table row))
     log;
+  (* The undo ops above logged compensating deltas, so content-wise the
+     log is already net-zero for this txn; rewinding to the pre-txn mark
+     discards both halves.  Pre-txn snapshots stay maintainable, while
+     snapshots taken inside the txn (a reader that cached uncommitted
+     state) land in the rewind hole and are refused by [deltas_since]. *)
+  List.iter (fun (table, mark) -> Base_table.delta_rewind table mark) marks;
   bump_touched t
 
 (** Run [f] atomically: begin, commit on success, roll back on any

@@ -115,3 +115,12 @@ let int_key_column (cs : t) (key : Plan.scalar) : (int array * Bytes.t) option =
   match key with
   | Plan.P_col i -> Colstore.int_column cs.store i
   | _ -> None
+
+(** The dictionary-code data + null bitmap behind a single-column
+    [Tstr] join key, if the key is a bare column of one.  Codes are
+    private to this table's dictionary: build-side strings must be
+    translated through {!Relcore.Colstore.dict_find} before probing. *)
+let str_key_column (cs : t) (key : Plan.scalar) : (int array * Bytes.t) option =
+  match key with
+  | Plan.P_col i -> Colstore.str_code_column cs.store i
+  | _ -> None

@@ -748,14 +748,17 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
     in
     let columnar_probe =
       match Colscan.of_plan ~require_atoms:false probe with
-      | Some cs ->
-        (match Colscan.int_key_column cs pk with
-        | Some (data, knulls) -> Some (cs, data, knulls)
-        | None -> None)
+      | Some cs -> (
+        match Colscan.int_key_column cs pk with
+        | Some (data, knulls) -> Some (cs, data, knulls, `Int)
+        | None ->
+          (match Colscan.str_key_column cs pk with
+          | Some (data, knulls) -> Some (cs, data, knulls, `Str)
+          | None -> None))
       | None -> None
     in
     (match columnar_probe with
-    | Some (cs, data, knulls) ->
+    | Some (cs, data, knulls, `Int) ->
       (* chunk-driven probe: keys come straight off the unboxed column;
          the probe-side heap tuple is materialized only for rows that
          survive the atoms (and, with no residual, only on a match) *)
@@ -876,6 +879,112 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
                   done);
                 ctx.rows_materialized <- ctx.rows_materialized + !mat;
                 Colstore.add_totals ~scanned:1 ~skipped:0 ~materialized:!mat
+            end;
+            true
+          end)
+    | Some (cs, data, knulls, `Str) ->
+      (* string-keyed chunk-driven probe: keys come off the
+         dictionary-code column; build strings fold onto probe-side
+         codes once, so the probe loop compares ints and never touches
+         a string.  A build string absent from the probe dictionary
+         cannot match any probe row and is dropped at translation.
+         Codes are unordered, so there is no range-atom chunk pruning —
+         the Bloom over codes is the whole sideways filter. *)
+      let store = cs.Colscan.store in
+      let ptable = cs.Colscan.table in
+      let katoms = cs.Colscan.katoms in
+      let test = Option.map (compile_pred ctx) cs.Colscan.residual in
+      let sel = Array.make (Colstore.chunk_rows store) 0 in
+      let n_chunks = Colstore.n_chunks store in
+      let chunk = ref 0 in
+      let ctable =
+        lazy
+          (let tbl, _ = Lazy.force table in
+           let itbl = Itbl.create 256 in
+           (match tbl with
+           | T_val vtbl ->
+             Vtbl.iter
+               (fun v rows ->
+                 match v with
+                 | Value.Str s -> (
+                   match Colstore.dict_find store s with
+                   | Some code -> Itbl.replace itbl code rows
+                   | None -> ())
+                 | _ -> () (* non-string keys never equal a string key *))
+               vtbl
+           | T_int _ -> () (* int build keys never equal a string key *));
+           let flt =
+             if want_jf then begin
+               let bl = Bloom.create ~expected:(max 1 (Itbl.length itbl)) in
+               Itbl.iter (fun k _ -> Bloom.add bl k) itbl;
+               ctx.jf_built <- ctx.jf_built + 1;
+               Bloom.add_totals ~built:1 ~chunks:0 ~rows:0 ~dropped:0;
+               Some bl
+             end
+             else None
+           in
+           (itbl, flt))
+      in
+      pack ~capacity:ctx.batch_capacity (fun ~emit ->
+          if !chunk >= n_chunks then false
+          else begin
+            let c = !chunk in
+            incr chunk;
+            if Colstore.prune_chunk store katoms c then begin
+              ctx.chunks_skipped <- ctx.chunks_skipped + 1;
+              Colstore.add_totals ~scanned:0 ~skipped:1 ~materialized:0
+            end
+            else begin
+              ctx.chunks_scanned <- ctx.chunks_scanned + 1;
+              ctx.rows_scanned <-
+                ctx.rows_scanned + Colstore.live_in_chunk store c;
+              let n = Colstore.select_chunk store katoms c sel in
+              let mat = ref 0 in
+              let itbl, flt = Lazy.force ctable in
+              let jfb =
+                match flt with Some bl when !jf_live -> Some bl | _ -> None
+              in
+              (match test with
+              | None ->
+                for j = 0 to n - 1 do
+                  let s = Array.unsafe_get sel j in
+                  if not (Colstore.bit_get knulls s) then begin
+                    let k = Array.unsafe_get data s in
+                    if
+                      match jfb with
+                      | None -> true
+                      | Some bl -> jf_pass_counted bl k
+                    then begin
+                      match Itbl.find itbl k with
+                      | exception Not_found -> ()
+                      | matches ->
+                        incr mat;
+                        emit_matches emit (Base_table.get_exn ptable s) matches
+                    end
+                  end
+                done
+              | Some t ->
+                for j = 0 to n - 1 do
+                  let s = Array.unsafe_get sel j in
+                  if not (Colstore.bit_get knulls s) then begin
+                    let k = Array.unsafe_get data s in
+                    if
+                      match jfb with
+                      | None -> true
+                      | Some bl -> jf_pass_counted bl k
+                    then begin
+                      let row = Base_table.get_exn ptable s in
+                      incr mat;
+                      if is_true (t frames row) then begin
+                        match Itbl.find itbl k with
+                        | exception Not_found -> ()
+                        | matches -> emit_matches emit row matches
+                      end
+                    end
+                  end
+                done);
+              ctx.rows_materialized <- ctx.rows_materialized + !mat;
+              Colstore.add_totals ~scanned:1 ~skipped:0 ~materialized:!mat
             end;
             true
           end)

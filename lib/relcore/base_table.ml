@@ -43,6 +43,9 @@ let schema t = t.schema
 let cardinality t = Heap.cardinality t.heap
 let version t = Heap.version t.heap
 let bump_version t = Heap.touch t.heap
+let deltas_since t v = Heap.deltas_since t.heap v
+let delta_mark t = Heap.delta_mark t.heap
+let delta_rewind t mark = Heap.delta_rewind t.heap mark
 
 let find_index t idx_name =
   List.find_opt (fun i -> String.equal i.Index.name idx_name) t.indexes
@@ -124,6 +127,11 @@ let pk_lookup t key =
     | Some idx -> Index.lookup idx key
     | None -> assert false)
 
+(** Remove every row and reset slot allocation: a refilled table scans
+    in insertion order exactly like a fresh one, which the fixpoint
+    evaluators' reused delta tables rely on for deterministic discovery
+    order. *)
 let truncate t =
-  let rids = List.map fst (to_list t) in
-  List.iter (fun rid -> delete t rid) rids
+  Heap.clear t.heap;
+  Colstore.clear t.colstore;
+  List.iter Index.clear t.indexes

@@ -31,6 +31,13 @@ val bump_version : t -> unit
 (** Advance {!version} without changing contents (txn commit/rollback
     hook). *)
 
+val deltas_since : t -> int -> (int * Heap.delta_op) list option
+(** Row deltas logged after version [v] (see {!Heap.deltas_since});
+    [None] once the bounded per-table delta log overflowed past [v]. *)
+
+val delta_mark : t -> int
+val delta_rewind : t -> int -> unit
+
 val find_index : t -> string -> Index.t option
 
 val index_on : t -> int array -> Index.t option

@@ -162,6 +162,18 @@ let chunk_rows t = t.chunk_rows
 let n_chunks t = (t.hi + t.chunk_rows - 1) / t.chunk_rows
 let live_in_chunk t c = t.live_per_chunk.(c)
 
+(** Reset to empty, keeping allocated capacity and the string
+    dictionary (codes stay valid for re-inserted strings). *)
+let clear t =
+  Bytes.fill t.live 0 (Bytes.length t.live) '\000';
+  Array.fill t.live_per_chunk 0 (Array.length t.live_per_chunk) 0;
+  t.hi <- 0;
+  Array.iter
+    (fun col ->
+      Bytes.fill col.nulls 0 (Bytes.length col.nulls) '\000';
+      Array.iteri (fun i _ -> col.zones.(i) <- fresh_zone ()) col.zones)
+    t.cols
+
 (* ------------------------------------------------------------------ *)
 (* Growth                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -639,6 +651,15 @@ let int_column t ci =
   let col = t.cols.(ci) in
   match col.dtype, col.data with
   | Dtype.Tint, D_int a -> Some (a, col.nulls)
+  | _ -> None
+
+(* The dictionary codes and null bitmap of a Tstr column; [None] for
+   other types.  Codes index this table's dictionary ({!dict_string})
+   and follow insertion order, not collation — equality only. *)
+let str_code_column t ci =
+  let col = t.cols.(ci) in
+  match col.dtype, col.data with
+  | Dtype.Tstr, D_int a -> Some (a, col.nulls)
   | _ -> None
 
 let is_live t rid = rid < t.hi && bit_get t.live rid

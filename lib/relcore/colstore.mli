@@ -22,6 +22,10 @@ val n_chunks : t -> int
 
 val live_in_chunk : t -> int -> int
 
+val clear : t -> unit
+(** Reset to empty, keeping allocated capacity and the string
+    dictionary. *)
+
 (** {1 Maintenance} — called by {!Base_table} on every DML. *)
 
 val insert : t -> Heap.rid -> Tuple.t -> unit
@@ -65,6 +69,12 @@ val int_column : t -> int -> (int array * Bytes.t) option
 (** Unboxed ints + null bitmap of a [Tint] column ([None] otherwise).
     Only slots where the live bitmap is set are meaningful; the array
     is replaced on growth, so don't cache it across DML. *)
+
+val str_code_column : t -> int -> (int array * Bytes.t) option
+(** Dictionary codes + null bitmap of a [Tstr] column ([None]
+    otherwise).  Codes index this table's dictionary ({!dict_string})
+    and follow insertion order, not collation — equality only.  Same
+    caching caveats as {!int_column}. *)
 
 val bit_get : Bytes.t -> int -> bool
 (** Test bit [i] of a bitmap returned by {!int_column}. *)

@@ -7,6 +7,8 @@
 
 type rid = int
 
+type delta_op = D_ins of rid * Tuple.t | D_del of rid * Tuple.t
+
 type t = {
   slots : Tuple.t option Vec.t;
   free : int Vec.t; (* stack of tombstoned slots available for reuse *)
@@ -15,7 +17,32 @@ type t = {
       (* monotonic mutation counter: every insert/update/delete bumps it,
          so (heap, version) identifies a snapshot of the contents.
          Versions never repeat — undoing a change still moves forward. *)
+  deltas : (int * delta_op) Vec.t;
+      (* bounded row-delta log alongside the undo log: one (version, op)
+         entry per insert/delete, two per update (delete + insert at the
+         same version, keyed by slot).  [touch] logs nothing. *)
+  mutable delta_floor : int;
+      (* oldest version the log still reaches back to; advanced past the
+         current version when the log overflows its capacity, declaring
+         older snapshots unmaintainable *)
+  mutable hole_lo : int;
+  mutable hole_hi : int;
+      (* versions discarded by [delta_rewind] (rolled-back txns): a
+         snapshot taken inside [hole_lo, hole_hi) saw uncommitted state
+         the log no longer records, so [deltas_since] must refuse it.
+         Multiple rewinds merge conservatively (min lo, max hi).
+         Empty when hole_lo > hole_hi. *)
 }
+
+(* [XNFDB_DELTA_LOG]: per-table delta-log capacity (default 4096).
+   0 effectively disables maintenance: the log is clipped after every
+   mutation, so only the empty delta (no DML at all) is answerable. *)
+let log_capacity () =
+  match Sys.getenv_opt "XNFDB_DELTA_LOG" with
+  | Some s -> (match int_of_string_opt (String.trim s) with
+    | Some n when n >= 0 -> n
+    | _ -> 4096)
+  | None -> 4096
 
 let create () =
   {
@@ -23,27 +50,90 @@ let create () =
     free = Vec.create ~dummy:(-1);
     live = 0;
     version = 0;
+    deltas = Vec.create ~dummy:(0, D_del (-1, [||]));
+    delta_floor = 0;
+    hole_lo = max_int;
+    hole_hi = min_int;
   }
 
 let cardinality h = h.live
 let version h = h.version
 let touch h = h.version <- h.version + 1
 
+let log_delta h op =
+  Vec.push h.deltas (h.version, op);
+  if Vec.length h.deltas > log_capacity () then begin
+    (* overflow: drop history and declare every snapshot older than the
+       current contents beyond repair *)
+    Vec.clear h.deltas;
+    h.delta_floor <- h.version
+  end
+
+(** Row deltas logged after version [v]: [Some ops] iff the log still
+    reaches back to [v] (in particular [Some []] when nothing changed);
+    [None] once overflow discarded that history. *)
+let deltas_since h v =
+  if v < h.delta_floor || (v >= h.hole_lo && v < h.hole_hi) then None
+  else
+    Some
+      (Vec.fold_left
+         (fun acc (ver, op) -> if ver > v then (ver, op) :: acc else acc)
+         [] h.deltas
+      |> List.rev)
+
+let delta_mark h = Vec.length h.deltas
+
+let delta_rewind h mark =
+  (* if the log overflowed after the mark was taken, the position no
+     longer corresponds to the txn's entries — it can even be negative
+     when the overflow hit the txn's own first write.  Clamping to 0
+     stays safe: everything still logged is discarded and covered by
+     the refusal hole below, so affected readers fall back. *)
+  let mark = max mark 0 in
+  if mark < Vec.length h.deltas then begin
+    (* the discarded versions saw uncommitted state: any snapshot taken
+       among them is unanswerable once the entries are gone, while
+       snapshots at or before the last surviving entry stay maintainable
+       (the rolled-back txn is net zero for them) *)
+    let first_discarded, _ = Vec.get h.deltas mark in
+    h.hole_lo <- min h.hole_lo first_discarded;
+    h.hole_hi <- max h.hole_hi (h.version + 1);
+    Vec.truncate h.deltas mark
+  end
+
 (** Number of slots ever allocated (live + tombstoned). *)
 let capacity h = Vec.length h.slots
+
+(** Drop every row and reset slot allocation, so refilling scans in
+    insertion order exactly like a fresh heap (tombstone-and-recycle
+    would reverse it via the free stack).  Snapshots from before the
+    clear are not delta-replayable: the log is cleared and floored. *)
+let clear h =
+  touch h;
+  Vec.clear h.slots;
+  Vec.clear h.free;
+  h.live <- 0;
+  Vec.clear h.deltas;
+  h.delta_floor <- h.version;
+  h.hole_lo <- max_int;
+  h.hole_hi <- min_int
 
 let insert h tuple =
   touch h;
   h.live <- h.live + 1;
-  if Vec.length h.free > 0 then begin
-    let rid = Vec.pop h.free in
-    Vec.set h.slots rid (Some tuple);
-    rid
-  end
-  else begin
-    Vec.push h.slots (Some tuple);
-    Vec.length h.slots - 1
-  end
+  let rid =
+    if Vec.length h.free > 0 then begin
+      let rid = Vec.pop h.free in
+      Vec.set h.slots rid (Some tuple);
+      rid
+    end
+    else begin
+      Vec.push h.slots (Some tuple);
+      Vec.length h.slots - 1
+    end
+  in
+  log_delta h (D_ins (rid, tuple));
+  rid
 
 let get h rid =
   if rid < 0 || rid >= Vec.length h.slots then None else Vec.get h.slots rid
@@ -55,18 +145,21 @@ let get_exn h rid =
 
 let update h rid tuple =
   match get h rid with
-  | Some _ ->
+  | Some old ->
     touch h;
-    Vec.set h.slots rid (Some tuple)
+    Vec.set h.slots rid (Some tuple);
+    log_delta h (D_del (rid, old));
+    log_delta h (D_ins (rid, tuple))
   | None -> Errors.execution_error "update of dangling rid %d" rid
 
 let delete h rid =
   match get h rid with
-  | Some _ ->
+  | Some old ->
     touch h;
     Vec.set h.slots rid None;
     Vec.push h.free rid;
-    h.live <- h.live - 1
+    h.live <- h.live - 1;
+    log_delta h (D_del (rid, old))
   | None -> Errors.execution_error "delete of dangling rid %d" rid
 
 let iter f h =

@@ -4,6 +4,11 @@
     tombstones the slot and the slot is recycled by later inserts. *)
 
 type rid = int
+
+type delta_op = D_ins of rid * Tuple.t | D_del of rid * Tuple.t
+(** One logged row change.  An update logs [D_del old; D_ins new] at the
+    same version, keyed by the same slot. *)
+
 type t
 
 val create : unit -> t
@@ -14,6 +19,11 @@ val cardinality : t -> int
 val capacity : t -> int
 (** Slots ever allocated (live + tombstoned). *)
 
+val clear : t -> unit
+(** Drop every row and reset slot allocation, so refilling scans in
+    insertion order exactly like a fresh heap.  Clears and floors the
+    delta log: snapshots from before the clear are not replayable. *)
+
 val version : t -> int
 (** Monotonic mutation counter: bumped by every insert/update/delete (and
     by {!touch}), so [(heap, version)] identifies a snapshot of the
@@ -21,7 +31,31 @@ val version : t -> int
 
 val touch : t -> unit
 (** Advance {!version} without changing contents (used by the txn layer
-    so commit and rollback both invalidate version-keyed caches). *)
+    so commit and rollback both invalidate version-keyed caches).
+    Logs no delta: a version gap with no logged rows means "unchanged". *)
+
+val deltas_since : t -> int -> (int * delta_op) list option
+(** Row deltas logged after version [v], oldest first: [Some []] when
+    nothing changed since, [None] when the log cannot answer for [v] —
+    either the bounded log (capacity [XNFDB_DELTA_LOG], default 4096)
+    overflowed past [v], or [v] was taken inside a transaction whose
+    entries a {!delta_rewind} later discarded.  The caller must fall
+    back to recomputation. *)
+
+val delta_mark : t -> int
+(** Current delta-log position, for {!delta_rewind}. *)
+
+val delta_rewind : t -> int -> unit
+(** Truncate the delta log back to a {!delta_mark} position — used by
+    the txn layer to discard a rolled-back transaction's deltas after
+    the undo ops appended their (net-zero) compensations.  Snapshots at
+    or before the mark stay maintainable; the discarded version range
+    is remembered so {!deltas_since} refuses snapshots taken inside the
+    rolled-back transaction (they saw uncommitted state the log no
+    longer records).  If the log overflowed after the mark was taken
+    the position is stale (possibly negative): the rewind then
+    conservatively discards whatever is still logged and widens the
+    refusal hole over it, so affected readers fall back. *)
 
 val insert : t -> Tuple.t -> rid
 val get : t -> rid -> Tuple.t option

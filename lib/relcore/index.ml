@@ -22,6 +22,8 @@ type t = {
 let create ~name ~key_columns ~unique =
   { name; key_columns; unique; entries = Tuple.Tbl.create 64 }
 
+let clear idx = Tuple.Tbl.reset idx.entries
+
 let key_of idx tuple = Tuple.key tuple idx.key_columns
 
 (** Newest-first, like the cons-list representation this replaces. *)
@@ -32,6 +34,17 @@ let iter idx key f =
     for i = p.n - 1 downto 0 do
       f p.rids.(i)
     done
+
+(** Walk every posting, oldest-first within each key — the insertion
+    order {!iter} reverses.  Gives delta maintenance the exact posting
+    layout so later appends/removals replay byte-identically. *)
+let iter_postings idx f =
+  Tuple.Tbl.iter
+    (fun key p ->
+      for i = 0 to p.n - 1 do
+        f key i p.rids.(i)
+      done)
+    idx.entries
 
 let lookup idx key =
   match Tuple.Tbl.find_opt idx.entries key with

@@ -14,11 +14,20 @@ type t = {
 }
 
 val create : name:string -> key_columns:int array -> unique:bool -> t
+
+val clear : t -> unit
+(** Drop every posting. *)
+
 val key_of : t -> Tuple.t -> Tuple.t
 
 val iter : t -> Tuple.t -> (Heap.rid -> unit) -> unit
 (** Apply to every rid under [key], newest-first, without allocating —
     the probe primitive for index joins. *)
+
+val iter_postings : t -> (Tuple.t -> int -> Heap.rid -> unit) -> unit
+(** [f key pos rid] over every posting entry, oldest-first within a key
+    ([pos] is the position {!iter} walks in reverse) — lets delta
+    maintenance snapshot the exact posting layout. *)
 
 val lookup : t -> Tuple.t -> Heap.rid list
 (** Newest-first rid list (allocates; prefer {!iter} on hot paths). *)

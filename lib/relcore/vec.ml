@@ -69,6 +69,13 @@ let of_list ~dummy xs =
   List.iter (push v) xs;
   v
 
+let truncate v n =
+  if n < 0 then invalid_arg "Vec.truncate: negative length";
+  if n < v.len then begin
+    Array.fill v.data n (v.len - n) v.dummy;
+    v.len <- n
+  end
+
 let exists p v =
   let rec go i = i < v.len && (p v.data.(i) || go (i + 1)) in
   go 0

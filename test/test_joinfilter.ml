@@ -239,6 +239,52 @@ let test_counters_and_explain () =
       Alcotest.(check int) "no chunks skipped" 0 ctx.Exec.jf_chunks_skipped;
       Alcotest.(check int) "no rows skipped" 0 ctx.Exec.jf_rows_skipped)
 
+(* String join keys ride the probe table's dictionary: build strings
+   fold onto probe-side codes, the Bloom works over codes, and a build
+   string absent from the probe dictionary is dropped at translation.
+   Needs the columnar probe (codes live in the colstore). *)
+let test_string_key_filter () =
+  with_colstore true @@ fun () ->
+  with_joinfilter true @@ fun () ->
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE probe_t (k STRING, payload INT)");
+  ignore (Db.exec db "CREATE TABLE build_t (k STRING, w INT)");
+  let buf = Buffer.create 4096 in
+  let fill tbl n key_of =
+    for base = 0 to (n / 100) - 1 do
+      Buffer.clear buf;
+      Buffer.add_string buf (Printf.sprintf "INSERT INTO %s VALUES " tbl);
+      for i = 0 to 99 do
+        if i > 0 then Buffer.add_string buf ", ";
+        let j = (base * 100) + i in
+        Buffer.add_string buf (Printf.sprintf "('%s', %d)" (key_of j) j)
+      done;
+      ignore (Db.exec db (Buffer.contents buf))
+    done
+  in
+  (* probe: 3000 distinct keys; build: same size, 20 hot keys plus one
+     per hundred that the probe table has never seen *)
+  fill "probe_t" 3000 (fun i -> Printf.sprintf "key%d" i);
+  fill "build_t" 3000 (fun i ->
+      if i mod 100 = 99 then Printf.sprintf "stranger%d" i
+      else Printf.sprintf "key%d" (i mod 20));
+  let sql = "SELECT COUNT(*) FROM probe_t p, build_t b WHERE p.k = b.k" in
+  let c = Db.compile_query ~join_method:`Hash db sql in
+  let expected = with_joinfilter false (fun () -> Exec.run c) in
+  (* 20 hot probe keys, each matching 2970/20 build rows *)
+  check_rows "oracle count" [ row [ vi 2970 ] ] expected;
+  let ctx = Exec.make_ctx () in
+  check_rows "filtered join result" expected (Exec.run ~ctx c);
+  Alcotest.(check int) "one filter built" 1 ctx.Exec.jf_built;
+  Alcotest.(check bool) "probe rows dropped by the filter" true
+    (ctx.Exec.jf_rows_skipped > 0);
+  (* row path (no colstore): same rows, no filter for string keys *)
+  with_colstore false (fun () ->
+      let ctx = Exec.make_ctx () in
+      check_rows "row-path result" expected (Exec.run ~ctx c);
+      Alcotest.(check int) "row path builds no string filter" 0
+        ctx.Exec.jf_built)
+
 let test_adaptive_drop () =
   with_colstore false @@ fun () ->
   with_joinfilter true @@ fun () ->
@@ -380,6 +426,8 @@ let suite =
     Alcotest.test_case "selectivity conjunct grouping" `Quick
       test_selectivity_grouping;
     Alcotest.test_case "counters + explain" `Quick test_counters_and_explain;
+    Alcotest.test_case "string keys via dictionary codes" `Quick
+      test_string_key_filter;
     Alcotest.test_case "adaptive drop of useless filters" `Quick
       test_adaptive_drop;
     Alcotest.test_case "knob equivalence: sql workloads" `Quick

@@ -12,6 +12,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("engine", Test_engine.suite);
       ("cache", Test_cache.suite);
+      ("ivm", Test_ivm.suite);
       ("xnf", Test_xnf.suite);
       ("cocache", Test_cocache.suite);
       ("workloads", Test_workloads.suite);
