@@ -29,17 +29,39 @@ let git_rev () =
     line
   with _ -> "unknown"
 
+(** Peak resident set size of this process in kB (VmHWM from
+    /proc/self/status); 0 where the proc interface is unavailable. *)
+let peak_rss_kb () =
+  try
+    In_channel.with_open_text "/proc/self/status" @@ fun ic ->
+    let rec scan () =
+      match In_channel.input_line ic with
+      | None -> 0
+      | Some line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+          Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d"
+            Fun.id
+        else scan ()
+    in
+    scan ()
+  with _ -> 0
+
 (** JSON fragment recording the run environment — git revision, batch
-    size, configured domain count and the host's core count — so a
-    committed BENCH_*.json is interpretable later. *)
+    size, configured domain count, the host's core count, peak RSS and
+    the colstore's tier occupancy at write time — so a committed
+    BENCH_*.json is interpretable later. *)
 let metadata_json () =
   Printf.sprintf
     "\"meta\": { \"git_rev\": %S, \"batch_size\": %d, \"domains\": %d, \
-     \"host_cores\": %d }"
+     \"host_cores\": %d, \"peak_rss_kb\": %d, \"colstore_resident_bytes\": \
+     %d, \"colstore_spilled_bytes\": %d }"
     (git_rev ())
     (Relcore.Batch.default_capacity ())
     (Relcore.Pool.default_domains ())
     (Domain.recommended_domain_count ())
+    (peak_rss_kb ())
+    (Relcore.Colstore.global_resident_bytes ())
+    (Relcore.Colstore.global_spilled_bytes ())
 
 (* -- baseline artifacts -------------------------------------------------- *)
 

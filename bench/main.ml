@@ -16,6 +16,29 @@ module Ws = Cocache.Workspace
 module H = Xnf.Hetstream
 open Bench_util
 
+(* Dataset scale multiplier: --scale N / --scale=N on the command line,
+   else XNFDB_BENCH_SCALE, else 1.  Applied to every section's default
+   dataset size so one knob grows the whole run (E11 uses 10x). *)
+let bench_scale =
+  let of_string s = max 0.01 (float_of_string (String.trim s)) in
+  let from_argv = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--scale" && i + 1 < Array.length Sys.argv then
+        from_argv := Some (of_string Sys.argv.(i + 1))
+      else if String.length a > 8 && String.sub a 0 8 = "--scale=" then
+        from_argv := Some (of_string (String.sub a 8 (String.length a - 8))))
+    Sys.argv;
+  match !from_argv with
+  | Some s -> s
+  | None -> (
+    match Sys.getenv_opt "XNFDB_BENCH_SCALE" with
+    | Some s -> ( try of_string s with _ -> 1.0)
+    | None -> 1.0)
+
+(** [scaled n] is [n] rows at the configured [bench_scale]. *)
+let scaled n = int_of_float (ceil (float_of_int n *. bench_scale))
+
 (* ---------------------------------------------------------------- T1 --- *)
 
 let paper_table1 =
@@ -234,7 +257,7 @@ let bench_extraction () =
 
 let bench_oo1 () =
   header "E2. Sect. 5.2/6 — OO1 (Cattell) operations on the pre-loaded cache";
-  let p = { Workloads.Oo1.default with n_parts = 20_000 } in
+  let p = { Workloads.Oo1.default with n_parts = scaled 20_000 } in
   let db = Workloads.Oo1.generate p in
   let (ws : Ws.t), t_load =
     time_once (fun () ->
@@ -390,7 +413,8 @@ let bench_parallel () =
     interpreter ([Executor.Exec_scalar]), on the OO1 database.  Results
     are also recorded as a machine-readable [BENCH_exec.json] artifact
     (one entry per query; `oo1_traversal` is the acceptance gate). *)
-let bench_exec_batching ?(n_parts = 20_000) () =
+let bench_exec_batching ?n_parts () =
+  let n_parts = match n_parts with Some n -> n | None -> scaled 20_000 in
   header
     "E5. Batched table-queue execution vs tuple-at-a-time (rows/sec, OO1)";
   let p = { Workloads.Oo1.default with n_parts } in
@@ -496,8 +520,9 @@ let bench_exec_batching ?(n_parts = 20_000) () =
     extractions swept over domain counts, every parallel result checked
     identical (row lists) or byte-identical (streams) to the sequential
     executor.  Results land in [BENCH_parallel.json]. *)
-let bench_parallel_queues ?(n_parts = 20_000)
+let bench_parallel_queues ?n_parts
     ?(domain_counts = [ 1; 2; 4; 8 ]) () =
+  let n_parts = match n_parts with Some n -> n | None -> scaled 20_000 in
   header
     "E6. Parallel table queues — domain sweep, bit-identical to sequential";
   row "host cores: %d (speedup beyond 1 core cannot manifest on a smaller \
@@ -761,7 +786,8 @@ module Cs = Relcore.Colstore
     against the row-store result in the same run (ordered row lists for
     SQL, byte-identical streams for CO extraction).  Results land in
     [BENCH_colstore.json]; `oo1_scan_filter` is the acceptance gate. *)
-let bench_colstore ?(n_parts = 20_000) () =
+let bench_colstore ?n_parts () =
+  let n_parts = match n_parts with Some n -> n | None -> scaled 20_000 in
   header "E8. Columnar chunk storage — zone-pruned unboxed scans vs row store";
   (* drop the previous section's resident result cache and compact, so
      the scan timings below are not taxed with GC majors over another
@@ -909,7 +935,8 @@ module Bl = Relcore.Bloom
     none), and the four CO extractions confirm output invariance on
     real workloads.  Results land in [BENCH_joinfilter.json];
     `probe_bandjoin` is the acceptance gate. *)
-let bench_joinfilter ?(n_probe = 200_000) () =
+let bench_joinfilter ?n_probe () =
+  let n_probe = match n_probe with Some n -> n | None -> scaled 200_000 in
   header
     "E9. Sideways information passing — build-side join filters (Bloom + \
      min/max) in probe scans";
@@ -1130,7 +1157,8 @@ let bench_joinfilter ?(n_probe = 200_000) () =
     faster than cold recompute (median, because a stray GC major can
     spike any single round), and [XNFDB_IVM=0] reproduces plain
     invalidate-on-write exactly.  Results land in [BENCH_ivm.json]. *)
-let bench_ivm ?(n_parts = 20_000) () =
+let bench_ivm ?n_parts () =
+  let n_parts = match n_parts with Some n -> n | None -> scaled 20_000 in
   header "E10. Incremental CO-view maintenance — post-DML reads on warm OO1";
   Executor.Result_cache.clear ();
   Xnf.Xnf_ivm.reset ();
@@ -1257,6 +1285,191 @@ let bench_ivm ?(n_parts = 20_000) () =
     end
   end
 
+(* --------------------------------------------------------------- E11 --- *)
+
+(** Compressed, larger-than-RAM chunk store: OO1 at 10x the E8 scale
+    with the per-table hot-tier budget far below the total column
+    footprint.  Two databases are generated under the same budget: one
+    with the lightweight encodings (FOR/bit-pack, RLE, packed nulls)
+    and one naive-spill baseline (raw cold blocks, zone maps not used
+    as a block index).  Gates, all verified in this run:
+    every query completes with total column bytes >= 5x the budget;
+    zone- and join-filter-pruned scans fault in 0 spilled chunks;
+    encoded footprint <= 0.6x raw column bytes; the pruned scan runs
+    >= 1.3x faster than the naive-spill baseline; CO extraction streams
+    byte-identical to the row store.  Results land in
+    [BENCH_spill.json]. *)
+let bench_spill ?n_parts ?(budget_mb = 2) () =
+  let n_parts = match n_parts with Some n -> n | None -> scaled 200_000 in
+  header "E11. Compressed larger-than-RAM chunk store — encodings + mmap spill";
+  Executor.Result_cache.clear ();
+  Gc.compact ();
+  let with_env var v f =
+    let old = Sys.getenv_opt var in
+    Unix.putenv var v;
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv var (Option.value old ~default:""))
+      f
+  in
+  with_env "XNFDB_COLSTORE_MB" (string_of_int budget_mb) @@ fun () ->
+  let p = { Workloads.Oo1.default with n_parts } in
+  (* the encoding decision is made at eviction time, so the encoded
+     store and the raw baseline are two separately generated databases *)
+  let db = Workloads.Oo1.generate p in
+  let db_raw =
+    with_env "XNFDB_COLSTORE_ENC" "0" (fun () -> Workloads.Oo1.generate p)
+  in
+  let cs_of d name =
+    (Relcore.Catalog.find_table (Db.catalog d) name).Relcore.Base_table.colstore
+  in
+  let budget = Cs.budget_bytes () in
+  let column_bytes d =
+    List.fold_left
+      (fun acc name ->
+        let cs = cs_of d name in
+        acc + (Cs.n_chunks cs * Cs.hot_chunk_bytes cs))
+      0 [ "parts"; "conns" ]
+  in
+  let raw_cold_bytes d =
+    List.fold_left
+      (fun acc name ->
+        let cs = cs_of d name in
+        acc + (Cs.cold_chunks cs * Cs.hot_chunk_bytes cs))
+      0 [ "parts"; "conns" ]
+  in
+  let spilled d =
+    List.fold_left
+      (fun acc name -> acc + Cs.spilled_bytes (cs_of d name))
+      0 [ "parts"; "conns" ]
+  in
+  let colbytes = column_bytes db in
+  row
+    "database: %d parts, %d connections (x2: encoded + raw baseline)\n\
+     budget: %d MB/table; total column bytes %.1f MB (%.1fx budget); \
+     encoded spill %.1f MB, raw-baseline spill %.1f MB\n"
+    n_parts (3 * n_parts) budget_mb
+    (float_of_int colbytes /. 1048576.0)
+    (float_of_int colbytes /. float_of_int budget)
+    (float_of_int (spilled db) /. 1048576.0)
+    (float_of_int (spilled db_raw) /. 1048576.0);
+  (* gate: the dataset genuinely exceeds the resident budget *)
+  let scale_ok = colbytes >= 5 * budget in
+  (* encoded footprint vs the raw bytes of the same cold chunks *)
+  let footprint =
+    float_of_int (spilled db) /. float_of_int (max 1 (raw_cold_bytes db))
+  in
+  let with_knob v f = with_env "XNFDB_COLSTORE" v f in
+  let entries = ref [] in
+  let all_ok = ref true in
+  row "%-18s | %8s | %11s | %7s | %7s\n" "query" "rows" "spill (ms)" "faulted"
+    "fbytes";
+  row "%s\n" (String.make 62 '-');
+  let measure name ?join_method sql =
+    let c = Db.compile_query ?join_method db sql in
+    let rows_off = with_knob "0" (fun () -> Executor.Exec.run c) in
+    let f0 = (Cs.totals.Cs.chunks_faulted, Cs.totals.Cs.bytes_faulted) in
+    let rows_on = with_knob "1" (fun () -> Executor.Exec.run c) in
+    if rows_off <> rows_on then begin
+      row "FAIL: %s differs between spill store and row store\n" name;
+      all_ok := false
+    end;
+    let faulted = Cs.totals.Cs.chunks_faulted - fst f0
+    and fbytes = Cs.totals.Cs.bytes_faulted - snd f0 in
+    let t =
+      with_knob "1" (fun () ->
+          time_median ~repeat:5 (fun () -> Executor.Exec.run_batches c))
+    in
+    row "%-18s | %8d | %11.2f | %7d | %7d\n" name (List.length rows_on)
+      (ms t) faulted fbytes;
+    entries :=
+      Printf.sprintf
+        "    { \"name\": %S, \"rows\": %d, \"spill_ms\": %.3f, \
+         \"chunks_faulted\": %d, \"bytes_faulted\": %d }"
+        name (List.length rows_on) (ms t) faulted fbytes
+      :: !entries;
+    (t, faulted)
+  in
+  ignore
+    (measure "oo1_scan_filter"
+       "SELECT cto, clength FROM conns WHERE clength < 500"
+      : float * int);
+  let t_pruned, _ =
+    measure "oo1_pruned_scan" "SELECT cfrom, cto FROM conns WHERE cfrom < 100"
+  in
+  ignore
+    (measure "oo1_traversal" ~join_method:`Hash
+       "SELECT c.cto FROM parts p, conns c WHERE p.pid = c.cfrom AND p.build \
+        < 5000"
+      : float * int);
+  (* zone maps as block index: a statically empty range faults nothing *)
+  let _, zero_faults =
+    measure "oo1_zone_empty"
+      (Printf.sprintf "SELECT pid FROM parts WHERE pid > %d" (2 * n_parts))
+  in
+  (* a join filter built over a narrow key range prunes probe chunks
+     before they are decoded or faulted in *)
+  let _, jf_faults =
+    with_env "XNFDB_JOINFILTER" "1" (fun () ->
+        measure "oo1_jf_probe" ~join_method:`Hash
+          "SELECT c.cto FROM parts p, conns c WHERE p.pid = c.cfrom AND \
+           p.pid <= 64")
+  in
+  (* the naive-spill baseline: raw cold blocks, no block index — every
+     cold chunk is faulted back on each run of the pruned scan *)
+  let t_base =
+    with_env "XNFDB_COLSTORE_BLOCKIDX" "0" (fun () ->
+        let c =
+          Db.compile_query db_raw
+            "SELECT cfrom, cto FROM conns WHERE cfrom < 100"
+        in
+        time_median ~repeat:5 (fun () -> Executor.Exec.run_batches c))
+  in
+  let speedup = t_base /. t_pruned in
+  row "%-18s | %8s | %11.2f | (raw blocks, no block index)\n"
+    "oo1_pruned_base" "" (ms t_base);
+  (* CO extraction over the spilled store, byte-identical to the row
+     store (Hetstream.equal) *)
+  let compiled = Xnf.Xnf_compile.compile db Workloads.Oo1.parts_graph_query in
+  let stream_off =
+    with_knob "0" (fun () -> Xnf.Xnf_compile.extract ~cache:false compiled)
+  in
+  let stream_on =
+    with_knob "1" (fun () -> Xnf.Xnf_compile.extract ~cache:false compiled)
+  in
+  let streams_ok = H.equal stream_off stream_on in
+  row "%-18s | %8d | (Hetstream.equal %s)\n" "co_parts_graph"
+    (H.total_items stream_on)
+    (if streams_ok then "verified" else "FAILED");
+  row
+    "\ngates: column bytes >= 5x budget: %b; zone-pruned faults = 0: %b (%d); \
+     jf-pruned faults <= 4: %b (%d); footprint %.2fx <= 0.6x: %b; pruned-scan \
+     speedup %.2fx >= 1.3x: %b; streams byte-identical: %b\n"
+    scale_ok (zero_faults = 0) zero_faults (jf_faults <= 4) jf_faults
+    footprint (footprint <= 0.6) speedup (speedup >= 1.3) streams_ok;
+  let oc = open_out "BENCH_spill.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"spill\",\n  %s,\n  \"n_parts\": %d,\n  \
+     \"budget_mb\": %d,\n  \"column_bytes\": %d,\n  \"spilled_bytes\": %d,\n  \
+     \"raw_baseline_spilled_bytes\": %d,\n  \"footprint_ratio\": %.4f,\n  \
+     \"zone_empty_faults\": %d,\n  \"jf_probe_faults\": %d,\n  \
+     \"pruned_ms\": %.3f,\n  \"pruned_baseline_ms\": %.3f,\n  \
+     \"pruned_speedup\": %.3f,\n  \"hetstream_equal\": %b,\n  \
+     \"entries\": [\n%s\n  ]\n}\n"
+    (metadata_json ()) n_parts budget_mb colbytes (spilled db)
+    (spilled db_raw) footprint zero_faults jf_faults (ms t_pruned)
+    (ms t_base) speedup streams_ok
+    (String.concat ",\n" (List.rev !entries));
+  close_out oc;
+  row "wrote BENCH_spill.json\n";
+  if
+    not
+      (!all_ok && scale_ok && zero_faults = 0 && jf_faults <= 4
+     && footprint <= 0.6 && speedup >= 1.3 && streams_ok)
+  then begin
+    row "FAIL: a spill gate did not hold (see above)\n";
+    exit 1
+  end
+
 (* ------------------------------------------------------------ summary --- *)
 
 (** Merge every BENCH_*.json artifact in the working directory into one
@@ -1313,14 +1526,15 @@ let () =
     let n_parts =
       match Sys.getenv_opt "XNFDB_BENCH_PARTS" with
       | Some s -> int_of_string s
-      | None -> 5_000
+      | None -> scaled 5_000
     in
     bench_exec_batching ~n_parts ();
     bench_parallel_queues ~n_parts ~domain_counts:[ 1; 2; 4 ] ();
     bench_cache ();
     bench_colstore ~n_parts ();
-    bench_joinfilter ~n_probe:50_000 ();
+    bench_joinfilter ~n_probe:(scaled 50_000) ();
     bench_ivm ();
+    bench_spill ~n_parts:(10 * n_parts) ~budget_mb:1 ();
     write_summary ();
     print_endline "\nsmoke bench complete."
   end
@@ -1338,6 +1552,7 @@ let () =
     bench_colstore ();
     bench_joinfilter ();
     bench_ivm ();
+    bench_spill ();
     write_summary ();
     run_bechamel ();
     print_endline "\nall benches complete."

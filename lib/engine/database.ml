@@ -249,6 +249,21 @@ let explain db (sql : string) : string =
        ct.Colstore.chunks_scanned ct.Colstore.chunks_skipped
        ct.Colstore.rows_materialized
        (if Colstore.enabled () then "" else " (disabled)"));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  chunks encoded: %d, decoded: %d, faulted: %d, evicted: %d\n"
+       ct.Colstore.chunks_encoded ct.Colstore.chunks_decoded
+       ct.Colstore.chunks_faulted ct.Colstore.chunks_evicted);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  spill: budget %s, resident %d bytes, spilled %d bytes (cumulative: \
+        %d spilled, %d faulted)\n"
+       (let b = Colstore.budget_bytes () in
+        if b = 0 then "off"
+        else Printf.sprintf "%d MB/table" (b / (1024 * 1024)))
+       (Colstore.global_resident_bytes ())
+       (Colstore.global_spilled_bytes ())
+       ct.Colstore.bytes_spilled ct.Colstore.bytes_faulted);
   let jt = Bloom.totals in
   Buffer.add_string buf "== join filters ==\n";
   Buffer.add_string buf
@@ -464,6 +479,12 @@ let rec exec_stmt db (stmt : Ast.stmt) : result =
     | None -> exec_delete db ~table_name ~where
   end
   | Ast.Drop_table name ->
+    (* release the columnar tier state (chunk arrays + spill mapping)
+       before unhooking the table, so reusing the Database doesn't
+       accumulate dead mmap segments *)
+    (match Catalog.find_table_opt db.catalog name with
+    | Some t -> Base_table.release t
+    | None -> ());
     Catalog.drop_table db.catalog name;
     invalidate_plans db;
     Done (Printf.sprintf "table %s dropped" name)

@@ -109,18 +109,21 @@ let of_plan ?(require_atoms = true) (p : Plan.t) : t option =
             residual;
           }
 
-(** The unboxed int data + null bitmap behind a single-column [Tint]
-    join key, if the key is a bare column of one. *)
-let int_key_column (cs : t) (key : Plan.scalar) : (int array * Bytes.t) option =
+(** The column position behind a single-column [Tint] join key, if the
+    key is a bare column of one.  Per-chunk data comes from
+    {!Relcore.Colstore.key_chunk} (tier-aware: hot arrays or a decoded
+    cold section). *)
+let int_key (cs : t) (key : Plan.scalar) : int option =
   match key with
-  | Plan.P_col i -> Colstore.int_column cs.store i
+  | Plan.P_col i when Colstore.int_key_col cs.store i -> Some i
   | _ -> None
 
-(** The dictionary-code data + null bitmap behind a single-column
-    [Tstr] join key, if the key is a bare column of one.  Codes are
-    private to this table's dictionary: build-side strings must be
-    translated through {!Relcore.Colstore.dict_find} before probing. *)
-let str_key_column (cs : t) (key : Plan.scalar) : (int array * Bytes.t) option =
+(** The column position behind a single-column [Tstr] join key, if the
+    key is a bare column of one.  {!Relcore.Colstore.key_chunk} then
+    yields dictionary codes private to this table: build-side strings
+    must be translated through {!Relcore.Colstore.dict_find} before
+    probing. *)
+let str_key (cs : t) (key : Plan.scalar) : int option =
   match key with
-  | Plan.P_col i -> Colstore.str_code_column cs.store i
+  | Plan.P_col i when Colstore.str_key_col cs.store i -> Some i
   | _ -> None

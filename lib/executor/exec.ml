@@ -33,6 +33,8 @@ type ctx = {
   mutable chunks_scanned : int; (* colstore chunks whose rows were visited *)
   mutable chunks_skipped : int; (* colstore chunks zone-pruned wholesale *)
   mutable rows_materialized : int; (* heap tuples fetched by columnar scans *)
+  mutable chunks_faulted : int; (* cold colstore chunks read from the spill file *)
+  mutable bytes_faulted : int; (* encoded bytes copied back by those reads *)
   mutable jf_built : int; (* sideways join filters built *)
   mutable jf_chunks_skipped : int; (* probe chunks pruned by join-filter range *)
   mutable jf_rows_skipped : int; (* probe rows dropped by a join filter *)
@@ -58,11 +60,27 @@ let make_ctx ?batch_capacity ?result_cache () =
     chunks_scanned = 0;
     chunks_skipped = 0;
     rows_materialized = 0;
+    chunks_faulted = 0;
+    bytes_faulted = 0;
     jf_built = 0;
     jf_chunks_skipped = 0;
     jf_rows_skipped = 0;
     jf_dropped = 0;
   }
+
+(* Fold a scan's fault counters into the ctx and the process totals,
+   then re-arm the per-scan record.  Scan-side fault accounting flows
+   only through caller-owned [scan_stats] (see Colstore), so this is
+   the single point where it reaches shared state. *)
+let flush_faults (ctx : ctx) (sst : Colstore.scan_stats) =
+  if sst.Colstore.faulted > 0 || sst.Colstore.fbytes > 0 then begin
+    ctx.chunks_faulted <- ctx.chunks_faulted + sst.Colstore.faulted;
+    ctx.bytes_faulted <- ctx.bytes_faulted + sst.Colstore.fbytes;
+    Colstore.add_totals ~faulted:sst.Colstore.faulted ~fbytes:sst.Colstore.fbytes
+      ~scanned:0 ~skipped:0 ~materialized:0 ();
+    sst.Colstore.faulted <- 0;
+    sst.Colstore.fbytes <- 0
+  end
 
 exception Cached_batches of Batch.t list
 
@@ -560,6 +578,7 @@ and open_colscan (ctx : ctx) (frames : Eval.frames) (cs : Colscan.t) :
   let katoms = cs.Colscan.katoms in
   let test = Option.map (compile_pred ctx) cs.Colscan.residual in
   let sel = Array.make (Colstore.chunk_rows store) 0 in
+  let sst = Colstore.scan_stats () in
   (* snapshotted: queries never mutate their own base tables here *)
   let n_chunks = Colstore.n_chunks store in
   let chunk = ref 0 in
@@ -570,14 +589,17 @@ and open_colscan (ctx : ctx) (frames : Eval.frames) (cs : Colscan.t) :
         incr chunk;
         if Colstore.prune_chunk store katoms c then begin
           ctx.chunks_skipped <- ctx.chunks_skipped + 1;
-          Colstore.add_totals ~scanned:0 ~skipped:1 ~materialized:0
+          Colstore.add_totals ~scanned:0 ~skipped:1 ~materialized:0 ()
         end
         else begin
           ctx.chunks_scanned <- ctx.chunks_scanned + 1;
           ctx.rows_scanned <- ctx.rows_scanned + Colstore.live_in_chunk store c;
-          let n = Colstore.select_chunk store katoms c sel in
+          Colstore.pin store c;
+          let n = Colstore.select_chunk ~stats:sst store katoms c sel in
+          Colstore.unpin store c;
           ctx.rows_materialized <- ctx.rows_materialized + n;
-          Colstore.add_totals ~scanned:1 ~skipped:0 ~materialized:n;
+          Colstore.add_totals ~scanned:1 ~skipped:0 ~materialized:n ();
+          flush_faults ctx sst;
           (match test with
           | None ->
             for i = 0 to n - 1 do
@@ -749,16 +771,16 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
     let columnar_probe =
       match Colscan.of_plan ~require_atoms:false probe with
       | Some cs -> (
-        match Colscan.int_key_column cs pk with
-        | Some (data, knulls) -> Some (cs, data, knulls, `Int)
+        match Colscan.int_key cs pk with
+        | Some ki -> Some (cs, ki, `Int)
         | None ->
-          (match Colscan.str_key_column cs pk with
-          | Some (data, knulls) -> Some (cs, data, knulls, `Str)
+          (match Colscan.str_key cs pk with
+          | Some ki -> Some (cs, ki, `Str)
           | None -> None))
       | None -> None
     in
     (match columnar_probe with
-    | Some (cs, data, knulls, `Int) ->
+    | Some (cs, ki, `Int) ->
       (* chunk-driven probe: keys come straight off the unboxed column;
          the probe-side heap tuple is materialized only for rows that
          survive the atoms (and, with no residual, only on a match) *)
@@ -767,6 +789,8 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
       let katoms = cs.Colscan.katoms in
       let test = Option.map (compile_pred ctx) cs.Colscan.residual in
       let sel = Array.make (Colstore.chunk_rows store) 0 in
+      let rdr = Colstore.reader store in
+      let sst = Colstore.scan_stats () in
       let n_chunks = Colstore.n_chunks store in
       let chunk = ref 0 in
       (* build-side key range as zone-prunable atoms over the probe's
@@ -793,96 +817,108 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
             incr chunk;
             if Colstore.prune_chunk store katoms c then begin
               ctx.chunks_skipped <- ctx.chunks_skipped + 1;
-              Colstore.add_totals ~scanned:0 ~skipped:1 ~materialized:0
+              Colstore.add_totals ~scanned:0 ~skipped:1 ~materialized:0 ()
             end
             else begin
               match Lazy.force jf_atoms with
               | Some ja when Colstore.prune_chunk store ja c ->
-                (* every key in the chunk is outside the build's range *)
+                (* every key in the chunk is outside the build's range —
+                   pruned before the chunk is decoded or faulted in *)
                 ctx.jf_chunks_skipped <- ctx.jf_chunks_skipped + 1;
                 Bloom.add_totals ~built:0 ~chunks:1 ~rows:0 ~dropped:0
               | _ ->
                 ctx.chunks_scanned <- ctx.chunks_scanned + 1;
                 ctx.rows_scanned <-
                   ctx.rows_scanned + Colstore.live_in_chunk store c;
-                let n = Colstore.select_chunk store katoms c sel in
+                Colstore.pin store c;
+                let n = Colstore.select_chunk ~stats:sst store katoms c sel in
                 let mat = ref 0 in
                 let tbl, flt = Lazy.force table in
                 let jfb =
                   match flt with Some bl when !jf_live -> Some bl | _ -> None
                 in
-                (match tbl, test with
-                | T_int itbl, None ->
-                  for j = 0 to n - 1 do
-                    let s = Array.unsafe_get sel j in
-                    if not (Colstore.bit_get knulls s) then begin
-                      let k = Array.unsafe_get data s in
-                      if
-                        match jfb with
-                        | None -> true
-                        | Some bl -> jf_pass_counted bl k
-                      then begin
-                        match Itbl.find itbl k with
-                        | exception Not_found -> ()
-                        | matches ->
-                          incr mat;
-                          emit_matches emit (Base_table.get_exn ptable s)
-                            matches
-                      end
-                    end
-                  done
-                | T_int itbl, Some t ->
-                  for j = 0 to n - 1 do
-                    let s = Array.unsafe_get sel j in
-                    if not (Colstore.bit_get knulls s) then begin
-                      let k = Array.unsafe_get data s in
-                      (* the Bloom runs before materialization: a key
-                         absent from the build can't survive the join
-                         whatever the residual says *)
-                      if
-                        match jfb with
-                        | None -> true
-                        | Some bl -> jf_pass_counted bl k
-                      then begin
-                        let row = Base_table.get_exn ptable s in
-                        incr mat;
-                        if is_true (t frames row) then begin
-                          match Itbl.find itbl k with
-                          | exception Not_found -> ()
-                          | matches -> emit_matches emit row matches
-                        end
-                      end
-                    end
-                  done
-                | T_val vtbl, test ->
-                  (* build side fell back to value keys (possible when it
-                     was empty of ints only in theory — keys here are
-                     ints, so this probes with boxed Int values) *)
-                  for j = 0 to n - 1 do
-                    let s = Array.unsafe_get sel j in
-                    if not (Colstore.bit_get knulls s) then begin
-                      let row = Base_table.get_exn ptable s in
-                      incr mat;
-                      let keep =
-                        match test with
-                        | None -> true
-                        | Some t -> is_true (t frames row)
-                      in
-                      if keep then begin
-                        match
-                          Vtbl.find vtbl (Value.Int (Array.unsafe_get data s))
-                        with
-                        | exception Not_found -> ()
-                        | matches -> emit_matches emit row matches
-                      end
-                    end
-                  done);
+                (if n > 0 then begin
+                   let data, knulls, kbase =
+                     Colstore.key_chunk ~stats:sst store rdr ki c
+                   in
+                   match tbl, test with
+                   | T_int itbl, None ->
+                     for j = 0 to n - 1 do
+                       let s = Array.unsafe_get sel j in
+                       let l = s - kbase in
+                       if not (Colstore.bit_get knulls l) then begin
+                         let k = Array.unsafe_get data l in
+                         if
+                           match jfb with
+                           | None -> true
+                           | Some bl -> jf_pass_counted bl k
+                         then begin
+                           match Itbl.find itbl k with
+                           | exception Not_found -> ()
+                           | matches ->
+                             incr mat;
+                             emit_matches emit (Base_table.get_exn ptable s)
+                               matches
+                         end
+                       end
+                     done
+                   | T_int itbl, Some t ->
+                     for j = 0 to n - 1 do
+                       let s = Array.unsafe_get sel j in
+                       let l = s - kbase in
+                       if not (Colstore.bit_get knulls l) then begin
+                         let k = Array.unsafe_get data l in
+                         (* the Bloom runs before materialization: a key
+                            absent from the build can't survive the join
+                            whatever the residual says *)
+                         if
+                           match jfb with
+                           | None -> true
+                           | Some bl -> jf_pass_counted bl k
+                         then begin
+                           let row = Base_table.get_exn ptable s in
+                           incr mat;
+                           if is_true (t frames row) then begin
+                             match Itbl.find itbl k with
+                             | exception Not_found -> ()
+                             | matches -> emit_matches emit row matches
+                           end
+                         end
+                       end
+                     done
+                   | T_val vtbl, test ->
+                     (* build side fell back to value keys (possible when it
+                        was empty of ints only in theory — keys here are
+                        ints, so this probes with boxed Int values) *)
+                     for j = 0 to n - 1 do
+                       let s = Array.unsafe_get sel j in
+                       let l = s - kbase in
+                       if not (Colstore.bit_get knulls l) then begin
+                         let row = Base_table.get_exn ptable s in
+                         incr mat;
+                         let keep =
+                           match test with
+                           | None -> true
+                           | Some t -> is_true (t frames row)
+                         in
+                         if keep then begin
+                           match
+                             Vtbl.find vtbl (Value.Int (Array.unsafe_get data l))
+                           with
+                           | exception Not_found -> ()
+                           | matches -> emit_matches emit row matches
+                         end
+                       end
+                     done
+                 end);
+                Colstore.unpin store c;
                 ctx.rows_materialized <- ctx.rows_materialized + !mat;
-                Colstore.add_totals ~scanned:1 ~skipped:0 ~materialized:!mat
+                Colstore.add_totals ~scanned:1 ~skipped:0 ~materialized:!mat ();
+                flush_faults ctx sst
             end;
             true
           end)
-    | Some (cs, data, knulls, `Str) ->
+    | Some (cs, ki, `Str) ->
       (* string-keyed chunk-driven probe: keys come off the
          dictionary-code column; build strings fold onto probe-side
          codes once, so the probe loop compares ints and never touches
@@ -895,6 +931,8 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
       let katoms = cs.Colscan.katoms in
       let test = Option.map (compile_pred ctx) cs.Colscan.residual in
       let sel = Array.make (Colstore.chunk_rows store) 0 in
+      let rdr = Colstore.reader store in
+      let sst = Colstore.scan_stats () in
       let n_chunks = Colstore.n_chunks store in
       let chunk = ref 0 in
       let ctable =
@@ -932,59 +970,70 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
             incr chunk;
             if Colstore.prune_chunk store katoms c then begin
               ctx.chunks_skipped <- ctx.chunks_skipped + 1;
-              Colstore.add_totals ~scanned:0 ~skipped:1 ~materialized:0
+              Colstore.add_totals ~scanned:0 ~skipped:1 ~materialized:0 ()
             end
             else begin
               ctx.chunks_scanned <- ctx.chunks_scanned + 1;
               ctx.rows_scanned <-
                 ctx.rows_scanned + Colstore.live_in_chunk store c;
-              let n = Colstore.select_chunk store katoms c sel in
+              Colstore.pin store c;
+              let n = Colstore.select_chunk ~stats:sst store katoms c sel in
               let mat = ref 0 in
               let itbl, flt = Lazy.force ctable in
               let jfb =
                 match flt with Some bl when !jf_live -> Some bl | _ -> None
               in
-              (match test with
-              | None ->
-                for j = 0 to n - 1 do
-                  let s = Array.unsafe_get sel j in
-                  if not (Colstore.bit_get knulls s) then begin
-                    let k = Array.unsafe_get data s in
-                    if
-                      match jfb with
-                      | None -> true
-                      | Some bl -> jf_pass_counted bl k
-                    then begin
-                      match Itbl.find itbl k with
-                      | exception Not_found -> ()
-                      | matches ->
-                        incr mat;
-                        emit_matches emit (Base_table.get_exn ptable s) matches
-                    end
-                  end
-                done
-              | Some t ->
-                for j = 0 to n - 1 do
-                  let s = Array.unsafe_get sel j in
-                  if not (Colstore.bit_get knulls s) then begin
-                    let k = Array.unsafe_get data s in
-                    if
-                      match jfb with
-                      | None -> true
-                      | Some bl -> jf_pass_counted bl k
-                    then begin
-                      let row = Base_table.get_exn ptable s in
-                      incr mat;
-                      if is_true (t frames row) then begin
-                        match Itbl.find itbl k with
-                        | exception Not_found -> ()
-                        | matches -> emit_matches emit row matches
-                      end
-                    end
-                  end
-                done);
+              (if n > 0 then begin
+                 let data, knulls, kbase =
+                   Colstore.key_chunk ~stats:sst store rdr ki c
+                 in
+                 match test with
+                 | None ->
+                   for j = 0 to n - 1 do
+                     let s = Array.unsafe_get sel j in
+                     let l = s - kbase in
+                     if not (Colstore.bit_get knulls l) then begin
+                       let k = Array.unsafe_get data l in
+                       if
+                         match jfb with
+                         | None -> true
+                         | Some bl -> jf_pass_counted bl k
+                       then begin
+                         match Itbl.find itbl k with
+                         | exception Not_found -> ()
+                         | matches ->
+                           incr mat;
+                           emit_matches emit (Base_table.get_exn ptable s)
+                             matches
+                       end
+                     end
+                   done
+                 | Some t ->
+                   for j = 0 to n - 1 do
+                     let s = Array.unsafe_get sel j in
+                     let l = s - kbase in
+                     if not (Colstore.bit_get knulls l) then begin
+                       let k = Array.unsafe_get data l in
+                       if
+                         match jfb with
+                         | None -> true
+                         | Some bl -> jf_pass_counted bl k
+                       then begin
+                         let row = Base_table.get_exn ptable s in
+                         incr mat;
+                         if is_true (t frames row) then begin
+                           match Itbl.find itbl k with
+                           | exception Not_found -> ()
+                           | matches -> emit_matches emit row matches
+                         end
+                       end
+                     end
+                   done
+               end);
+              Colstore.unpin store c;
               ctx.rows_materialized <- ctx.rows_materialized + !mat;
-              Colstore.add_totals ~scanned:1 ~skipped:0 ~materialized:!mat
+              Colstore.add_totals ~scanned:1 ~skipped:0 ~materialized:!mat ();
+              flush_faults ctx sst
             end;
             true
           end)
@@ -1150,42 +1199,55 @@ and columnar_build (ctx : ctx) (frames : Eval.frames) ~build ~key :
   match Colscan.of_plan ~require_atoms:false build with
   | None -> None
   | Some cs ->
-    (match Colscan.int_key_column cs key with
+    (match Colscan.int_key cs key with
     | None -> None
-    | Some (data, knulls) ->
+    | Some ki ->
       let store = cs.Colscan.store in
       let katoms = cs.Colscan.katoms in
       let test = Option.map (compile_pred ctx) cs.Colscan.residual in
       let sel = Array.make (Colstore.chunk_rows store) 0 in
+      let rdr = Colstore.reader store in
+      let sst = Colstore.scan_stats () in
       let itbl = Itbl.create 256 in
       for c = 0 to Colstore.n_chunks store - 1 do
         if Colstore.prune_chunk store katoms c then begin
           ctx.chunks_skipped <- ctx.chunks_skipped + 1;
-          Colstore.add_totals ~scanned:0 ~skipped:1 ~materialized:0
+          Colstore.add_totals ~scanned:0 ~skipped:1 ~materialized:0 ()
         end
         else begin
           ctx.chunks_scanned <- ctx.chunks_scanned + 1;
           ctx.rows_scanned <- ctx.rows_scanned + Colstore.live_in_chunk store c;
-          let n = Colstore.select_chunk store katoms c sel in
+          Colstore.pin store c;
+          let n = Colstore.select_chunk ~stats:sst store katoms c sel in
           let mat = ref 0 in
-          for j = 0 to n - 1 do
-            let s = Array.unsafe_get sel j in
-            (* null keys never join: skip before materializing *)
-            if not (Colstore.bit_get knulls s) then begin
-              let row = Base_table.get_exn cs.Colscan.table s in
-              incr mat;
-              let keep =
-                match test with None -> true | Some t -> is_true (t frames row)
-              in
-              if keep then begin
-                let k = Array.unsafe_get data s in
-                let prev = try Itbl.find itbl k with Not_found -> [] in
-                Itbl.replace itbl k (row :: prev)
-              end
-            end
-          done;
+          (if n > 0 then begin
+             let data, knulls, kbase =
+               Colstore.key_chunk ~stats:sst store rdr ki c
+             in
+             for j = 0 to n - 1 do
+               let s = Array.unsafe_get sel j in
+               let l = s - kbase in
+               (* null keys never join: skip before materializing *)
+               if not (Colstore.bit_get knulls l) then begin
+                 let row = Base_table.get_exn cs.Colscan.table s in
+                 incr mat;
+                 let keep =
+                   match test with
+                   | None -> true
+                   | Some t -> is_true (t frames row)
+                 in
+                 if keep then begin
+                   let k = Array.unsafe_get data l in
+                   let prev = try Itbl.find itbl k with Not_found -> [] in
+                   Itbl.replace itbl k (row :: prev)
+                 end
+               end
+             done
+           end);
+          Colstore.unpin store c;
           ctx.rows_materialized <- ctx.rows_materialized + !mat;
-          Colstore.add_totals ~scanned:1 ~skipped:0 ~materialized:!mat
+          Colstore.add_totals ~scanned:1 ~skipped:0 ~materialized:!mat ();
+          flush_faults ctx sst
         end
       done;
       Some (T_int itbl))
@@ -1388,6 +1450,8 @@ let sibling_ctx (ctx : ctx) : ctx =
     chunks_scanned = 0;
     chunks_skipped = 0;
     rows_materialized = 0;
+    chunks_faulted = 0;
+    bytes_faulted = 0;
     jf_built = 0;
     jf_chunks_skipped = 0;
     jf_rows_skipped = 0;

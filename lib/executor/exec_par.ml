@@ -54,6 +54,8 @@ type stats = {
   mutable s_chunks_scanned : int; (* colstore chunks visited *)
   mutable s_chunks_skipped : int; (* colstore chunks zone-pruned *)
   mutable s_materialized : int; (* heap tuples fetched by columnar scans *)
+  mutable s_faulted : int; (* cold chunks read from the spill file *)
+  mutable s_fbytes : int; (* encoded bytes copied back by those reads *)
   mutable s_jf_chunks_skipped : int; (* probe chunks pruned by join-filter range *)
   mutable s_jf_rows_skipped : int; (* probe rows dropped by a join filter *)
   mutable s_jf_dropped : int; (* per-worker adaptive join-filter disables *)
@@ -65,6 +67,8 @@ let new_stats () =
     s_chunks_scanned = 0;
     s_chunks_skipped = 0;
     s_materialized = 0;
+    s_faulted = 0;
+    s_fbytes = 0;
     s_jf_chunks_skipped = 0;
     s_jf_rows_skipped = 0;
     s_jf_dropped = 0;
@@ -80,12 +84,15 @@ let fold_stats (ctx : Exec.ctx) (stats : stats array) =
       ctx.Exec.chunks_skipped <- ctx.Exec.chunks_skipped + st.s_chunks_skipped;
       ctx.Exec.rows_materialized <-
         ctx.Exec.rows_materialized + st.s_materialized;
+      ctx.Exec.chunks_faulted <- ctx.Exec.chunks_faulted + st.s_faulted;
+      ctx.Exec.bytes_faulted <- ctx.Exec.bytes_faulted + st.s_fbytes;
       ctx.Exec.jf_chunks_skipped <-
         ctx.Exec.jf_chunks_skipped + st.s_jf_chunks_skipped;
       ctx.Exec.jf_rows_skipped <- ctx.Exec.jf_rows_skipped + st.s_jf_rows_skipped;
       ctx.Exec.jf_dropped <- ctx.Exec.jf_dropped + st.s_jf_dropped;
-      Colstore.add_totals ~scanned:st.s_chunks_scanned
-        ~skipped:st.s_chunks_skipped ~materialized:st.s_materialized;
+      Colstore.add_totals ~faulted:st.s_faulted ~fbytes:st.s_fbytes
+        ~scanned:st.s_chunks_scanned ~skipped:st.s_chunks_skipped
+        ~materialized:st.s_materialized ();
       Bloom.add_totals ~built:0 ~chunks:st.s_jf_chunks_skipped
         ~rows:st.s_jf_rows_skipped ~dropped:st.s_jf_dropped)
     stats
@@ -168,23 +175,29 @@ let iter_morsel (src : source) ~msz (st : stats) m feed =
     let lo = m * msz
     and hi = min ((m + 1) * msz) n_chunks in
     let visited = ref 0 in
+    let sst = Colstore.scan_stats () in
     for c = lo to hi - 1 do
       if Colstore.prune_chunk store katoms c then
         st.s_chunks_skipped <- st.s_chunks_skipped + 1
       else
         match jf with
         | Some ja when Colstore.prune_chunk store ja c ->
-          (* every key in the chunk is outside the build side's range *)
+          (* every key in the chunk is outside the build side's range —
+             pruned before the chunk is decoded or faulted in *)
           st.s_jf_chunks_skipped <- st.s_jf_chunks_skipped + 1
         | _ ->
           st.s_chunks_scanned <- st.s_chunks_scanned + 1;
           visited := !visited + Colstore.live_in_chunk store c;
-          let n = Colstore.select_chunk store katoms c sel in
+          Colstore.pin store c;
+          let n = Colstore.select_chunk ~stats:sst store katoms c sel in
+          Colstore.unpin store c;
           st.s_materialized <- st.s_materialized + n;
           for i = 0 to n - 1 do
             feed (Base_table.get_exn table (Array.unsafe_get sel i))
           done
     done;
+    st.s_faulted <- st.s_faulted + sst.Colstore.faulted;
+    st.s_fbytes <- st.s_fbytes + sst.Colstore.fbytes;
     !visited
 
 let choose_dop ~opts ~rows ~n_morsels =
@@ -217,12 +230,19 @@ let make_key_fn (keys : Plan.scalar list) =
 
 (* -- pipeline construction ----------------------------------------------- *)
 
+(* Effective source rows for the DOP choice: cold chunks cost extra to
+   read (section copy + decode), so a partially spilled table warrants
+   an earlier fan-out.  Identity when spilling is off. *)
+let scan_rows_est (t : Base_table.t) =
+  int_of_float
+    (float_of_int (Base_table.cardinality t) *. Cost.scan_access_factor t)
+
 let rec pipe_of (ctx : Exec.ctx) ~opts (p : Plan.t) : pipe =
   match p with
   | Plan.Scan t ->
     {
       src = Src_table t;
-      src_rows = Base_table.cardinality t;
+      src_rows = scan_rows_est t;
       make_feed = (fun _ ~emit -> emit);
     }
   | Plan.Values rows ->
@@ -256,7 +276,7 @@ let rec pipe_of (ctx : Exec.ctx) ~opts (p : Plan.t) : pipe =
       ignore (residual_opt residual);
       {
         src = Src_colscan (cs, None);
-        src_rows = Base_table.cardinality cs.Colscan.table;
+        src_rows = scan_rows_est cs.Colscan.table;
         make_feed =
           (fun _ ~emit ->
             match residual_opt residual with

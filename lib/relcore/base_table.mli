@@ -84,3 +84,7 @@ val to_list : t -> (Heap.rid * Tuple.t) list
 
 val pk_lookup : t -> Tuple.t -> Heap.rid list
 val truncate : t -> unit
+
+val release : t -> unit
+(** Release the columnar mirror's chunk arrays and spill file (DDL
+    drop); idempotent.  The table must not be used afterwards. *)
