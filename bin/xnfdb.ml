@@ -3,7 +3,9 @@
    Subcommands:
      repl            interactive SQL/XNF shell (default)
      run FILE...     execute ';'-separated SQL/XNF scripts
+                     (--connect ADDR runs them against a daemon)
      demo            preload the paper's Fig. 1 org database, then repl
+     serve [FILE..]  run the socket daemon (scripts preload the db)
 
    Inside the shell: SQL statements and XNF queries (starting with
    OUT OF) end with ';'.  Meta commands start with '.':
@@ -147,6 +149,86 @@ let load_demo db =
     "demo database loaded: dept, emp, proj, skills, empskills, projskills; \
      XNF view deps_arc defined."
 
+(* -- client mode --------------------------------------------------------- *)
+
+(** Parse a connection spec: [PATH] (unix socket), [:PORT] or
+    [HOST:PORT] (TCP). *)
+let parse_addr (spec : string) : Unix.sockaddr =
+  match String.rindex_opt spec ':' with
+  | Some i when int_of_string_opt
+                  (String.sub spec (i + 1) (String.length spec - i - 1))
+                <> None ->
+    let port =
+      int_of_string (String.sub spec (i + 1) (String.length spec - i - 1))
+    in
+    let host = String.sub spec 0 i in
+    let inet =
+      if host = "" then Unix.inet_addr_loopback
+      else
+        try Unix.inet_addr_of_string host
+        with Failure _ ->
+          (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    Unix.ADDR_INET (inet, port)
+  | _ -> Unix.ADDR_UNIX spec
+
+let print_client_result = function
+  | Net.Client.Rows (schema, rows) ->
+    print_endline (Db.render schema rows);
+    Printf.printf "(%d rows)\n" (List.length rows)
+  | Net.Client.Affected n -> Printf.printf "(%d rows affected)\n" n
+  | Net.Client.Done msg -> Printf.printf "%s\n" msg
+
+let execute_remote cl (input : string) =
+  let trimmed = String.trim input in
+  if trimmed = "" then ()
+  else if Xnf.Xnf_parser.is_xnf_text trimmed then
+    print_stream (Net.Client.extract cl trimmed)
+  else print_client_result (Net.Client.exec cl trimmed)
+
+let run_scripts_remote (addr : Unix.sockaddr) files =
+  let cl = Net.Client.connect ~client_name:"xnfdb-cli" addr in
+  Fun.protect
+    ~finally:(fun () -> Net.Client.close cl)
+    (fun () ->
+      List.iter
+        (fun file ->
+          let text = In_channel.with_open_text file In_channel.input_all in
+          List.iter
+            (fun stmt ->
+              try execute_remote cl stmt with
+              | Relcore.Errors.Db_error (k, msg) ->
+                Printf.printf "error: %s: %s\n"
+                  (Relcore.Errors.kind_to_string k) msg
+              | Net.Client.Server_error { kind; msg } ->
+                Printf.printf "server error: %s: %s\n" kind msg)
+            (Db.split_script text))
+        files)
+
+(* -- daemon mode --------------------------------------------------------- *)
+
+let serve_daemon ~addr ~demo files =
+  let db = Db.create () in
+  if demo then load_demo db;
+  run_scripts db files;
+  let config =
+    Net.Server.default_config
+      ?addr:(Option.map parse_addr addr)
+      ~release_on_stop:true ()
+  in
+  let t = Net.Server.create ~config db in
+  Sys.set_signal Sys.sigint
+    (Sys.Signal_handle (fun _ -> Net.Server.stop t));
+  Sys.set_signal Sys.sigterm
+    (Sys.Signal_handle (fun _ -> Net.Server.stop t));
+  (match Net.Server.sockaddr t with
+  | Unix.ADDR_UNIX path -> Printf.printf "xnfdb: serving on unix:%s\n%!" path
+  | Unix.ADDR_INET (h, p) ->
+    Printf.printf "xnfdb: serving on tcp:%s:%d\n%!"
+      (Unix.string_of_inet_addr h) p);
+  Net.Server.serve t;
+  print_endline "xnfdb: drained, all sessions closed; bye."
+
 (* -- cmdliner ----------------------------------------------------------- *)
 
 open Cmdliner
@@ -169,15 +251,51 @@ let repl_cmd =
           repl (Db.create ()))
       $ verbose_flag)
 
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"ADDR"
+        ~doc:
+          "run against a daemon instead of in-process.  ADDR is a unix \
+           socket path, :PORT, or HOST:PORT.")
+
 let run_cmd =
   let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
   let doc = "execute ';'-separated SQL/XNF script files" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun verbose files ->
+      const (fun verbose connect files ->
           setup_verbose verbose;
-          run_scripts (Db.create ()) files)
-      $ verbose_flag $ files)
+          match connect with
+          | Some spec -> run_scripts_remote (parse_addr spec) files
+          | None -> run_scripts (Db.create ()) files)
+      $ verbose_flag $ connect_arg $ files)
+
+let serve_cmd =
+  let files = Arg.(value & pos_all file [] & info [] ~docv:"FILE") in
+  let addr =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "listen address: a unix socket path, :PORT, or HOST:PORT \
+             (default $(b,XNFDB_PORT) / $(b,XNFDB_SOCKET) / \
+             /tmp/xnfdb.sock).")
+  in
+  let demo =
+    Arg.(value & flag & info [ "demo" ] ~doc:"preload the Fig. 1 demo database")
+  in
+  let doc =
+    "run the socket daemon (SIGINT drains sessions and shuts down cleanly)"
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const (fun verbose addr demo files ->
+          setup_verbose verbose;
+          serve_daemon ~addr ~demo files)
+      $ verbose_flag $ addr $ demo $ files)
 
 let demo_cmd =
   let doc = "preload the paper's Fig. 1 example database and open the shell" in
@@ -194,6 +312,6 @@ let main_cmd =
   let doc = "composite-object views over relational data (XNF reproduction)" in
   let info = Cmd.info "xnfdb" ~version:"1.0.0" ~doc in
   Cmd.group ~default:Term.(const (fun () -> repl (Db.create ())) $ const ()) info
-    [ repl_cmd; run_cmd; demo_cmd ]
+    [ repl_cmd; run_cmd; demo_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,10 @@
+SELECT COUNT(*) FROM emp;
+SELECT COUNT(*) FROM dept;
+BEGIN;
+INSERT INTO dept VALUES (999, 'ci', 'CI');
+ROLLBACK;
+SELECT COUNT(*) FROM dept;
+OUT OF xdept AS (SELECT * FROM dept WHERE loc = 'ARC'),
+       xemp AS emp,
+       employment AS (RELATE xdept VIA EMPLOYS, xemp WHERE xdept.dno = xemp.edno)
+TAKE *;

@@ -9,7 +9,9 @@
 open Relcore
 module H = Xnf.Hetstream
 
-let magic = "XNFCACHE1\n"
+(* version 2: floats carry their full 8-byte IEEE pattern (v1 truncated
+   the sign bit through a 63-bit varint) *)
+let magic = "XNFCACHE2\n"
 
 (** Rebuild a heterogeneous stream from the cache's current state
     (including local inserts/updates; deleted nodes are dropped). *)

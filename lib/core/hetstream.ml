@@ -115,8 +115,11 @@ let write_value buf (v : Value.t) =
     Buffer.add_char buf 'I';
     write_int buf i
   | Value.Float f ->
+    (* full 8-byte IEEE pattern: a varint of [Int64.to_int] would drop
+       bit 63, flipping the sign of every negative float (and of -0.) on
+       the way back in *)
     Buffer.add_char buf 'F';
-    write_int buf (Int64.to_int (Int64.bits_of_float f))
+    Buffer.add_int64_le buf (Int64.bits_of_float f)
   | Value.Str s ->
     Buffer.add_char buf 'S';
     write_string buf s
@@ -148,7 +151,10 @@ let read_value r : Value.t =
   | 'N' -> Value.Null
   | 'B' -> Value.Bool (read_char r = '\001')
   | 'I' -> Value.Int (read_int r)
-  | 'F' -> Value.Float (Int64.float_of_bits (Int64.of_int (read_int r)))
+  | 'F' ->
+    let bits = String.get_int64_le r.data r.pos in
+    r.pos <- r.pos + 8;
+    Value.Float (Int64.float_of_bits bits)
   | 'S' -> Value.Str (read_string r)
   | c -> Errors.execution_error "corrupt stream: bad value tag %C" c
 
@@ -226,30 +232,49 @@ let read_header r : header =
   let root_components = List.init k (fun _ -> read_string r) in
   { components; root_components }
 
+let write_item buf (item : item) =
+  match item with
+  | Row { comp; id; values } ->
+    Buffer.add_char buf 'R';
+    write_int buf comp;
+    write_int buf id;
+    write_int buf (Array.length values);
+    Array.iter (write_value buf) values
+  | Conn { rel; id; parent; children; attrs } ->
+    Buffer.add_char buf 'C';
+    write_int buf rel;
+    write_int buf id;
+    write_int buf parent;
+    write_int buf (Array.length children);
+    Array.iter (write_int buf) children;
+    write_int buf (Array.length attrs);
+    Array.iter (write_value buf) attrs
+
+let read_item r : item =
+  match read_char r with
+  | 'R' ->
+    let comp = read_int r in
+    let id = read_int r in
+    let w = read_int r in
+    let values = Array.init w (fun _ -> read_value r) in
+    Row { comp; id; values }
+  | 'C' ->
+    let rel = read_int r in
+    let id = read_int r in
+    let parent = read_int r in
+    let k = read_int r in
+    let children = Array.init k (fun _ -> read_int r) in
+    let na = read_int r in
+    let attrs = Array.init na (fun _ -> read_value r) in
+    Conn { rel; id; parent; children; attrs }
+  | c -> Errors.execution_error "corrupt stream: bad item tag %C" c
+
 (** Serialize a stream: the single bulk message from server to client. *)
 let serialize (s : t) : string =
   let buf = Buffer.create 4096 in
   write_header buf s.header;
   write_int buf (List.length s.items);
-  List.iter
-    (fun item ->
-      match item with
-      | Row { comp; id; values } ->
-        Buffer.add_char buf 'R';
-        write_int buf comp;
-        write_int buf id;
-        write_int buf (Array.length values);
-        Array.iter (write_value buf) values
-      | Conn { rel; id; parent; children; attrs } ->
-        Buffer.add_char buf 'C';
-        write_int buf rel;
-        write_int buf id;
-        write_int buf parent;
-        write_int buf (Array.length children);
-        Array.iter (write_int buf) children;
-        write_int buf (Array.length attrs);
-        Array.iter (write_value buf) attrs)
-    s.items;
+  List.iter (write_item buf) s.items;
   Buffer.contents buf
 
 (** Structural stream equality via the wire format: headers, item order,
@@ -261,24 +286,5 @@ let deserialize (data : string) : t =
   let r = { data; pos = 0 } in
   let header = read_header r in
   let n = read_int r in
-  let items =
-    List.init n (fun _ ->
-        match read_char r with
-        | 'R' ->
-          let comp = read_int r in
-          let id = read_int r in
-          let w = read_int r in
-          let values = Array.init w (fun _ -> read_value r) in
-          Row { comp; id; values }
-        | 'C' ->
-          let rel = read_int r in
-          let id = read_int r in
-          let parent = read_int r in
-          let k = read_int r in
-          let children = Array.init k (fun _ -> read_int r) in
-          let na = read_int r in
-          let attrs = Array.init na (fun _ -> read_value r) in
-          Conn { rel; id; parent; children; attrs }
-        | c -> Errors.execution_error "corrupt stream: bad item tag %C" c)
-  in
+  let items = List.init n (fun _ -> read_item r) in
   { header; items }

@@ -64,6 +64,9 @@ val deserialize : string -> t
 val write_int : Buffer.t -> int -> unit
 val write_string : Buffer.t -> string -> unit
 val write_value : Buffer.t -> Value.t -> unit
+val write_schema : Buffer.t -> Schema.t -> unit
+val write_header : Buffer.t -> header -> unit
+val write_item : Buffer.t -> item -> unit
 
 type reader = { data : string; mutable pos : int }
 
@@ -71,3 +74,6 @@ val read_char : reader -> char
 val read_int : reader -> int
 val read_string : reader -> string
 val read_value : reader -> Value.t
+val read_schema : reader -> Schema.t
+val read_header : reader -> header
+val read_item : reader -> item

@@ -44,6 +44,22 @@ let create () =
     plan_misses = 0;
   }
 
+(** A session-scoped handle onto the same database: shares the catalog
+    (tables, views, indexes, columnar tiers — and through it the
+    process-wide result cache and IVM state), but carries its own
+    transaction and its own prepared-plan/plugin caches.  This is what
+    each server connection gets: one client's open txn or prepared
+    statements never leak into another's. *)
+let session parent =
+  {
+    catalog = parent.catalog;
+    txn = Txn.create ();
+    plan_cache = Hashtbl.create 32;
+    plugin_cache = Hashtbl.create 16;
+    plan_hits = 0;
+    plan_misses = 0;
+  }
+
 let catalog db = db.catalog
 let txn db = db.txn
 

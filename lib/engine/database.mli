@@ -14,6 +14,15 @@ type result =
   | Done of string
 
 val create : unit -> t
+
+val session : t -> t
+(** A session-scoped handle onto the same database: shares the catalog
+    (tables, views, indexes, columnar tiers) but has its own transaction
+    and its own prepared-plan/plugin caches — what each server
+    connection gets.  DDL executed through one session invalidates only
+    that session's plan caches; the server layer broadcasts the
+    invalidation to its other sessions. *)
+
 val catalog : t -> Catalog.t
 val txn : t -> Txn.t
 

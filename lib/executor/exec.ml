@@ -1147,6 +1147,13 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
                 pb);
             true))
   | _ ->
+    (* multi-key (tuple) join: the sideways filter works over
+       [Tuple.hash] of the whole key tuple — consistent with
+       [Tuple.Tbl]'s own hashing, so a key the table would find always
+       passes (false-positive-only, as required for byte-identity).
+       The Bloom membership test is a single cache-line probe, cheaper
+       than the table's bucket walk + tuple equality on misses. *)
+    let want_jf = jfilter <> None && Bloom.enabled () in
     let table =
       lazy
         (let tbl = Tuple.Tbl.create 256 in
@@ -1171,7 +1178,45 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
              drain ()
          in
          drain ();
-         tbl)
+         let flt =
+           if want_jf then begin
+             (* one pass over the finished table: exactly sized, one
+                entry per distinct key tuple *)
+             let bl = Bloom.create ~expected:(Tuple.Tbl.length tbl) in
+             Tuple.Tbl.iter (fun k _ -> Bloom.add bl (Tuple.hash k)) tbl;
+             ctx.jf_built <- ctx.jf_built + 1;
+             Bloom.add_totals ~built:1 ~chunks:0 ~rows:0 ~dropped:0;
+             Some bl
+           end
+           else None
+         in
+         (tbl, flt))
+    in
+    (* same adaptive policy as the single-key path: observe the first
+       [adaptive_sample] probe keys, drop a filter that passes more
+       than [drop_threshold] of them *)
+    let jf_live = ref true in
+    let jf_decided = ref false in
+    let jf_tested = ref 0 and jf_passed = ref 0 in
+    let jf_pass bl k =
+      if !jf_decided then (not !jf_live) || Bloom.mem bl k
+      else begin
+        let pass = Bloom.mem bl k in
+        incr jf_tested;
+        if pass then incr jf_passed;
+        if !jf_tested >= Bloom.adaptive_sample then begin
+          jf_decided := true;
+          if
+            float_of_int !jf_passed
+            > Bloom.drop_threshold *. float_of_int !jf_tested
+          then begin
+            jf_live := false;
+            ctx.jf_dropped <- ctx.jf_dropped + 1;
+            Bloom.add_totals ~built:0 ~chunks:0 ~rows:0 ~dropped:1
+          end
+        end;
+        pass
+      end
     in
     let probe_it = open_plan ctx frames probe in
     let extract, scratch = make_key_fn frames probe_keys in
@@ -1179,14 +1224,25 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
         match probe_it () with
         | None -> false
         | Some pb ->
-          let tbl = Lazy.force table in
-          Batch.iter
-            (fun row ->
-              if extract row then
-                match Tuple.Tbl.find tbl scratch with
-                | exception Not_found -> ()
-                | matches -> emit_matches emit row matches)
-            pb;
+          let tbl, flt = Lazy.force table in
+          let lookup row =
+            match Tuple.Tbl.find tbl scratch with
+            | exception Not_found -> ()
+            | matches -> emit_matches emit row matches
+          in
+          let probe_row =
+            match flt with
+            | None -> fun row -> if extract row then lookup row
+            | Some bl ->
+              fun row ->
+                if extract row then
+                  if jf_pass bl (Tuple.hash scratch) then lookup row
+                  else begin
+                    ctx.jf_rows_skipped <- ctx.jf_rows_skipped + 1;
+                    Bloom.add_totals ~built:0 ~chunks:0 ~rows:1 ~dropped:0
+                  end
+          in
+          Batch.iter probe_row pb;
           true)
 
 (** Columnar build for a single-[Tint]-column hash-join key: drain the

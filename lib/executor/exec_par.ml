@@ -233,6 +233,22 @@ let make_key_fn (keys : Plan.scalar list) =
 (* Effective source rows for the DOP choice: cold chunks cost extra to
    read (section copy + decode), so a partially spilled table warrants
    an earlier fan-out.  Identity when spilling is off. *)
+(** Sideways filter over a finished multi-key join table: one Bloom
+    entry per distinct key tuple, keyed on {!Tuple.hash} — the same hash
+    the table's own lookup uses, so a findable key always passes
+    (false-positive-only).  Built after the per-morsel merge, which
+    makes the serial and parallel builds counter-identical. *)
+let multi_key_bloom (ctx : Exec.ctx) ~want_jf
+    (tbl : Tuple.t list Tuple.Tbl.t) : Bloom.t option =
+  if not want_jf then None
+  else begin
+    let bl = Bloom.create ~expected:(Tuple.Tbl.length tbl) in
+    Tuple.Tbl.iter (fun k _ -> Bloom.add bl (Tuple.hash k)) tbl;
+    ctx.Exec.jf_built <- ctx.Exec.jf_built + 1;
+    Bloom.add_totals ~built:1 ~chunks:0 ~rows:0 ~dropped:0;
+    Some bl
+  end
+
 let scan_rows_est (t : Base_table.t) =
   int_of_float
     (float_of_int (Base_table.cardinality t) *. Cost.scan_access_factor t)
@@ -459,11 +475,48 @@ let rec pipe_of (ctx : Exec.ctx) ~opts (p : Plan.t) : pipe =
                   | matches -> emit_matches row matches)
           | J_multi ttbl ->
             let extract, scratch = make_key_fn probe_keys in
-            pipe.make_feed st ~emit:(fun row ->
-                if extract row then
-                  match Tuple.Tbl.find ttbl scratch with
-                  | exception Not_found -> ()
-                  | matches -> emit_matches row matches));
+            (* per-worker adaptive filter state, as in the J_int arm *)
+            let jf_test =
+              match bloom with
+              | None -> None
+              | Some bl ->
+                let live = ref true and decided = ref false in
+                let tested = ref 0 and passed = ref 0 in
+                Some
+                  (fun k ->
+                    if !decided then (not !live) || Bloom.mem bl k
+                    else begin
+                      let pass = Bloom.mem bl k in
+                      incr tested;
+                      if pass then incr passed;
+                      if !tested >= Bloom.adaptive_sample then begin
+                        decided := true;
+                        if
+                          float_of_int !passed
+                          > Bloom.drop_threshold *. float_of_int !tested
+                        then begin
+                          live := false;
+                          st.s_jf_dropped <- st.s_jf_dropped + 1
+                        end
+                      end;
+                      pass
+                    end)
+            in
+            let lookup row =
+              match Tuple.Tbl.find ttbl scratch with
+              | exception Not_found -> ()
+              | matches -> emit_matches row matches
+            in
+            let probe_row =
+              match jf_test with
+              | None -> fun row -> if extract row then lookup row
+              | Some test ->
+                fun row ->
+                  if extract row then
+                    if test (Tuple.hash scratch) then lookup row
+                    else st.s_jf_rows_skipped <- st.s_jf_rows_skipped + 1
+            in
+            pipe.make_feed st ~emit:probe_row);
     }
   | Plan.Index_join { outer; table; index; keys; residual } ->
     ignore (residual_opt residual);
@@ -624,7 +677,7 @@ and build_join_table ctx ~opts ~(jfilter : Plan.jfilter option)
               Tuple.Tbl.replace g k (l @ old))
             locals.(m)
         done;
-        (J_multi g, None))
+        (J_multi g, multi_key_bloom ctx ~want_jf g))
 
 (** Sequential build through {!Exec.open_plan}: handles any build-side
     plan (including ones with subplan probes) and is, by construction,
@@ -694,7 +747,7 @@ and build_sequential (ctx : Exec.ctx) ~want_jf (build : Plan.t)
         drain ()
     in
     drain ();
-    (J_multi tbl, None)
+    (J_multi tbl, multi_key_bloom ctx ~want_jf tbl)
 
 (* -- streaming a pipe over the pool -------------------------------------- *)
 

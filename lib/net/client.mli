@@ -1,0 +1,58 @@
+(** Synchronous client for the xnfdb wire protocol — used by the
+    benchmarks, the tests, and the CLI's [--connect] mode.  One request
+    in flight per connection; streamed responses are reassembled. *)
+
+open Relcore
+module H = Xnf.Hetstream
+
+exception Server_error of { kind : string; msg : string }
+(** An error frame from the server (execution errors, protocol
+    violations, malformed frames). *)
+
+type t
+
+val connect : ?client_name:string -> Unix.sockaddr -> t
+(** Connect and complete the Hello handshake. *)
+
+val session_id : t -> int
+
+val query : t -> string -> Schema.t * Tuple.t list
+(** Run a SELECT; rows reassembled from the streamed batch frames. *)
+
+val query_rows : t -> string -> Tuple.t list
+
+val extract : ?chunk:int -> t -> string -> H.t
+(** Extract a CO stream ([text] is XNF query text or a view name).
+    [chunk] is the ship quantum in stream items per frame: unset =
+    server default, [1] = tuple-at-a-time. *)
+
+type exec_result =
+  | Rows of Schema.t * Tuple.t list
+  | Affected of int
+  | Done of string
+
+val exec : t -> string -> exec_result
+(** One statement: DML / DDL / BEGIN / COMMIT / ROLLBACK (SELECT comes
+    back as [Rows]). *)
+
+val stats : t -> string
+(** The server's EXPLAIN-style STATS block. *)
+
+val close : t -> unit
+(** Polite goodbye (Bye / Bye_ok), then close. *)
+
+val abort : t -> unit
+(** Slam the socket shut with no goodbye — crash simulation. *)
+
+(** {2 Wire-level accounting and raw IO} (bench + hardening tests) *)
+
+val bytes_in : t -> int
+val bytes_out : t -> int
+val frames_in : t -> int
+val frames_out : t -> int
+
+val send_raw : t -> string -> unit
+(** Ship arbitrary pre-framed bytes (malformed-frame tests). *)
+
+val recv_any : t -> Wire.response
+(** Read one response frame. *)

@@ -1,0 +1,778 @@
+(** The xnfdb socket daemon: many client sessions multiplexed onto one
+    database and the shared {!Relcore.Pool} worker domains.
+
+    One event-loop thread owns every socket: it accepts connections,
+    reads and parses frames, and flushes response bytes.  Request
+    {e execution} happens on pool workers — the loop hands a decoded
+    frame to {!Relcore.Pool.launch} and moves on.  Workers never touch a
+    socket: they push fully-encoded response frames into the session's
+    bounded {!Relcore.Chan} outbox, so a slow client stalls (only) the
+    worker serving it once the outbox fills — that stall {e is} the
+    backpressure — while the loop keeps serving everyone else.
+
+    Sessions share the catalog (tables, columnar tiers, result cache,
+    IVM state) but each gets its own {!Engine.Database.session}: open
+    transaction and prepared plans are per-connection.  Writes take a
+    process-wide writer lock (statement granularity — MVCC snapshots are
+    a ROADMAP item); queries and extractions share a reader lock.
+
+    A malformed frame earns an error frame and closes that session; the
+    daemon survives.  {!stop} (wired to SIGINT by the CLI) drains
+    in-flight requests, commits nothing — open transactions are rolled
+    back — and can release every table's columnar tier and spill file. *)
+
+open Relcore
+module Db = Engine.Database
+module Txn = Engine.Txn
+module H = Xnf.Hetstream
+
+(* -- a small reader/writer lock ------------------------------------------ *)
+
+(* Writer-preferring: arriving readers queue behind a waiting writer, so
+   a steady query load cannot starve DML forever.  Handlers hold it only
+   while computing a response (never while shipping bytes). *)
+module Rwlock = struct
+  type t = {
+    m : Mutex.t;
+    c : Condition.t;
+    mutable readers : int;
+    mutable writer : bool;
+    mutable waiting_w : int;
+  }
+
+  let create () =
+    {
+      m = Mutex.create ();
+      c = Condition.create ();
+      readers = 0;
+      writer = false;
+      waiting_w = 0;
+    }
+
+  let read t f =
+    Mutex.lock t.m;
+    while t.writer || t.waiting_w > 0 do
+      Condition.wait t.c t.m
+    done;
+    t.readers <- t.readers + 1;
+    Mutex.unlock t.m;
+    Fun.protect f ~finally:(fun () ->
+        Mutex.lock t.m;
+        t.readers <- t.readers - 1;
+        if t.readers = 0 then Condition.broadcast t.c;
+        Mutex.unlock t.m)
+
+  let write t f =
+    Mutex.lock t.m;
+    t.waiting_w <- t.waiting_w + 1;
+    while t.writer || t.readers > 0 do
+      Condition.wait t.c t.m
+    done;
+    t.waiting_w <- t.waiting_w - 1;
+    t.writer <- true;
+    Mutex.unlock t.m;
+    Fun.protect f ~finally:(fun () ->
+        Mutex.lock t.m;
+        t.writer <- false;
+        Condition.broadcast t.c;
+        Mutex.unlock t.m)
+end
+
+(* -- configuration ------------------------------------------------------- *)
+
+type config = {
+  addr : Unix.sockaddr;
+  max_sessions : int;
+  outbox_depth : int;  (** response frames buffered per session *)
+  stream_chunk : int;  (** default stream items per [Stream_chunk] frame *)
+  release_on_stop : bool;
+      (** release every table's columnar tier (incl. spill files) on
+          {!stop} — the daemon owns the data; off when embedding the
+          server around a database the host process keeps using *)
+}
+
+let getenv_int name default =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> default
+
+let default_addr () =
+  match Option.bind (Sys.getenv_opt "XNFDB_PORT") int_of_string_opt with
+  | Some port when port > 0 ->
+    Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+  | _ ->
+    Unix.ADDR_UNIX
+      (Option.value (Sys.getenv_opt "XNFDB_SOCKET") ~default:"/tmp/xnfdb.sock")
+
+let default_config ?addr ?(release_on_stop = false) () =
+  {
+    addr = (match addr with Some a -> a | None -> default_addr ());
+    max_sessions = getenv_int "XNFDB_MAX_SESSIONS" 1024;
+    outbox_depth = getenv_int "XNFDB_OUTBOX_DEPTH" 16;
+    stream_chunk = getenv_int "XNFDB_STREAM_CHUNK" 512;
+    release_on_stop;
+  }
+
+(* -- sessions ------------------------------------------------------------ *)
+
+type session = {
+  sid : int;
+  fd : Unix.file_descr;
+  sdb : Db.t;
+  mutable inbuf : string;  (* unparsed incoming bytes *)
+  pending : string Queue.t;  (* complete payloads awaiting dispatch *)
+  outbox : string Chan.t;  (* encoded response frames (worker → loop) *)
+  mutable wbuf : string;  (* frame currently being written *)
+  mutable woff : int;
+  inflight : bool Atomic.t;  (* a request is running on the pool *)
+  closing : bool Atomic.t;  (* graceful: flush outbox, then close *)
+  mutable dead : bool;  (* peer gone: finalize as soon as possible *)
+  (* per-session counters (racy reads from stats are benign) *)
+  mutable s_frames_in : int;
+  mutable s_frames_out : int;
+  mutable s_bytes_in : int;
+  mutable s_bytes_out : int;
+  mutable s_requests : int;
+}
+
+type t = {
+  config : config;
+  db : Db.t;
+  listen_fd : Unix.file_descr;
+  bound : Unix.sockaddr;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  stop_flag : bool Atomic.t;
+  lock : Rwlock.t;
+  sessions_mu : Mutex.t;  (* guards [sessions] (stats runs on workers) *)
+  mutable sessions : session list;
+  (* deferred teardown rollbacks in flight on pool workers; only the
+     event-loop thread touches this list, and [serve] awaits every
+     handle before it returns *)
+  mutable cleanup : Pool.handle list;
+  next_sid : int Atomic.t;
+  (* process-wide counters *)
+  c_opened : int Atomic.t;
+  c_closed : int Atomic.t;
+  c_peak : int Atomic.t;
+  c_frames_in : int Atomic.t;
+  c_frames_out : int Atomic.t;
+  c_bytes_in : int Atomic.t;
+  c_bytes_out : int Atomic.t;
+  c_queries : int Atomic.t;
+  c_extracts : int Atomic.t;
+  c_stmts : int Atomic.t;
+  c_errors : int Atomic.t;
+  c_rejected : int Atomic.t;
+  c_memo_hits : int Atomic.t;
+  (* encoded-frame memo for extractions: the same view shipped twice
+     costs one encoding.  Keyed by (text, chunk); cleared on any
+     statement (DML, DDL, txn control) and on session teardown (the
+     implicit rollback mutates shared tables).  Reads happen under the
+     reader lock, clears under the writer lock or at teardown, so a
+     memoized entry can never outlive the state it encoded. *)
+  memo_mu : Mutex.t;
+  frame_memo : (string * int, string list) Hashtbl.t;
+}
+
+let memo_cap = 64
+
+let clear_memo t =
+  Mutex.lock t.memo_mu;
+  Hashtbl.reset t.frame_memo;
+  Mutex.unlock t.memo_mu
+
+type counters = {
+  active_sessions : int;
+  peak_sessions : int;
+  sessions_opened : int;
+  frames_in : int;
+  frames_out : int;
+  bytes_in : int;
+  bytes_out : int;
+  queries : int;
+  extracts : int;
+  stmts : int;
+  errors : int;
+  memo_hits : int;
+}
+
+let sockaddr t = t.bound
+
+let addr_to_string = function
+  | Unix.ADDR_UNIX path -> "unix:" ^ path
+  | Unix.ADDR_INET (host, port) ->
+    Printf.sprintf "tcp:%s:%d" (Unix.string_of_inet_addr host) port
+
+(* -- creation ------------------------------------------------------------ *)
+
+let create ?config (db : Db.t) : t =
+  let config =
+    match config with Some c -> c | None -> default_config ()
+  in
+  (* a dying client must surface as EPIPE on write, not kill the
+     process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let domain =
+    match config.addr with
+    | Unix.ADDR_UNIX _ -> Unix.PF_UNIX
+    | Unix.ADDR_INET _ -> Unix.PF_INET
+  in
+  let listen_fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (match config.addr with
+  | Unix.ADDR_UNIX path ->
+    if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Unix.ADDR_INET _ ->
+    Unix.setsockopt listen_fd Unix.SO_REUSEADDR true);
+  Unix.bind listen_fd config.addr;
+  Unix.listen listen_fd 128;
+  Unix.set_nonblock listen_fd;
+  let bound = Unix.getsockname listen_fd in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  {
+    config;
+    db;
+    listen_fd;
+    bound;
+    wake_r;
+    wake_w;
+    stop_flag = Atomic.make false;
+    lock = Rwlock.create ();
+    sessions_mu = Mutex.create ();
+    sessions = [];
+    cleanup = [];
+    next_sid = Atomic.make 1;
+    c_opened = Atomic.make 0;
+    c_closed = Atomic.make 0;
+    c_peak = Atomic.make 0;
+    c_frames_in = Atomic.make 0;
+    c_frames_out = Atomic.make 0;
+    c_bytes_in = Atomic.make 0;
+    c_bytes_out = Atomic.make 0;
+    c_queries = Atomic.make 0;
+    c_extracts = Atomic.make 0;
+    c_stmts = Atomic.make 0;
+    c_errors = Atomic.make 0;
+    c_rejected = Atomic.make 0;
+    c_memo_hits = Atomic.make 0;
+    memo_mu = Mutex.create ();
+    frame_memo = Hashtbl.create 16;
+  }
+
+(** Wake the event loop out of [select] (worker → loop, signal-safe). *)
+let wake t =
+  try ignore (Unix.write_substring t.wake_w "x" 0 1) with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EBADF), _, _) -> ()
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  wake t
+
+(* -- observability ------------------------------------------------------- *)
+
+let counters t : counters =
+  {
+    active_sessions = Atomic.get t.c_opened - Atomic.get t.c_closed;
+    peak_sessions = Atomic.get t.c_peak;
+    sessions_opened = Atomic.get t.c_opened;
+    frames_in = Atomic.get t.c_frames_in;
+    frames_out = Atomic.get t.c_frames_out;
+    bytes_in = Atomic.get t.c_bytes_in;
+    bytes_out = Atomic.get t.c_bytes_out;
+    queries = Atomic.get t.c_queries;
+    extracts = Atomic.get t.c_extracts;
+    stmts = Atomic.get t.c_stmts;
+    errors = Atomic.get t.c_errors;
+    memo_hits = Atomic.get t.c_memo_hits;
+  }
+
+(** EXPLAIN-style text block: process-wide totals, then one line per
+    live session — the payload of the STATS protocol command. *)
+let stats_text t : string =
+  let c = counters t in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "== server ==\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  addr: %s%s\n" (addr_to_string t.bound)
+       (if Atomic.get t.stop_flag then " (draining)" else ""));
+  Buffer.add_string buf
+    (Printf.sprintf "  sessions: %d active, %d opened, peak %d, max %d, %d rejected\n"
+       c.active_sessions c.sessions_opened c.peak_sessions
+       t.config.max_sessions (Atomic.get t.c_rejected));
+  Buffer.add_string buf
+    (Printf.sprintf "  frames: %d in / %d out, bytes: %d in / %d out\n"
+       c.frames_in c.frames_out c.bytes_in c.bytes_out);
+  Buffer.add_string buf
+    (Printf.sprintf "  requests: %d queries, %d extracts, %d stmts, %d errors\n"
+       c.queries c.extracts c.stmts c.errors);
+  Buffer.add_string buf
+    (Printf.sprintf "  frame memo: %d hits, %d entries\n" c.memo_hits
+       (Mutex.protect t.memo_mu (fun () -> Hashtbl.length t.frame_memo)));
+  Buffer.add_string buf
+    (Printf.sprintf "  outbox depth %d frames, stream chunk %d items\n"
+       t.config.outbox_depth t.config.stream_chunk);
+  Buffer.add_string buf "== sessions ==\n";
+  Mutex.lock t.sessions_mu;
+  let sessions = t.sessions in
+  Mutex.unlock t.sessions_mu;
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  [%d] %d reqs, frames %d/%d, bytes %d/%d, queue %d, txn %s%s\n"
+           s.sid s.s_requests s.s_frames_in s.s_frames_out s.s_bytes_in
+           s.s_bytes_out (Chan.length s.outbox)
+           (if Txn.is_active (Db.txn s.sdb) then "open" else "none")
+           (if Atomic.get s.inflight then ", busy" else "")))
+    (List.sort (fun a b -> compare a.sid b.sid) sessions);
+  Buffer.contents buf
+
+(* -- request execution (pool workers) ------------------------------------ *)
+
+let chunked n items =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: tl ->
+      if k = n then go (List.rev cur :: acc) [ x ] 1 tl
+      else go acc (x :: cur) (k + 1) tl
+  in
+  go [] [] 0 items
+
+(** DDL through one session must invalidate every session's prepared
+    plans (they reference dropped/created objects).  Runs only while the
+    exclusive writer lock is held, so no reader is mid-compilation. *)
+let broadcast_invalidate t =
+  Db.invalidate_plans t.db;
+  Mutex.lock t.sessions_mu;
+  let sessions = t.sessions in
+  Mutex.unlock t.sessions_mu;
+  List.iter (fun s -> Db.invalidate_plans s.sdb) sessions
+
+let is_ddl sql =
+  let sql = String.trim sql in
+  let kw =
+    match String.index_opt sql ' ' with
+    | Some i -> String.sub sql 0 i
+    | None -> sql
+  in
+  match String.lowercase_ascii kw with
+  | "create" | "drop" -> true
+  | _ -> false
+
+(** Compute the full response — a list of encoded frames — for one
+    request.  Pure compute: no socket, no outbox; locks are released
+    before a single byte ships. *)
+let respond t (sess : session) (req : Wire.request) : string list =
+  let encoded rs = List.map Wire.encode_response rs in
+  match req with
+  | Wire.Hello { client = _; version } ->
+    if version <> Wire.version then
+      encoded
+        [
+          Wire.Error
+            {
+              kind = "protocol";
+              msg =
+                Printf.sprintf "protocol version %d, server speaks %d" version
+                  Wire.version;
+            };
+        ]
+    else
+      encoded
+        [
+          Wire.Hello_ok
+            { server = "xnfdb"; version = Wire.version; session_id = sess.sid };
+        ]
+  | Wire.Query { sql } ->
+    Atomic.incr t.c_queries;
+    Rwlock.read t.lock (fun () ->
+        let schema, batches = Db.query_batches sess.sdb sql in
+        let total = ref 0 in
+        let body =
+          List.map
+            (fun b ->
+              let rows = Batch.list_to_rows [ b ] in
+              total := !total + List.length rows;
+              Wire.Row_batch rows)
+            batches
+        in
+        encoded
+          ((Wire.Row_header schema :: body) @ [ Wire.Row_end { rows = !total } ]))
+  | Wire.Extract { text; chunk } ->
+    Atomic.incr t.c_extracts;
+    let chunk = if chunk > 0 then chunk else t.config.stream_chunk in
+    let key = (text, chunk) in
+    Rwlock.read t.lock (fun () ->
+        let hit = Mutex.protect t.memo_mu (fun () -> Hashtbl.find_opt t.frame_memo key) in
+        match hit with
+        | Some frames ->
+          Atomic.incr t.c_memo_hits;
+          frames
+        | None ->
+          let stream =
+            if Xnf.Xnf_parser.is_xnf_text text then
+              Xnf.Xnf_compile.run sess.sdb text
+            else Xnf.Xnf_compile.run_view sess.sdb text
+          in
+          let items = stream.H.items in
+          let frames =
+            encoded
+              (Wire.Stream_header stream.H.header
+               :: List.map (fun c -> Wire.Stream_chunk c) (chunked chunk items)
+              @ [ Wire.Stream_end { items = List.length items } ])
+          in
+          Mutex.protect t.memo_mu (fun () ->
+              if Hashtbl.length t.frame_memo >= memo_cap then
+                Hashtbl.reset t.frame_memo;
+              Hashtbl.replace t.frame_memo key frames);
+          frames)
+  | Wire.Stmt { sql } ->
+    Atomic.incr t.c_stmts;
+    Rwlock.write t.lock (fun () ->
+        (* any statement may mutate shared state (DML, DDL, txn
+           control, rollback) — drop memoized extraction frames *)
+        clear_memo t;
+        match Db.exec sess.sdb sql with
+        | Db.Rows (schema, rows) ->
+          encoded
+            [
+              Wire.Row_header schema;
+              Wire.Row_batch rows;
+              Wire.Row_end { rows = List.length rows };
+            ]
+        | Db.Affected n -> encoded [ Wire.Affected n ]
+        | Db.Done msg ->
+          if is_ddl sql then broadcast_invalidate t;
+          encoded [ Wire.Done msg ])
+  | Wire.Stats -> encoded [ Wire.Stats_reply (stats_text t) ]
+  | Wire.Bye ->
+    Atomic.set sess.closing true;
+    encoded [ Wire.Bye_ok ]
+
+(** Run one request on a pool worker: decode, execute, push the encoded
+    frames into the session outbox (blocking on a full outbox — the
+    backpressure path).  Never raises: errors become error frames; a
+    torn-down session surfaces as [Chan.Closed] and is simply dropped. *)
+let handle_request t (sess : session) (payload : string) : unit =
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set sess.inflight false;
+      wake t)
+    (fun () ->
+      sess.s_requests <- sess.s_requests + 1;
+      (* wake per push, not merely per request: the loop may be parked
+         in [select] without this fd in the write set (the outbox was
+         empty when it built the sets), and a streamed response that
+         fills the bounded outbox would otherwise deadlock with the
+         loop until its timeout — per-frame latency, not throughput *)
+      let push_frame f =
+        Chan.push sess.outbox f;
+        wake t
+      in
+      let push r = push_frame (Wire.encode_response r) in
+      try
+        match Wire.decode_request payload with
+        | req -> (
+          match respond t sess req with
+          | frames -> List.iter push_frame frames
+          | exception Errors.Db_error (k, msg) ->
+            Atomic.incr t.c_errors;
+            push (Wire.Error { kind = Errors.kind_to_string k; msg }))
+        | exception Wire.Malformed msg ->
+          (* answer, then hang up: a peer that frames garbage cannot be
+             trusted to stay in sync *)
+          Atomic.incr t.c_errors;
+          push (Wire.Error { kind = "malformed"; msg });
+          Atomic.set sess.closing true
+      with
+      | Chan.Closed -> ()
+      | e ->
+        Atomic.incr t.c_errors;
+        (try
+           push
+             (Wire.Error { kind = "internal"; msg = Printexc.to_string e })
+         with Chan.Closed -> ()))
+
+(* -- the event loop ------------------------------------------------------ *)
+
+let read_buf_len = 65536
+
+(** Parse every complete frame out of [sess.inbuf] into [sess.pending].
+    @raise Wire.Malformed on an out-of-range length prefix. *)
+let rec extract_frames t sess =
+  let s = sess.inbuf in
+  let len = String.length s in
+  if len >= 4 then begin
+    let n = Int32.to_int (String.get_int32_be s 0) in
+    if n < 1 || n > Wire.max_frame then
+      raise
+        (Wire.Malformed (Printf.sprintf "frame length %d out of range" n));
+    if len >= 4 + n then begin
+      Queue.add (String.sub s 4 n) sess.pending;
+      sess.inbuf <- String.sub s (4 + n) (len - 4 - n);
+      sess.s_frames_in <- sess.s_frames_in + 1;
+      Atomic.incr t.c_frames_in;
+      extract_frames t sess
+    end
+  end
+
+let mark_dead sess =
+  if not sess.dead then begin
+    sess.dead <- true;
+    (* unblock any worker mid-push; it sees [Chan.Closed] and abandons
+       the rest of its response *)
+    Chan.close sess.outbox
+  end
+
+let handle_readable t sess (buf : Bytes.t) =
+  match Unix.read sess.fd buf 0 read_buf_len with
+  | 0 -> mark_dead sess
+  | n -> (
+    sess.inbuf <- sess.inbuf ^ Bytes.sub_string buf 0 n;
+    sess.s_bytes_in <- sess.s_bytes_in + n;
+    ignore (Atomic.fetch_and_add t.c_bytes_in n);
+    match extract_frames t sess with
+    | () -> ()
+    | exception Wire.Malformed msg ->
+      (* a framing error cannot be answered in-band reliably, but we
+         still try: error frame, then drain and close *)
+      Atomic.incr t.c_errors;
+      (try
+         Chan.push sess.outbox
+           (Wire.encode_response (Wire.Error { kind = "malformed"; msg }))
+       with Chan.Closed -> ());
+      Queue.clear sess.pending;
+      Atomic.set sess.closing true)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    -> ()
+  | exception Unix.Unix_error _ -> mark_dead sess
+
+(** Move outbox frames through the socket without ever blocking. *)
+let handle_writable t sess =
+  let progress = ref true in
+  while !progress && not sess.dead do
+    progress := false;
+    if sess.woff >= String.length sess.wbuf then (
+      match Chan.try_pop sess.outbox with
+      | Some f ->
+        sess.wbuf <- f;
+        sess.woff <- 0;
+        sess.s_frames_out <- sess.s_frames_out + 1;
+        Atomic.incr t.c_frames_out
+      | None -> ());
+    let remaining = String.length sess.wbuf - sess.woff in
+    if remaining > 0 then begin
+      match Unix.write_substring sess.fd sess.wbuf sess.woff remaining with
+      | n ->
+        sess.woff <- sess.woff + n;
+        sess.s_bytes_out <- sess.s_bytes_out + n;
+        ignore (Atomic.fetch_and_add t.c_bytes_out n);
+        if n > 0 then progress := true
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        -> ()
+      | exception Unix.Unix_error _ -> mark_dead sess
+    end
+  done
+
+let wants_write sess =
+  (not sess.dead)
+  && (sess.woff < String.length sess.wbuf || Chan.length sess.outbox > 0)
+
+(** A gracefully-closing session is finished once everything is flushed
+    and no request is still running. *)
+let close_ripe sess =
+  Atomic.get sess.closing
+  && (not (Atomic.get sess.inflight))
+  && Queue.is_empty sess.pending
+  && Chan.length sess.outbox = 0
+  && sess.woff >= String.length sess.wbuf
+
+let finalize t sess =
+  mark_dead sess;
+  (* no worker can be running this session here (inflight = false), so
+     only other sessions' readers can race the undo — serialize behind
+     the writer lock on a pool worker, never on the loop thread (a loop
+     blocked on the lock could not drain the outbox a reader is stuck
+     pushing into).  SIGINT commits nothing. *)
+  if Txn.is_active (Db.txn sess.sdb) then
+    t.cleanup <-
+      Pool.launch ~n:1 (fun _ ->
+          Rwlock.write t.lock (fun () ->
+              if Txn.is_active (Db.txn sess.sdb) then
+                Txn.rollback (Db.txn sess.sdb);
+              (* the undo mutated shared tables — memoized frames are
+                 stale *)
+              clear_memo t))
+      :: t.cleanup;
+  (try Unix.close sess.fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.sessions_mu;
+  t.sessions <- List.filter (fun s -> s.sid <> sess.sid) t.sessions;
+  Mutex.unlock t.sessions_mu;
+  Atomic.incr t.c_closed
+
+let accept_all t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | fd, _peer ->
+      if List.length t.sessions >= t.config.max_sessions then begin
+        (* best-effort error frame, then refuse *)
+        Atomic.incr t.c_rejected;
+        (try
+           let f =
+             Wire.encode_response
+               (Wire.Error { kind = "busy"; msg = "max sessions reached" })
+           in
+           ignore (Unix.write_substring fd f 0 (String.length f))
+         with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+      else begin
+        Unix.set_nonblock fd;
+        (match t.bound with
+        | Unix.ADDR_INET _ -> (
+          try Unix.setsockopt fd Unix.TCP_NODELAY true
+          with Unix.Unix_error _ -> ())
+        | _ -> ());
+        let sess =
+          {
+            sid = Atomic.fetch_and_add t.next_sid 1;
+            fd;
+            sdb = Db.session t.db;
+            inbuf = "";
+            pending = Queue.create ();
+            outbox = Chan.create ~capacity:t.config.outbox_depth;
+            wbuf = "";
+            woff = 0;
+            inflight = Atomic.make false;
+            closing = Atomic.make false;
+            dead = false;
+            s_frames_in = 0;
+            s_frames_out = 0;
+            s_bytes_in = 0;
+            s_bytes_out = 0;
+            s_requests = 0;
+          }
+        in
+        Mutex.lock t.sessions_mu;
+        t.sessions <- sess :: t.sessions;
+        let active = List.length t.sessions in
+        Mutex.unlock t.sessions_mu;
+        Atomic.incr t.c_opened;
+        let rec bump () =
+          let p = Atomic.get t.c_peak in
+          if active > p && not (Atomic.compare_and_set t.c_peak p active) then
+            bump ()
+        in
+        bump ()
+      end
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      continue := false
+    | exception Unix.Unix_error _ -> continue := false
+  done
+
+let dispatch_ready t =
+  List.iter
+    (fun sess ->
+      if
+        (not sess.dead)
+        && (not (Atomic.get sess.inflight))
+        && (not (Atomic.get sess.closing))
+        && not (Queue.is_empty sess.pending)
+      then begin
+        let payload = Queue.pop sess.pending in
+        Atomic.set sess.inflight true;
+        ignore (Pool.launch ~n:1 (fun _ -> handle_request t sess payload))
+      end)
+    t.sessions
+
+let drain_wake t =
+  let buf = Bytes.create 256 in
+  let rec go () =
+    match Unix.read t.wake_r buf 0 256 with
+    | n when n = 256 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> ()
+  in
+  go ()
+
+(** Run the daemon.  Blocks until {!stop}: then stops accepting, lets
+    in-flight requests finish, flushes what can be flushed, rolls back
+    every open transaction, and (per config) releases the columnar
+    tiers and spill files of every table. *)
+let serve t =
+  (* warm the pool up front so the first burst of sessions is not
+     serialized behind lazy worker spawning *)
+  Pool.await (Pool.launch ~n:(Pool.default_domains ()) (fun _ -> ()));
+  let rbuf = Bytes.create read_buf_len in
+  let accepting = ref true in
+  let stop_accepting () =
+    if !accepting then begin
+      accepting := false;
+      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+      match t.bound with
+      | Unix.ADDR_UNIX path -> (
+        try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+      | _ -> ()
+    end
+  in
+  let running () = (not (Atomic.get t.stop_flag)) || t.sessions <> [] in
+  while running () do
+    if Atomic.get t.stop_flag then begin
+      stop_accepting ();
+      (* drain: no new requests; close every session as soon as its
+         in-flight work and outbox are done *)
+      List.iter
+        (fun s ->
+          Queue.clear s.pending;
+          Atomic.set s.closing true)
+        t.sessions
+    end;
+    let rds =
+      t.wake_r
+      :: (if !accepting then [ t.listen_fd ] else [])
+      @ List.filter_map
+          (fun s -> if s.dead then None else Some s.fd)
+          t.sessions
+    in
+    let wrs = List.filter_map (fun s -> if wants_write s then Some s.fd else None) t.sessions in
+    (match Unix.select rds wrs [] 0.1 with
+    | readable, writable, _ ->
+      if List.mem t.wake_r readable then drain_wake t;
+      if !accepting && List.mem t.listen_fd readable then accept_all t;
+      List.iter
+        (fun s ->
+          if (not s.dead) && List.mem s.fd readable then
+            handle_readable t s rbuf)
+        t.sessions;
+      List.iter
+        (fun s -> if (not s.dead) && List.mem s.fd writable then handle_writable t s)
+        t.sessions
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    (* opportunistic flush: frames may have landed in outboxes while we
+       were away regardless of select's verdict *)
+    List.iter (fun s -> if wants_write s then handle_writable t s) t.sessions;
+    dispatch_ready t;
+    (* reap *)
+    let ripe =
+      List.filter
+        (fun s ->
+          (s.dead && not (Atomic.get s.inflight)) || close_ripe s)
+        t.sessions
+    in
+    List.iter (finalize t) ripe
+  done;
+  stop_accepting ();
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+  (* every deferred teardown rollback must land before we hand the
+     database back (or release its storage) *)
+  List.iter Pool.await t.cleanup;
+  t.cleanup <- [];
+  if t.config.release_on_stop then
+    List.iter Base_table.release (Catalog.tables (Db.catalog t.db))

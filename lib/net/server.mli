@@ -1,0 +1,76 @@
+(** The xnfdb socket daemon: many client sessions multiplexed onto one
+    database and the shared {!Relcore.Pool} worker domains.
+
+    One event-loop thread owns every socket (accept / frame parse /
+    flush); request execution runs on pool workers, which push encoded
+    response frames into bounded per-session {!Relcore.Chan} outboxes —
+    a full outbox stalls (only) the worker serving that client, which is
+    the backpressure.  Sessions share the catalog, result cache, and IVM
+    state but carry their own transaction and prepared plans
+    ({!Engine.Database.session}).  Writes serialize behind a
+    process-wide writer lock at statement granularity; queries and
+    extractions share a reader lock.
+
+    Malformed frames earn an error frame and close that session only.
+    {!stop} drains in-flight requests, rolls back every open transaction
+    (commits nothing), and per config releases each table's columnar
+    tier and spill file via {!Relcore.Base_table.release}. *)
+
+type config = {
+  addr : Unix.sockaddr;
+  max_sessions : int;  (** [XNFDB_MAX_SESSIONS], default 1024 *)
+  outbox_depth : int;
+      (** response frames buffered per session before the serving worker
+          blocks; [XNFDB_OUTBOX_DEPTH], default 16 *)
+  stream_chunk : int;
+      (** default stream items per chunk frame; [XNFDB_STREAM_CHUNK],
+          default 512 *)
+  release_on_stop : bool;
+      (** release every table's columnar tier + spill file on {!stop} *)
+}
+
+val default_addr : unit -> Unix.sockaddr
+(** [XNFDB_PORT] (TCP on loopback) if set, else [XNFDB_SOCKET]
+    (default [/tmp/xnfdb.sock]). *)
+
+val default_config : ?addr:Unix.sockaddr -> ?release_on_stop:bool -> unit -> config
+
+type t
+
+val create : ?config:config -> Engine.Database.t -> t
+(** Bind and listen (the socket is live, connections queue); the loop
+    itself starts with {!serve}. *)
+
+val serve : t -> unit
+(** Run the event loop; blocks until {!stop} completes the drain. *)
+
+val stop : t -> unit
+(** Signal-safe shutdown trigger (the CLI wires it to SIGINT). *)
+
+val sockaddr : t -> Unix.sockaddr
+(** The actually-bound address (resolves port 0 to the chosen port). *)
+
+(** {2 Observability} *)
+
+type counters = {
+  active_sessions : int;
+  peak_sessions : int;
+  sessions_opened : int;
+  frames_in : int;
+  frames_out : int;
+  bytes_in : int;
+  bytes_out : int;
+  queries : int;
+  extracts : int;
+  stmts : int;
+  errors : int;
+  memo_hits : int;
+      (** extractions served from the encoded-frame memo (the same view
+          shipped twice costs one encoding; any statement clears it) *)
+}
+
+val counters : t -> counters
+
+val stats_text : t -> string
+(** EXPLAIN-style block: process totals + one line per live session —
+    the payload of the STATS protocol command. *)

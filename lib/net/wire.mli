@@ -1,0 +1,67 @@
+(** The xnfdb wire protocol: length-prefixed binary frames.
+
+    Frame = 4-byte big-endian payload length + payload; payload = one
+    tag byte + body in {!Xnf.Hetstream}'s varint/value encoding.  Query
+    and extraction responses are streamed — header frame, one frame per
+    batch/chunk, end frame — so a slow client backpressures the server
+    through its bounded outbox instead of forcing one giant blob. *)
+
+open Relcore
+module H = Xnf.Hetstream
+
+val version : int
+
+val max_frame : int
+(** Upper bound on a payload length; longer prefixes are malformed. *)
+
+exception Malformed of string
+(** A frame that cannot be decoded.  Decoders never raise anything
+    else on bad input — the daemon answers with an error frame and
+    closes that session only. *)
+
+type request =
+  | Hello of { client : string; version : int }
+  | Query of { sql : string }
+  | Extract of { text : string; chunk : int }
+      (** [text] is XNF query text or a view name; [chunk] is the number
+          of stream items per [Stream_chunk] frame (0 = server default,
+          1 = tuple-at-a-time). *)
+  | Stmt of { sql : string }  (** DML / DDL / BEGIN / COMMIT / ROLLBACK *)
+  | Stats
+  | Bye
+
+type response =
+  | Hello_ok of { server : string; version : int; session_id : int }
+  | Row_header of Schema.t
+  | Row_batch of Tuple.t list
+  | Row_end of { rows : int }
+  | Stream_header of H.header
+  | Stream_chunk of H.item list
+  | Stream_end of { items : int }
+  | Affected of int
+  | Done of string
+  | Error of { kind : string; msg : string }
+  | Stats_reply of string
+  | Bye_ok
+
+val frame : string -> string
+(** Prefix a payload with its 4-byte length. *)
+
+val encode_request : request -> string
+(** Full frame, length prefix included. *)
+
+val encode_response : response -> string
+(** Full frame, length prefix included. *)
+
+val decode_request : string -> request
+(** From a payload (no length prefix).  @raise Malformed *)
+
+val decode_response : string -> response
+(** From a payload (no length prefix).  @raise Malformed *)
+
+(** {2 Blocking frame IO} — the client side's synchronous transport. *)
+
+exception Connection_lost
+
+val send_frame : Unix.file_descr -> string -> unit
+val recv_payload : Unix.file_descr -> string

@@ -220,7 +220,8 @@ and compile_joins ctx (box : Qgm.box) : Plan.t * layout =
       in
       let jfilter_hint () =
         match eq_pairs with
-        | (a, b) :: _ ->
+        | [] -> None
+        | pairs ->
           let build_card =
             Cost.box_cardinality q.Qgm.over
             *. List.fold_left
@@ -228,13 +229,20 @@ and compile_joins ctx (box : Qgm.box) : Plan.t * layout =
                    acc *. Cost.pred_selectivity ~resolve:stats_resolve p)
                  1.0 inner_only
           in
+          (* multi-key joins filter on the whole key tuple: a probe row
+             must match on {e every} pair, so the tightest single-pair
+             estimate is a (conservative) upper bound on the combined
+             pass rate *)
           let est =
-            Cost.join_filter_pass_est stats_resolve ~probe:a ~build:b
-              ~build_card
+            List.fold_left
+              (fun acc (a, b) ->
+                min acc
+                  (Cost.join_filter_pass_est stats_resolve ~probe:a ~build:b
+                     ~build_card))
+              infinity pairs
           in
           if est < Bloom.drop_threshold then Some { Plan.jf_pass_est = est }
           else None
-        | [] -> None
       in
       let plan =
         match eq_pairs with

@@ -65,6 +65,34 @@ let pop t =
   Mutex.unlock t.m;
   r
 
+let try_pop t =
+  Mutex.lock t.m;
+  let r =
+    if t.len = 0 then None
+    else begin
+      let x = t.ring.(t.head) in
+      t.ring.(t.head) <- None;
+      t.head <- (t.head + 1) mod Array.length t.ring;
+      t.len <- t.len - 1;
+      Condition.signal t.not_full;
+      x
+    end
+  in
+  Mutex.unlock t.m;
+  r
+
+let length t =
+  Mutex.lock t.m;
+  let n = t.len in
+  Mutex.unlock t.m;
+  n
+
+let is_closed t =
+  Mutex.lock t.m;
+  let c = t.closed in
+  Mutex.unlock t.m;
+  c
+
 let close t =
   Mutex.lock t.m;
   t.closed <- true;

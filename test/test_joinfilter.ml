@@ -239,6 +239,85 @@ let test_counters_and_explain () =
       Alcotest.(check int) "no chunks skipped" 0 ctx.Exec.jf_chunks_skipped;
       Alcotest.(check int) "no rows skipped" 0 ctx.Exec.jf_rows_skipped)
 
+(* Multi-key (tuple) hash joins carry the same sideways filter: one
+   Bloom over the hash of the whole key tuple, probed before the table
+   lookup.  Zone-map chunk pruning does not apply — there is no single
+   probe column to take a range over — so only row-level skips count. *)
+let multi_clustered_db () =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE probe_t (fk1 INT, fk2 INT, payload INT)");
+  ignore (Db.exec db "CREATE TABLE build_t (k1 INT, k2 INT, tag STRING)");
+  let buf = Buffer.create 4096 in
+  (* probe: 2000 rows, composite keys (k, k mod 16) for k = 0..1999 *)
+  for base = 0 to 19 do
+    Buffer.clear buf;
+    Buffer.add_string buf "INSERT INTO probe_t VALUES ";
+    for i = 0 to 99 do
+      if i > 0 then Buffer.add_string buf ", ";
+      let k = (base * 100) + i in
+      Buffer.add_string buf
+        (Printf.sprintf "(%d, %d, %d)" k (k mod 16) (i mod 7))
+    done;
+    ignore (Db.exec db (Buffer.contents buf))
+  done;
+  (* build: 3000 rows confined to the 8 combos the probe keys 100..107
+     carry, so only 8 of the 2000 probe rows survive the filter *)
+  for base = 0 to 29 do
+    Buffer.clear buf;
+    Buffer.add_string buf "INSERT INTO build_t VALUES ";
+    for i = 0 to 99 do
+      if i > 0 then Buffer.add_string buf ", ";
+      let k = 100 + (i mod 8) in
+      Buffer.add_string buf
+        (Printf.sprintf "(%d, %d, 't%d')" k (k mod 16) ((base * 100) + i))
+    done;
+    ignore (Db.exec db (Buffer.contents buf))
+  done;
+  db
+
+let test_multi_key_filter () =
+  with_env "XNFDB_CHUNK_ROWS" "64" @@ fun () ->
+  with_colstore true @@ fun () ->
+  with_joinfilter true @@ fun () ->
+  let db = multi_clustered_db () in
+  let sql =
+    "SELECT COUNT(*) FROM probe_t p, build_t b WHERE b.k1 = p.fk1 AND b.k2 = \
+     p.fk2"
+  in
+  let c = Db.compile_query ~join_method:`Hash db sql in
+  let expected = with_joinfilter false (fun () -> Exec.run c) in
+  (* 8 surviving probe keys, each matching 3000/8 build rows *)
+  check_rows "oracle count" [ row [ vi 3000 ] ] expected;
+  let ctx = Exec.make_ctx () in
+  check_rows "filtered join result" expected (Exec.run ~ctx c);
+  Alcotest.(check int) "one tuple-key filter built" 1 ctx.Exec.jf_built;
+  Alcotest.(check bool) "probe rows dropped by the tuple filter" true
+    (ctx.Exec.jf_rows_skipped > 0);
+  Alcotest.(check int) "no chunk pruning for tuple keys" 0
+    ctx.Exec.jf_chunks_skipped;
+  Alcotest.(check int) "nothing dropped" 0 ctx.Exec.jf_dropped;
+  let ex = Db.explain db sql in
+  Alcotest.(check bool) "planner hints the tuple-key filter" true
+    (contains ~affix:"jfilter(pass~" ex);
+  (* parallel probe: same result, same counters *)
+  List.iter
+    (fun domains ->
+      let ctx = Exec.make_ctx () in
+      check_rows
+        (Printf.sprintf "parallel @ %d domains" domains)
+        expected
+        (Exec_par.run ~ctx ~domains ~threshold:1 ~morsel_rows:17 c);
+      Alcotest.(check int) "parallel builds one filter" 1 ctx.Exec.jf_built;
+      Alcotest.(check bool) "parallel skips rows" true
+        (ctx.Exec.jf_rows_skipped > 0))
+    [ 1; 4 ];
+  (* knob off: no filter, identical rows *)
+  with_joinfilter false (fun () ->
+      let ctx = Exec.make_ctx () in
+      check_rows "knob off result" expected (Exec.run ~ctx c);
+      Alcotest.(check int) "no filter built" 0 ctx.Exec.jf_built;
+      Alcotest.(check int) "no rows skipped" 0 ctx.Exec.jf_rows_skipped)
+
 (* String join keys ride the probe table's dictionary: build strings
    fold onto probe-side codes, the Bloom works over codes, and a build
    string absent from the probe dictionary is dropped at translation.
@@ -426,6 +505,7 @@ let suite =
     Alcotest.test_case "selectivity conjunct grouping" `Quick
       test_selectivity_grouping;
     Alcotest.test_case "counters + explain" `Quick test_counters_and_explain;
+    Alcotest.test_case "multi-key tuple filter" `Quick test_multi_key_filter;
     Alcotest.test_case "string keys via dictionary codes" `Quick
       test_string_key_filter;
     Alcotest.test_case "adaptive drop of useless filters" `Quick

@@ -17,5 +17,6 @@ let () =
       ("xnf", Test_xnf.suite);
       ("cocache", Test_cocache.suite);
       ("workloads", Test_workloads.suite);
+      ("net", Test_net.suite);
       ("properties", Test_props.suite);
     ]

@@ -1,0 +1,532 @@
+(** Wire-codec hardening and daemon tests: round-trips for every frame,
+    malformed-frame handling, concurrent sessions byte-identical to
+    in-process execution, crash isolation, and graceful shutdown. *)
+
+open Helpers
+module Db = Engine.Database
+module H = Xnf.Hetstream
+module Wire = Net.Wire
+module Client = Net.Client
+module Server = Net.Server
+
+let exec_rows db sql =
+  match Db.exec db sql with
+  | Db.Rows (schema, rows) -> (schema, rows)
+  | _ -> Alcotest.failf "%s: expected rows" sql
+
+let contains text needle =
+  let nl = String.length needle and tl = String.length text in
+  let rec go i =
+    i + nl <= tl && (String.sub text i nl = needle || go (i + 1))
+  in
+  go 0
+
+let deps_arc_view = "CREATE VIEW deps_arc AS " ^ Workloads.Org.deps_arc_query
+
+(** [org_db] plus the paper's deps_arc XNF view, for extraction. *)
+let deps_db () =
+  let db = org_db () in
+  ignore (Db.exec db deps_arc_view);
+  db
+
+(* -- codec: byte-stable round-trips -------------------------------------- *)
+
+(** A frame survives decode∘encode byte-identically.  Byte stability is
+    the oracle (rather than structural equality) so NaN and −0.0 are
+    covered without a float-aware comparator. *)
+let payload_of frame = String.sub frame 4 (String.length frame - 4)
+
+let check_response_stable msg (r : Wire.response) =
+  let enc = Wire.encode_response r in
+  let enc' = Wire.encode_response (Wire.decode_response (payload_of enc)) in
+  Alcotest.(check string) msg enc enc'
+
+let check_request_stable msg (r : Wire.request) =
+  let enc = Wire.encode_request r in
+  let enc' = Wire.encode_request (Wire.decode_request (payload_of enc)) in
+  Alcotest.(check string) msg enc enc'
+
+let value_gen =
+  let open QCheck.Gen in
+  frequency
+    [
+      (4, map (fun i -> vi i) int);
+      ( 2,
+        oneofl
+          [ vi max_int; vi min_int; vi 0; vi (-1); vi 0x7fffffff; vi (1 lsl 62) ]
+      );
+      (3, map (fun f -> vf f) float);
+      ( 2,
+        oneofl
+          [
+            vf Float.nan;
+            vf (-0.0);
+            vf Float.infinity;
+            vf Float.neg_infinity;
+            vf (-1.0);
+            vf Float.min_float;
+          ] );
+      (3, map (fun s -> vs s) (string_size (int_bound 40)));
+      (1, map (fun b -> vb b) bool);
+      (1, return vnull);
+    ]
+
+let tuple_gen =
+  QCheck.Gen.(map Relcore.Tuple.of_list (list_size (int_bound 6) value_gen))
+
+let batch_response_arb =
+  QCheck.make
+    ~print:(fun rows -> Printf.sprintf "<batch of %d rows>" (List.length rows))
+    QCheck.Gen.(list_size (int_bound 8) tuple_gen)
+
+let prop_row_batch_stable =
+  QCheck.Test.make ~count:300 ~name:"Row_batch round-trips byte-identically"
+    batch_response_arb (fun rows ->
+      let r = Wire.Row_batch rows in
+      let enc = Wire.encode_response r in
+      Wire.encode_response (Wire.decode_response (payload_of enc)) = enc)
+
+let string_arb = QCheck.make ~print:String.escaped QCheck.Gen.(string_size (int_bound 60))
+
+let prop_requests_stable =
+  QCheck.Test.make ~count:200 ~name:"request frames round-trip" string_arb
+    (fun s ->
+      List.for_all
+        (fun (r : Wire.request) ->
+          let enc = Wire.encode_request r in
+          Wire.encode_request (Wire.decode_request (payload_of enc)) = enc)
+        [
+          Hello { client = s; version = Wire.version };
+          Query { sql = s };
+          Extract { text = s; chunk = String.length s };
+          Stmt { sql = s };
+          Stats;
+          Bye;
+        ])
+
+let prop_scalar_responses_stable =
+  QCheck.Test.make ~count:200 ~name:"scalar response frames round-trip"
+    string_arb (fun s ->
+      let n = String.length s in
+      List.for_all
+        (fun (r : Wire.response) ->
+          let enc = Wire.encode_response r in
+          Wire.encode_response (Wire.decode_response (payload_of enc)) = enc)
+        [
+          Hello_ok { server = s; version = Wire.version; session_id = n };
+          Row_end { rows = n };
+          Stream_end { items = n };
+          Affected n;
+          Done s;
+          Error { kind = "exec"; msg = s };
+          Stats_reply s;
+          Bye_ok;
+        ])
+
+let test_empty_batch () =
+  check_response_stable "empty batch" (Wire.Row_batch []);
+  check_response_stable "empty chunk" (Wire.Stream_chunk []);
+  check_response_stable "empty header"
+    (Wire.Row_header (Relcore.Schema.make []))
+
+let test_schema_frame () =
+  let schema, _ = exec_rows (org_db ()) "SELECT * FROM emp" in
+  check_response_stable "row header" (Wire.Row_header schema)
+
+(* Regression: Hetstream once encoded floats via [Int64.to_int], losing
+   bit 63 — negative floats came back positive.  Pin the sign bit. *)
+let test_float_sign_bits () =
+  let roundtrip v =
+    let enc = Wire.encode_response (Wire.Row_batch [ row [ v ] ]) in
+    match Wire.decode_response (payload_of enc) with
+    | Wire.Row_batch [ t ] -> Relcore.Tuple.get t 0
+    | _ -> Alcotest.fail "unexpected frame"
+  in
+  List.iter
+    (fun f ->
+      match roundtrip (vf f) with
+      | Relcore.Value.Float f' ->
+        Alcotest.(check int64)
+          (Printf.sprintf "bits of %h" f)
+          (Int64.bits_of_float f) (Int64.bits_of_float f')
+      | _ -> Alcotest.fail "not a float")
+    [ -1.0; -0.0; 0.0; Float.nan; Float.neg_infinity; -4.25e-300 ]
+
+let test_stream_frames_roundtrip () =
+  let stream = Xnf.Xnf_compile.run_view (deps_db ()) "deps_arc" in
+  check_response_stable "stream header" (Wire.Stream_header stream.H.header);
+  check_response_stable "stream chunk" (Wire.Stream_chunk stream.H.items);
+  (* reassembly from single-item chunks equals the original stream *)
+  let frames =
+    List.map
+      (fun item ->
+        Wire.encode_response (Wire.Stream_chunk [ item ]))
+      stream.H.items
+  in
+  let items =
+    List.concat_map
+      (fun f ->
+        match Wire.decode_response (payload_of f) with
+        | Wire.Stream_chunk items -> items
+        | _ -> Alcotest.fail "unexpected frame")
+      frames
+  in
+  Alcotest.(check bool)
+    "tuple-at-a-time reassembly is byte-identical" true
+    (H.equal stream { stream with H.items })
+
+let expect_malformed msg (f : unit -> unit) =
+  match f () with
+  | () -> Alcotest.failf "%s: expected Malformed" msg
+  | exception Wire.Malformed _ -> ()
+
+let test_malformed_payloads () =
+  expect_malformed "empty payload" (fun () ->
+      ignore (Wire.decode_request ""));
+  expect_malformed "unknown request tag" (fun () ->
+      ignore (Wire.decode_request "\xff junk"));
+  expect_malformed "unknown response tag" (fun () ->
+      ignore (Wire.decode_response "? junk"));
+  expect_malformed "truncated body" (fun () ->
+      let enc = Wire.encode_request (Wire.Query { sql = "SELECT 1" }) in
+      ignore (Wire.decode_request (String.sub enc 4 5)));
+  expect_malformed "trailing garbage" (fun () ->
+      let enc = Wire.encode_request Wire.Bye in
+      ignore (Wire.decode_request (payload_of enc ^ "x")))
+
+(* -- daemon fixtures ------------------------------------------------------ *)
+
+let next_sock =
+  let c = Atomic.make 0 in
+  fun () ->
+    Printf.sprintf "%s/xnfdb_test_%d_%d.sock" (Filename.get_temp_dir_name ())
+      (Unix.getpid ()) (Atomic.fetch_and_add c 1)
+
+(** Run [f addr db server] against a live daemon on a fresh unix socket;
+    always drains and joins the serve domain. *)
+let with_server ?(setup = fun (_ : Db.t) -> ()) ?(tweak = fun c -> c) f =
+  let db = Db.create () in
+  setup db;
+  let path = next_sock () in
+  let addr = Unix.ADDR_UNIX path in
+  let config = tweak (Server.default_config ~addr ()) in
+  let t = Server.create ~config db in
+  let d = Domain.spawn (fun () -> Server.serve t) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      Domain.join d;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f addr db t)
+
+let org_setup db =
+  let src = deps_db () in
+  List.iter
+    (fun tbl -> Relcore.Catalog.add_table (Db.catalog db) tbl)
+    (Relcore.Catalog.tables (Db.catalog src));
+  ignore (Db.exec db deps_arc_view)
+
+(* -- daemon: basic equivalence ------------------------------------------- *)
+
+let test_query_matches_inprocess () =
+  with_server ~setup:org_setup (fun addr _db _t ->
+      let reference = deps_db () in
+      let cl = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          List.iter
+            (fun sql ->
+              let rschema, rrows = exec_rows reference sql in
+              let schema, rows = Client.query cl sql in
+              Alcotest.(check string)
+                (sql ^ ": schema")
+                (Relcore.Schema.to_string rschema)
+                (Relcore.Schema.to_string schema);
+              check_rows (sql ^ ": rows") rrows rows)
+            [
+              "SELECT * FROM emp ORDER BY eno";
+              "SELECT dname, COUNT(*) FROM dept, emp WHERE dno = edno GROUP \
+               BY dname ORDER BY dname";
+              "SELECT eno FROM emp WHERE sal > 95 ORDER BY eno";
+            ]))
+
+let test_extract_matches_inprocess () =
+  with_server ~setup:org_setup (fun addr _db _t ->
+      let reference = Xnf.Xnf_compile.run_view (deps_db ()) "deps_arc" in
+      let cl = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          let bulk = Client.extract cl "deps_arc" in
+          Alcotest.(check bool)
+            "bulk extraction byte-identical to in-process" true
+            (H.equal reference bulk);
+          let frames_before = Client.frames_in cl in
+          let tuple_at_a_time = Client.extract ~chunk:1 cl "deps_arc" in
+          let tat_frames = Client.frames_in cl - frames_before in
+          Alcotest.(check bool)
+            "tuple-at-a-time byte-identical too" true
+            (H.equal reference tuple_at_a_time);
+          Alcotest.(check bool)
+            "chunk=1 ships one frame per item" true
+            (tat_frames >= H.total_items reference)))
+
+let test_dml_and_txn () =
+  with_server (fun addr db _t ->
+      let cl = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          (match Client.exec cl "CREATE TABLE kv (k INT, v STRING)" with
+          | Client.Done _ -> ()
+          | _ -> Alcotest.fail "CREATE should report Done");
+          (match Client.exec cl "INSERT INTO kv VALUES (1, 'a'), (2, 'b')" with
+          | Client.Affected 2 -> ()
+          | _ -> Alcotest.fail "INSERT should affect 2 rows");
+          ignore (Client.exec cl "BEGIN");
+          ignore (Client.exec cl "INSERT INTO kv VALUES (3, 'c')");
+          check_rows "uncommitted insert visible in-session"
+            (rows_of_ints [ [ 3 ] ])
+            (Client.query_rows cl "SELECT COUNT(*) FROM kv");
+          ignore (Client.exec cl "ROLLBACK");
+          check_rows "rollback undoes it"
+            (rows_of_ints [ [ 2 ] ])
+            (Client.query_rows cl "SELECT COUNT(*) FROM kv");
+          (* server-side error surfaces as Server_error, session survives *)
+          (match Client.query cl "SELECT nope FROM kv" with
+          | _ -> Alcotest.fail "bad column should raise"
+          | exception Client.Server_error _ -> ());
+          check_rows "session alive after error"
+            (rows_of_ints [ [ 2 ] ])
+            (Client.query_rows cl "SELECT COUNT(*) FROM kv");
+          let tbl = Relcore.Catalog.find_table (Db.catalog db) "kv" in
+          Alcotest.(check int)
+            "base table agrees" 2
+            (Relcore.Base_table.cardinality tbl)))
+
+(* -- daemon: concurrency -------------------------------------------------- *)
+
+let test_concurrent_sessions () =
+  with_server ~setup:org_setup (fun addr _db t ->
+      let reference = H.serialize (Xnf.Xnf_compile.run_view (deps_db ()) "deps_arc") in
+      let n = 8 and rounds = 4 in
+      let worker i () =
+        try
+          let cl = Client.connect ~client_name:(Printf.sprintf "w%d" i) addr in
+          Fun.protect
+            ~finally:(fun () -> Client.close cl)
+            (fun () ->
+              ignore
+                (Client.exec cl
+                   (Printf.sprintf "CREATE TABLE own_%d (x INT)" i));
+              for r = 1 to rounds do
+                ignore
+                  (Client.exec cl
+                     (Printf.sprintf "INSERT INTO own_%d VALUES (%d)" i r));
+                let got =
+                  Client.query_rows cl
+                    (Printf.sprintf "SELECT COUNT(*) FROM own_%d" i)
+                in
+                if got <> rows_of_ints [ [ r ] ] then
+                  failwith (Printf.sprintf "w%d: wrong count at round %d" i r);
+                ignore (Client.exec cl "BEGIN");
+                ignore
+                  (Client.exec cl
+                     (Printf.sprintf "INSERT INTO own_%d VALUES (-1)" i));
+                ignore (Client.exec cl "ROLLBACK");
+                let stream = Client.extract cl "deps_arc" in
+                if H.serialize stream <> reference then
+                  failwith (Printf.sprintf "w%d: extract diverged" i)
+              done;
+              Ok i)
+        with e -> Stdlib.Error (Printexc.to_string e)
+      in
+      let domains = List.init n (fun i -> Domain.spawn (worker i)) in
+      let results = List.map Domain.join domains in
+      List.iter
+        (function
+          | Ok _ -> () | Stdlib.Error m -> Alcotest.failf "worker failed: %s" m)
+        results;
+      let c = Server.counters t in
+      Alcotest.(check bool)
+        "peak sessions saw concurrency" true (c.Server.peak_sessions >= 2);
+      Alcotest.(check bool) "no protocol errors" true (c.Server.errors = 0))
+
+let test_crash_isolation () =
+  with_server ~setup:org_setup (fun addr _db t ->
+      let survivor = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close survivor)
+        (fun () ->
+          (* crash a client mid-request: queue an extraction, slam the
+             socket, never read *)
+          let victim = Client.connect addr in
+          Client.send_raw victim
+            (Wire.encode_request (Wire.Extract { text = "deps_arc"; chunk = 1 }));
+          Client.abort victim;
+          (* the survivor keeps getting correct answers *)
+          for _ = 1 to 3 do
+            check_rows "survivor unaffected"
+              (rows_of_ints [ [ 4 ] ])
+              (Client.query_rows survivor "SELECT COUNT(*) FROM emp")
+          done;
+          (* the daemon reaps the dead session *)
+          let rec wait_reaped n =
+            let c = Server.counters t in
+            if c.Server.active_sessions <= 1 then ()
+            else if n = 0 then Alcotest.fail "victim session never reaped"
+            else begin
+              Unix.sleepf 0.05;
+              wait_reaped (n - 1)
+            end
+          in
+          wait_reaped 100))
+
+let test_malformed_frame_closes_session_only () =
+  with_server ~setup:org_setup (fun addr _db _t ->
+      let cl = Client.connect addr in
+      Client.send_raw cl (Wire.frame "\xffgarbage");
+      (match Client.recv_any cl with
+      | Wire.Error { kind; _ } ->
+        Alcotest.(check string) "malformed kind" "malformed" kind
+      | _ -> Alcotest.fail "expected an error frame");
+      (* ... and the session is gone *)
+      (match Client.recv_any cl with
+      | _ -> Alcotest.fail "session should be closed"
+      | exception Wire.Connection_lost -> ());
+      Client.abort cl;
+      (* the daemon itself survives and serves new sessions *)
+      let cl2 = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl2)
+        (fun () ->
+          check_rows "daemon survives malformed frame"
+            (rows_of_ints [ [ 3 ] ])
+            (Client.query_rows cl2 "SELECT COUNT(*) FROM dept")))
+
+let test_oversized_frame () =
+  with_server ~setup:org_setup (fun addr _db _t ->
+      let cl = Client.connect addr in
+      let b = Buffer.create 4 in
+      Buffer.add_int32_be b (Int32.of_int (Wire.max_frame + 1));
+      Client.send_raw cl (Buffer.contents b);
+      (match Client.recv_any cl with
+      | Wire.Error _ -> ()
+      | _ -> Alcotest.fail "expected an error frame"
+      | exception Wire.Connection_lost -> ());
+      Client.abort cl;
+      let cl2 = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl2)
+        (fun () ->
+          check_rows "daemon survives oversized frame"
+            (rows_of_ints [ [ 3 ] ])
+            (Client.query_rows cl2 "SELECT COUNT(*) FROM dept")))
+
+let test_hello_version_mismatch () =
+  with_server (fun addr _db _t ->
+      let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+      Unix.connect fd addr;
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Wire.send_frame fd
+            (Wire.encode_request (Wire.Hello { client = "old"; version = 999 }));
+          match Wire.decode_response (Wire.recv_payload fd) with
+          | Wire.Error { kind; _ } ->
+            Alcotest.(check string) "protocol error" "protocol" kind
+          | _ -> Alcotest.fail "expected an error frame"))
+
+let test_stats_and_counters () =
+  with_server ~setup:org_setup (fun addr _db t ->
+      let cl = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          ignore (Client.query_rows cl "SELECT COUNT(*) FROM emp");
+          ignore (Client.extract cl "deps_arc");
+          let text = Client.stats cl in
+          List.iter
+            (fun needle ->
+              Alcotest.(check bool)
+                (Printf.sprintf "stats mentions %S" needle)
+                true (contains text needle))
+            [ "server"; "sessions" ];
+          let c = Server.counters t in
+          Alcotest.(check int) "one active session" 1 c.Server.active_sessions;
+          Alcotest.(check bool) "query counted" true (c.Server.queries >= 1);
+          Alcotest.(check bool) "extract counted" true (c.Server.extracts >= 1);
+          Alcotest.(check bool)
+            "bytes flowed" true
+            (c.Server.bytes_in > 0 && c.Server.bytes_out > 0)))
+
+let test_max_sessions () =
+  with_server ~setup:org_setup
+    ~tweak:(fun c -> { c with Server.max_sessions = 1 })
+    (fun addr _db _t ->
+      let cl = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          (match Client.connect addr with
+          | cl2 ->
+            Client.abort cl2;
+            Alcotest.fail "second session should be rejected"
+          | exception Client.Server_error { kind; _ } ->
+            Alcotest.(check string) "busy kind" "busy" kind
+          | exception Wire.Connection_lost -> ());
+          check_rows "first session unaffected"
+            (rows_of_ints [ [ 3 ] ])
+            (Client.query_rows cl "SELECT COUNT(*) FROM dept")))
+
+let test_shutdown_rolls_back_check () =
+  (* open a transaction, insert, then shut the daemon down: the drain
+     must roll the open transaction back, committing nothing *)
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE audit (x INT)");
+  ignore (Db.exec db "INSERT INTO audit VALUES (1)");
+  let path = next_sock () in
+  let config = Server.default_config ~addr:(Unix.ADDR_UNIX path) () in
+  let t = Server.create ~config db in
+  let d = Domain.spawn (fun () -> Server.serve t) in
+  let cl = Client.connect (Unix.ADDR_UNIX path) in
+  ignore (Client.exec cl "BEGIN");
+  ignore (Client.exec cl "INSERT INTO audit VALUES (2)");
+  Server.stop t;
+  Domain.join d;
+  Client.abort cl;
+  (try Sys.remove path with Sys_error _ -> ());
+  let tbl = Relcore.Catalog.find_table (Db.catalog db) "audit" in
+  Alcotest.(check int) "open txn rolled back on shutdown" 1
+    (Relcore.Base_table.cardinality tbl)
+
+let suite =
+  [
+    Alcotest.test_case "codec: empty frames" `Quick test_empty_batch;
+    Alcotest.test_case "codec: schema frame" `Quick test_schema_frame;
+    Alcotest.test_case "codec: float sign bits" `Quick test_float_sign_bits;
+    Alcotest.test_case "codec: stream frames" `Quick test_stream_frames_roundtrip;
+    Alcotest.test_case "codec: malformed payloads" `Quick test_malformed_payloads;
+    QCheck_alcotest.to_alcotest prop_row_batch_stable;
+    QCheck_alcotest.to_alcotest prop_requests_stable;
+    QCheck_alcotest.to_alcotest prop_scalar_responses_stable;
+    Alcotest.test_case "daemon: query equivalence" `Quick
+      test_query_matches_inprocess;
+    Alcotest.test_case "daemon: extract equivalence" `Quick
+      test_extract_matches_inprocess;
+    Alcotest.test_case "daemon: DML and transactions" `Quick test_dml_and_txn;
+    Alcotest.test_case "daemon: concurrent sessions" `Quick
+      test_concurrent_sessions;
+    Alcotest.test_case "daemon: crash isolation" `Quick test_crash_isolation;
+    Alcotest.test_case "daemon: malformed frame" `Quick
+      test_malformed_frame_closes_session_only;
+    Alcotest.test_case "daemon: oversized frame" `Quick test_oversized_frame;
+    Alcotest.test_case "daemon: hello version" `Quick
+      test_hello_version_mismatch;
+    Alcotest.test_case "daemon: stats and counters" `Quick
+      test_stats_and_counters;
+    Alcotest.test_case "daemon: max sessions" `Quick test_max_sessions;
+    Alcotest.test_case "daemon: shutdown rolls back" `Quick
+      test_shutdown_rolls_back_check;
+  ]
