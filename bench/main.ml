@@ -1717,6 +1717,383 @@ let bench_server ?n_parts ?(n_sessions = 120) ?(rounds = 2) () =
     exit 1
   end
 
+(* ----------------------------------------------------- mixed r/w ------- *)
+
+(** E13: the write path racing the read path — MVCC-lite snapshot reads
+    under concurrent DML ([XNFDB_SNAPSHOT]), group commit
+    ([XNFDB_GROUP_COMMIT]), and batched UPDATE/DELETE against
+    one-DML-per-op.  Results land in [BENCH_mixedrw.json].  In-run
+    gates: every stream observed while a writer races is byte-identical
+    to some committed reference state; reader p95 with writers running
+    is at most 2x the read-only p95; batched DML is at least 1.5x the
+    per-op loop; and the knob-off paths reproduce identical bytes. *)
+let bench_mixedrw ?n_parts ?(readers = 4) ?(rounds = 25) () =
+  let n_parts = match n_parts with Some n -> n | None -> scaled 2_000 in
+  header
+    "E13. Mixed read/write: snapshot reads, group commit, and batched DML \
+     racing extractions";
+  (* Level the read path for the latency comparison: the result cache
+     and IVM are keyed to live table versions, which the snapshot path
+     bypasses by design — with them on, the read-only baseline would
+     measure cache hits against the writers' phase cache misses. *)
+  let saved_env =
+    List.map
+      (fun k -> (k, Sys.getenv_opt k))
+      [ "XNFDB_RESULT_CACHE_MB"; "XNFDB_IVM" ]
+  in
+  let restore_env () =
+    List.iter
+      (fun (k, v) ->
+        match v with
+        | Some v -> Unix.putenv k v
+        | None ->
+          (* no unsetenv: re-set the built-in default *)
+          Unix.putenv k (if k = "XNFDB_IVM" then "1" else "64"))
+      saved_env
+  in
+  Unix.putenv "XNFDB_RESULT_CACHE_MB" "0";
+  Unix.putenv "XNFDB_IVM" "0";
+  Fun.protect ~finally:restore_env @@ fun () ->
+  let params = { Workloads.Oo1.default with Workloads.Oo1.n_parts } in
+  let mkdb ps =
+    let db = Workloads.Oo1.generate ps in
+    ignore
+      (Db.exec db ("CREATE VIEW parts_co AS " ^ Workloads.Oo1.parts_graph_query));
+    db
+  in
+  let db = mkdb params in
+  (* the seeded generator is deterministic, so a second generate is a
+     byte-identical reference database the writer can run ahead on *)
+  let refdb = mkdb params in
+  let serialize d = H.serialize (Xnf.Xnf_compile.run_view d "parts_co") in
+  let initial = serialize refdb in
+  if not (String.equal initial (serialize db)) then
+    failwith "OO1 generator is expected to be seed-deterministic";
+  let sock =
+    Printf.sprintf "%s/xnfdb_mixedrw_%d.sock"
+      (Filename.get_temp_dir_name ())
+      (Unix.getpid ())
+  in
+  let server =
+    Net.Server.create
+      ~config:(Net.Server.default_config ~addr:(Unix.ADDR_UNIX sock) ())
+      db
+  in
+  let server_domain = Domain.spawn (fun () -> Net.Server.serve server) in
+  (* every extract uses a fresh chunk size so the encoded-frame memo
+     (keyed by text x chunk) never short-circuits the measurement *)
+  let chunk_ctr = Atomic.make 0 in
+  let extract_once cl =
+    let chunk = 64 + (Atomic.fetch_and_add chunk_ctr 1 mod 4096) in
+    let t0 = Unix.gettimeofday () in
+    let s = Net.Client.extract ~chunk cl "parts_co" in
+    (Unix.gettimeofday () -. t0, H.serialize s)
+  in
+  (* [readers] domains, [rounds] extractions each; [check] returns false
+     on a stream that matches no committed state *)
+  let run_readers ~check =
+    let worker _d () =
+      let cl = Net.Client.connect (Unix.ADDR_UNIX sock) in
+      let lats = ref [] and bad = ref 0 in
+      Fun.protect
+        ~finally:(fun () -> Net.Client.close cl)
+        (fun () ->
+          for _ = 1 to rounds do
+            let dt, bytes = extract_once cl in
+            lats := dt :: !lats;
+            match check with
+            | Some chk -> if not (chk bytes) then incr bad
+            | None -> ()
+          done;
+          (!lats, !bad))
+    in
+    let hs = List.init readers (fun d -> Domain.spawn (worker d)) in
+    let rs = List.map Domain.join hs in
+    let lats = List.concat_map fst rs |> Array.of_list in
+    Array.sort compare lats;
+    (lats, List.fold_left (fun a (_, b) -> a + b) 0 rs)
+  in
+  (* -- phase A: read-only baseline ------------------------------------- *)
+  let t0 = Unix.gettimeofday () in
+  let lats_ro, bad_ro = run_readers ~check:(Some (String.equal initial)) in
+  let wall_ro = Unix.gettimeofday () -. t0 in
+  let p95_ro = percentile lats_ro 95.0 in
+  row "read-only: %d extractions, p50 %.2f ms, p95 %.2f ms (%.1f/s)\n"
+    (Array.length lats_ro)
+    (ms (percentile lats_ro 50.0))
+    (ms p95_ro)
+    (float_of_int (Array.length lats_ro) /. wall_ro);
+  (* -- phase B: single writer, byte-identity under race ---------------- *)
+  (* The writer applies each transaction to [refdb] and records the
+     serialized stream BEFORE shipping it to the daemon, so the daemon
+     can only lag the reference list: any stream a reader observes that
+     is in no reference state is a torn or dirty read.  Rolled-back
+     transactions never produce a reference entry. *)
+  let refs_mu = Mutex.create () in
+  let refs = ref [ initial ] in
+  let wrounds = 12 in
+  let single_writer () =
+    let cl = Net.Client.connect (Unix.ADDR_UNIX sock) in
+    Fun.protect
+      ~finally:(fun () -> Net.Client.close cl)
+      (fun () ->
+        for r = 1 to wrounds do
+          if r mod 4 = 0 then begin
+            ignore (Net.Client.exec cl "BEGIN");
+            ignore
+              (Net.Client.exec cl
+                 "UPDATE parts SET build = build + 999 WHERE pid <= 32");
+            ignore (Net.Client.exec cl "ROLLBACK")
+          end
+          else begin
+            let lo = (r mod 4) * 16 in
+            let sql =
+              Printf.sprintf
+                "UPDATE parts SET build = build + 1 WHERE pid > %d AND pid \
+                 <= %d"
+                lo (lo + 16)
+            in
+            ignore (Db.exec refdb sql);
+            let snap = serialize refdb in
+            Mutex.protect refs_mu (fun () -> refs := snap :: !refs);
+            ignore (Net.Client.exec cl "BEGIN");
+            ignore (Net.Client.exec cl sql);
+            ignore (Net.Client.exec cl "COMMIT")
+          end
+        done)
+  in
+  let wd = Domain.spawn single_writer in
+  let _, bad_b =
+    run_readers
+      ~check:
+        (Some
+           (fun bytes -> Mutex.protect refs_mu (fun () -> List.mem bytes !refs)))
+  in
+  Domain.join wd;
+  row "single-writer race: %d streams checked, %d not a committed state\n"
+    (readers * rounds) bad_b;
+  (* -- phase C: paced multi-writer, reader tail latency ----------------- *)
+  let n_writers = 4 in
+  let stop = Atomic.make false in
+  let paced_writer w () =
+    let cl = Net.Client.connect (Unix.ADDR_UNIX sock) in
+    let txns = ref 0 in
+    Fun.protect
+      ~finally:(fun () -> Net.Client.close cl)
+      (fun () ->
+        while not (Atomic.get stop) do
+          let lo = (w * 53 + (!txns * 29)) mod (max 1 (n_parts - 25)) in
+          let sql =
+            Printf.sprintf
+              "UPDATE parts SET x = x + 1 WHERE pid > %d AND pid <= %d" lo
+              (lo + 25)
+          in
+          let t1 = Unix.gettimeofday () in
+          ignore (Net.Client.exec cl "BEGIN");
+          ignore (Net.Client.exec cl sql);
+          ignore (Net.Client.exec cl "COMMIT");
+          incr txns;
+          (* ~30% write duty cycle: contention without saturation *)
+          Unix.sleepf (min 0.05 ((Unix.gettimeofday () -. t1) *. 2.3))
+        done;
+        !txns)
+  in
+  let whs = List.init n_writers (fun w -> Domain.spawn (paced_writer w)) in
+  let lats_rw, _ = run_readers ~check:None in
+  Atomic.set stop true;
+  let txns = List.fold_left (fun a h -> a + Domain.join h) 0 whs in
+  let p95_rw = percentile lats_rw 95.0 in
+  let ratio = p95_rw /. p95_ro in
+  row
+    "with %d paced writers (%d txns): reader p50 %.2f ms, p95 %.2f ms — \
+     %.2fx the read-only p95 (acceptance: <= 2x)\n"
+    n_writers txns
+    (ms (percentile lats_rw 50.0))
+    (ms p95_rw) ratio;
+  (* quiesced convergence + server-side counters *)
+  let cl = Net.Client.connect (Unix.ADDR_UNIX sock) in
+  let final_ok =
+    String.equal (H.serialize (Net.Client.extract cl "parts_co")) (serialize db)
+  in
+  let stats_text = Net.Client.stats cl in
+  Net.Client.close cl;
+  let c = Net.Server.counters server in
+  row
+    "snapshot reads %d (fallbacks %d), group commit %d batches / %d \
+     commits, max batch %d\n"
+    c.Net.Server.snap_reads c.Net.Server.snap_fallbacks
+    c.Net.Server.gc_batches c.Net.Server.gc_commits c.Net.Server.gc_max_batch;
+  Net.Server.stop server;
+  Domain.join server_domain;
+  (try Sys.remove sock with Sys_error _ -> ());
+  (* -- phase D: batched DML vs one statement per row -------------------- *)
+  let dml_db = Db.create () in
+  ignore
+    (Db.exec dml_db
+       "CREATE TABLE w (pid INT NOT NULL, val INT, PRIMARY KEY (pid))");
+  let n_rows = 2_000 in
+  let insert_all () =
+    let b = ref 1 in
+    while !b <= n_rows do
+      let hi = min n_rows (!b + 199) in
+      let vals =
+        List.init
+          (hi - !b + 1)
+          (fun i -> Printf.sprintf "(%d, %d)" (!b + i) (!b + i))
+      in
+      ignore (Db.exec dml_db ("INSERT INTO w VALUES " ^ String.concat ", " vals));
+      b := hi + 1
+    done
+  in
+  insert_all ();
+  let t_upd_batched =
+    time_median ~repeat:3 (fun () ->
+        ignore (Db.exec dml_db "UPDATE w SET val = val + 1"))
+  in
+  let t_upd_per_op =
+    time_median ~repeat:3 (fun () ->
+        for pid = 1 to n_rows do
+          ignore
+            (Db.exec dml_db
+               (Printf.sprintf "UPDATE w SET val = val + 1 WHERE pid = %d" pid))
+        done)
+  in
+  let upd_speedup = t_upd_per_op /. t_upd_batched in
+  let t_del_batched =
+    let t1 = Unix.gettimeofday () in
+    ignore (Db.exec dml_db "DELETE FROM w WHERE pid > 0");
+    Unix.gettimeofday () -. t1
+  in
+  insert_all ();
+  let t_del_per_op =
+    let t1 = Unix.gettimeofday () in
+    for pid = 1 to n_rows do
+      ignore (Db.exec dml_db (Printf.sprintf "DELETE FROM w WHERE pid = %d" pid))
+    done;
+    Unix.gettimeofday () -. t1
+  in
+  let del_speedup = t_del_per_op /. t_del_batched in
+  row "\n%-28s | %12s | %12s | %9s\n" "statement shape" "batched (ms)"
+    "per-op (ms)" "speedup";
+  row "%s\n" (String.make 70 '-');
+  row "%-28s | %12.2f | %12.2f | %8.1fx\n"
+    (Printf.sprintf "UPDATE %d rows" n_rows)
+    (ms t_upd_batched) (ms t_upd_per_op) upd_speedup;
+  row "%-28s | %12.2f | %12.2f | %8.1fx\n"
+    (Printf.sprintf "DELETE %d rows" n_rows)
+    (ms t_del_batched) (ms t_del_per_op) del_speedup;
+  (* -- phase E: knob-off paths are byte-identical ----------------------- *)
+  let small = { params with Workloads.Oo1.n_parts = min n_parts 500 } in
+  let run_script () =
+    let sdb = mkdb small in
+    let ssock =
+      Printf.sprintf "%s/xnfdb_mixedrw_e_%d_%d.sock"
+        (Filename.get_temp_dir_name ())
+        (Unix.getpid ())
+        (Atomic.fetch_and_add chunk_ctr 1)
+    in
+    let sv =
+      Net.Server.create
+        ~config:(Net.Server.default_config ~addr:(Unix.ADDR_UNIX ssock) ())
+        sdb
+    in
+    let sd = Domain.spawn (fun () -> Net.Server.serve sv) in
+    Fun.protect
+      ~finally:(fun () ->
+        Net.Server.stop sv;
+        Domain.join sd;
+        try Sys.remove ssock with Sys_error _ -> ())
+      (fun () ->
+        let cl = Net.Client.connect (Unix.ADDR_UNIX ssock) in
+        Fun.protect
+          ~finally:(fun () -> Net.Client.close cl)
+          (fun () ->
+            List.iter
+              (fun sql -> ignore (Net.Client.exec cl sql))
+              [
+                "UPDATE parts SET build = build + 1 WHERE pid <= 40";
+                "BEGIN";
+                "UPDATE parts SET x = x + 5 WHERE pid <= 20";
+                "COMMIT";
+                "BEGIN";
+                "UPDATE parts SET build = 0 WHERE pid <= 99999";
+                "ROLLBACK";
+              ];
+            H.serialize (Net.Client.extract cl "parts_co")))
+  in
+  let bytes_on = run_script () in
+  Unix.putenv "XNFDB_SNAPSHOT" "0";
+  Unix.putenv "XNFDB_GROUP_COMMIT" "0";
+  let bytes_off =
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.putenv "XNFDB_SNAPSHOT" "1";
+        Unix.putenv "XNFDB_GROUP_COMMIT" "1")
+      run_script
+  in
+  let knobs_ok = String.equal bytes_on bytes_off in
+  row
+    "\nbyte-identity: read-only %s, single-writer race %s, quiesced final \
+     %s, knob-off %s\n"
+    (if bad_ro = 0 then "verified" else "FAILED")
+    (if bad_b = 0 then "verified" else "FAILED")
+    (if final_ok then "verified" else "FAILED")
+    (if knobs_ok then "verified" else "FAILED");
+  let oc = open_out "BENCH_mixedrw.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"mixedrw\",\n\
+    \  %s,\n\
+    \  \"n_parts\": %d,\n\
+    \  \"readers\": %d,\n\
+    \  \"writers\": %d,\n\
+    \  \"results\": [\n\
+    \    { \"name\": \"read_only\", \"extracts\": %d, \"p50_ms\": %.3f, \
+     \"p95_ms\": %.3f, \"identical\": %b },\n\
+    \    { \"name\": \"single_writer_race\", \"streams\": %d, \
+     \"non_committed_states\": %d, \"identical\": %b },\n\
+    \    { \"name\": \"multi_writer\", \"txns\": %d, \"p50_ms\": %.3f, \
+     \"p95_ms\": %.3f, \"p95_ratio\": %.3f, \"final_identical\": %b, \
+     \"snap_reads\": %d, \"snap_fallbacks\": %d, \"gc_batches\": %d, \
+     \"gc_commits\": %d, \"gc_max_batch\": %d },\n\
+    \    { \"name\": \"batched_dml\", \"rows\": %d, \"update_batched_ms\": \
+     %.3f, \"update_per_op_ms\": %.3f, \"update_speedup\": %.2f, \
+     \"delete_batched_ms\": %.3f, \"delete_per_op_ms\": %.3f, \
+     \"delete_speedup\": %.2f },\n\
+    \    { \"name\": \"knobs_off\", \"identical\": %b }\n\
+    \  ],\n\
+    \  \"server_stats\": \"%s\"\n\
+     }\n"
+    (metadata_json ()) n_parts readers n_writers (Array.length lats_ro)
+    (ms (percentile lats_ro 50.0))
+    (ms p95_ro) (bad_ro = 0) (readers * rounds) bad_b (bad_b = 0) txns
+    (ms (percentile lats_rw 50.0))
+    (ms p95_rw) ratio final_ok c.Net.Server.snap_reads
+    c.Net.Server.snap_fallbacks c.Net.Server.gc_batches
+    c.Net.Server.gc_commits c.Net.Server.gc_max_batch n_rows
+    (ms t_upd_batched) (ms t_upd_per_op) upd_speedup (ms t_del_batched)
+    (ms t_del_per_op) del_speedup knobs_ok (json_escape stats_text);
+  close_out oc;
+  row "wrote BENCH_mixedrw.json\n";
+  if bad_ro > 0 || bad_b > 0 || not final_ok then begin
+    row "FAIL: a reader observed a stream matching no committed state\n";
+    exit 1
+  end;
+  if not knobs_ok then begin
+    row "FAIL: knob-off paths are not byte-identical\n";
+    exit 1
+  end;
+  if upd_speedup < 1.5 || del_speedup < 1.5 then begin
+    row "FAIL: batched DML did not reach the 1.5x per-op gate\n";
+    exit 1
+  end;
+  if ratio > 2.0 then begin
+    row
+      "FAIL: reader p95 under concurrent writers exceeded 2x the read-only \
+       p95\n";
+    exit 1
+  end
+
 (* ------------------------------------------------------------ summary --- *)
 
 (** Merge every BENCH_*.json artifact in the working directory into one
@@ -1784,6 +2161,8 @@ let () =
     if want "ivm" then bench_ivm ();
     if want "spill" then bench_spill ~n_parts:(10 * n_parts) ~budget_mb:1 ();
     if want "server" then bench_server ~n_parts:(min n_parts 2_000) ~rounds:1 ();
+    if want "mixedrw" then
+      bench_mixedrw ~n_parts:(min n_parts 1_000) ~rounds:10 ();
     write_summary ();
     print_endline "\nsmoke bench complete."
   end
@@ -1805,6 +2184,7 @@ let () =
     if want "ivm" then bench_ivm ();
     if want "spill" then bench_spill ();
     if want "server" then bench_server ();
+    if want "mixedrw" then bench_mixedrw ();
     write_summary ();
     if only = None then run_bechamel ();
     print_endline "\nall benches complete."

@@ -214,16 +214,67 @@ let translate (db : Db.t) (ast : Xnf_ast.query) ws (op : Workspace.pending_op) :
       Errors.semantic_error "relationship %S is not updatable" rel
   end
 
-(* Coalesce consecutive single-row INSERTs into the same table and
-   column list into one multi-row INSERT.  Op order is preserved:
-   only adjacent statements merge, so an interleaved UPDATE or DELETE
-   still sees exactly the rows inserted before it. *)
-let batch_inserts (stmts : Ast.stmt list) : Ast.stmt list =
+(* -- statement coalescing ------------------------------------------------- *)
+
+(* A predicate the coalescer may OR-merge: a conjunction of
+   column-vs-literal comparisons and NULL tests (exactly the shape
+   [key_where] emits).  Anything else — subqueries, arithmetic over
+   other columns — is left alone. *)
+let rec simple_pred = function
+  | Ast.Ptrue -> true
+  | Ast.Cmp (_, a, b) -> simple_expr a && simple_expr b
+  | Ast.And (a, b) -> simple_pred a && simple_pred b
+  | Ast.Is_null e | Ast.Is_not_null e -> simple_expr e
+  | _ -> false
+
+and simple_expr = function Ast.Col _ | Ast.Lit _ -> true | _ -> false
+
+let pred_cols p =
+  let cols = ref [] in
+  Ast.iter_pred_cols (fun _tbl c -> cols := c :: !cols) p;
+  !cols
+
+(* OR of the run's key predicates, in statement order. *)
+let disj = function
+  | [] -> Ast.Ptrue
+  | w :: ws -> List.fold_left (fun p w -> Ast.Or (p, w)) w ws
+
+(* Coalesce runs of adjacent statements bound for the same table.  Op
+   order is preserved: only adjacent statements merge, so an
+   interleaved statement of another shape still sees exactly the
+   effects of the ops before it.
+
+   - Single-row INSERTs sharing one column list become one multi-row
+     INSERT.
+   - DELETEs with {!simple_pred} key predicates merge by OR-ing them:
+     deleting [w1] then [w2] removes exactly the rows matching
+     [w1 ∨ w2], because a simple predicate's match set cannot depend
+     on other rows' presence.
+   - UPDATEs with structurally equal all-constant SET lists merge the
+     same way, additionally guarded on the SET columns staying out of
+     every WHERE in the run: then no update of the run can change
+     which rows a later WHERE matches, and re-applying the identical
+     constant SET to a doubly-matched row is idempotent. *)
+let coalesce_stmts (stmts : Ast.stmt list) : Ast.stmt list =
   let flush_run run acc =
     match run with
     | None -> acc
-    | Some (table_name, columns, rows) ->
+    | Some (`Ins (table_name, columns, rows)) ->
       Ast.Insert { table_name; columns; rows = List.rev rows } :: acc
+    | Some (`Del (table_name, wheres)) ->
+      Ast.Delete { table_name; where = disj (List.rev wheres) } :: acc
+    | Some (`Upd (table_name, sets, wheres)) ->
+      Ast.Update { table_name; sets; where = disj (List.rev wheres) } :: acc
+  in
+  let const_sets sets =
+    List.for_all (fun (_, e) -> match e with Ast.Lit _ -> true | _ -> false) sets
+  in
+  let guarded sets where =
+    simple_pred where
+    && const_sets sets
+    && List.for_all
+         (fun c -> not (List.mem_assoc c sets))
+         (pred_cols where)
   in
   let acc, run =
     List.fold_left
@@ -231,9 +282,23 @@ let batch_inserts (stmts : Ast.stmt list) : Ast.stmt list =
         match stmt with
         | Ast.Insert { table_name; columns; rows } -> begin
           match run with
-          | Some (t, c, prev) when String.equal t table_name && c = columns ->
-            (acc, Some (t, c, List.rev_append rows prev))
-          | _ -> (flush_run run acc, Some (table_name, columns, List.rev rows))
+          | Some (`Ins (t, c, prev)) when String.equal t table_name && c = columns
+            ->
+            (acc, Some (`Ins (t, c, List.rev_append rows prev)))
+          | _ ->
+            (flush_run run acc, Some (`Ins (table_name, columns, List.rev rows)))
+        end
+        | Ast.Delete { table_name; where } when simple_pred where -> begin
+          match run with
+          | Some (`Del (t, ws)) when String.equal t table_name ->
+            (acc, Some (`Del (t, where :: ws)))
+          | _ -> (flush_run run acc, Some (`Del (table_name, [ where ])))
+        end
+        | Ast.Update { table_name; sets; where } when guarded sets where -> begin
+          match run with
+          | Some (`Upd (t, s, ws)) when String.equal t table_name && s = sets ->
+            (acc, Some (`Upd (t, s, where :: ws)))
+          | _ -> (flush_run run acc, Some (`Upd (table_name, sets, [ where ])))
         end
         | other -> (other :: flush_run run acc, None))
       ([], None) stmts
@@ -241,11 +306,14 @@ let batch_inserts (stmts : Ast.stmt list) : Ast.stmt list =
   List.rev (flush_run run acc)
 
 (** Flush all pending cache operations back to the database.  Returns
-    the SQL statements executed (in order); runs of inserts into the
-    same table go as single multi-row statements. *)
+    the SQL statements executed (in order); adjacent same-table ops
+    coalesce — runs of inserts go as single multi-row statements, runs
+    of key-predicate deletes (and identical-SET updates) go as single
+    statements with OR-merged predicates, so the engine's batch DML
+    path evaluates one predicate pass per run instead of one per row. *)
 let flush (db : Db.t) (ast : Xnf_ast.query) (ws : Workspace.t) : string list =
   let stmts =
-    batch_inserts
+    coalesce_stmts
       (List.concat_map (translate db ast ws) (Workspace.pending_ops ws))
   in
   let sqls =

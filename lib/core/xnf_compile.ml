@@ -365,7 +365,15 @@ let use_result_cache = function
 let extract ?ctx ?cache (c : compiled) : Hetstream.t =
   if c.recursive then Xnf_recursive.extract c.db c.op
   else begin
-    let use = use_result_cache cache in
+    (* a snapshot (MVCC-lite) context must bypass the stream cache and
+       IVM maintenance: both are keyed to — and advance — live table
+       versions, not the reader's pinned epoch *)
+    let use =
+      use_result_cache cache
+      && (match ctx with
+         | Some ctx -> ctx.Executor.Exec.snapshot = None
+         | None -> true)
+    in
     with_stream_cache ~use c (fun () ->
         let ctx =
           match ctx with
@@ -396,19 +404,21 @@ let extract ?ctx ?cache (c : compiled) : Hetstream.t =
     back to the fixpoint evaluator for recursive COs.  [domains]
     defaults to [Relcore.Pool.default_domains ()] (the [XNFDB_DOMAINS]
     knob); [morsel_rows]/[threshold] are forwarded to [Exec_par]. *)
-let extract_parallel ?domains ?morsel_rows ?threshold ?cache (c : compiled) :
-    Hetstream.t =
+let extract_parallel ?domains ?morsel_rows ?threshold ?cache ?snapshot
+    (c : compiled) : Hetstream.t =
   let domains =
     match domains with Some d -> d | None -> Relcore.Pool.default_domains ()
   in
-  let use = use_result_cache cache in
+  (* snapshot readers bypass both cache levels (see {!extract}) *)
+  let use = use_result_cache cache && snapshot = None in
   if c.recursive then Xnf_recursive.extract c.db c.op
   else if domains <= 1 then
     with_stream_cache ~use c (fun () ->
-        extract_nonrecursive ~ctx:(Executor.Exec.make_ctx ~result_cache:use ()) c)
+        extract_nonrecursive
+          ~ctx:(Executor.Exec.make_ctx ~result_cache:use ?snapshot ()) c)
   else
     with_stream_cache ~use c @@ fun () ->
-    let ctx = Executor.Exec.make_ctx ~result_cache:use () in
+    let ctx = Executor.Exec.make_ctx ~result_cache:use ?snapshot () in
     (* which outputs will actually run? *)
     let needed =
       List.map (fun (n : Xnf_rewrite.node_output) -> n.Xnf_rewrite.no_name)
@@ -465,15 +475,15 @@ let extract_parallel ?domains ?morsel_rows ?threshold ?cache (c : compiled) :
 
 (** One-call convenience: compile and extract.  [cache] governs both
     levels: the compiled-query cache and the result cache. *)
-let run ?share ?nf_rewrite ?cache (db : Db.t) (text : string) : Hetstream.t =
-  extract ?cache (compile ?share ?nf_rewrite ?cache db text)
+let run ?share ?nf_rewrite ?cache ?ctx (db : Db.t) (text : string) : Hetstream.t =
+  extract ?ctx ?cache (compile ?share ?nf_rewrite ?cache db text)
 
 (** Compile and extract a stored XNF view by name. *)
-let run_view ?share ?nf_rewrite ?cache (db : Db.t) (view_name : string) :
+let run_view ?share ?nf_rewrite ?cache ?ctx (db : Db.t) (view_name : string) :
     Hetstream.t =
   match Catalog.find_view_opt (Db.catalog db) view_name with
   | Some { Catalog.language = `Xnf; text; _ } ->
-    run ?share ?nf_rewrite ?cache db text
+    run ?share ?nf_rewrite ?cache ?ctx db text
   | Some { Catalog.language = `Sql; _ } ->
     Errors.semantic_error "view %S is a plain SQL view, not an XNF view"
       view_name

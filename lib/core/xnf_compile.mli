@@ -52,13 +52,17 @@ val extract : ?ctx:Executor.Exec.ctx -> ?cache:bool -> compiled -> Hetstream.t
 (** Sequential extraction; dispatches to the fixpoint evaluator for
     recursive COs.  [cache] (default: the [XNFDB_RESULT_CACHE_MB] knob)
     consults the cross-query result cache — a warm repeat returns the
-    previously assembled stream without touching the executor. *)
+    previously assembled stream without touching the executor.  Passing
+    a snapshot-bearing [ctx] (see {!Executor.Exec.make_ctx}) forces the
+    cache and IVM maintenance off: both are keyed to live versions, not
+    the reader's pinned epoch. *)
 
 val extract_parallel :
   ?domains:int ->
   ?morsel_rows:int ->
   ?threshold:int ->
   ?cache:bool ->
+  ?snapshot:(Relcore.Base_table.t -> Relcore.Tuple.t option array) ->
   compiled ->
   Hetstream.t
 (** Parallel extraction on the shared domain pool: morsel-parallel
@@ -70,12 +74,27 @@ val extract_parallel :
     force parallel paths on small data).  [cache] as in {!extract}. *)
 
 val run :
-  ?share:bool -> ?nf_rewrite:bool -> ?cache:bool -> Db.t -> string -> Hetstream.t
+  ?share:bool ->
+  ?nf_rewrite:bool ->
+  ?cache:bool ->
+  ?ctx:Executor.Exec.ctx ->
+  Db.t ->
+  string ->
+  Hetstream.t
 (** Compile and extract in one call; [cache] governs both the
-    compiled-query cache and the result cache. *)
+    compiled-query cache and the result cache.  [ctx] is handed to
+    {!extract} (a snapshot-bearing ctx turns the result cache and IVM
+    off; the compiled-query cache stays on — plans are
+    version-independent). *)
 
 val run_view :
-  ?share:bool -> ?nf_rewrite:bool -> ?cache:bool -> Db.t -> string -> Hetstream.t
+  ?share:bool ->
+  ?nf_rewrite:bool ->
+  ?cache:bool ->
+  ?ctx:Executor.Exec.ctx ->
+  Db.t ->
+  string ->
+  Hetstream.t
 (** Compile and extract a stored XNF view by name. *)
 
 val expand_component : Catalog.t -> view:string -> component:string -> Starq.Qgm.box

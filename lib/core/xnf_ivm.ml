@@ -309,7 +309,13 @@ let instrument (entry : entry) ~(header : Hetstream.header)
              true
            end)
   in
-  let versions = List.map (fun t -> (t, Base_table.version t)) tables in
+  (* Capture the version vector under the publication lock: a group
+     commit publishing between two per-table reads would otherwise leave
+     a torn baseline and the next [maintain] would replay half a txn. *)
+  let versions =
+    Mutex.protect Snapshot.publish_mu (fun () ->
+        List.map (fun t -> (t, Base_table.version t)) tables)
+  in
   let ctx = Exec.make_ctx ~result_cache:true () in
   let dctx = Delta.make_ctx () in
   let roots =
@@ -784,8 +790,11 @@ let maintain (entry : entry) (st : state) (header : Hetstream.header) :
         assemble_tracked st header
   in
   st.stream <- stream;
+  (* Re-baseline under the publication lock (commit-consistent, same as
+     the initial capture in [instrument]). *)
   entry.versions <-
-    List.map (fun (t, _) -> (t, Base_table.version t)) entry.versions;
+    Mutex.protect Snapshot.publish_mu (fun () ->
+        List.map (fun (t, _) -> (t, Base_table.version t)) entry.versions);
   stats.maintained <- stats.maintained + 1;
   stream
 

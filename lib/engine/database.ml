@@ -293,11 +293,10 @@ let explain db (sql : string) : string =
 
 (* -- DML helpers -------------------------------------------------------- *)
 
-(** Compile a WHERE predicate of UPDATE/DELETE against a single table:
-    returns a closure testing one tuple.  Subqueries are supported
-    (compiled as predicate-level probes). *)
-let compile_row_pred db (table : Base_table.t) (pred : Ast.pred) :
-    Executor.Exec.ctx -> Tuple.t -> bool =
+(** Compile a WHERE predicate of UPDATE/DELETE against a single table
+    into an executable [Plan.ppred].  Subqueries are supported (compiled
+    as predicate-level probes). *)
+let compile_row_ppred db (table : Base_table.t) (pred : Ast.pred) : Plan.ppred =
   let bbox = Qgm.base_box table in
   let quant = Qgm.make_quant bbox in
   let owner = Qgm.make_box Qgm.Select ~head:[||] in
@@ -314,8 +313,7 @@ let compile_row_pred db (table : Base_table.t) (pred : Ast.pred) :
     { Optimizer.Planner.consumers = Hashtbl.create 4; outer = []; share = false;
       join_method = `Auto }
   in
-  let pp = Optimizer.Planner.compile_pred pctx [ layout ] bp in
-  fun ctx tuple -> Executor.Exec.eval_pred ctx [] tuple pp = Some true
+  Optimizer.Planner.compile_pred pctx [ layout ] bp
 
 let compile_row_expr _db (table : Base_table.t) (e : Ast.expr) :
     Tuple.t -> Value.t =
@@ -378,6 +376,12 @@ let resolve_dml_target db (table_name : string) (stmt : Ast.stmt) :
       Errors.semantic_error "no XNF layer registered to update %S" table_name
   end
 
+(* Outside an open transaction each DML statement is its own commit:
+   publish the table's new version so snapshot pins advance with it
+   (inside a txn, [Txn.bump_touched] publishes at the boundary). *)
+let autocommit_publish db table =
+  if not (Txn.is_active db.txn) then Snapshot.publish [ table ]
+
 let exec_insert db ~table_name ~columns ~rows =
   let table = Catalog.find_table db.catalog table_name in
   let schema = Base_table.schema table in
@@ -397,21 +401,25 @@ let exec_insert db ~table_name ~columns ~rows =
       Txn.record db.txn (Txn.U_insert (table, rid));
       incr count)
     rows;
+  autocommit_publish db table;
   Affected !count
 
+(* Victim finding for UPDATE/DELETE goes through the executor's batch
+   layer ([Exec.scan_victims]): the predicate is evaluated once per
+   batch over a selection vector — with zone-map pruning on the columnar
+   path — instead of once per row through the interpreter.  Victims come
+   back descending by rid, the order the historical per-row fold
+   produced, which unique-violation timing (e.g. [SET k = k + 1] on a
+   unique column) observably depends on. *)
 let exec_update db ~table_name ~sets ~where =
   let table = Catalog.find_table db.catalog table_name in
   let schema = Base_table.schema table in
-  let test = compile_row_pred db table where in
+  let pp = compile_row_ppred db table where in
   let setters =
     List.map (fun (c, e) -> (Schema.find schema c, compile_row_expr db table e)) sets
   in
   let ctx = Executor.Exec.make_ctx () in
-  let victims =
-    Base_table.fold
-      (fun acc rid tuple -> if test ctx tuple then (rid, tuple) :: acc else acc)
-      [] table
-  in
+  let victims = Executor.Exec.scan_victims ctx table pp in
   List.iter
     (fun (rid, tuple) ->
       let row = Array.copy tuple in
@@ -419,22 +427,20 @@ let exec_update db ~table_name ~sets ~where =
       Txn.record db.txn (Txn.U_update (table, rid, Array.copy tuple));
       Base_table.update table rid row)
     victims;
+  autocommit_publish db table;
   Affected (List.length victims)
 
 let exec_delete db ~table_name ~where =
   let table = Catalog.find_table db.catalog table_name in
-  let test = compile_row_pred db table where in
+  let pp = compile_row_ppred db table where in
   let ctx = Executor.Exec.make_ctx () in
-  let victims =
-    Base_table.fold
-      (fun acc rid tuple -> if test ctx tuple then (rid, tuple) :: acc else acc)
-      [] table
-  in
+  let victims = Executor.Exec.scan_victims ctx table pp in
   List.iter
     (fun (rid, tuple) ->
       Txn.record db.txn (Txn.U_delete (table, Array.copy tuple));
       Base_table.delete table rid)
     victims;
+  autocommit_publish db table;
   Affected (List.length victims)
 
 (** Heuristic: is a view body XNF? *)

@@ -59,9 +59,12 @@ let record t undo =
    in-flight versions can never be reused), but bumping again at the
    boundary makes commit and rollback themselves invalidation points:
    no version-keyed cache entry filled while the txn was open survives
-   past its end. *)
+   past its end.  Bump and publish run in one [Snapshot.bump_and_publish]
+   critical section, so a concurrent snapshot pin — or an IVM
+   version-vector capture — sees either all of this txn's tables at
+   their new versions or none, never a torn cut. *)
 let bump_touched t =
-  List.iter Base_table.bump_version t.touched;
+  Snapshot.bump_and_publish t.touched;
   t.touched <- [];
   t.delta_marks <- []
 

@@ -11,9 +11,9 @@
     - [Hash_join]: probe prov ++ negate(build prov) — the build side
       conses per key in scan order and the probe emits newest-first,
       i.e. {e descending} build prov;
-    - [Index_join]: outer prov ++ [S_int (-seq)] where [seq] grows with
-      posting age ({!Relcore.Index.iter} walks newest-first, and
-      appends land at the newest end);
+    - [Index_join]: outer prov ++ [S_int (-rid)] — postings are kept
+      rid-sorted and {!Relcore.Index.iter} walks them descending, so
+      the inner order is a pure function of the row set;
     - [Sort]: one [S_val (key, dir)] segment per sort key, then the
       input prov as the stable tie-break;
     - [Union_all]: [S_int branch] ++ input prov.
@@ -106,13 +106,11 @@ and ij = {
   iindex : Index.t;
   okey : Tuple.t -> Tuple.t option; (* over outer rows *)
   ires : (Tuple.t -> bool) option; (* over concat (outer, inner) *)
-  imirror : ipost Tuple.Tbl.t; (* inner posting mirror, by key *)
+  imirror : (Heap.rid * Tuple.t) list ref Tuple.Tbl.t;
+      (* inner rows by key: postings are rid-sorted in the index, so the
+         rid alone reproduces the probe order — no age counter needed *)
   iotbl : bucket Tuple.Tbl.t; (* outer rows, by key *)
 }
-
-(* [seq] values grow with posting age and are never reused: appends land
-   at the newest end even after removals, exactly like the index. *)
-and ipost = { mutable ictr : int; mutable ients : (int * Heap.rid * Tuple.t) list }
 
 and shared_cell = {
   scell : node;
@@ -287,15 +285,11 @@ let rec fill (n : node) : (prov * Tuple.t) list =
       (fill j.hprobe);
     !out
   | N_index_join j ->
-    Index.iter_postings j.iindex (fun key pos rid ->
+    Index.iter_postings j.iindex (fun key _pos rid ->
         let row = Base_table.get_exn j.itable rid in
         match Tuple.Tbl.find_opt j.imirror key with
-        | Some p ->
-          p.ients <- (pos, rid, row) :: p.ients;
-          if pos >= p.ictr then p.ictr <- pos + 1
-        | None ->
-          Tuple.Tbl.add j.imirror key
-            { ictr = pos + 1; ients = [ (pos, rid, row) ] });
+        | Some p -> p := (rid, row) :: !p
+        | None -> Tuple.Tbl.add j.imirror key (ref [ (rid, row) ]));
     let out = ref [] in
     List.iter
       (fun (op, orow) ->
@@ -306,11 +300,11 @@ let rec fill (n : node) : (prov * Tuple.t) list =
           (match Tuple.Tbl.find_opt j.imirror k with
           | Some p ->
             List.iter
-              (fun (seq, _, irow) ->
+              (fun (rid, irow) ->
                 let row = Tuple.concat orow irow in
                 if match j.ires with None -> true | Some f -> f row then
-                  out := (Array.append op [| S_int (-seq) |], row) :: !out)
-              p.ients
+                  out := (Array.append op [| S_int (-rid) |], row) :: !out)
+              !p
           | None -> ()))
       (fill j.iouter);
     !out
@@ -419,10 +413,10 @@ let rec apply (n : node) (w : window) : drow list =
   | N_index_join j ->
     let dout = apply j.iouter w in
     let out = ref [] in
-    let emit sign op orow seq irow =
+    let emit sign op orow rid irow =
       let row = Tuple.concat orow irow in
       if match j.ires with None -> true | Some f -> f row then
-        out := (sign, Array.append op [| S_int (-seq) |], row) :: !out
+        out := (sign, Array.append op [| S_int (-rid) |], row) :: !out
     in
     (* d_outer against the inner mirror as of the window start *)
     List.iter
@@ -432,7 +426,7 @@ let rec apply (n : node) (w : window) : drow list =
         | Some k -> (
           match Tuple.Tbl.find_opt j.imirror k with
           | Some p ->
-            List.iter (fun (seq, _, irow) -> emit sign op orow seq irow) p.ients
+            List.iter (fun (rid, irow) -> emit sign op orow rid irow) !p
           | None -> ()))
       dout;
     List.iter
@@ -444,34 +438,26 @@ let rec apply (n : node) (w : window) : drow list =
           else bucket_remove j.iotbl k op)
       dout;
     (* inner deltas in log order: same-key entries must see each other's
-       mirror effects (an UPDATE re-inserts at the newest posting end) *)
+       mirror effects (an UPDATE deletes then re-inserts at the same rid) *)
     List.iter
       (fun (_, dop) ->
         match dop with
         | Heap.D_ins (rid, irow) ->
           let key = Index.key_of j.iindex irow in
-          let seq =
-            match Tuple.Tbl.find_opt j.imirror key with
-            | Some p ->
-              let s = p.ictr in
-              p.ictr <- s + 1;
-              p.ients <- (s, rid, irow) :: p.ients;
-              s
-            | None ->
-              Tuple.Tbl.add j.imirror key { ictr = 1; ients = [ (0, rid, irow) ] };
-              0
-          in
-          bucket_iter j.iotbl key (fun (op, orow) -> emit 1 op orow seq irow)
+          (match Tuple.Tbl.find_opt j.imirror key with
+          | Some p -> p := (rid, irow) :: !p
+          | None -> Tuple.Tbl.add j.imirror key (ref [ (rid, irow) ]));
+          bucket_iter j.iotbl key (fun (op, orow) -> emit 1 op orow rid irow)
         | Heap.D_del (rid, irow) ->
           let key = Index.key_of j.iindex irow in
           (match Tuple.Tbl.find_opt j.imirror key with
           | Some p -> (
-            match List.find_opt (fun (_, r, _) -> r = rid) p.ients with
-            | Some (seq, _, mrow) ->
+            match List.find_opt (fun (r, _) -> r = rid) !p with
+            | Some (_, mrow) ->
               bucket_iter j.iotbl key (fun (op, orow) ->
-                  emit (-1) op orow seq mrow);
-              p.ients <- List.filter (fun (s, _, _) -> s <> seq) p.ients;
-              if p.ients = [] then Tuple.Tbl.remove j.imirror key
+                  emit (-1) op orow rid mrow);
+              p := List.filter (fun (r, _) -> r <> rid) !p;
+              if !p = [] then Tuple.Tbl.remove j.imirror key
             | None -> unmaintainable "index mirror missing rid %d" rid)
           | None -> unmaintainable "index mirror missing a deleted key"))
       (table_delta w j.itable);

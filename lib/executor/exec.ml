@@ -26,6 +26,12 @@ type ctx = {
   mutable materialized : (Plan.t * Batch.t list) list;
   batch_capacity : int; (* rows per batch for this query's table queues *)
   result_cache : bool; (* promote CSE materializations to Result_cache *)
+  snapshot : (Base_table.t -> Tuple.t option array) option;
+  (* MVCC-lite: when set, every base-table access reads through this
+     frozen slot-array view instead of the live heap.  Columnar scans,
+     live index probes, and cross-query caches are bypassed — they see
+     rows newer than the pinned epoch.  [Snapshot.Stale] may escape any
+     access once the undo window has been outrun. *)
   mutable rows_scanned : int; (* base-table tuples fetched *)
   mutable subqueries_run : int; (* correlated subplan executions *)
   mutable batches_emitted : int; (* batches delivered at plan roots *)
@@ -41,7 +47,7 @@ type ctx = {
   mutable jf_dropped : int; (* join filters adaptively disabled *)
 }
 
-let make_ctx ?batch_capacity ?result_cache () =
+let make_ctx ?batch_capacity ?result_cache ?snapshot () =
   {
     shared = Hashtbl.create 8;
     materialized = [];
@@ -53,6 +59,7 @@ let make_ctx ?batch_capacity ?result_cache () =
       (match result_cache with
       | Some b -> b
       | None -> Result_cache.enabled ());
+    snapshot;
     rows_scanned = 0;
     subqueries_run = 0;
     batches_emitted = 0;
@@ -180,7 +187,29 @@ let make_key_fn (frames : Eval.frames) (keys : Plan.scalar list) =
 
 let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : batch_iter =
   match p with
-  | Plan.Scan t ->
+  | Plan.Scan t -> (
+    match ctx.snapshot with
+    | Some frozen ->
+      (* snapshot scan: walk the frozen slot array in slot order — the
+         same order the live heap scan visits — skipping tombstones *)
+      let arr = frozen t in
+      let n = Array.length arr in
+      let i = ref 0 in
+      pack ~capacity:ctx.batch_capacity (fun ~emit ->
+          if !i >= n then false
+          else begin
+            let stop = min n (!i + ctx.batch_capacity) in
+            while !i < stop do
+              (match Array.unsafe_get arr !i with
+              | Some row ->
+                ctx.rows_scanned <- ctx.rows_scanned + 1;
+                emit row
+              | None -> ());
+              incr i
+            done;
+            true
+          end)
+    | None ->
     (* batches grow geometrically from a small first batch so a Limit
        just above the scan stays nearly as lazy as tuple-at-a-time *)
     let cap = ref (min 64 ctx.batch_capacity) in
@@ -203,15 +232,17 @@ let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : batch_iter =
           None
         end
         else Some b
-      end
+      end)
   | Plan.Values rows ->
     iter_of_batches (Batch.of_list ~capacity:ctx.batch_capacity rows)
   | Plan.Filter (input, pred) -> begin
     (* columnar access path: when the subtree is Filter*(Scan) and at
        least one conjunct compiles to an unboxed chunk kernel, evaluate
        against the column arrays — zone-pruned, selection-vectored,
-       with heap tuples materialized only for surviving rows *)
-    match Colscan.of_plan p with
+       with heap tuples materialized only for surviving rows.  Bypassed
+       under a snapshot: the colstore mirror tracks the live heap, not
+       the pinned epoch. *)
+    match (if ctx.snapshot = None then Colscan.of_plan p else None) with
     | Some cs -> open_colscan ctx frames cs
     | None ->
       let it = open_plan ctx frames input in
@@ -290,31 +321,81 @@ let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : batch_iter =
   | Plan.Merge_join { left; right; left_keys; right_keys; residual } ->
     (* sort both sides on their key values, then merge equal groups *)
     let keyed plan keys =
-      lazy
-        (let kfs = List.map Eval.compile_scalar_fn keys in
-         let rows = Array.of_list (Batch.list_to_rows (materialize ctx frames plan)) in
-         let with_keys =
-           Array.map
-             (fun row ->
-               (Array.of_list (List.map (fun f -> f frames row) kfs), row))
-             rows
-         in
-         (* null keys never join: drop them, as the hash join does *)
-         let with_keys =
-           Array.of_list
-             (List.filter
-                (fun (k, _) -> not (Array.exists Value.is_null k))
-                (Array.to_list with_keys))
-         in
-         Array.sort (fun (k1, _) (k2, _) -> Tuple.compare k1 k2) with_keys;
-         with_keys)
+      let kfs = List.map Eval.compile_scalar_fn keys in
+      let rows = Array.of_list (Batch.list_to_rows (materialize ctx frames plan)) in
+      let with_keys =
+        Array.map
+          (fun row ->
+            (Array.of_list (List.map (fun f -> f frames row) kfs), row))
+          rows
+      in
+      (* null keys never join: drop them, as the hash join does *)
+      Array.of_list
+        (List.filter
+           (fun (k, _) -> not (Array.exists Value.is_null k))
+           (Array.to_list with_keys))
     in
-    let ls = keyed left left_keys and rs = keyed right right_keys in
+    (* skip-scan band filter: a row whose key falls outside the other
+       side's [min, max] key range can never find a merge partner, so it
+       is dropped before paying for the sort.  Exact (no false drops)
+       and order-preserving, hence byte-identical output; gated with the
+       other sideways join filters. *)
+    let band_filter l r =
+      if Array.length l = 0 || Array.length r = 0 then (l, r)
+      else begin
+        let range side =
+          let lo = ref (fst side.(0)) and hi = ref (fst side.(0)) in
+          Array.iter
+            (fun (k, _) ->
+              if Tuple.compare k !lo < 0 then lo := k;
+              if Tuple.compare k !hi > 0 then hi := k)
+            side;
+          (!lo, !hi)
+        in
+        let llo, lhi = range l and rlo, rhi = range r in
+        let lo = if Tuple.compare llo rlo > 0 then llo else rlo in
+        let hi = if Tuple.compare lhi rhi < 0 then lhi else rhi in
+        let keep side =
+          let kept =
+            Array.of_list
+              (List.filter
+                 (fun (k, _) ->
+                   Tuple.compare k lo >= 0 && Tuple.compare k hi <= 0)
+                 (Array.to_list side))
+          in
+          let dropped = Array.length side - Array.length kept in
+          if dropped > 0 then begin
+            ctx.jf_rows_skipped <- ctx.jf_rows_skipped + dropped;
+            Bloom.add_totals ~built:0 ~chunks:0 ~rows:dropped ~dropped:0
+          end;
+          kept
+        in
+        (keep l, keep r)
+      end
+    in
+    (* tied keys sort in input order (an explicit position tiebreaker),
+       so the run order — and with it the output — does not depend on
+       which out-of-band rows the band filter removed *)
+    let sort side =
+      let dec = Array.mapi (fun i (k, row) -> (k, i, row)) side in
+      Array.sort
+        (fun (k1, i1, _) (k2, i2, _) ->
+          let c = Tuple.compare k1 k2 in
+          if c <> 0 then c else Int.compare i1 i2)
+        dec;
+      Array.map (fun (k, _, row) -> (k, row)) dec
+    in
+    let sides =
+      lazy
+        (let l = keyed left left_keys and r = keyed right right_keys in
+         let l, r = if Bloom.enabled () then band_filter l r else (l, r) in
+         (sort l, sort r))
+    in
     let test = compile_pred ctx residual in
     (* current output group: cross product of equal-key runs *)
     let li = ref 0 and ri = ref 0 in
     let rec refill () =
-      let l = Lazy.force ls and r = Lazy.force rs in
+      let l, r = Lazy.force sides in
       if !li >= Array.length l || !ri >= Array.length r then None
       else begin
         let lk, _ = l.(!li) and rk, _ = r.(!ri) in
@@ -628,24 +709,68 @@ and open_index_join (ctx : ctx) (frames : Eval.frames)
         let t = Tuple.concat row irow in
         if is_true (test frames t) then emit (mk_row row irow)
   in
-  let emit_rid emit row rid =
-    match Base_table.get table rid with
-    | None -> ()
-    | Some irow ->
-      ctx.rows_scanned <- ctx.rows_scanned + 1;
-      emit_match emit row irow
-  in
-  pack ~capacity:ctx.batch_capacity (fun ~emit ->
-      match outer_it () with
-      | None -> false
-      | Some ob ->
-        Batch.iter
-          (fun row ->
-            if extract row then
-              (* Index.iter probes without building a rid list. *)
-              Index.iter index scratch (emit_rid emit row))
-          ob;
-        true)
+  match ctx.snapshot with
+  | Some frozen ->
+    (* snapshot probe: the live index tracks the heap, so reproduce the
+       posting layout from the frozen slot array instead.  Matches cons
+       on ascending rid, so list iteration presents descending rid —
+       exactly the order {!Index.iter} walks (postings are rid-sorted
+       ascending and iterated in reverse). *)
+    let postings =
+      lazy
+        (let arr = frozen table in
+         let cols = index.Index.key_columns in
+         let tbl = Tuple.Tbl.create 256 in
+         Array.iter
+           (fun slot ->
+             match slot with
+             | None -> ()
+             | Some irow ->
+               let key = Array.map (fun c -> irow.(c)) cols in
+               (* null keys are never probed: [extract] refuses them *)
+               if not (Array.exists Value.is_null key) then begin
+                 let prev = try Tuple.Tbl.find tbl key with Not_found -> [] in
+                 Tuple.Tbl.replace tbl key (irow :: prev)
+               end)
+           arr;
+         tbl)
+    in
+    pack ~capacity:ctx.batch_capacity (fun ~emit ->
+        match outer_it () with
+        | None -> false
+        | Some ob ->
+          Batch.iter
+            (fun row ->
+              if extract row then
+                match Tuple.Tbl.find (Lazy.force postings) scratch with
+                | exception Not_found -> ()
+                | matches ->
+                  List.iter
+                    (fun irow ->
+                      ctx.rows_scanned <- ctx.rows_scanned + 1;
+                      emit_match emit row irow)
+                    matches)
+            ob;
+          true)
+  | None ->
+    let emit_rid emit row rid =
+      match Base_table.get table rid with
+      | None -> ()
+      | Some irow ->
+        ctx.rows_scanned <- ctx.rows_scanned + 1;
+        emit_match emit row irow
+    in
+    pack ~capacity:ctx.batch_capacity (fun ~emit ->
+        match outer_it () with
+        | None -> false
+        | Some ob ->
+          Batch.iter
+            (fun row ->
+              if extract row then
+                (* Index.iter probes without building a rid list. *)
+                Index.iter index scratch (emit_rid emit row))
+            ob;
+          true)
 
 (** Open a hash join.  [mk_row] builds each output row from a probe row
     and a build match — [Tuple.concat] for the plain join, a column
@@ -683,7 +808,13 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
     let table =
       lazy
         (let tbl =
-           match columnar_build ctx frames ~build ~key:bk with
+           (* the columnar mirror tracks the live heap: under a snapshot
+              the build must drain the (frozen) row pipeline instead *)
+           match
+             (if ctx.snapshot = None then
+                columnar_build ctx frames ~build ~key:bk
+              else None)
+           with
            | Some tbl -> tbl
            | None ->
              let tbl = Vtbl.create 256 in
@@ -769,7 +900,10 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
       p
     in
     let columnar_probe =
-      match Colscan.of_plan ~require_atoms:false probe with
+      match
+        (if ctx.snapshot = None then Colscan.of_plan ~require_atoms:false probe
+         else None)
+      with
       | Some cs -> (
         match Colscan.int_key cs pk with
         | Some ki -> Some (cs, ki, `Int)
@@ -1050,7 +1184,8 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
               once the scan itself already applied it *)
            let probe_it, loop_flt =
              match probe, pk, tbl, flt with
-             | Plan.Scan pt, Plan.P_col ki, T_int _, Some bl ->
+             | Plan.Scan pt, Plan.P_col ki, T_int _, Some bl
+               when ctx.snapshot = None ->
                let keep row =
                  ctx.rows_scanned <- ctx.rows_scanned + 1;
                  let pass_int i =
@@ -1339,7 +1474,10 @@ and get_shared (ctx : ctx) (frames : Eval.frames) (bid : int) (inner : Plan.t) :
        stored) through [Batch.share_list]: consumers mutate selection
        vectors on their own records, never on the cached ones. *)
     let global_key =
-      if ctx.result_cache && frames = [] then
+      (* snapshot contexts neither read nor fill the cross-query cache:
+         their batches reflect the pinned epoch, not the live versions
+         the cache key names *)
+      if ctx.result_cache && ctx.snapshot = None && frames = [] then
         Some
           ("cse|" ^ Plan.fingerprint inner ^ "|" ^ Plan.version_key inner)
       else None
@@ -1499,6 +1637,7 @@ let sibling_ctx (ctx : ctx) : ctx =
     materialized = [];
     batch_capacity = ctx.batch_capacity;
     result_cache = ctx.result_cache;
+    snapshot = ctx.snapshot;
     rows_scanned = 0;
     subqueries_run = 0;
     batches_emitted = 0;
@@ -1515,6 +1654,87 @@ let sibling_ctx (ctx : ctx) : ctx =
   }
 
 (* -- public surface ------------------------------------------------------ *)
+
+(** Victim finding for UPDATE/DELETE: every live row of [table]
+    satisfying [pp], returned {e descending} by rid — the order the
+    engine's historical per-row fold applied mutations in, which
+    unique-violation timing (e.g. [SET k = k + 1] on a unique column)
+    observably depends on.
+
+    The predicate runs through the executor's batch layer instead of a
+    per-row interpreter pass: when a conjunct compiles to a columnar
+    kernel the colstore path zone-prunes whole chunks and evaluates
+    against the column arrays; otherwise rows flow through
+    {!Eval.select_batch} selection vectors a batch at a time. *)
+let scan_victims (ctx : ctx) (table : Base_table.t) (pp : Plan.ppred) :
+    (Heap.rid * Tuple.t) list =
+  let acc = ref [] in
+  (match Colscan.of_plan (Plan.Filter (Plan.Scan table, pp)) with
+  | Some cs ->
+    let store = cs.Colscan.store in
+    let katoms = cs.Colscan.katoms in
+    let test = Option.map (compile_pred ctx) cs.Colscan.residual in
+    let sel = Array.make (Colstore.chunk_rows store) 0 in
+    let sst = Colstore.scan_stats () in
+    for c = 0 to Colstore.n_chunks store - 1 do
+      if Colstore.prune_chunk store katoms c then begin
+        ctx.chunks_skipped <- ctx.chunks_skipped + 1;
+        Colstore.add_totals ~scanned:0 ~skipped:1 ~materialized:0 ()
+      end
+      else begin
+        ctx.chunks_scanned <- ctx.chunks_scanned + 1;
+        ctx.rows_scanned <- ctx.rows_scanned + Colstore.live_in_chunk store c;
+        Colstore.pin store c;
+        let n = Colstore.select_chunk ~stats:sst store katoms c sel in
+        Colstore.unpin store c;
+        ctx.rows_materialized <- ctx.rows_materialized + n;
+        Colstore.add_totals ~scanned:1 ~skipped:0 ~materialized:n ();
+        flush_faults ctx sst;
+        (* slots ascend within and across chunks, so consing yields the
+           descending-rid victim list directly *)
+        for i = 0 to n - 1 do
+          let s = Array.unsafe_get sel i in
+          let row = Base_table.get_exn cs.Colscan.table s in
+          match test with
+          | None -> acc := (s, row) :: !acc
+          | Some t -> if is_true (t [] row) then acc := (s, row) :: !acc
+        done
+      end
+    done
+  | None ->
+    let test = compile_pred ctx pp in
+    let cap = max 1 ctx.batch_capacity in
+    let b = Batch.create ~capacity:cap () in
+    let rids = Array.make cap 0 in
+    let flush () =
+      if b.Batch.len > 0 then begin
+        Eval.select_batch [] b test;
+        (match b.Batch.sel with
+        | Some sel ->
+          for i = 0 to b.Batch.sel_len - 1 do
+            let j = Array.unsafe_get sel i in
+            acc := (rids.(j), b.Batch.rows.(j)) :: !acc
+          done
+        | None ->
+          for j = 0 to b.Batch.len - 1 do
+            acc := (rids.(j), b.Batch.rows.(j)) :: !acc
+          done);
+        b.Batch.len <- 0;
+        b.Batch.sel <- None;
+        b.Batch.sel_len <- 0
+      end
+    in
+    for rid = 0 to Base_table.slot_count table - 1 do
+      match Base_table.get table rid with
+      | None -> ()
+      | Some row ->
+        ctx.rows_scanned <- ctx.rows_scanned + 1;
+        rids.(b.Batch.len) <- rid;
+        Batch.push b row;
+        if Batch.is_full b then flush ()
+    done;
+    flush ());
+  !acc
 
 (** Open a compiled plan as a demand-driven batch cursor (the table
     queue itself).  Batches delivered here bump [ctx.batches_emitted]. *)

@@ -15,6 +15,8 @@ type ctx = {
       (* join inners materialized once per physical plan object *)
   batch_capacity : int; (* rows per batch for this query's table queues *)
   result_cache : bool; (* promote CSE materializations to Result_cache *)
+  snapshot : (Base_table.t -> Tuple.t option array) option;
+      (* MVCC-lite frozen view: all base-table access reads through it *)
   mutable rows_scanned : int; (* base-table tuples fetched *)
   mutable subqueries_run : int; (* correlated subplan executions *)
   mutable batches_emitted : int; (* batches delivered at plan roots *)
@@ -34,12 +36,25 @@ exception Cached_batches of Batch.t list
 (** {!Result_cache} payload constructor for materialized table queues
     (the executor's slice of the universal-type cache). *)
 
-val make_ctx : ?batch_capacity:int -> ?result_cache:bool -> unit -> ctx
+val make_ctx :
+  ?batch_capacity:int ->
+  ?result_cache:bool ->
+  ?snapshot:(Base_table.t -> Tuple.t option array) ->
+  unit ->
+  ctx
 (** [batch_capacity] defaults to [Batch.default_capacity ()] (the
     [XNFDB_BATCH_SIZE] knob), snapshotted at context creation so one
     query sees one stable batch size.  [result_cache] (default
     [Result_cache.enabled ()]) controls cross-query promotion of
-    uncorrelated CSE materializations. *)
+    uncorrelated CSE materializations.
+
+    [snapshot] makes the context an MVCC-lite reader: base-table scans
+    and index-join probes read the given frozen slot-array view (see
+    {!Relcore.Snapshot.rows}) instead of the live heap.  Columnar access
+    paths and the cross-query result cache — both of which track live
+    state — are bypassed.  Pass [result_cache:false] alongside so CSE
+    promotion stays off.  Any access may raise {!Relcore.Snapshot.Stale}
+    once the undo window has been outrun. *)
 
 module Vtbl : Hashtbl.S with type key = Value.t
 (** Value-keyed table used by the single-column join fast path (shared
@@ -69,6 +84,14 @@ val force_shared : ctx -> Plan.t -> unit
 
 val sibling_ctx : ctx -> ctx
 (** A context for another domain sharing this one's CSE cache. *)
+
+val scan_victims : ctx -> Base_table.t -> Plan.ppred -> (Heap.rid * Tuple.t) list
+(** UPDATE/DELETE victim finding through the executor's batch layer:
+    every live row satisfying the predicate, descending by rid (the
+    order mutation application historically used, which unique-violation
+    timing observably depends on).  Uses the columnar path — zone-map
+    chunk pruning included — when a conjunct compiles to a chunk kernel,
+    and batched selection vectors otherwise. *)
 
 val open_batches : ?ctx:ctx -> Plan.compiled -> batch_iter
 (** Open a compiled plan as a demand-driven batch cursor (the table

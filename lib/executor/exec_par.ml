@@ -255,12 +255,31 @@ let scan_rows_est (t : Base_table.t) =
 
 let rec pipe_of (ctx : Exec.ctx) ~opts (p : Plan.t) : pipe =
   match p with
-  | Plan.Scan t ->
-    {
-      src = Src_table t;
-      src_rows = scan_rows_est t;
-      make_feed = (fun _ ~emit -> emit);
-    }
+  | Plan.Scan t -> (
+    match ctx.Exec.snapshot with
+    | Some frozen ->
+      (* MVCC-lite reader: materialize the frozen slot array (slot
+         order, tombstones dropped) and morsel over the batches — the
+         live heap is never touched *)
+      let arr = frozen t in
+      let rows = ref [] in
+      for i = Array.length arr - 1 downto 0 do
+        match arr.(i) with Some row -> rows := row :: !rows | None -> ()
+      done;
+      let bs =
+        Array.of_list (Batch.of_list ~capacity:ctx.Exec.batch_capacity !rows)
+      in
+      {
+        src = Src_batches bs;
+        src_rows = List.length !rows;
+        make_feed = (fun _ ~emit -> emit);
+      }
+    | None ->
+      {
+        src = Src_table t;
+        src_rows = scan_rows_est t;
+        make_feed = (fun _ ~emit -> emit);
+      })
   | Plan.Values rows ->
     let bs =
       Array.of_list (Batch.of_list ~capacity:ctx.Exec.batch_capacity rows)
@@ -279,7 +298,9 @@ let rec pipe_of (ctx : Exec.ctx) ~opts (p : Plan.t) : pipe =
       make_feed = (fun _ ~emit -> emit);
     }
   | Plan.Filter (input, pred) -> begin
-    match Colscan.of_plan p with
+    (* the columnar mirror tracks the live heap: bypassed under a
+       snapshot, where the row path reads the frozen scan source *)
+    match (if ctx.Exec.snapshot = None then Colscan.of_plan p else None) with
     | Some cs ->
       (* columnar access path: the source itself prunes chunks and runs
          the unboxed atoms, feeding only surviving (materialized) heap
@@ -519,6 +540,9 @@ let rec pipe_of (ctx : Exec.ctx) ~opts (p : Plan.t) : pipe =
             pipe.make_feed st ~emit:probe_row);
     }
   | Plan.Index_join { outer; table; index; keys; residual } ->
+    (* the live index tracks the heap; the serial executor knows how to
+       emulate the posting layout from frozen slots — fall back to it *)
+    if ctx.Exec.snapshot <> None then raise Not_parallel;
     ignore (residual_opt residual);
     let pipe = pipe_of ctx ~opts outer in
     {

@@ -187,8 +187,15 @@ let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : iter =
                 (fun (k, _) -> not (Array.exists Value.is_null k))
                 (Array.to_list with_keys))
          in
-         Array.sort (fun (k1, _) (k2, _) -> Tuple.compare k1 k2) with_keys;
-         with_keys)
+         (* tied keys stay in input order (position tiebreaker), matching
+            the batched executor's run order *)
+         let dec = Array.mapi (fun i (k, row) -> (k, i, row)) with_keys in
+         Array.sort
+           (fun (k1, i1, _) (k2, i2, _) ->
+             let c = Tuple.compare k1 k2 in
+             if c <> 0 then c else Int.compare i1 i2)
+           dec;
+         Array.map (fun (k, _, row) -> (k, row)) dec)
     in
     let ls = keyed left left_keys and rs = keyed right right_keys in
     let li = ref 0 and ri = ref 0 in

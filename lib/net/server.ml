@@ -62,6 +62,26 @@ module Rwlock = struct
         if t.readers = 0 then Condition.broadcast t.c;
         Mutex.unlock t.m)
 
+  (* Non-blocking read acquisition: [Some (f ())] when no writer is
+     active or waiting, [None] otherwise (the caller takes the
+     snapshot path instead of queueing behind the writer). *)
+  let try_read t f =
+    Mutex.lock t.m;
+    if t.writer || t.waiting_w > 0 then begin
+      Mutex.unlock t.m;
+      None
+    end
+    else begin
+      t.readers <- t.readers + 1;
+      Mutex.unlock t.m;
+      Some
+        (Fun.protect f ~finally:(fun () ->
+             Mutex.lock t.m;
+             t.readers <- t.readers - 1;
+             if t.readers = 0 then Condition.broadcast t.c;
+             Mutex.unlock t.m))
+    end
+
   let write t f =
     Mutex.lock t.m;
     t.waiting_w <- t.waiting_w + 1;
@@ -133,6 +153,10 @@ type session = {
   mutable s_bytes_in : int;
   mutable s_bytes_out : int;
   mutable s_requests : int;
+  mutable s_snap_reads : int;  (* reads served lock-free off a snapshot *)
+  mutable s_snap_falls : int;  (* snapshot attempts that fell back to the lock *)
+  mutable s_gc_commits : int;  (* COMMITs routed through group commit *)
+  mutable s_gc_max_batch : int;  (* largest drain one of them rode in *)
 }
 
 type t = {
@@ -165,6 +189,20 @@ type t = {
   c_errors : int Atomic.t;
   c_rejected : int Atomic.t;
   c_memo_hits : int Atomic.t;
+  c_snap_reads : int Atomic.t;
+  c_snap_fallbacks : int Atomic.t;
+  (* group-commit queue shared by every session's COMMIT *)
+  gc : Engine.Group_commit.t;
+  (* snapshot gate: DDL must not run while a lock-free reader is
+     mid-flight (it may drop the very tables the reader's frozen arrays
+     and plans reference), and snapshot readers do not hold the rwlock.
+     DDL flips [snap_blocked] (new snapshot reads fall back to the
+     lock, where they queue behind the DDL writer) and waits for
+     [snap_active] to drain. *)
+  snap_mu : Mutex.t;
+  snap_cond : Condition.t;
+  mutable snap_active : int;
+  mutable snap_blocked : bool;
   (* encoded-frame memo for extractions: the same view shipped twice
      costs one encoding.  Keyed by (text, chunk); cleared on any
      statement (DML, DDL, txn control) and on session teardown (the
@@ -195,6 +233,11 @@ type counters = {
   stmts : int;
   errors : int;
   memo_hits : int;
+  snap_reads : int;
+  snap_fallbacks : int;
+  gc_batches : int;
+  gc_commits : int;
+  gc_max_batch : int;
 }
 
 let sockaddr t = t.bound
@@ -231,6 +274,9 @@ let create ?config (db : Db.t) : t =
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
+  (* boot epoch: whatever was loaded before the daemon started is the
+     first committed state snapshot pins can see *)
+  Snapshot.publish_catalog (Db.catalog db);
   {
     config;
     db;
@@ -257,6 +303,13 @@ let create ?config (db : Db.t) : t =
     c_errors = Atomic.make 0;
     c_rejected = Atomic.make 0;
     c_memo_hits = Atomic.make 0;
+    c_snap_reads = Atomic.make 0;
+    c_snap_fallbacks = Atomic.make 0;
+    gc = Engine.Group_commit.create ();
+    snap_mu = Mutex.create ();
+    snap_cond = Condition.create ();
+    snap_active = 0;
+    snap_blocked = false;
     memo_mu = Mutex.create ();
     frame_memo = Hashtbl.create 16;
   }
@@ -273,6 +326,7 @@ let stop t =
 (* -- observability ------------------------------------------------------- *)
 
 let counters t : counters =
+  let gc_batches, gc_commits, gc_max_batch = Engine.Group_commit.stats t.gc in
   {
     active_sessions = Atomic.get t.c_opened - Atomic.get t.c_closed;
     peak_sessions = Atomic.get t.c_peak;
@@ -286,6 +340,11 @@ let counters t : counters =
     stmts = Atomic.get t.c_stmts;
     errors = Atomic.get t.c_errors;
     memo_hits = Atomic.get t.c_memo_hits;
+    snap_reads = Atomic.get t.c_snap_reads;
+    snap_fallbacks = Atomic.get t.c_snap_fallbacks;
+    gc_batches;
+    gc_commits;
+    gc_max_batch;
   }
 
 (** EXPLAIN-style text block: process-wide totals, then one line per
@@ -311,6 +370,19 @@ let stats_text t : string =
     (Printf.sprintf "  frame memo: %d hits, %d entries\n" c.memo_hits
        (Mutex.protect t.memo_mu (fun () -> Hashtbl.length t.frame_memo)));
   Buffer.add_string buf
+    (Printf.sprintf
+       "  snapshot: %s, %d lock-free reads, %d fallbacks; epochs %d \
+        pinned / %d released (%d stale); undo window %d bytes\n"
+       (if Snapshot.enabled () then "on" else "off")
+       c.snap_reads c.snap_fallbacks (Snapshot.pinned ())
+       (Snapshot.released ()) (Snapshot.fallbacks ())
+       (Snapshot.undo_bytes_all (Db.catalog t.db)));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  group commit: %s, %d batches / %d commits, max batch %d\n"
+       (if Engine.Group_commit.enabled () then "on" else "off")
+       c.gc_batches c.gc_commits c.gc_max_batch);
+  Buffer.add_string buf
     (Printf.sprintf "  outbox depth %d frames, stream chunk %d items\n"
        t.config.outbox_depth t.config.stream_chunk);
   Buffer.add_string buf "== sessions ==\n";
@@ -321,13 +393,98 @@ let stats_text t : string =
     (fun s ->
       Buffer.add_string buf
         (Printf.sprintf
-           "  [%d] %d reqs, frames %d/%d, bytes %d/%d, queue %d, txn %s%s\n"
+           "  [%d] %d reqs, frames %d/%d, bytes %d/%d, queue %d, snap \
+            %d/%d, gc %d (max %d), txn %s%s\n"
            s.sid s.s_requests s.s_frames_in s.s_frames_out s.s_bytes_in
-           s.s_bytes_out (Chan.length s.outbox)
+           s.s_bytes_out (Chan.length s.outbox) s.s_snap_reads s.s_snap_falls
+           s.s_gc_commits s.s_gc_max_batch
            (if Txn.is_active (Db.txn s.sdb) then "open" else "none")
            (if Atomic.get s.inflight then ", busy" else "")))
     (List.sort (fun a b -> compare a.sid b.sid) sessions);
   Buffer.contents buf
+
+(* -- snapshot read dispatch ---------------------------------------------- *)
+
+let snap_enter t =
+  Mutex.protect t.snap_mu (fun () ->
+      if t.snap_blocked then false
+      else begin
+        t.snap_active <- t.snap_active + 1;
+        true
+      end)
+
+let snap_exit t =
+  Mutex.protect t.snap_mu (fun () ->
+      t.snap_active <- t.snap_active - 1;
+      if t.snap_active = 0 then Condition.broadcast t.snap_cond)
+
+(* DDL barrier: refuse new lock-free readers, wait out those in flight.
+   The caller holds the writer lock; snapshot readers never take it, so
+   the wait always terminates (a reader falling back to the lock does so
+   only after [snap_exit]). *)
+let snap_exclude t f =
+  Mutex.lock t.snap_mu;
+  t.snap_blocked <- true;
+  while t.snap_active > 0 do
+    Condition.wait t.snap_cond t.snap_mu
+  done;
+  Mutex.unlock t.snap_mu;
+  Fun.protect f
+    ~finally:(fun () ->
+      Mutex.protect t.snap_mu (fun () -> t.snap_blocked <- false))
+
+(* Every table fully published?  Stable under the read lock (versions
+   only move under the writer lock), so a clean check certifies the
+   locked fast path sees no uncommitted rows from someone's open txn. *)
+let catalog_clean t =
+  List.for_all
+    (fun tb -> Base_table.version tb = Base_table.committed_version tb)
+    (Catalog.tables (Db.catalog t.db))
+
+(** Dispatch one read (query or extraction).  [locked] is the
+    historical read-locked path; [snap] runs against a pinned epoch with
+    no lock held.  Knob off: exactly the old behavior.  Knob on: a free
+    lock over a fully-committed catalog serves [locked] under a
+    non-blocking read acquisition (result cache, frame memo and IVM all
+    stay valid); a busy lock — or uncommitted writer state that the old
+    path would have read dirty — serves committed pre-images lock-free;
+    a stale undo window or pending DDL falls back to the blocking
+    lock. *)
+let serve_read t sess ~locked ~snap =
+  (* a session inside its own transaction must read its own uncommitted
+     writes — only the locked path can see them *)
+  if (not (Snapshot.enabled ())) || Txn.is_active (Db.txn sess.sdb) then
+    Rwlock.read t.lock locked
+  else
+    match
+      Rwlock.try_read t.lock (fun () ->
+          if catalog_clean t then Some (locked ()) else None)
+    with
+    | Some (Some frames) -> frames
+    | Some None | None -> (
+      let attempt =
+        if not (snap_enter t) then None
+        else
+          Fun.protect
+            ~finally:(fun () -> snap_exit t)
+            (fun () ->
+              let s = Snapshot.pin (Db.catalog t.db) in
+              Fun.protect
+                ~finally:(fun () -> Snapshot.release s)
+                (fun () ->
+                  match snap s with
+                  | frames -> Some frames
+                  | exception Snapshot.Stale -> None))
+      in
+      match attempt with
+      | Some frames ->
+        sess.s_snap_reads <- sess.s_snap_reads + 1;
+        Atomic.incr t.c_snap_reads;
+        frames
+      | None ->
+        sess.s_snap_falls <- sess.s_snap_falls + 1;
+        Atomic.incr t.c_snap_fallbacks;
+        Rwlock.read t.lock locked)
 
 (* -- request execution (pool workers) ------------------------------------ *)
 
@@ -361,6 +518,11 @@ let is_ddl sql =
   | "create" | "drop" -> true
   | _ -> false
 
+let is_commit sql =
+  match String.lowercase_ascii (String.trim sql) with
+  | "commit" | "commit;" -> true
+  | _ -> false
+
 (** Compute the full response — a list of encoded frames — for one
     request.  Pure compute: no socket, no outbox; locks are released
     before a single byte ships. *)
@@ -387,65 +549,109 @@ let respond t (sess : session) (req : Wire.request) : string list =
         ]
   | Wire.Query { sql } ->
     Atomic.incr t.c_queries;
-    Rwlock.read t.lock (fun () ->
-        let schema, batches = Db.query_batches sess.sdb sql in
-        let total = ref 0 in
-        let body =
-          List.map
-            (fun b ->
-              let rows = Batch.list_to_rows [ b ] in
-              total := !total + List.length rows;
-              Wire.Row_batch rows)
-            batches
-        in
-        encoded
-          ((Wire.Row_header schema :: body) @ [ Wire.Row_end { rows = !total } ]))
+    let run ctx =
+      let schema, batches = Db.query_batches ?ctx sess.sdb sql in
+      let total = ref 0 in
+      let body =
+        List.map
+          (fun b ->
+            let rows = Batch.list_to_rows [ b ] in
+            total := !total + List.length rows;
+            Wire.Row_batch rows)
+          batches
+      in
+      encoded
+        ((Wire.Row_header schema :: body) @ [ Wire.Row_end { rows = !total } ])
+    in
+    serve_read t sess
+      ~locked:(fun () -> run None)
+      ~snap:(fun s ->
+        run
+          (Some
+             (Executor.Exec.make_ctx ~result_cache:false
+                ~snapshot:(Snapshot.rows s) ())))
   | Wire.Extract { text; chunk } ->
     Atomic.incr t.c_extracts;
     let chunk = if chunk > 0 then chunk else t.config.stream_chunk in
     let key = (text, chunk) in
-    Rwlock.read t.lock (fun () ->
-        let hit = Mutex.protect t.memo_mu (fun () -> Hashtbl.find_opt t.frame_memo key) in
-        match hit with
-        | Some frames ->
-          Atomic.incr t.c_memo_hits;
-          frames
-        | None ->
-          let stream =
-            if Xnf.Xnf_parser.is_xnf_text text then
-              Xnf.Xnf_compile.run sess.sdb text
-            else Xnf.Xnf_compile.run_view sess.sdb text
-          in
-          let items = stream.H.items in
-          let frames =
-            encoded
-              (Wire.Stream_header stream.H.header
-               :: List.map (fun c -> Wire.Stream_chunk c) (chunked chunk items)
-              @ [ Wire.Stream_end { items = List.length items } ])
-          in
-          Mutex.protect t.memo_mu (fun () ->
-              if Hashtbl.length t.frame_memo >= memo_cap then
-                Hashtbl.reset t.frame_memo;
-              Hashtbl.replace t.frame_memo key frames);
-          frames)
+    let encode_stream stream =
+      let items = stream.H.items in
+      encoded
+        (Wire.Stream_header stream.H.header
+         :: List.map (fun c -> Wire.Stream_chunk c) (chunked chunk items)
+        @ [ Wire.Stream_end { items = List.length items } ])
+    in
+    let locked () =
+      let hit = Mutex.protect t.memo_mu (fun () -> Hashtbl.find_opt t.frame_memo key) in
+      match hit with
+      | Some frames ->
+        Atomic.incr t.c_memo_hits;
+        frames
+      | None ->
+        let stream =
+          if Xnf.Xnf_parser.is_xnf_text text then
+            Xnf.Xnf_compile.run sess.sdb text
+          else Xnf.Xnf_compile.run_view sess.sdb text
+        in
+        let frames = encode_stream stream in
+        Mutex.protect t.memo_mu (fun () ->
+            if Hashtbl.length t.frame_memo >= memo_cap then
+              Hashtbl.reset t.frame_memo;
+            Hashtbl.replace t.frame_memo key frames);
+        frames
+    in
+    (* the snapshot path never touches the frame memo: a concurrent
+       commit clears it, and frames encoded at an older pinned epoch
+       stored after that clear would outlive the state they encode *)
+    let snap s =
+      let ctx =
+        Executor.Exec.make_ctx ~result_cache:false ~snapshot:(Snapshot.rows s)
+          ()
+      in
+      let stream =
+        if Xnf.Xnf_parser.is_xnf_text text then
+          Xnf.Xnf_compile.run ~ctx sess.sdb text
+        else Xnf.Xnf_compile.run_view ~ctx sess.sdb text
+      in
+      encode_stream stream
+    in
+    serve_read t sess ~locked ~snap
   | Wire.Stmt { sql } ->
     Atomic.incr t.c_stmts;
-    Rwlock.write t.lock (fun () ->
-        (* any statement may mutate shared state (DML, DDL, txn
-           control, rollback) — drop memoized extraction frames *)
-        clear_memo t;
-        match Db.exec sess.sdb sql with
-        | Db.Rows (schema, rows) ->
-          encoded
-            [
-              Wire.Row_header schema;
-              Wire.Row_batch rows;
-              Wire.Row_end { rows = List.length rows };
-            ]
-        | Db.Affected n -> encoded [ Wire.Affected n ]
-        | Db.Done msg ->
-          if is_ddl sql then broadcast_invalidate t;
-          encoded [ Wire.Done msg ])
+    let execute () =
+      (* any statement may mutate shared state (DML, DDL, txn
+         control, rollback) — drop memoized extraction frames *)
+      clear_memo t;
+      match Db.exec sess.sdb sql with
+      | Db.Rows (schema, rows) ->
+        encoded
+          [
+            Wire.Row_header schema;
+            Wire.Row_batch rows;
+            Wire.Row_end { rows = List.length rows };
+          ]
+      | Db.Affected n -> encoded [ Wire.Affected n ]
+      | Db.Done msg ->
+        if is_ddl sql then broadcast_invalidate t;
+        encoded [ Wire.Done msg ]
+    in
+    if is_commit sql && Engine.Group_commit.enabled () then begin
+      (* concurrent sessions' COMMITs drain in one exclusive section:
+         one lock acquisition, one memo clear, one publication burst *)
+      let frames = ref [] in
+      let batch =
+        Engine.Group_commit.submit t.gc
+          ~exclusive:(fun f -> Rwlock.write t.lock f)
+          (fun () -> frames := execute ())
+      in
+      sess.s_gc_commits <- sess.s_gc_commits + 1;
+      if batch > sess.s_gc_max_batch then sess.s_gc_max_batch <- batch;
+      !frames
+    end
+    else if is_ddl sql then
+      (* DDL additionally waits out in-flight lock-free readers *)
+      Rwlock.write t.lock (fun () -> snap_exclude t execute)
+    else Rwlock.write t.lock execute
   | Wire.Stats -> encoded [ Wire.Stats_reply (stats_text t) ]
   | Wire.Bye ->
     Atomic.set sess.closing true;
@@ -655,6 +861,10 @@ let accept_all t =
             s_bytes_in = 0;
             s_bytes_out = 0;
             s_requests = 0;
+            s_snap_reads = 0;
+            s_snap_falls = 0;
+            s_gc_commits = 0;
+            s_gc_max_batch = 0;
           }
         in
         Mutex.lock t.sessions_mu;

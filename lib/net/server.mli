@@ -8,8 +8,15 @@
     the backpressure.  Sessions share the catalog, result cache, and IVM
     state but carry their own transaction and prepared plans
     ({!Engine.Database.session}).  Writes serialize behind a
-    process-wide writer lock at statement granularity; queries and
-    extractions share a reader lock.
+    process-wide writer lock at statement granularity, and concurrent
+    COMMITs drain through one group-commit exclusive section
+    ([XNFDB_GROUP_COMMIT]).  Reads prefer the lock: when it is free and
+    every table is committed they take a non-blocking read acquisition;
+    when a writer is busy — or an open transaction's uncommitted rows
+    would be visible — they pin an MVCC-lite snapshot epoch and run
+    lock-free over committed pre-images ([XNFDB_SNAPSHOT]), falling
+    back to the blocking lock when the bounded undo window cannot
+    answer.
 
     Malformed frames earn an error frame and close that session only.
     {!stop} drains in-flight requests, rolls back every open transaction
@@ -67,6 +74,15 @@ type counters = {
   memo_hits : int;
       (** extractions served from the encoded-frame memo (the same view
           shipped twice costs one encoding; any statement clears it) *)
+  snap_reads : int;
+      (** reads served lock-free off a pinned snapshot epoch
+          ([XNFDB_SNAPSHOT], default on) *)
+  snap_fallbacks : int;
+      (** snapshot attempts that fell back to the blocking reader lock
+          (stale undo window or pending DDL) *)
+  gc_batches : int;  (** group-commit exclusive sections taken *)
+  gc_commits : int;  (** COMMITs drained across all batches *)
+  gc_max_batch : int;  (** largest single drain ([XNFDB_GROUP_COMMIT]) *)
 }
 
 val counters : t -> counters

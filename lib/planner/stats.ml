@@ -11,20 +11,32 @@ type entry = { at_version : int; ndv : int }
 
 let cache : (int * int, entry) Hashtbl.t = Hashtbl.create 64
 
+(* the cache is process-global and plan compilation now runs from
+   concurrent server sessions (snapshot readers plan outside the big
+   lock), so every access goes through this mutex *)
+let cache_mu = Mutex.create ()
+
 (** Number of distinct values in column [col] of [table]. *)
 let column_ndv (table : Base_table.t) (col : int) : int =
   let key = (Base_table.tid table, col) in
   let version = Base_table.version table in
-  match Hashtbl.find_opt cache key with
-  | Some e when e.at_version = version -> e.ndv
-  | _ ->
+  let hit =
+    Mutex.protect cache_mu (fun () ->
+        match Hashtbl.find_opt cache key with
+        | Some e when e.at_version = version -> Some e.ndv
+        | _ -> None)
+  in
+  match hit with
+  | Some ndv -> ndv
+  | None ->
     let card = Base_table.cardinality table in
     let seen = Hashtbl.create (max 16 card) in
     Base_table.iter
       (fun _rid tuple -> Hashtbl.replace seen (Value.hash tuple.(col), tuple.(col)) ())
       table;
     let ndv = Hashtbl.length seen in
-    Hashtbl.replace cache key { at_version = version; ndv };
+    Mutex.protect cache_mu (fun () ->
+        Hashtbl.replace cache key { at_version = version; ndv });
     ndv
 
 (** Selectivity of an equality against a constant on this column. *)
@@ -61,4 +73,4 @@ let null_fraction (table : Base_table.t) (col : int) : float option =
         (float_of_int (Colstore.col_null_count table.Base_table.colstore col)
         /. float_of_int card)
 
-let reset () = Hashtbl.reset cache
+let reset () = Mutex.protect cache_mu (fun () -> Hashtbl.reset cache)

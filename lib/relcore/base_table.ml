@@ -43,6 +43,10 @@ let schema t = t.schema
 let cardinality t = Heap.cardinality t.heap
 let version t = Heap.version t.heap
 let bump_version t = Heap.touch t.heap
+let committed_version t = Heap.committed_version t.heap
+let mark_committed t = Heap.mark_committed t.heap
+let frozen_at t v = Heap.frozen_at t.heap v
+let undo_bytes t = Heap.undo_bytes t.heap
 let deltas_since t v = Heap.deltas_since t.heap v
 let delta_mark t = Heap.delta_mark t.heap
 let delta_rewind t mark = Heap.delta_rewind t.heap mark

@@ -31,6 +31,23 @@ val bump_version : t -> unit
 (** Advance {!version} without changing contents (txn commit/rollback
     hook). *)
 
+val committed_version : t -> int
+(** Last published (committed) version — the snapshot boundary MVCC-lite
+    readers pin (see {!Heap.committed_version}). *)
+
+val mark_committed : t -> unit
+(** Publish the current {!version} as committed (see
+    {!Heap.mark_committed}; call through [Snapshot.publish] so the
+    publication is atomic across tables). *)
+
+val frozen_at : t -> int -> Tuple.t option array option
+(** Consistent pre-image of the slot array as of version [v] (see
+    {!Heap.frozen_at}); [None] when the undo window no longer reaches
+    back to [v]. *)
+
+val undo_bytes : t -> int
+(** Approximate bytes retained by the delta log / undo window. *)
+
 val deltas_since : t -> int -> (int * Heap.delta_op) list option
 (** Row deltas logged after version [v] (see {!Heap.deltas_since});
     [None] once the bounded per-table delta log overflowed past [v]. *)

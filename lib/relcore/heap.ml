@@ -10,6 +10,12 @@ type rid = int
 type delta_op = D_ins of rid * Tuple.t | D_del of rid * Tuple.t
 
 type t = {
+  mu : Mutex.t;
+      (* spans every slot mutation together with its delta-log append, so
+         {!frozen_at} can copy the slots and read the log as one atomic
+         observation while writers proceed.  Lock-free readers (plain
+         scans) are unaffected: they either hold the process read lock
+         (no concurrent writers) or go through {!frozen_at}. *)
   slots : Tuple.t option Vec.t;
   free : int Vec.t; (* stack of tombstoned slots available for reuse *)
   mutable live : int;
@@ -17,6 +23,11 @@ type t = {
       (* monotonic mutation counter: every insert/update/delete bumps it,
          so (heap, version) identifies a snapshot of the contents.
          Versions never repeat — undoing a change still moves forward. *)
+  mutable committed_version : int;
+      (* last version published by a commit (or autocommit / rollback
+         completion): the snapshot boundary MVCC-lite readers pin.
+         [committed_version <= version]; they differ exactly while a
+         transaction holds unpublished writes. *)
   deltas : (int * delta_op) Vec.t;
       (* bounded row-delta log alongside the undo log: one (version, op)
          entry per insert/delete, two per update (delete + insert at the
@@ -46,10 +57,12 @@ let log_capacity () =
 
 let create () =
   {
+    mu = Mutex.create ();
     slots = Vec.create ~dummy:None;
     free = Vec.create ~dummy:(-1);
     live = 0;
     version = 0;
+    committed_version = 0;
     deltas = Vec.create ~dummy:(0, D_del (-1, [||]));
     delta_floor = 0;
     hole_lo = max_int;
@@ -59,6 +72,8 @@ let create () =
 let cardinality h = h.live
 let version h = h.version
 let touch h = h.version <- h.version + 1
+let committed_version h = h.committed_version
+let mark_committed h = h.committed_version <- h.version
 
 let log_delta h op =
   Vec.push h.deltas (h.version, op);
@@ -69,10 +84,7 @@ let log_delta h op =
     h.delta_floor <- h.version
   end
 
-(** Row deltas logged after version [v]: [Some ops] iff the log still
-    reaches back to [v] (in particular [Some []] when nothing changed);
-    [None] once overflow discarded that history. *)
-let deltas_since h v =
+let deltas_since_unlocked h v =
   if v < h.delta_floor || (v >= h.hole_lo && v < h.hole_hi) then None
   else
     Some
@@ -80,6 +92,11 @@ let deltas_since h v =
          (fun acc (ver, op) -> if ver > v then (ver, op) :: acc else acc)
          [] h.deltas
       |> List.rev)
+
+(** Row deltas logged after version [v]: [Some ops] iff the log still
+    reaches back to [v] (in particular [Some []] when nothing changed);
+    [None] once overflow discarded that history. *)
+let deltas_since h v = Mutex.protect h.mu (fun () -> deltas_since_unlocked h v)
 
 let delta_mark h = Vec.length h.deltas
 
@@ -89,17 +106,18 @@ let delta_rewind h mark =
      when the overflow hit the txn's own first write.  Clamping to 0
      stays safe: everything still logged is discarded and covered by
      the refusal hole below, so affected readers fall back. *)
-  let mark = max mark 0 in
-  if mark < Vec.length h.deltas then begin
-    (* the discarded versions saw uncommitted state: any snapshot taken
-       among them is unanswerable once the entries are gone, while
-       snapshots at or before the last surviving entry stay maintainable
-       (the rolled-back txn is net zero for them) *)
-    let first_discarded, _ = Vec.get h.deltas mark in
-    h.hole_lo <- min h.hole_lo first_discarded;
-    h.hole_hi <- max h.hole_hi (h.version + 1);
-    Vec.truncate h.deltas mark
-  end
+  Mutex.protect h.mu (fun () ->
+      let mark = max mark 0 in
+      if mark < Vec.length h.deltas then begin
+        (* the discarded versions saw uncommitted state: any snapshot
+           taken among them is unanswerable once the entries are gone,
+           while snapshots at or before the last surviving entry stay
+           maintainable (the rolled-back txn is net zero for them) *)
+        let first_discarded, _ = Vec.get h.deltas mark in
+        h.hole_lo <- min h.hole_lo first_discarded;
+        h.hole_hi <- max h.hole_hi (h.version + 1);
+        Vec.truncate h.deltas mark
+      end)
 
 (** Number of slots ever allocated (live + tombstoned). *)
 let capacity h = Vec.length h.slots
@@ -109,31 +127,33 @@ let capacity h = Vec.length h.slots
     would reverse it via the free stack).  Snapshots from before the
     clear are not delta-replayable: the log is cleared and floored. *)
 let clear h =
-  touch h;
-  Vec.clear h.slots;
-  Vec.clear h.free;
-  h.live <- 0;
-  Vec.clear h.deltas;
-  h.delta_floor <- h.version;
-  h.hole_lo <- max_int;
-  h.hole_hi <- min_int
+  Mutex.protect h.mu (fun () ->
+      touch h;
+      Vec.clear h.slots;
+      Vec.clear h.free;
+      h.live <- 0;
+      Vec.clear h.deltas;
+      h.delta_floor <- h.version;
+      h.hole_lo <- max_int;
+      h.hole_hi <- min_int)
 
 let insert h tuple =
-  touch h;
-  h.live <- h.live + 1;
-  let rid =
-    if Vec.length h.free > 0 then begin
-      let rid = Vec.pop h.free in
-      Vec.set h.slots rid (Some tuple);
-      rid
-    end
-    else begin
-      Vec.push h.slots (Some tuple);
-      Vec.length h.slots - 1
-    end
-  in
-  log_delta h (D_ins (rid, tuple));
-  rid
+  Mutex.protect h.mu (fun () ->
+      touch h;
+      h.live <- h.live + 1;
+      let rid =
+        if Vec.length h.free > 0 then begin
+          let rid = Vec.pop h.free in
+          Vec.set h.slots rid (Some tuple);
+          rid
+        end
+        else begin
+          Vec.push h.slots (Some tuple);
+          Vec.length h.slots - 1
+        end
+      in
+      log_delta h (D_ins (rid, tuple));
+      rid)
 
 let get h rid =
   if rid < 0 || rid >= Vec.length h.slots then None else Vec.get h.slots rid
@@ -144,23 +164,62 @@ let get_exn h rid =
   | None -> Errors.execution_error "dangling rid %d" rid
 
 let update h rid tuple =
-  match get h rid with
-  | Some old ->
-    touch h;
-    Vec.set h.slots rid (Some tuple);
-    log_delta h (D_del (rid, old));
-    log_delta h (D_ins (rid, tuple))
-  | None -> Errors.execution_error "update of dangling rid %d" rid
+  Mutex.protect h.mu (fun () ->
+      match get h rid with
+      | Some old ->
+        touch h;
+        Vec.set h.slots rid (Some tuple);
+        log_delta h (D_del (rid, old));
+        log_delta h (D_ins (rid, tuple))
+      | None -> Errors.execution_error "update of dangling rid %d" rid)
 
 let delete h rid =
-  match get h rid with
-  | Some old ->
-    touch h;
-    Vec.set h.slots rid None;
-    Vec.push h.free rid;
-    h.live <- h.live - 1;
-    log_delta h (D_del (rid, old))
-  | None -> Errors.execution_error "delete of dangling rid %d" rid
+  Mutex.protect h.mu (fun () ->
+      match get h rid with
+      | Some old ->
+        touch h;
+        Vec.set h.slots rid None;
+        Vec.push h.free rid;
+        h.live <- h.live - 1;
+        log_delta h (D_del (rid, old))
+      | None -> Errors.execution_error "delete of dangling rid %d" rid)
+
+(** Pre-image of the slot array as of version [v], reconstructed from the
+    live slots and the retained delta log: [None] when the log no longer
+    reaches back to [v] (overflow past it, or [v] fell in a rollback
+    hole) — the caller must fall back to a locked read.
+
+    Atomic with respect to writers: the copy and the log walk happen
+    under the heap mutex every mutator holds, so the returned array is a
+    consistent cut even while DML proceeds.  Patching walks the ops
+    {e newest first}, rewriting each touched slot to the row content
+    recorded before the oldest post-[v] change: a [D_del] restores the
+    deleted/overwritten row, a [D_ins] clears the slot it filled, and
+    the final state per slot is decided by the oldest op (last writer in
+    the reverse walk) — exactly the pre-image. *)
+let frozen_at h v : Tuple.t option array option =
+  Mutex.protect h.mu (fun () ->
+      match deltas_since_unlocked h v with
+      | None -> None
+      | Some ops ->
+        let arr = Vec.to_array h.slots in
+        List.iter
+          (fun (_, op) ->
+            match op with
+            | D_ins (rid, _) -> arr.(rid) <- None
+            | D_del (rid, old) -> arr.(rid) <- Some old)
+          (List.rev ops);
+        Some arr)
+
+(** Approximate bytes retained by the delta log (the MVCC-lite undo
+    window): header words plus the logged row payloads. *)
+let undo_bytes h =
+  Mutex.protect h.mu (fun () ->
+      Vec.fold_left
+        (fun acc (_, op) ->
+          let row = match op with D_ins (_, t) | D_del (_, t) -> t in
+          acc + ((4 + Array.length row) * 8))
+        0 h.deltas)
 
 let iter f h =
   Vec.iteri (fun rid slot -> match slot with Some t -> f rid t | None -> ()) h.slots

@@ -34,6 +34,27 @@ val touch : t -> unit
     so commit and rollback both invalidate version-keyed caches).
     Logs no delta: a version gap with no logged rows means "unchanged". *)
 
+val committed_version : t -> int
+(** Last version published by {!mark_committed} — the snapshot boundary
+    MVCC-lite readers pin.  Equals {!version} exactly when no
+    transaction holds unpublished writes. *)
+
+val mark_committed : t -> unit
+(** Publish the current {!version} as committed.  Callers serialize
+    publication across tables (see [Snapshot.publish]) so a pinned
+    version vector is a commit-consistent cut. *)
+
+val frozen_at : t -> int -> Tuple.t option array option
+(** Consistent copy of the slot array as of version [v], with post-[v]
+    changes patched back to their pre-images from the retained delta
+    log; [None] when the log can no longer answer for [v] (overflow or
+    rollback hole) and the caller must fall back to a locked read.
+    Safe to call while writers mutate the heap: capture is atomic under
+    the internal heap mutex. *)
+
+val undo_bytes : t -> int
+(** Approximate bytes retained by the delta log (the undo window). *)
+
 val deltas_since : t -> int -> (int * delta_op) list option
 (** Row deltas logged after version [v], oldest first: [Some []] when
     nothing changed since, [None] when the log cannot answer for [v] —

@@ -5,10 +5,13 @@
 
     Postings are growable int arrays rather than lists: probing with
     {!iter} allocates nothing, which matters on the index-join hot path
-    where every outer row probes.  Insertion appends; {!iter} and
-    {!lookup} walk newest-first, matching the historical cons-list
-    ordering so result orderings (and CO-view byte identity) are
-    unchanged. *)
+    where every outer row probes.  Postings are kept rid-sorted
+    ascending, so the index layout is a pure function of the current row
+    set — MVCC-lite snapshot readers can reproduce the exact probe order
+    from a frozen slot array alone, with no insertion history.  {!iter}
+    and {!lookup} walk descending rid; for append-only tables that is
+    the same newest-first order the historical cons-list produced, so
+    result orderings (and CO-view byte identity) are unchanged there. *)
 
 type posting = { mutable rids : Heap.rid array; mutable n : int }
 
@@ -26,7 +29,7 @@ let clear idx = Tuple.Tbl.reset idx.entries
 
 let key_of idx tuple = Tuple.key tuple idx.key_columns
 
-(** Newest-first, like the cons-list representation this replaces. *)
+(** Descending rid (newest-first for append-only tables). *)
 let iter idx key f =
   match Tuple.Tbl.find_opt idx.entries key with
   | None -> ()
@@ -35,9 +38,9 @@ let iter idx key f =
       f p.rids.(i)
     done
 
-(** Walk every posting, oldest-first within each key — the insertion
-    order {!iter} reverses.  Gives delta maintenance the exact posting
-    layout so later appends/removals replay byte-identically. *)
+(** Walk every posting, ascending rid within each key — the order
+    {!iter} reverses.  Gives delta maintenance the exact posting layout
+    so later inserts/removals replay byte-identically. *)
 let iter_postings idx f =
   Tuple.Tbl.iter
     (fun key p ->
@@ -77,7 +80,15 @@ let insert idx rid tuple =
       Array.blit p.rids 0 bigger 0 p.n;
       p.rids <- bigger
     end;
-    p.rids.(p.n) <- rid;
+    (* sorted insertion keeps the posting rid-ascending; fresh rids are
+       almost always the largest seen, so the common case is an O(1)
+       append and the shift only pays on slot recycling *)
+    let i = ref p.n in
+    while !i > 0 && p.rids.(!i - 1) > rid do
+      p.rids.(!i) <- p.rids.(!i - 1);
+      decr i
+    done;
+    p.rids.(!i) <- rid;
     p.n <- p.n + 1
   | None ->
     let rids = Array.make 2 0 in

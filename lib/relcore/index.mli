@@ -3,8 +3,10 @@
     arrays; probing with {!iter} allocates nothing. *)
 
 type posting = { mutable rids : Heap.rid array; mutable n : int }
-(** Rids live in [rids.(0 .. n-1)], oldest first; [iter]/[lookup]
-    present them newest-first (the historical cons-list order). *)
+(** Rids live in [rids.(0 .. n-1)], sorted ascending; [iter]/[lookup]
+    present them descending.  The layout is a pure function of the row
+    set (no insertion history), so snapshot readers can reproduce the
+    probe order from a frozen slot array alone. *)
 
 type t = {
   name : string;
@@ -21,16 +23,16 @@ val clear : t -> unit
 val key_of : t -> Tuple.t -> Tuple.t
 
 val iter : t -> Tuple.t -> (Heap.rid -> unit) -> unit
-(** Apply to every rid under [key], newest-first, without allocating —
+(** Apply to every rid under [key], descending rid, without allocating —
     the probe primitive for index joins. *)
 
 val iter_postings : t -> (Tuple.t -> int -> Heap.rid -> unit) -> unit
-(** [f key pos rid] over every posting entry, oldest-first within a key
+(** [f key pos rid] over every posting entry, ascending rid within a key
     ([pos] is the position {!iter} walks in reverse) — lets delta
     maintenance snapshot the exact posting layout. *)
 
 val lookup : t -> Tuple.t -> Heap.rid list
-(** Newest-first rid list (allocates; prefer {!iter} on hot paths). *)
+(** Descending-rid list (allocates; prefer {!iter} on hot paths). *)
 
 val lookup_tuple : t -> Tuple.t -> Heap.rid list
 

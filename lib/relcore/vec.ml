@@ -64,6 +64,8 @@ let fold_left f acc v =
 
 let to_list v = List.init v.len (fun i -> v.data.(i))
 
+let to_array v = Array.sub v.data 0 v.len
+
 let of_list ~dummy xs =
   let v = create ~dummy in
   List.iter (push v) xs;

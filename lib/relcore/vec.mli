@@ -15,6 +15,7 @@ val iter : ('a -> unit) -> 'a t -> unit
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
 val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
 val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array
 val of_list : dummy:'a -> 'a list -> 'a t
 val truncate : 'a t -> int -> unit
 (** Shrink to the first [n] elements (no-op if already shorter). *)

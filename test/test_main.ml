@@ -18,5 +18,6 @@ let () =
       ("cocache", Test_cocache.suite);
       ("workloads", Test_workloads.suite);
       ("net", Test_net.suite);
+      ("writepath", Test_writepath.suite);
       ("properties", Test_props.suite);
     ]
