@@ -47,14 +47,28 @@ let peak_rss_kb () =
   with _ -> 0
 
 (** JSON fragment recording the run environment — git revision, batch
-    size, configured domain count, the host's core count, peak RSS and
-    the colstore's tier occupancy at write time — so a committed
-    BENCH_*.json is interpretable later. *)
+    size, configured domain count, the host's core count, peak RSS, the
+    colstore's tier occupancy at write time, and the cost profile in
+    force (calibrated constants + the host they were measured on) — so
+    a committed BENCH_*.json is interpretable across hosts later. *)
 let metadata_json () =
+  let module C = Optimizer.Cost.Calibrate in
+  let prof = C.active () in
+  let source =
+    if not (C.enabled ()) then "defaults (XNFDB_CALIBRATION=0)"
+    else
+      match C.profile_path () with
+      | Some p -> p
+      | None -> "defaults (no XNFDB_COST_PROFILE)"
+  in
   Printf.sprintf
     "\"meta\": { \"git_rev\": %S, \"batch_size\": %d, \"domains\": %d, \
      \"host_cores\": %d, \"peak_rss_kb\": %d, \"colstore_resident_bytes\": \
-     %d, \"colstore_spilled_bytes\": %d }"
+     %d, \"colstore_spilled_bytes\": %d, \"cost_profile\": { \"source\": \
+     %S, \"batch_overhead\": %g, \"cold_chunk_penalty\": %g, \
+     \"parallel_overhead\": %g, \"parallel_threshold_rows\": %d, \
+     \"jf_drop_threshold\": %g, \"jf_adaptive_sample\": %d, \
+     \"profile_host_cores\": %d, \"tuple_ns\": %g } }"
     (git_rev ())
     (Relcore.Batch.default_capacity ())
     (Relcore.Pool.default_domains ())
@@ -62,6 +76,10 @@ let metadata_json () =
     (peak_rss_kb ())
     (Relcore.Colstore.global_resident_bytes ())
     (Relcore.Colstore.global_spilled_bytes ())
+    source prof.C.batch_overhead prof.C.cold_chunk_penalty
+    prof.C.parallel_overhead prof.C.parallel_threshold_rows
+    prof.C.jf_drop_threshold prof.C.jf_adaptive_sample prof.C.host_cores
+    prof.C.tuple_ns
 
 (* -- baseline artifacts -------------------------------------------------- *)
 

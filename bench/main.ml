@@ -2094,6 +2094,220 @@ let bench_mixedrw ?n_parts ?(readers = 4) ?(rounds = 25) () =
     exit 1
   end
 
+(* --------------------------------------------------------------- E14 --- *)
+
+(** E14: self-tuning execution.  Three claims measured on one run:
+
+    1. the EXPLAIN ANALYZE attribution layer is effectively free when
+       off (same binary, hooks compiled in, accumulator absent) and
+       boundedly cheap when on — gated at <= 3% off-path drift against
+       a committed [BENCH_analyze.json] baseline and <= 50% on-path;
+    2. plans compiled under a host-calibrated cost profile are no worse
+       than plans compiled under the hand-set defaults on OO1 / bom /
+       org / shop (identical rows always; identical plans or within
+       25% wall time);
+    3. the per-operator profile of the gate query is embedded in the
+       artifact, so a CI regression is diagnosable from the JSON alone.
+
+    Results land in [BENCH_analyze.json]. *)
+let bench_analyze ?n_parts () =
+  let n_parts = match n_parts with Some n -> n | None -> scaled 20_000 in
+  header
+    "E14. Self-tuning execution — EXPLAIN ANALYZE overhead + calibrated \
+     cost model";
+  let module C = Optimizer.Cost.Calibrate in
+  let prev_calibration = Sys.getenv_opt "XNFDB_CALIBRATION" in
+  let prev_profile = Sys.getenv_opt "XNFDB_COST_PROFILE" in
+  let restore () =
+    Unix.putenv "XNFDB_CALIBRATION"
+      (Option.value prev_calibration ~default:"1");
+    Unix.putenv "XNFDB_COST_PROFILE" (Option.value prev_profile ~default:"")
+  in
+  Fun.protect ~finally:restore @@ fun () ->
+  (* one micro-probe suite for the whole section *)
+  let profile_file =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xnfdb_bench_profile_%d.txt" (Unix.getpid ()))
+  in
+  let prof = C.measure () in
+  C.save profile_file prof;
+  row "calibrated on this host (tuple_ns %.1f, %d cores):\n" prof.C.tuple_ns
+    prof.C.host_cores;
+  row
+    "  batch_overhead %.1f (default %.1f), cold_chunk_penalty %.2f (%.2f), \
+     parallel_threshold %d (%d), jf_drop %.2f (%.2f)\n"
+    prof.C.batch_overhead C.defaults.C.batch_overhead
+    prof.C.cold_chunk_penalty C.defaults.C.cold_chunk_penalty
+    prof.C.parallel_threshold_rows C.defaults.C.parallel_threshold_rows
+    prof.C.jf_drop_threshold C.defaults.C.jf_drop_threshold;
+  let use_defaults () =
+    Unix.putenv "XNFDB_CALIBRATION" "0";
+    Unix.putenv "XNFDB_COST_PROFILE" ""
+  in
+  let use_calibrated () =
+    Unix.putenv "XNFDB_CALIBRATION" "1";
+    Unix.putenv "XNFDB_COST_PROFILE" profile_file
+  in
+  (* -- calibrated vs default plan quality on the four workloads -- *)
+  let oo1_db = Workloads.Oo1.generate { Workloads.Oo1.default with n_parts } in
+  let bom_db = Workloads.Bom.generate Workloads.Bom.default in
+  let org_db = Workloads.Org.generate Workloads.Org.default in
+  let shop_db = Workloads.Shop.generate Workloads.Shop.default in
+  let traversal_sql =
+    "SELECT c.cto FROM parts p, conns c WHERE p.pid = c.cfrom AND p.build < \
+     5000"
+  in
+  let cases =
+    [
+      ("oo1", oo1_db, traversal_sql);
+      ("bom", bom_db,
+       "SELECT parent, COUNT(*), SUM(qty) FROM contains GROUP BY parent");
+      ("org", org_db,
+       "SELECT e.eno, d.dname FROM emp e, dept d WHERE e.edno = d.dno AND \
+        d.loc = 'ARC' ORDER BY e.eno");
+      ("shop", shop_db,
+       "SELECT c.cid, o.oid FROM customer c, orders o WHERE o.ocid = c.cid \
+        AND c.region = 'EMEA'");
+    ]
+  in
+  row "\n%-8s | %8s | %12s | %12s | %12s | %s\n" "workload" "rows"
+    "default (ms)" "calib. (ms)" "ratio" "plan";
+  row "%s\n" (String.make 72 '-');
+  let entries = ref [] in
+  let quality_ok = ref true in
+  List.iter
+    (fun (name, db, sql) ->
+      let fresh_ctx () =
+        Executor.Exec.make_ctx ~result_cache:false ()
+      in
+      use_defaults ();
+      Db.invalidate_plans db;
+      let c_def = Db.compile_query db sql in
+      let rows_def = Executor.Exec.run ~ctx:(fresh_ctx ()) c_def in
+      let t_def =
+        time_median ~repeat:5 (fun () ->
+            Executor.Exec.run_batches ~ctx:(fresh_ctx ()) c_def)
+      in
+      use_calibrated ();
+      Db.invalidate_plans db;
+      let c_cal = Db.compile_query db sql in
+      let rows_cal = Executor.Exec.run ~ctx:(fresh_ctx ()) c_cal in
+      (* correctness first: calibration may only reshape plans *)
+      assert (rows_def = rows_cal);
+      let t_cal =
+        time_median ~repeat:5 (fun () ->
+            Executor.Exec.run_batches ~ctx:(fresh_ctx ()) c_cal)
+      in
+      let plan_changed =
+        Optimizer.Plan.explain c_def.Optimizer.Plan.plan
+        <> Optimizer.Plan.explain c_cal.Optimizer.Plan.plan
+      in
+      let ratio = t_cal /. t_def in
+      (* an identical plan cannot be worse — wall-time jitter on it is
+         noise; a changed plan must hold the line *)
+      let ok = (not plan_changed) || ratio <= 1.25 in
+      if not ok then quality_ok := false;
+      row "%-8s | %8d | %12.2f | %12.2f | %11.2fx | %s%s\n" name
+        (List.length rows_def) (ms t_def) (ms t_cal) ratio
+        (if plan_changed then "changed" else "same")
+        (if ok then "" else "  <- REGRESSION");
+      entries :=
+        Printf.sprintf
+          "    { \"name\": %S, \"rows\": %d, \"default_ms\": %.3f, \
+           \"calibrated_ms\": %.3f, \"ratio\": %.3f, \"plan_changed\": %b }"
+          name (List.length rows_def) (ms t_def) (ms t_cal) ratio plan_changed
+        :: !entries)
+    cases;
+  restore ();
+  (* -- attribution overhead: off must be free, on must be bounded -- *)
+  subheader "EXPLAIN ANALYZE attribution overhead (OO1 traversal)";
+  Db.invalidate_plans oo1_db;
+  let c = Db.compile_query oo1_db traversal_sql in
+  let plain_ctx () = Executor.Exec.make_ctx ~result_cache:false () in
+  let analyzed_ctx () =
+    let ctx = plain_ctx () in
+    ctx.Executor.Exec.analyze <- Some (Executor.Opstats.create1 c.Optimizer.Plan.plan);
+    ctx
+  in
+  let t_off =
+    time_median ~repeat:7 (fun () ->
+        Executor.Exec.run_batches ~ctx:(plain_ctx ()) c)
+  in
+  let t_on =
+    time_median ~repeat:7 (fun () ->
+        Executor.Exec.run_batches ~ctx:(analyzed_ctx ()) c)
+  in
+  let t_on4 =
+    time_median ~repeat:7 (fun () ->
+        Executor.Exec_par.run_batches ~ctx:(analyzed_ctx ()) ~domains:4 c)
+  in
+  let n_rows =
+    Relcore.Batch.list_length (Executor.Exec.run_batches ~ctx:(plain_ctx ()) c)
+  in
+  let rps_off = float_of_int n_rows /. t_off in
+  let on_overhead_pct = (t_on /. t_off -. 1.0) *. 100.0 in
+  row "analyze off:        %10.2f ms  (%.0f rows/s)\n" (ms t_off) rps_off;
+  row "analyze on (1 dom): %10.2f ms  (%+.1f%% vs off)\n" (ms t_on)
+    on_overhead_pct;
+  row "analyze on (4 dom): %10.2f ms\n" (ms t_on4);
+  (* per-operator profile of the gate query, embedded in the artifact *)
+  let report_ctx = analyzed_ctx () in
+  let t0 = Executor.Opstats.now () in
+  ignore (Executor.Exec.run_batches ~ctx:report_ctx c : Relcore.Batch.t list);
+  let op_profile =
+    match report_ctx.Executor.Exec.analyze with
+    | Some acc ->
+      acc.Executor.Opstats.total_wall <- Executor.Opstats.now () -. t0;
+      Executor.Opstats.render acc
+    | None -> ""
+  in
+  row "\nper-operator profile:\n%s" op_profile;
+  let oc = open_out "BENCH_analyze.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"analyze\",\n  %s,\n  \"n_parts\": %d,\n  \"overhead\": \
+     { \"name\": \"oo1_traversal_off\", \"rows\": %d, \"off_ms\": %.3f, \
+     \"on_ms\": %.3f, \"on4_ms\": %.3f, \"rows_per_sec\": %.0f, \
+     \"on_overhead_pct\": %.2f },\n  \"calibrated_profile\": %S,\n  \
+     \"op_profile\": %S,\n  \"entries\": [\n%s\n  ]\n}\n"
+    (metadata_json ()) n_parts n_rows (ms t_off) (ms t_on) (ms t_on4) rps_off
+    on_overhead_pct (C.render prof) op_profile
+    (String.concat ",\n" (List.rev !entries));
+  close_out oc;
+  row "wrote BENCH_analyze.json\n";
+  (try Sys.remove profile_file with Sys_error _ -> ());
+  (* gates *)
+  if not !quality_ok then begin
+    row
+      "FAIL: a calibrated plan regressed more than 25%% against the default \
+       constants\n";
+    exit 1
+  end;
+  if on_overhead_pct > 50.0 then begin
+    row "FAIL: analyze-on overhead exceeded 50%% (%.1f%%)\n" on_overhead_pct;
+    exit 1
+  end;
+  (* off-path drift gate: the attribution hooks must stay free when the
+     accumulator is absent.  Compared against the committed
+     BENCH_analyze.json (stashed by CI like the E5 baseline); first run
+     has no baseline and the gate is skipped. *)
+  (match Sys.getenv_opt "XNFDB_BASELINE_ANALYZE" with
+  | None -> ()
+  | Some file -> (
+    match
+      baseline_field ~file ~name:"oo1_traversal_off" ~field:"rows_per_sec"
+    with
+    | None -> row "baseline %s: no off entry (gate skipped)\n" file
+    | Some base ->
+      let ratio = rps_off /. base in
+      row "off-path baseline gate: %.0f rows/s vs committed %.0f (%.3fx)\n"
+        rps_off base ratio;
+      if ratio < 0.97 then begin
+        row
+          "FAIL: analyze-off throughput drifted more than 3%% below the \
+           committed baseline\n";
+        exit 1
+      end))
+
 (* ------------------------------------------------------------ summary --- *)
 
 (** Merge every BENCH_*.json artifact in the working directory into one
@@ -2163,6 +2377,7 @@ let () =
     if want "server" then bench_server ~n_parts:(min n_parts 2_000) ~rounds:1 ();
     if want "mixedrw" then
       bench_mixedrw ~n_parts:(min n_parts 1_000) ~rounds:10 ();
+    if want "analyze" then bench_analyze ~n_parts:(min n_parts 5_000) ();
     write_summary ();
     print_endline "\nsmoke bench complete."
   end
@@ -2185,6 +2400,7 @@ let () =
     if want "spill" then bench_spill ();
     if want "server" then bench_server ();
     if want "mixedrw" then bench_mixedrw ();
+    if want "analyze" then bench_analyze ();
     write_summary ();
     if only = None then run_bechamel ();
     print_endline "\nall benches complete."

@@ -6,6 +6,7 @@
                      (--connect ADDR runs them against a daemon)
      demo            preload the paper's Fig. 1 org database, then repl
      serve [FILE..]  run the socket daemon (scripts preload the db)
+     calibrate       measure host cost constants, save a profile
 
    Inside the shell: SQL statements and XNF queries (starting with
    OUT OF) end with ';'.  Meta commands start with '.':
@@ -30,12 +31,40 @@ let print_stream (stream : H.t) =
     (H.total_items stream)
     (String.length (H.serialize stream))
 
+(** Strip a leading keyword (case-insensitive) plus the whitespace after
+    it; [None] when the text does not start with it. *)
+let strip_keyword (s : string) (kw : string) : string option =
+  let n = String.length kw in
+  if
+    String.length s > n
+    && String.lowercase_ascii (String.sub s 0 n) = String.lowercase_ascii kw
+    && (s.[n] = ' ' || s.[n] = '\t' || s.[n] = '\n' || s.[n] = '\r')
+  then Some (String.trim (String.sub s n (String.length s - n)))
+  else None
+
+(** [EXPLAIN ANALYZE OUT OF ...] / [EXPLAIN OUT OF ...] — the XNF
+    analogue of the SQL affordance [Db.exec] provides. *)
+let xnf_explain_target (input : string) : [ `Analyze of string | `Plain of string ] option
+    =
+  match strip_keyword input "EXPLAIN" with
+  | None -> None
+  | Some rest -> (
+    match strip_keyword rest "ANALYZE" with
+    | Some q when Xnf.Xnf_parser.is_xnf_text q -> Some (`Analyze q)
+    | None when Xnf.Xnf_parser.is_xnf_text rest -> Some (`Plain rest)
+    | _ -> None)
+
 let execute db (input : string) =
   let trimmed = String.trim input in
   if trimmed = "" then ()
-  else if Xnf.Xnf_parser.is_xnf_text trimmed then
-    print_stream (Xnf.Xnf_compile.run db trimmed)
-  else print_result (Db.exec db trimmed)
+  else
+    match xnf_explain_target trimmed with
+    | Some (`Analyze q) -> print_endline (Xnf.Xnf_compile.explain_analyze db q)
+    | Some (`Plain q) -> print_endline (Xnf.Xnf_compile.explain db q)
+    | None ->
+      if Xnf.Xnf_parser.is_xnf_text trimmed then
+        print_stream (Xnf.Xnf_compile.run db trimmed)
+      else print_result (Db.exec db trimmed)
 
 let meta db (line : string) : bool (* continue? *) =
   let parts =
@@ -52,6 +81,7 @@ let meta db (line : string) : bool (* continue? *) =
       \  .views             list views\n\
       \  .schema TABLE      show a table's schema\n\
       \  .explain QUERY;    show QGM + plan (SQL) or XNF pipeline\n\
+      \  .analyze QUERY;    execute and show per-operator actuals\n\
       \  .extract VIEW      extract an XNF view, show component counts\n\
       \  .save VIEW FILE    extract VIEW and persist its CO cache to FILE\n\
       \  .quit"
@@ -88,6 +118,28 @@ let meta db (line : string) : bool (* continue? *) =
     if Xnf.Xnf_parser.is_xnf_text q then
       print_endline (Xnf.Xnf_compile.explain db q)
     else print_endline (Db.explain db q)
+  | ".analyze" :: rest ->
+    let q = String.concat " " rest in
+    let q =
+      if String.length q > 0 && q.[String.length q - 1] = ';' then
+        String.sub q 0 (String.length q - 1)
+      else q
+    in
+    (* a bare XNF view name analyzes the stored view, mirroring .extract *)
+    let q =
+      if
+        (not (Xnf.Xnf_parser.is_xnf_text q))
+        && List.exists
+             (fun (v : Relcore.Catalog.view_def) ->
+               v.Relcore.Catalog.view_name = q
+               && v.Relcore.Catalog.language = `Xnf)
+             (Relcore.Catalog.views (Db.catalog db))
+      then Xnf.Xnf_compile.view_text db q
+      else q
+    in
+    if Xnf.Xnf_parser.is_xnf_text q then
+      print_endline (Xnf.Xnf_compile.explain_analyze db q)
+    else print_endline (Db.explain_analyze db q)
   | _ -> Printf.printf "unknown meta command; try .help\n");
   true
 
@@ -104,8 +156,13 @@ let repl db =
        | None -> raise Exit
        | Some line ->
          let t = String.trim line in
-         if Buffer.length buf = 0 && String.length t > 0 && t.[0] = '.' then
-           ignore (meta db t)
+         if Buffer.length buf = 0 && String.length t > 0 && t.[0] = '.' then (
+           (* meta commands share the statement path's error contract:
+              print and keep the session alive *)
+           try ignore (meta db t) with
+           | Relcore.Errors.Db_error (k, msg) ->
+             Printf.printf "error: %s: %s\n" (Relcore.Errors.kind_to_string k)
+               msg)
          else begin
            Buffer.add_string buf line;
            Buffer.add_char buf '\n';
@@ -182,9 +239,24 @@ let print_client_result = function
 let execute_remote cl (input : string) =
   let trimmed = String.trim input in
   if trimmed = "" then ()
-  else if Xnf.Xnf_parser.is_xnf_text trimmed then
-    print_stream (Net.Client.extract cl trimmed)
-  else print_client_result (Net.Client.exec cl trimmed)
+  else
+    match xnf_explain_target trimmed with
+    | Some (`Analyze q) -> print_endline (Net.Client.extract_analyze cl q)
+    | Some (`Plain _) ->
+      print_endline "error: plain EXPLAIN of XNF is local-only; use EXPLAIN \
+                     ANALYZE or run without --connect"
+    | None -> (
+      (* SQL EXPLAIN ANALYZE rides the dedicated analyze flag (read
+         path, no memo clearing) instead of the statement path *)
+      match
+        Option.bind (strip_keyword trimmed "EXPLAIN") (fun r ->
+            strip_keyword r "ANALYZE")
+      with
+      | Some q -> print_endline (Net.Client.query_analyze cl q)
+      | None ->
+        if Xnf.Xnf_parser.is_xnf_text trimmed then
+          print_stream (Net.Client.extract cl trimmed)
+        else print_client_result (Net.Client.exec cl trimmed))
 
 let run_scripts_remote (addr : Unix.sockaddr) files =
   let cl = Net.Client.connect ~client_name:"xnfdb-cli" addr in
@@ -297,6 +369,45 @@ let serve_cmd =
           serve_daemon ~addr ~demo files)
       $ verbose_flag $ addr $ demo $ files)
 
+let calibrate_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "where to save the profile (default $(b,XNFDB_COST_PROFILE), \
+             else ./xnfdb-cost-profile.txt).")
+  in
+  let doc =
+    "measure this host's cost constants (scan, batch dispatch, hash \
+     build/probe, Bloom test, decode fault, domain fan-out) and save a \
+     profile for $(b,XNFDB_COST_PROFILE)"
+  in
+  Cmd.v (Cmd.info "calibrate" ~doc)
+    Term.(
+      const (fun verbose out ->
+          setup_verbose verbose;
+          let module C = Optimizer.Cost.Calibrate in
+          let prof = C.measure () in
+          print_string (C.render prof);
+          let path =
+            match out with
+            | Some p -> p
+            | None -> (
+              match C.profile_path () with
+              | Some p -> p
+              | None -> "xnfdb-cost-profile.txt")
+          in
+          C.save path prof;
+          Printf.printf "profile saved to %s\n" path;
+          match C.profile_path () with
+          | Some p when p = path ->
+            print_endline "XNFDB_COST_PROFILE already points here; active."
+          | _ ->
+            Printf.printf "activate with: export XNFDB_COST_PROFILE=%s\n" path)
+      $ verbose_flag $ out)
+
 let demo_cmd =
   let doc = "preload the paper's Fig. 1 example database and open the shell" in
   Cmd.v (Cmd.info "demo" ~doc)
@@ -312,6 +423,6 @@ let main_cmd =
   let doc = "composite-object views over relational data (XNF reproduction)" in
   let info = Cmd.info "xnfdb" ~version:"1.0.0" ~doc in
   Cmd.group ~default:Term.(const (fun () -> repl (Db.create ())) $ const ()) info
-    [ repl_cmd; run_cmd; demo_cmd; serve_cmd ]
+    [ repl_cmd; run_cmd; demo_cmd; serve_cmd; calibrate_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -446,15 +446,15 @@ let extract_parallel ?domains ?morsel_rows ?threshold ?cache ?snapshot
               p ))
         par
     in
-    (* phase 2: inter-plan parallelism over the frozen shared cache *)
+    (* phase 2: inter-plan parallelism over the frozen shared cache;
+       the CSE derivations themselves fan out across the pool first
+       (dependency waves), instead of materializing one by one *)
     let seq_results =
       match seq with
       | [] -> []
       | _ ->
-        List.iter
-          (fun (_, (p : Plan.compiled)) ->
-            Executor.Exec.force_shared ctx p.Plan.plan)
-          seq;
+        Executor.Exec_par.force_shared_parallel ctx ~domains
+          (List.map (fun (_, (p : Plan.compiled)) -> p.Plan.plan) seq);
         let arr = Array.of_list seq in
         let out = Array.make (Array.length arr) [] in
         let next = Atomic.make 0 in
@@ -484,6 +484,16 @@ let run_view ?share ?nf_rewrite ?cache ?ctx (db : Db.t) (view_name : string) :
   match Catalog.find_view_opt (Db.catalog db) view_name with
   | Some { Catalog.language = `Xnf; text; _ } ->
     run ?share ?nf_rewrite ?cache ?ctx db text
+  | Some { Catalog.language = `Sql; _ } ->
+    Errors.semantic_error "view %S is a plain SQL view, not an XNF view"
+      view_name
+  | None -> Errors.catalog_error "unknown view %S" view_name
+
+(** The text of a stored XNF view, for analysis paths that re-enter
+    {!val:explain_analyze} with query text. *)
+let view_text (db : Db.t) (view_name : string) : string =
+  match Catalog.find_view_opt (Db.catalog db) view_name with
+  | Some { Catalog.language = `Xnf; text; _ } -> text
   | Some { Catalog.language = `Sql; _ } ->
     Errors.semantic_error "view %S is a plain SQL view, not an XNF view"
       view_name
@@ -552,3 +562,33 @@ let explain (db : Db.t) (text : string) : string =
   end
   else Buffer.add_string buf "(recursive CO: fixpoint evaluation)\n";
   Buffer.contents buf
+
+(** EXPLAIN ANALYZE for XNF extraction: run every output plan under one
+    instrumented context (sequential — per-operator clocks need a single
+    owning domain) and report per-operator estimated vs actual rows,
+    q-error and inclusive wall time, one section per output.  Bypasses
+    the result cache so the plans actually execute; the compiled-query
+    cache stays on (plans are version-independent). *)
+let explain_analyze (db : Db.t) (text : string) : string =
+  let t0 = Executor.Opstats.now () in
+  let c = compile db text in
+  if c.recursive then
+    "== plans (analyzed) ==\n\
+     (recursive CO: fixpoint evaluation builds plans per iteration; \
+     per-operator attribution is not available)\n"
+  else begin
+    let acc =
+      Executor.Opstats.create
+        (List.map (fun (name, (p : Plan.compiled)) -> (name, p.Plan.plan)) c.plans)
+    in
+    let ctx = Executor.Exec.make_ctx ~result_cache:false () in
+    ctx.Executor.Exec.analyze <- Some acc;
+    let stream = extract_nonrecursive ~ctx c in
+    acc.Executor.Opstats.total_wall <- Executor.Opstats.now () -. t0;
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "== plans (analyzed) ==\n";
+    Buffer.add_string buf (Executor.Opstats.render acc);
+    Buffer.add_string buf
+      (Printf.sprintf "stream items: %d\n" (List.length stream.Hetstream.items));
+    Buffer.contents buf
+  end

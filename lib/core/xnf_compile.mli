@@ -87,6 +87,10 @@ val run :
     off; the compiled-query cache stays on — plans are
     version-independent). *)
 
+val view_text : Db.t -> string -> string
+(** The stored text of an XNF view (errors on SQL views / unknown
+    names) — lets analysis paths re-enter with query text. *)
+
 val run_view :
   ?share:bool ->
   ?nf_rewrite:bool ->
@@ -105,3 +109,9 @@ val expand_component : Catalog.t -> view:string -> component:string -> Starq.Qgm
 val explain : Db.t -> string -> string
 (** The XNF operator, the rewritten graphs and the plans with their
     sharing structure. *)
+
+val explain_analyze : Db.t -> string -> string
+(** Execute the extraction under an instrumented context and report
+    per-operator estimated vs actual rows, q-error and inclusive wall
+    time, one section per output plan.  Bypasses the result cache so the
+    plans actually run. *)

@@ -13,6 +13,30 @@ let log_src = Logs.Src.create "xnfdb.engine" ~doc:"query pipeline tracing"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* Snapshot of the monotone cache/colstore/join-filter counters, taken
+   at statement start so EXPLAIN's instrumentation sections report the
+   work of {e this} statement instead of process lifetime. *)
+type marks = {
+  mk_plan_hits : int;
+  mk_plan_misses : int;
+  mk_result_hits : int;
+  mk_result_misses : int;
+  mk_result_evictions : int;
+  mk_cs_scanned : int;
+  mk_cs_skipped : int;
+  mk_cs_materialized : int;
+  mk_cs_encoded : int;
+  mk_cs_decoded : int;
+  mk_cs_faulted : int;
+  mk_cs_evicted : int;
+  mk_cs_bytes_spilled : int;
+  mk_cs_bytes_faulted : int;
+  mk_jf_built : int;
+  mk_jf_chunks : int;
+  mk_jf_rows : int;
+  mk_jf_dropped : int;
+}
+
 type t = {
   catalog : Catalog.t;
   txn : Txn.t;
@@ -27,7 +51,30 @@ type t = {
   plugin_cache : (string, exn) Hashtbl.t;
   mutable plan_hits : int;
   mutable plan_misses : int;
+  mutable marks : marks; (* counter snapshot of the current statement *)
 }
+
+let zero_marks =
+  {
+    mk_plan_hits = 0;
+    mk_plan_misses = 0;
+    mk_result_hits = 0;
+    mk_result_misses = 0;
+    mk_result_evictions = 0;
+    mk_cs_scanned = 0;
+    mk_cs_skipped = 0;
+    mk_cs_materialized = 0;
+    mk_cs_encoded = 0;
+    mk_cs_decoded = 0;
+    mk_cs_faulted = 0;
+    mk_cs_evicted = 0;
+    mk_cs_bytes_spilled = 0;
+    mk_cs_bytes_faulted = 0;
+    mk_jf_built = 0;
+    mk_jf_chunks = 0;
+    mk_jf_rows = 0;
+    mk_jf_dropped = 0;
+  }
 
 type result =
   | Rows of Schema.t * Tuple.t list
@@ -42,6 +89,7 @@ let create () =
     plugin_cache = Hashtbl.create 16;
     plan_hits = 0;
     plan_misses = 0;
+    marks = zero_marks;
   }
 
 (** A session-scoped handle onto the same database: shares the catalog
@@ -58,6 +106,7 @@ let session parent =
     plugin_cache = Hashtbl.create 16;
     plan_hits = 0;
     plan_misses = 0;
+    marks = zero_marks;
   }
 
 let catalog db = db.catalog
@@ -144,6 +193,102 @@ let cache_stats (db : t) =
 (** Run [f] as one atomic transaction against this database. *)
 let atomically db f = Txn.atomically db.txn f
 
+(* -- per-statement counter windows --------------------------------------- *)
+
+let take_marks (db : t) : marks =
+  let r = Executor.Result_cache.stats () in
+  let ct = Colstore.totals in
+  let jt = Bloom.totals in
+  {
+    mk_plan_hits = db.plan_hits;
+    mk_plan_misses = db.plan_misses;
+    mk_result_hits = r.Executor.Result_cache.hits;
+    mk_result_misses = r.Executor.Result_cache.misses;
+    mk_result_evictions = r.Executor.Result_cache.evictions;
+    mk_cs_scanned = ct.Colstore.chunks_scanned;
+    mk_cs_skipped = ct.Colstore.chunks_skipped;
+    mk_cs_materialized = ct.Colstore.rows_materialized;
+    mk_cs_encoded = ct.Colstore.chunks_encoded;
+    mk_cs_decoded = ct.Colstore.chunks_decoded;
+    mk_cs_faulted = ct.Colstore.chunks_faulted;
+    mk_cs_evicted = ct.Colstore.chunks_evicted;
+    mk_cs_bytes_spilled = ct.Colstore.bytes_spilled;
+    mk_cs_bytes_faulted = ct.Colstore.bytes_faulted;
+    mk_jf_built = jt.Bloom.filters_built;
+    mk_jf_chunks = jt.Bloom.chunks_skipped;
+    mk_jf_rows = jt.Bloom.rows_skipped;
+    mk_jf_dropped = jt.Bloom.filters_dropped;
+  }
+
+(** Open a new per-statement counter window: the instrumentation
+    sections of [explain] / [explain_analyze] report deltas against the
+    last mark, so one statement's EXPLAIN never shows another's (or the
+    whole process's) cache and colstore traffic. *)
+let mark_statement (db : t) : unit = db.marks <- take_marks db
+
+(** The cache/colstore/join-filter report for the current statement
+    window.  Counters are deltas since {!mark_statement}; entry counts,
+    byte totals and the spill budget are gauges and shown as-is. *)
+let counter_sections (db : t) : string =
+  let m = db.marks in
+  let s = cache_stats db in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "== caches (this statement) ==\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  plan cache: %d entries, %d hits, %d misses%s\n"
+       s.plan_entries
+       (s.plan_hits - m.mk_plan_hits)
+       (s.plan_misses - m.mk_plan_misses)
+       (if plan_cache_enabled () then "" else " (disabled)"));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  result cache: %d entries, %d bytes, %d hits, %d misses, %d \
+        evictions%s\n"
+       s.result_entries s.result_bytes
+       (s.result_hits - m.mk_result_hits)
+       (s.result_misses - m.mk_result_misses)
+       (s.result_evictions - m.mk_result_evictions)
+       (if Executor.Result_cache.enabled () then "" else " (disabled)"));
+  let ct = Colstore.totals in
+  Buffer.add_string buf "== colstore (this statement) ==\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  chunks scanned: %d, chunks skipped: %d, rows materialized: %d%s\n"
+       (ct.Colstore.chunks_scanned - m.mk_cs_scanned)
+       (ct.Colstore.chunks_skipped - m.mk_cs_skipped)
+       (ct.Colstore.rows_materialized - m.mk_cs_materialized)
+       (if Colstore.enabled () then "" else " (disabled)"));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  chunks encoded: %d, decoded: %d, faulted: %d, evicted: %d\n"
+       (ct.Colstore.chunks_encoded - m.mk_cs_encoded)
+       (ct.Colstore.chunks_decoded - m.mk_cs_decoded)
+       (ct.Colstore.chunks_faulted - m.mk_cs_faulted)
+       (ct.Colstore.chunks_evicted - m.mk_cs_evicted));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  spill: budget %s, resident %d bytes, spilled %d bytes (this \
+        statement: %d spilled, %d faulted)\n"
+       (let b = Colstore.budget_bytes () in
+        if b = 0 then "off"
+        else Printf.sprintf "%d MB/table" (b / (1024 * 1024)))
+       (Colstore.global_resident_bytes ())
+       (Colstore.global_spilled_bytes ())
+       (ct.Colstore.bytes_spilled - m.mk_cs_bytes_spilled)
+       (ct.Colstore.bytes_faulted - m.mk_cs_bytes_faulted));
+  let jt = Bloom.totals in
+  Buffer.add_string buf "== join filters (this statement) ==\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  filters built: %d, chunks skipped: %d, rows skipped: %d, filters \
+        dropped: %d%s\n"
+       (jt.Bloom.filters_built - m.mk_jf_built)
+       (jt.Bloom.chunks_skipped - m.mk_jf_chunks)
+       (jt.Bloom.rows_skipped - m.mk_jf_rows)
+       (jt.Bloom.filters_dropped - m.mk_jf_dropped)
+       (if Bloom.enabled () then "" else " (disabled)"));
+  Buffer.contents buf
+
 (* -- query pipeline ---------------------------------------------------- *)
 
 (** Compile a query AST down to an executable plan.  [rewrite] and
@@ -229,8 +374,11 @@ let query ?rewrite ?share ?ctx ?domains ?cache db (sql : string) :
 let query_rows ?rewrite ?share ?ctx ?domains ?cache db sql =
   snd (query ?rewrite ?share ?ctx ?domains ?cache db sql)
 
-(** EXPLAIN: the rewritten QGM and the chosen plan. *)
+(** EXPLAIN: the rewritten QGM and the chosen plan.  The
+    instrumentation sections cover only this statement (here: just its
+    compilation — nothing executes), via {!mark_statement}. *)
 let explain db (sql : string) : string =
+  mark_statement db;
   let q = Sqlkit.Parser.parse_query_string sql in
   let g = Starq.Build.build_query db.catalog q in
   let stats = Starq.Engine.rewrite_graph g in
@@ -244,51 +392,34 @@ let explain db (sql : string) : string =
     stats;
   Buffer.add_string buf "== plan ==\n";
   Buffer.add_string buf (Plan.explain c.Plan.plan);
-  let s = cache_stats db in
-  Buffer.add_string buf "== caches ==\n";
+  Buffer.add_string buf (counter_sections db);
+  Buffer.contents buf
+
+(** EXPLAIN ANALYZE: compile through the prepared-plan cache, execute
+    with per-operator attribution armed, and report estimated vs actual
+    rows, per-operator inclusive wall time and q-error, plus this
+    statement's cache/colstore/join-filter deltas.  [domains > 1] runs
+    the morsel-parallel executor (workers tally rows into private
+    partials; wall time lands on pipeline roots). *)
+let explain_analyze ?domains db (sql : string) : string =
+  mark_statement db;
+  let t0 = Executor.Opstats.now () in
+  let c = compile_query db sql in
+  let acc = Executor.Opstats.create1 c.Plan.plan in
+  let ctx = Executor.Exec.make_ctx () in
+  ctx.Executor.Exec.analyze <- Some acc;
+  let batches =
+    match domains with
+    | Some d when d > 1 -> Executor.Exec_par.run_batches ~ctx ~domains:d c
+    | _ -> Executor.Exec.run_batches ~ctx c
+  in
+  acc.Executor.Opstats.total_wall <- Executor.Opstats.now () -. t0;
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "== plan (analyzed) ==\n";
+  Buffer.add_string buf (Executor.Opstats.render acc);
   Buffer.add_string buf
-    (Printf.sprintf "  plan cache: %d entries, %d hits, %d misses%s\n"
-       s.plan_entries s.plan_hits s.plan_misses
-       (if plan_cache_enabled () then "" else " (disabled)"));
-  Buffer.add_string buf
-    (Printf.sprintf
-       "  result cache: %d entries, %d bytes, %d hits, %d misses, %d \
-        evictions%s\n"
-       s.result_entries s.result_bytes s.result_hits s.result_misses
-       s.result_evictions
-       (if Executor.Result_cache.enabled () then "" else " (disabled)"));
-  let ct = Colstore.totals in
-  Buffer.add_string buf "== colstore ==\n";
-  Buffer.add_string buf
-    (Printf.sprintf
-       "  chunks scanned: %d, chunks skipped: %d, rows materialized: %d%s\n"
-       ct.Colstore.chunks_scanned ct.Colstore.chunks_skipped
-       ct.Colstore.rows_materialized
-       (if Colstore.enabled () then "" else " (disabled)"));
-  Buffer.add_string buf
-    (Printf.sprintf
-       "  chunks encoded: %d, decoded: %d, faulted: %d, evicted: %d\n"
-       ct.Colstore.chunks_encoded ct.Colstore.chunks_decoded
-       ct.Colstore.chunks_faulted ct.Colstore.chunks_evicted);
-  Buffer.add_string buf
-    (Printf.sprintf
-       "  spill: budget %s, resident %d bytes, spilled %d bytes (cumulative: \
-        %d spilled, %d faulted)\n"
-       (let b = Colstore.budget_bytes () in
-        if b = 0 then "off"
-        else Printf.sprintf "%d MB/table" (b / (1024 * 1024)))
-       (Colstore.global_resident_bytes ())
-       (Colstore.global_spilled_bytes ())
-       ct.Colstore.bytes_spilled ct.Colstore.bytes_faulted);
-  let jt = Bloom.totals in
-  Buffer.add_string buf "== join filters ==\n";
-  Buffer.add_string buf
-    (Printf.sprintf
-       "  filters built: %d, chunks skipped: %d, rows skipped: %d, filters \
-        dropped: %d%s\n"
-       jt.Bloom.filters_built jt.Bloom.chunks_skipped jt.Bloom.rows_skipped
-       jt.Bloom.filters_dropped
-       (if Bloom.enabled () then "" else " (disabled)"));
+    (Printf.sprintf "rows returned: %d\n" (Batch.list_length batches));
+  Buffer.add_string buf (counter_sections db);
   Buffer.contents buf
 
 (* -- DML helpers -------------------------------------------------------- *)
@@ -524,16 +655,39 @@ let rec exec_stmt db (stmt : Ast.stmt) : result =
     Txn.rollback db.txn;
     Done "rolled back"
 
+(** [strip_keyword s kw]: [Some rest] when [s] starts with the keyword
+    (case-insensitive, followed by whitespace), with the remainder
+    trimmed.  Used to peel [EXPLAIN [ANALYZE]] prefixes — which are not
+    part of the statement grammar — off query text. *)
+let strip_keyword (s : string) (kw : string) : string option =
+  let s = String.trim s in
+  let n = String.length kw in
+  if
+    String.length s > n
+    && String.uppercase_ascii (String.sub s 0 n) = kw
+    &&
+    match s.[n] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  then Some (String.trim (String.sub s n (String.length s - n)))
+  else None
+
 (** Execute one SQL statement given as text.  SELECTs route through the
     prepared-plan cache (the text is at hand here, unlike in
     {!exec_stmt}), so the REPL and script surfaces get repeat-query
-    reuse too. *)
-let exec db (sql : string) : result =
-  match Sqlkit.Parser.parse_stmt sql with
-  | Ast.Select_stmt _ ->
-    let c = compile_query db sql in
-    Rows (c.Plan.out_schema, Executor.Exec.run c)
-  | stmt -> exec_stmt db stmt
+    reuse too.  [EXPLAIN <query>] and [EXPLAIN ANALYZE <query>] are
+    handled here (they are a front-end affordance, not grammar);
+    [domains] selects the executor EXPLAIN ANALYZE profiles. *)
+let exec ?domains db (sql : string) : result =
+  match strip_keyword sql "EXPLAIN" with
+  | Some rest -> (
+    match strip_keyword rest "ANALYZE" with
+    | Some q -> Done (explain_analyze ?domains db q)
+    | None -> Done (explain db rest))
+  | None -> (
+    match Sqlkit.Parser.parse_stmt sql with
+    | Ast.Select_stmt _ ->
+      let c = compile_query db sql in
+      Rows (c.Plan.out_schema, Executor.Exec.run c)
+    | stmt -> exec_stmt db stmt)
 
 (** Split a script on ';' at top level: string literals and [--]
     comments are respected. *)

@@ -109,7 +109,27 @@ val query_rows :
   ?cache:bool -> t -> string -> Tuple.t list
 
 val explain : t -> string -> string
-(** Rewritten QGM, rule firings, the chosen plan, and cache stats. *)
+(** Rewritten QGM, rule firings, the chosen plan, and per-statement
+    cache/colstore/join-filter counters (deltas over this statement's
+    window, not process totals). *)
+
+val explain_analyze : ?domains:int -> t -> string -> string
+(** Compile (through the prepared-plan cache), execute with
+    per-operator attribution armed, and report estimated vs actual rows,
+    inclusive wall time and q-error for every operator — flagging the
+    worst estimator — plus this statement's counter deltas.
+    [domains > 1] profiles the morsel-parallel executor. *)
+
+val mark_statement : t -> unit
+(** Open a new per-statement counter window (snapshot the monotone
+    cache/colstore/join-filter counters).  [explain]/[explain_analyze]
+    call it themselves; layers with their own front ends (the XNF
+    compiler) call it before rendering counter deltas. *)
+
+val counter_sections : t -> string
+(** Render the current statement window's cache/colstore/join-filter
+    sections (deltas since {!mark_statement}; entry counts and byte
+    totals are gauges). *)
 
 (** {2 Statements} *)
 
@@ -121,7 +141,12 @@ val component_dml_translator :
     base table; registered by [Xnf.Updatability] at link time. *)
 
 val exec_stmt : t -> Ast.stmt -> result
-val exec : t -> string -> result
+
+val exec : ?domains:int -> t -> string -> result
+(** Execute one statement given as text.  [EXPLAIN <query>] and
+    [EXPLAIN ANALYZE <query>] prefixes are peeled here (front-end
+    affordance, not grammar); [domains] selects the executor that
+    EXPLAIN ANALYZE profiles. *)
 
 val split_script : string -> string list
 (** Split a script on top-level ';' (string literals and [--] comments

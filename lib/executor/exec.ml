@@ -45,6 +45,12 @@ type ctx = {
   mutable jf_chunks_skipped : int; (* probe chunks pruned by join-filter range *)
   mutable jf_rows_skipped : int; (* probe rows dropped by a join filter *)
   mutable jf_dropped : int; (* join filters adaptively disabled *)
+  mutable analyze : Opstats.t option;
+  (* EXPLAIN ANALYZE accumulator: when set, [open_plan] wraps every
+     numbered operator with wall-time / row attribution.  Only the
+     query's main domain may own one — [sibling_ctx] drops it so
+     parallel helpers never mutate it concurrently (the parallel
+     executor has its own per-worker partials). *)
 }
 
 let make_ctx ?batch_capacity ?result_cache ?snapshot () =
@@ -73,6 +79,7 @@ let make_ctx ?batch_capacity ?result_cache ?snapshot () =
     jf_chunks_skipped = 0;
     jf_rows_skipped = 0;
     jf_dropped = 0;
+    analyze = None;
   }
 
 (* Fold a scan's fault counters into the ctx and the process totals,
@@ -185,7 +192,34 @@ let make_key_fn (frames : Eval.frames) (keys : Plan.scalar list) =
   in
   (extract, scratch)
 
+(* [open_plan] is the attribution shim: with EXPLAIN ANALYZE armed it
+   clocks the open and every pull of each numbered operator (inclusive
+   times — the recursion wraps children too) and counts output rows
+   {e after} selection vectors, so a child's rows are exactly its
+   parent's input.  Nodes outside the numbered tree (id -1, e.g. plans
+   synthesized mid-flight) pass through untouched, as does everything
+   when [ctx.analyze] is [None]. *)
 let rec open_plan (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : batch_iter =
+  match ctx.analyze with
+  | None -> open_plan_raw ctx frames p
+  | Some acc ->
+    let id = Opstats.id_of acc p in
+    if id < 0 then open_plan_raw ctx frames p
+    else begin
+      let t0 = Opstats.now () in
+      let it = open_plan_raw ctx frames p in
+      Opstats.note_open acc id (Opstats.now () -. t0);
+      fun () ->
+        let t0 = Opstats.now () in
+        let r = it () in
+        let dt = Opstats.now () -. t0 in
+        (match r with
+        | Some b -> Opstats.add_batch acc id ~dt ~rows:(Batch.length b)
+        | None -> Opstats.add_time acc id dt);
+        r
+    end
+
+and open_plan_raw (ctx : ctx) (frames : Eval.frames) (p : Plan.t) : batch_iter =
   match p with
   | Plan.Scan t -> (
     match ctx.snapshot with
@@ -871,17 +905,17 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
     let jf_live = ref true in
     let jf_decided = ref false in
     let jf_tested = ref 0 and jf_passed = ref 0 in
+    let jf_sample = Optimizer.Cost.jf_adaptive_sample () in
+    let jf_drop = Optimizer.Cost.jf_drop_threshold () in
     let jf_pass bl k =
       if !jf_decided then (not !jf_live) || Bloom.mem bl k
       else begin
         let pass = Bloom.mem bl k in
         incr jf_tested;
         if pass then incr jf_passed;
-        if !jf_tested >= Bloom.adaptive_sample then begin
+        if !jf_tested >= jf_sample then begin
           jf_decided := true;
-          if
-            float_of_int !jf_passed
-            > Bloom.drop_threshold *. float_of_int !jf_tested
+          if float_of_int !jf_passed > jf_drop *. float_of_int !jf_tested
           then begin
             jf_live := false;
             ctx.jf_dropped <- ctx.jf_dropped + 1;
@@ -1333,17 +1367,17 @@ and open_hash_join (ctx : ctx) (frames : Eval.frames)
     let jf_live = ref true in
     let jf_decided = ref false in
     let jf_tested = ref 0 and jf_passed = ref 0 in
+    let jf_sample = Optimizer.Cost.jf_adaptive_sample () in
+    let jf_drop = Optimizer.Cost.jf_drop_threshold () in
     let jf_pass bl k =
       if !jf_decided then (not !jf_live) || Bloom.mem bl k
       else begin
         let pass = Bloom.mem bl k in
         incr jf_tested;
         if pass then incr jf_passed;
-        if !jf_tested >= Bloom.adaptive_sample then begin
+        if !jf_tested >= jf_sample then begin
           jf_decided := true;
-          if
-            float_of_int !jf_passed
-            > Bloom.drop_threshold *. float_of_int !jf_tested
+          if float_of_int !jf_passed > jf_drop *. float_of_int !jf_tested
           then begin
             jf_live := false;
             ctx.jf_dropped <- ctx.jf_dropped + 1;
@@ -1629,6 +1663,61 @@ let force_shared (ctx : ctx) (p : Plan.t) : unit =
   in
   walk p
 
+(** Every [Shared] node reachable in [p] as [(bid, inner, deps)] where
+    [deps] are the box ids of [Shared] nodes reachable {e inside}
+    [inner] — the derivations that must be materialized first.
+    Deduplicated by box id, bottom-up discovery order (dependencies
+    precede their dependents), predicate subplans included. *)
+let shared_nodes (p : Plan.t) : (int * Plan.t * int list) list =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  (* [Plan.children] covers [Filter] predicate subplans but not join
+     condition/residual subplans — visit those like {!force_shared} *)
+  let join_pred_subs q k =
+    let rec pred = function
+      | Plan.P_exists sub | Plan.P_in (_, sub) -> k sub
+      | Plan.P_and (a, b) | Plan.P_or (a, b) ->
+        pred a;
+        pred b
+      | Plan.P_not a -> pred a
+      | Plan.P_true | Plan.P_false | Plan.P_cmp _ | Plan.P_is_null _
+      | Plan.P_is_not_null _ | Plan.P_like _ ->
+        ()
+    in
+    match q with
+    | Plan.Nl_join { cond; _ } -> pred cond
+    | Plan.Hash_join { residual; _ } | Plan.Index_join { residual; _ }
+    | Plan.Merge_join { residual; _ } ->
+      pred residual
+    | _ -> ()
+  in
+  let rec walk p =
+    match p with
+    | Plan.Shared (bid, inner) ->
+      walk inner;
+      if not (Hashtbl.mem seen bid) then begin
+        Hashtbl.add seen bid ();
+        (* direct dependencies only: a nested [Shared] reads its own
+           cache entry, so transitive ones are covered by ordering *)
+        let deps = Hashtbl.create 4 in
+        let rec dep q =
+          match q with
+          | Plan.Shared (b, _) -> Hashtbl.replace deps b ()
+          | _ ->
+            List.iter dep (Plan.children q);
+            join_pred_subs q dep
+        in
+        List.iter dep (Plan.children inner);
+        join_pred_subs inner dep;
+        acc := (bid, inner, Hashtbl.fold (fun b () l -> b :: l) deps []) :: !acc
+      end
+    | _ ->
+      List.iter walk (Plan.children p);
+      join_pred_subs p walk
+  in
+  walk p;
+  List.rev !acc
+
 (** A context for another domain sharing this one's CSE cache (safe once
     {!force_shared} ran for every plan about to execute). *)
 let sibling_ctx (ctx : ctx) : ctx =
@@ -1651,6 +1740,7 @@ let sibling_ctx (ctx : ctx) : ctx =
     jf_chunks_skipped = 0;
     jf_rows_skipped = 0;
     jf_dropped = 0;
+    analyze = None;
   }
 
 (* -- public surface ------------------------------------------------------ *)

@@ -30,6 +30,9 @@ type ctx = {
   mutable jf_chunks_skipped : int; (* probe chunks pruned by join-filter range *)
   mutable jf_rows_skipped : int; (* probe rows dropped by a join filter *)
   mutable jf_dropped : int; (* join filters adaptively disabled *)
+  mutable analyze : Opstats.t option;
+      (* EXPLAIN ANALYZE accumulator; owned by the query's main domain
+         ([sibling_ctx] drops it) *)
 }
 
 exception Cached_batches of Batch.t list
@@ -81,6 +84,14 @@ val force_shared : ctx -> Plan.t -> unit
 (** Materialize every [Shared] node reachable in the plan (bottom-up);
     afterwards executing it — even from several domains sharing the
     context — only reads the CSE cache. *)
+
+val shared_nodes : Plan.t -> (int * Plan.t * int list) list
+(** Every [Shared] node reachable in the plan (predicate subplans
+    included) as [(bid, inner, deps)], where [deps] are the box ids of
+    the [Shared] nodes [inner] reads directly.  Deduplicated by box id,
+    bottom-up discovery order — dependencies precede dependents.  The
+    dependency structure drives {!Exec_par.force_shared_parallel}'s
+    wave schedule. *)
 
 val sibling_ctx : ctx -> ctx
 (** A context for another domain sharing this one's CSE cache. *)

@@ -59,9 +59,13 @@ type stats = {
   mutable s_jf_chunks_skipped : int; (* probe chunks pruned by join-filter range *)
   mutable s_jf_rows_skipped : int; (* probe rows dropped by a join filter *)
   mutable s_jf_dropped : int; (* per-worker adaptive join-filter disables *)
+  s_ops : int array;
+      (* EXPLAIN ANALYZE row partials, one slot per numbered plan
+         operator ([||] when analyze is off): workers tally privately,
+         [fold_stats] merges after the fan-out like every counter above *)
 }
 
-let new_stats () =
+let new_stats (ctx : Exec.ctx) =
   {
     s_scanned = 0;
     s_chunks_scanned = 0;
@@ -72,6 +76,10 @@ let new_stats () =
     s_jf_chunks_skipped = 0;
     s_jf_rows_skipped = 0;
     s_jf_dropped = 0;
+    s_ops =
+      (match ctx.Exec.analyze with
+      | Some acc -> Opstats.new_partial acc
+      | None -> [||]);
   }
 
 (* single-threaded fold of per-worker counters into the shared ctx and
@@ -94,7 +102,10 @@ let fold_stats (ctx : Exec.ctx) (stats : stats array) =
         ~scanned:st.s_chunks_scanned ~skipped:st.s_chunks_skipped
         ~materialized:st.s_materialized ();
       Bloom.add_totals ~built:0 ~chunks:st.s_jf_chunks_skipped
-        ~rows:st.s_jf_rows_skipped ~dropped:st.s_jf_dropped)
+        ~rows:st.s_jf_rows_skipped ~dropped:st.s_jf_dropped;
+      match ctx.Exec.analyze with
+      | Some acc -> Opstats.merge_partial acc st.s_ops
+      | None -> ())
     stats
 
 (** Where a pipeline's morsels come from: a slot-range-partitioned base
@@ -253,7 +264,35 @@ let scan_rows_est (t : Base_table.t) =
   int_of_float
     (float_of_int (Base_table.cardinality t) *. Cost.scan_access_factor t)
 
+(* [pipe_of] is the parallel path's attribution shim: with EXPLAIN
+   ANALYZE armed, each numbered operator's feed is wrapped so workers
+   tally its output rows into their private [s_ops] partial (merged by
+   [fold_stats] after the fan-out).  The node is marked opened here, on
+   the calling domain, at pipeline-construction time; wall time is
+   attributed to pipeline roots by [drain], since a fused worker feed
+   has no meaningful per-operator clock. *)
 let rec pipe_of (ctx : Exec.ctx) ~opts (p : Plan.t) : pipe =
+  match ctx.Exec.analyze with
+  | None -> pipe_of_raw ctx ~opts p
+  | Some acc ->
+    let id = Opstats.id_of acc p in
+    if id < 0 then pipe_of_raw ctx ~opts p
+    else begin
+      let pipe = pipe_of_raw ctx ~opts p in
+      Opstats.note_open acc id 0.0;
+      {
+        pipe with
+        make_feed =
+          (fun st ~emit ->
+            if Array.length st.s_ops = 0 then pipe.make_feed st ~emit
+            else
+              pipe.make_feed st ~emit:(fun row ->
+                  st.s_ops.(id) <- st.s_ops.(id) + 1;
+                  emit row));
+      }
+    end
+
+and pipe_of_raw (ctx : Exec.ctx) ~opts (p : Plan.t) : pipe =
   match p with
   | Plan.Scan t -> (
     match ctx.Exec.snapshot with
@@ -438,6 +477,8 @@ let rec pipe_of (ctx : Exec.ctx) ~opts (p : Plan.t) : pipe =
               | Some bl ->
                 let live = ref true and decided = ref false in
                 let tested = ref 0 and passed = ref 0 in
+                let jf_sample = Cost.jf_adaptive_sample () in
+                let jf_drop = Cost.jf_drop_threshold () in
                 Some
                   (fun k ->
                     if !decided then (not !live) || Bloom.mem bl k
@@ -445,11 +486,9 @@ let rec pipe_of (ctx : Exec.ctx) ~opts (p : Plan.t) : pipe =
                       let pass = Bloom.mem bl k in
                       incr tested;
                       if pass then incr passed;
-                      if !tested >= Bloom.adaptive_sample then begin
+                      if !tested >= jf_sample then begin
                         decided := true;
-                        if
-                          float_of_int !passed
-                          > Bloom.drop_threshold *. float_of_int !tested
+                        if float_of_int !passed > jf_drop *. float_of_int !tested
                         then begin
                           live := false;
                           st.s_jf_dropped <- st.s_jf_dropped + 1
@@ -503,6 +542,8 @@ let rec pipe_of (ctx : Exec.ctx) ~opts (p : Plan.t) : pipe =
               | Some bl ->
                 let live = ref true and decided = ref false in
                 let tested = ref 0 and passed = ref 0 in
+                let jf_sample = Cost.jf_adaptive_sample () in
+                let jf_drop = Cost.jf_drop_threshold () in
                 Some
                   (fun k ->
                     if !decided then (not !live) || Bloom.mem bl k
@@ -510,11 +551,9 @@ let rec pipe_of (ctx : Exec.ctx) ~opts (p : Plan.t) : pipe =
                       let pass = Bloom.mem bl k in
                       incr tested;
                       if pass then incr passed;
-                      if !tested >= Bloom.adaptive_sample then begin
+                      if !tested >= jf_sample then begin
                         decided := true;
-                        if
-                          float_of_int !passed
-                          > Bloom.drop_threshold *. float_of_int !tested
+                        if float_of_int !passed > jf_drop *. float_of_int !tested
                         then begin
                           live := false;
                           st.s_jf_dropped <- st.s_jf_dropped + 1
@@ -601,7 +640,7 @@ and build_join_table ctx ~opts ~(jfilter : Plan.jfilter option)
     let dop = choose_dop ~opts ~rows:bpipe.src_rows ~n_morsels in
     if dop <= 1 then build_sequential ctx ~want_jf build build_keys
     else
-      let stats = Array.init dop (fun _ -> new_stats ()) in
+      let stats = Array.init dop (fun _ -> new_stats ctx) in
       let next = Atomic.make 0 in
       match build_keys with
       | [ bk ] ->
@@ -785,7 +824,7 @@ and stream (ctx : Exec.ctx) ~opts (pipe : pipe) : Batch.t list =
   let capacity = ctx.Exec.batch_capacity in
   if dop <= 1 then begin
     (* serial inline: same morsel walk, no channel *)
-    let st = new_stats () in
+    let st = new_stats ctx in
     let out = ref [] in
     let buf = ref (Batch.create ~capacity ()) in
     let emit row =
@@ -807,7 +846,7 @@ and stream (ctx : Exec.ctx) ~opts (pipe : pipe) : Batch.t list =
     let chan = Chan.create ~capacity:(2 * dop) in
     let next = Atomic.make 0 in
     let active = Atomic.make dop in
-    let stats = Array.init dop (fun _ -> new_stats ()) in
+    let stats = Array.init dop (fun _ -> new_stats ctx) in
     let worker w =
       (* the last worker out closes the queue, even on error, so the
          consumer below can never block forever *)
@@ -905,7 +944,7 @@ and drain_aggregate ctx ~opts ~input ~(keys : Plan.scalar list)
       else begin
         (* per-morsel group tables, merged in morsel order so group
            first-appearance order matches the sequential scan *)
-        let stats = Array.init dop (fun _ -> new_stats ()) in
+        let stats = Array.init dop (fun _ -> new_stats ctx) in
         let next = Atomic.make 0 in
         let aggs_a = Array.of_list aggs in
         let new_accs () =
@@ -992,8 +1031,34 @@ and drain_aggregate ctx ~opts ~input ~(keys : Plan.scalar list)
       end)
 
 (** Drain a plan to its batch list with sequential-identical row order.
-    @raise Not_parallel if the plan cannot run on this path. *)
+    @raise Not_parallel if the plan cannot run on this path.
+
+    With EXPLAIN ANALYZE armed this is also where parallel wall time
+    lands: elapsed drain time is recorded against the plan node — as
+    the {e open} of a blocking operator (whose output rows are counted
+    here too, since the splice path rebuilds fresh unnumbered nodes),
+    and as extra inclusive time on a streamed pipeline root (already
+    marked opened by [pipe_of], its rows tallied by the workers). *)
 and drain (ctx : Exec.ctx) ~opts (p : Plan.t) : Batch.t list =
+  match ctx.Exec.analyze with
+  | None -> drain_raw ctx ~opts p
+  | Some acc ->
+    let id = Opstats.id_of acc p in
+    if id < 0 then drain_raw ctx ~opts p
+    else begin
+      let t0 = Opstats.now () in
+      let bs = drain_raw ctx ~opts p in
+      let dt = Opstats.now () -. t0 in
+      (match p with
+      | Plan.Aggregate _ | Plan.Sort _ | Plan.Distinct _ | Plan.Merge_join _
+      | Plan.Union_all _ | Plan.Shared _ | Plan.Limit _ ->
+        Opstats.note_open acc id dt;
+        Opstats.add_rows acc id (Batch.list_length bs)
+      | _ -> Opstats.add_time acc id dt);
+      bs
+    end
+
+and drain_raw (ctx : Exec.ctx) ~opts (p : Plan.t) : Batch.t list =
   match p with
   | Plan.Aggregate { input; keys; aggs } ->
     drain_aggregate ctx ~opts ~input ~keys ~aggs
@@ -1048,7 +1113,10 @@ let make_opts ?domains ?morsel_rows ?threshold () =
   {
     domains = (match domains with Some d -> d | None -> Pool.default_domains ());
     morsel = (match morsel_rows with Some _ -> morsel_rows | None -> default_morsel_rows ());
-    threshold = Option.value threshold ~default:Cost.parallel_threshold_rows;
+    threshold =
+      (match threshold with
+      | Some t -> t
+      | None -> Cost.parallel_threshold_rows ());
   }
 
 (** Run a compiled plan across the domain pool; falls back to the
@@ -1068,3 +1136,112 @@ let run_batches ?ctx ?domains ?morsel_rows ?threshold (c : Plan.compiled) :
 let run ?ctx ?domains ?morsel_rows ?threshold (c : Plan.compiled) :
     Tuple.t list =
   Batch.list_to_rows (run_batches ?ctx ?domains ?morsel_rows ?threshold c)
+
+(** Materialize every [Shared] node reachable in [plans] into [ctx]'s
+    CSE cache, fanning independent derivations out across the pool.
+    Derivations are scheduled in waves over {!Exec.shared_nodes}'s
+    dependency edges: a wave holds nodes whose dependencies are already
+    installed, each running on its own domain against a frozen copy of
+    the cache; results are installed into [ctx.shared] single-threaded
+    between waves.  The final cache state — and each materialized batch
+    list — is identical to running {!Exec.force_shared} over [plans]
+    sequentially. *)
+let force_shared_parallel (ctx : Exec.ctx) ?domains (plans : Plan.t list) :
+    unit =
+  let domains =
+    match domains with Some d -> d | None -> Pool.default_domains ()
+  in
+  (* dedup across plans (first occurrence wins); skip already-installed *)
+  let seen = Hashtbl.create 8 in
+  let nodes =
+    List.filter
+      (fun ((bid, _, _) : int * Plan.t * int list) ->
+        let fresh =
+          (not (Hashtbl.mem seen bid))
+          && not (Hashtbl.mem ctx.Exec.shared bid)
+        in
+        Hashtbl.replace seen bid ();
+        fresh)
+      (List.concat_map Exec.shared_nodes plans)
+  in
+  (* worker contexts are private; fold their counters back so EXPLAIN
+     and cache accounting see the same totals as the serial path *)
+  let absorb (w : Exec.ctx) =
+    ctx.Exec.rows_scanned <- ctx.Exec.rows_scanned + w.Exec.rows_scanned;
+    ctx.Exec.subqueries_run <- ctx.Exec.subqueries_run + w.Exec.subqueries_run;
+    ctx.Exec.batches_emitted <-
+      ctx.Exec.batches_emitted + w.Exec.batches_emitted;
+    ctx.Exec.materializations <-
+      ctx.Exec.materializations + w.Exec.materializations;
+    ctx.Exec.chunks_scanned <- ctx.Exec.chunks_scanned + w.Exec.chunks_scanned;
+    ctx.Exec.chunks_skipped <- ctx.Exec.chunks_skipped + w.Exec.chunks_skipped;
+    ctx.Exec.rows_materialized <-
+      ctx.Exec.rows_materialized + w.Exec.rows_materialized;
+    ctx.Exec.chunks_faulted <- ctx.Exec.chunks_faulted + w.Exec.chunks_faulted;
+    ctx.Exec.bytes_faulted <- ctx.Exec.bytes_faulted + w.Exec.bytes_faulted;
+    ctx.Exec.jf_built <- ctx.Exec.jf_built + w.Exec.jf_built;
+    ctx.Exec.jf_chunks_skipped <-
+      ctx.Exec.jf_chunks_skipped + w.Exec.jf_chunks_skipped;
+    ctx.Exec.jf_rows_skipped <-
+      ctx.Exec.jf_rows_skipped + w.Exec.jf_rows_skipped;
+    ctx.Exec.jf_dropped <- ctx.Exec.jf_dropped + w.Exec.jf_dropped
+  in
+  (* the serial route is always safe: [get_shared] materializes nested
+     dependencies on demand, in the exact sequential order *)
+  let serial (bid, inner, _) =
+    ignore (Exec.materialize ctx [] (Plan.Shared (bid, inner)))
+  in
+  if domains <= 1 then List.iter serial nodes
+  else begin
+    let rec waves remaining =
+      match remaining with
+      | [] -> ()
+      | _ -> (
+        let ready, later =
+          List.partition
+            (fun ((_, _, deps) : int * Plan.t * int list) ->
+              List.for_all (Hashtbl.mem ctx.Exec.shared) deps)
+            remaining
+        in
+        match ready with
+        | [] ->
+          (* unsatisfiable edge (never for DAG plans): degrade serially *)
+          List.iter serial remaining
+        | [ one ] ->
+          serial one;
+          waves later
+        | _ ->
+          let arr = Array.of_list ready in
+          let out = Array.make (Array.length arr) None in
+          let next = Atomic.make 0 in
+          Pool.run ~domains:(min domains (Array.length arr)) (fun _ ->
+              let rec loop () =
+                let i = Atomic.fetch_and_add next 1 in
+                if i < Array.length arr then begin
+                  let bid, inner, _ = arr.(i) in
+                  let my_ctx =
+                    {
+                      (Exec.sibling_ctx ctx) with
+                      Exec.shared = Hashtbl.copy ctx.Exec.shared;
+                    }
+                  in
+                  let bs =
+                    Exec.materialize my_ctx [] (Plan.Shared (bid, inner))
+                  in
+                  out.(i) <- Some (bs, my_ctx);
+                  loop ()
+                end
+              in
+              loop ());
+          Array.iteri
+            (fun i ((bid, _, _) : int * Plan.t * int list) ->
+              match out.(i) with
+              | Some (bs, w) ->
+                Hashtbl.replace ctx.Exec.shared bid bs;
+                absorb w
+              | None -> ())
+            arr;
+          waves later)
+    in
+    waves nodes
+  end

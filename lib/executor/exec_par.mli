@@ -38,3 +38,12 @@ val run :
   ?threshold:int ->
   Plan.compiled ->
   Tuple.t list
+
+val force_shared_parallel : Exec.ctx -> ?domains:int -> Plan.t list -> unit
+(** Materialize every [Shared] node reachable in the plans into the
+    context's CSE cache, fanning independent derivations out across the
+    domain pool in dependency waves (each wave's tasks read a frozen
+    cache copy; results install single-threaded between waves).  Ends
+    with exactly the cache state — and batch contents — of sequential
+    {!Exec.force_shared} over the same plans.  [domains] defaults to
+    [Pool.default_domains ()]; [domains <= 1] runs serially. *)

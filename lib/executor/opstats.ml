@@ -1,0 +1,244 @@
+(** Per-operator execution statistics for EXPLAIN ANALYZE.
+
+    Every node of a plan (including correlated predicate subplans) gets
+    a stable id by preorder numbering; the executors record wall time,
+    rows and batches against those ids while the query runs.  Times are
+    {e inclusive} (an operator's clock includes its children, as in
+    PostgreSQL's EXPLAIN ANALYZE); rows are the operator's {e output}
+    rows, counted after selection vectors are applied, so the child
+    row count of a pipeline is exactly its parent's input.
+
+    The serial executor ({!Exec}) mutates the accumulator directly — it
+    runs on one domain.  The parallel executor ({!Exec_par}) gives each
+    worker a private row-count partial (an [int array] indexed by op
+    id, carried in its per-worker [stats]) and merges them
+    single-threaded after [Pool.await], exactly like its scan
+    counters; wall time there is attributed to pipeline roots, since a
+    fused worker feed has no meaningful per-operator clock. *)
+
+module Plan = Optimizer.Plan
+module Cost = Optimizer.Cost
+
+type op = {
+  id : int;
+  node : Plan.t;  (** the physical plan node (identity is the key) *)
+  depth : int;  (** indentation level under its section root *)
+  section : int;  (** which [create] root this op belongs to *)
+  est : float;  (** estimated output rows (plan-level estimator) *)
+  mutable opens : int;  (** times the operator was opened (loops) *)
+  mutable rows : int;  (** output rows across all opens *)
+  mutable batches : int;  (** output batches across all opens *)
+  mutable wall : float;  (** inclusive wall seconds across all opens *)
+}
+
+type t = {
+  sections : (string * Plan.t) array;  (** named roots, render order *)
+  ops : op array;  (** preorder over all sections *)
+  mutable total_wall : float;  (** whole-statement wall seconds *)
+}
+
+let now = Unix.gettimeofday
+
+(* -- plan-level row estimator -------------------------------------------- *)
+
+(* Selectivity of a compiled predicate, textbook constants only: the
+   QGM-level estimator (Cost.pred_selectivity) has zone/NDV statistics,
+   but by plan time the quantifier context is gone.  Kept deliberately
+   aligned with Cost's constants so EXPLAIN and EXPLAIN ANALYZE read
+   consistently. *)
+let rec pred_sel : Plan.ppred -> float = function
+  | Plan.P_true -> 1.0
+  | Plan.P_false -> 0.0
+  | Plan.P_cmp (Sqlkit.Ast.Eq, _, _) -> Cost.eq_selectivity
+  | Plan.P_cmp (Sqlkit.Ast.Ne, _, _) -> 1.0 -. Cost.eq_selectivity
+  | Plan.P_cmp (_, _, _) -> Cost.range_selectivity
+  | Plan.P_and (a, b) -> pred_sel a *. pred_sel b
+  | Plan.P_or (a, b) -> Float.min 1.0 (pred_sel a +. pred_sel b)
+  | Plan.P_not a -> 1.0 -. pred_sel a
+  | Plan.P_is_null _ -> 0.1
+  | Plan.P_is_not_null _ -> 0.9
+  | Plan.P_like _ -> 0.25
+  | Plan.P_exists _ | Plan.P_in _ -> Cost.default_selectivity
+
+let rec est_rows (p : Plan.t) : float =
+  let eq_keys n = Float.pow Cost.eq_selectivity (float_of_int (max 1 n)) in
+  match p with
+  | Plan.Scan t ->
+    float_of_int (max 1 (Relcore.Base_table.cardinality t))
+  | Plan.Values rows -> float_of_int (List.length rows)
+  | Plan.Filter (i, pred) -> Float.max 1.0 (est_rows i *. pred_sel pred)
+  | Plan.Project (i, _) -> est_rows i
+  | Plan.Nl_join { outer; inner; cond } ->
+    Float.max 1.0 (est_rows outer *. est_rows inner *. pred_sel cond)
+  | Plan.Hash_join { build; probe; probe_keys; residual; _ } ->
+    Float.max 1.0
+      (est_rows probe *. est_rows build
+      *. eq_keys (List.length probe_keys)
+      *. pred_sel residual)
+  | Plan.Index_join { outer; table; keys; residual; _ } ->
+    let inner =
+      Float.max 1.0
+        (float_of_int (max 1 (Relcore.Base_table.cardinality table))
+        *. eq_keys (List.length keys))
+    in
+    Float.max 1.0 (est_rows outer *. inner *. pred_sel residual)
+  | Plan.Merge_join { left; right; left_keys; residual; _ } ->
+    Float.max 1.0
+      (est_rows left *. est_rows right
+      *. eq_keys (List.length left_keys)
+      *. pred_sel residual)
+  | Plan.Distinct i -> Float.max 1.0 (est_rows i *. 0.8)
+  | Plan.Aggregate { input; keys; _ } ->
+    if keys = [] then 1.0 else Float.max 1.0 (Float.sqrt (est_rows input))
+  | Plan.Sort (i, _) -> est_rows i
+  | Plan.Limit (i, n) -> Float.min (est_rows i) (float_of_int n)
+  | Plan.Union_all is -> List.fold_left (fun a i -> a +. est_rows i) 0.0 is
+  | Plan.Shared (_, i) -> est_rows i
+
+(* -- construction --------------------------------------------------------- *)
+
+let create (sections : (string * Plan.t) list) : t =
+  let acc = ref [] in
+  let n = ref 0 in
+  let rec number section depth p =
+    let op =
+      {
+        id = !n;
+        node = p;
+        depth;
+        section;
+        est = est_rows p;
+        opens = 0;
+        rows = 0;
+        batches = 0;
+        wall = 0.0;
+      }
+    in
+    incr n;
+    acc := op :: !acc;
+    List.iter (number section (depth + 1)) (Plan.children p)
+  in
+  List.iteri (fun s (_, root) -> number s 0 root) sections;
+  {
+    sections = Array.of_list sections;
+    ops = Array.of_list (List.rev !acc);
+    total_wall = 0.0;
+  }
+
+let create1 (p : Plan.t) : t = create [ ("", p) ]
+let count (t : t) = Array.length t.ops
+
+(** Id of a physical plan node; [-1] for nodes outside the numbered
+    tree (e.g. [Values] leaves synthesized by the parallel splice).
+    Linear scan on physical identity — plans are tens of nodes. *)
+let id_of (t : t) (p : Plan.t) : int =
+  let n = Array.length t.ops in
+  let rec go i =
+    if i >= n then -1 else if t.ops.(i).node == p then i else go (i + 1)
+  in
+  go 0
+
+(* -- recording (serial executor: single-domain mutation) ------------------ *)
+
+let note_open (t : t) id dt =
+  let op = t.ops.(id) in
+  op.opens <- op.opens + 1;
+  op.wall <- op.wall +. dt
+
+let add_batch (t : t) id ~dt ~rows =
+  let op = t.ops.(id) in
+  op.rows <- op.rows + rows;
+  op.batches <- op.batches + 1;
+  op.wall <- op.wall +. dt
+
+let add_time (t : t) id dt =
+  let op = t.ops.(id) in
+  op.wall <- op.wall +. dt
+
+let add_rows (t : t) id rows =
+  let op = t.ops.(id) in
+  op.rows <- op.rows + rows
+
+(* -- parallel partials (merged single-threaded after Pool.await) ---------- *)
+
+let new_partial (t : t) : int array = Array.make (Array.length t.ops) 0
+
+let merge_partial (t : t) (rows : int array) =
+  let n = min (Array.length rows) (Array.length t.ops) in
+  for i = 0 to n - 1 do
+    if rows.(i) <> 0 then begin
+      let op = t.ops.(i) in
+      op.rows <- op.rows + rows.(i)
+    end
+  done
+
+(* -- reporting ------------------------------------------------------------ *)
+
+(** q-error of an operator's row estimate: max(est/act, act/est), both
+    sides floored at one row so empty results stay finite. *)
+let q_error (op : op) : float =
+  let e = Float.max 1.0 op.est and a = Float.max 1.0 (float_of_int op.rows) in
+  Float.max (e /. a) (a /. e)
+
+(** The opened operator with the worst q-error, if any estimate was off
+    by more than 2x. *)
+let worst_estimate (t : t) : op option =
+  Array.fold_left
+    (fun acc op ->
+      if op.opens = 0 then acc
+      else
+        match acc with
+        | Some best when q_error best >= q_error op -> acc
+        | _ -> Some op)
+    None t.ops
+  |> function
+  | Some op when q_error op > 2.0 -> Some op
+  | _ -> None
+
+let fmt_ms s =
+  if s < 0.000_1 then Printf.sprintf "%.0fus" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.3fs" s
+
+let render (t : t) : string =
+  let buf = Buffer.create 512 in
+  let worst = worst_estimate t in
+  Array.iteri
+    (fun s (name, _) ->
+      if name <> "" then Buffer.add_string buf (Printf.sprintf "-- %s --\n" name);
+      Array.iter
+        (fun op ->
+          if op.section = s then begin
+            Buffer.add_string buf (String.make (op.depth * 2) ' ');
+            Buffer.add_string buf (Plan.node_line op.node);
+            if op.opens = 0 then
+              Buffer.add_string buf
+                (Printf.sprintf "  (est=%.0f never opened: fused or cached)"
+                   op.est)
+            else begin
+              Buffer.add_string buf
+                (Printf.sprintf "  (est=%.0f act=%d q=%.2f time=%s" op.est
+                   op.rows (q_error op) (fmt_ms op.wall));
+              if op.batches > 0 then
+                Buffer.add_string buf (Printf.sprintf " batches=%d" op.batches);
+              if op.opens > 1 then
+                Buffer.add_string buf (Printf.sprintf " loops=%d" op.opens);
+              Buffer.add_string buf ")";
+              match worst with
+              | Some w when w == op -> Buffer.add_string buf "  <- worst estimate"
+              | _ -> ()
+            end;
+            Buffer.add_char buf '\n'
+          end)
+        t.ops)
+    t.sections;
+  (match worst with
+  | Some w ->
+    Buffer.add_string buf
+      (Printf.sprintf "worst estimate: %s (est=%.0f act=%d q-error=%.1f)\n"
+         (Plan.node_line w.node) w.est w.rows (q_error w))
+  | None -> Buffer.add_string buf "estimates within 2x of actuals\n");
+  if t.total_wall > 0.0 then
+    Buffer.add_string buf
+      (Printf.sprintf "total time: %s\n" (fmt_ms t.total_wall));
+  Buffer.contents buf

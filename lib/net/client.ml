@@ -127,16 +127,24 @@ let collect_rows t : Schema.t * Tuple.t list =
   (schema, go [])
 
 let query t (sql : string) : Schema.t * Tuple.t list =
-  send t (Wire.Query { sql });
+  send t (Wire.Query { sql; analyze = false });
   collect_rows t
 
 let query_rows t sql = snd (query t sql)
+
+(** EXPLAIN ANALYZE over the wire: the server executes the query under
+    an instrumented context and ships back the per-operator report. *)
+let query_analyze t (sql : string) : string =
+  send t (Wire.Query { sql; analyze = true });
+  match recv_ok t with
+  | Wire.Done report -> report
+  | r -> protocol_error "done" (tag_of r)
 
 (** Extract a CO stream ([text] is XNF query text or a view name),
     reassembled from its chunk frames.  [chunk] is the ship quantum in
     stream items: unset = server default, [1] = tuple-at-a-time. *)
 let extract ?(chunk = 0) t (text : string) : H.t =
-  send t (Wire.Extract { text; chunk });
+  send t (Wire.Extract { text; chunk; analyze = false });
   let header =
     match recv_ok t with
     | Wire.Stream_header h -> h
@@ -155,6 +163,15 @@ let extract ?(chunk = 0) t (text : string) : H.t =
     | r -> protocol_error "stream_chunk/stream_end" (tag_of r)
   in
   { H.header; items = go [] }
+
+(** Instrumented extraction over the wire: the server runs the XNF
+    query (or view) under an instrumented context and ships back the
+    per-operator report instead of a stream. *)
+let extract_analyze t (text : string) : string =
+  send t (Wire.Extract { text; chunk = 0; analyze = true });
+  match recv_ok t with
+  | Wire.Done report -> report
+  | r -> protocol_error "done" (tag_of r)
 
 type exec_result =
   | Rows of Schema.t * Tuple.t list

@@ -21,10 +21,18 @@ val query : t -> string -> Schema.t * Tuple.t list
 
 val query_rows : t -> string -> Tuple.t list
 
+val query_analyze : t -> string -> string
+(** EXPLAIN ANALYZE over the wire: the server executes the query under
+    an instrumented context and replies with the per-operator report. *)
+
 val extract : ?chunk:int -> t -> string -> H.t
 (** Extract a CO stream ([text] is XNF query text or a view name).
     [chunk] is the ship quantum in stream items per frame: unset =
     server default, [1] = tuple-at-a-time. *)
+
+val extract_analyze : t -> string -> string
+(** Instrumented extraction: per-operator report for an XNF query or
+    view instead of a stream. *)
 
 type exec_result =
   | Rows of Schema.t * Tuple.t list

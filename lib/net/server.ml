@@ -547,7 +547,14 @@ let respond t (sess : session) (req : Wire.request) : string list =
           Wire.Hello_ok
             { server = "xnfdb"; version = Wire.version; session_id = sess.sid };
         ]
-  | Wire.Query { sql } ->
+  | Wire.Query { sql; analyze } when analyze ->
+    Atomic.incr t.c_queries;
+    (* attribution owns its own executor ctx, so the lock-free snapshot
+       path can't thread a pinned-epoch ctx through it — take the plain
+       read lock instead *)
+    Rwlock.read t.lock (fun () ->
+        encoded [ Wire.Done (Db.explain_analyze sess.sdb sql) ])
+  | Wire.Query { sql; analyze = _ } ->
     Atomic.incr t.c_queries;
     let run ctx =
       let schema, batches = Db.query_batches ?ctx sess.sdb sql in
@@ -570,7 +577,17 @@ let respond t (sess : session) (req : Wire.request) : string list =
           (Some
              (Executor.Exec.make_ctx ~result_cache:false
                 ~snapshot:(Snapshot.rows s) ())))
-  | Wire.Extract { text; chunk } ->
+  | Wire.Extract { text; chunk = _; analyze = true } ->
+    Atomic.incr t.c_extracts;
+    (* never consults or fills the frame memo: the reply carries live
+       timings, not reusable frames *)
+    Rwlock.read t.lock (fun () ->
+        let text =
+          if Xnf.Xnf_parser.is_xnf_text text then text
+          else Xnf.Xnf_compile.view_text sess.sdb text
+        in
+        encoded [ Wire.Done (Xnf.Xnf_compile.explain_analyze sess.sdb text) ])
+  | Wire.Extract { text; chunk; analyze = _ } ->
     Atomic.incr t.c_extracts;
     let chunk = if chunk > 0 then chunk else t.config.stream_chunk in
     let key = (text, chunk) in

@@ -14,7 +14,7 @@
 open Relcore
 module H = Xnf.Hetstream
 
-let version = 1
+let version = 2
 
 (** Frames larger than this are rejected as malformed before any
     allocation happens — a garbage length prefix must not OOM the
@@ -27,11 +27,16 @@ let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
 
 type request =
   | Hello of { client : string; version : int }
-  | Query of { sql : string }
-  | Extract of { text : string; chunk : int }
+  | Query of { sql : string; analyze : bool }
+      (** [analyze] requests EXPLAIN ANALYZE: the server executes the
+          query, discards the rows and replies with a single [Done]
+          frame carrying the per-operator attribution report. *)
+  | Extract of { text : string; chunk : int; analyze : bool }
       (** [text] is XNF query text or a view name; [chunk] is the number
           of stream items per [Stream_chunk] frame (0 = server default,
-          1 = tuple-at-a-time). *)
+          1 = tuple-at-a-time).  [analyze] requests an instrumented
+          extraction: the reply is one [Done] frame with the
+          per-operator report instead of a stream. *)
   | Stmt of { sql : string }  (** DML / DDL / BEGIN / COMMIT / ROLLBACK *)
   | Stats
   | Bye
@@ -72,11 +77,15 @@ let encode_request (r : request) : string =
     with_tag 'h' (fun b ->
         H.write_string b client;
         H.write_int b version)
-  | Query { sql } -> with_tag 'q' (fun b -> H.write_string b sql)
-  | Extract { text; chunk } ->
+  | Query { sql; analyze } ->
+    with_tag 'q' (fun b ->
+        H.write_string b sql;
+        H.write_int b (if analyze then 1 else 0))
+  | Extract { text; chunk; analyze } ->
     with_tag 'x' (fun b ->
         H.write_string b text;
-        H.write_int b chunk)
+        H.write_int b chunk;
+        H.write_int b (if analyze then 1 else 0))
   | Stmt { sql } -> with_tag 's' (fun b -> H.write_string b sql)
   | Stats -> with_tag 'S' (fun _ -> ())
   | Bye -> with_tag 'b' (fun _ -> ())
@@ -139,12 +148,17 @@ let decode_request (payload : string) : request =
         let client = H.read_string r in
         let version = H.read_int r in
         Hello { client; version })
-  | 'q' -> decoding payload (fun r -> Query { sql = H.read_string r })
+  | 'q' ->
+    decoding payload (fun r ->
+        let sql = H.read_string r in
+        let analyze = H.read_int r <> 0 in
+        Query { sql; analyze })
   | 'x' ->
     decoding payload (fun r ->
         let text = H.read_string r in
         let chunk = H.read_int r in
-        Extract { text; chunk })
+        let analyze = H.read_int r <> 0 in
+        Extract { text; chunk; analyze })
   | 's' -> decoding payload (fun r -> Stmt { sql = H.read_string r })
   | 'S' -> decoding payload (fun _ -> Stats)
   | 'b' -> decoding payload (fun _ -> Bye)

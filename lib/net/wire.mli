@@ -21,11 +21,15 @@ exception Malformed of string
 
 type request =
   | Hello of { client : string; version : int }
-  | Query of { sql : string }
-  | Extract of { text : string; chunk : int }
+  | Query of { sql : string; analyze : bool }
+      (** [analyze] requests EXPLAIN ANALYZE: the server executes the
+          query and replies with one [Done] frame carrying the
+          per-operator attribution report instead of a row stream. *)
+  | Extract of { text : string; chunk : int; analyze : bool }
       (** [text] is XNF query text or a view name; [chunk] is the number
           of stream items per [Stream_chunk] frame (0 = server default,
-          1 = tuple-at-a-time). *)
+          1 = tuple-at-a-time).  [analyze] replies with one [Done]
+          report frame instead of a stream. *)
   | Stmt of { sql : string }  (** DML / DDL / BEGIN / COMMIT / ROLLBACK *)
   | Stats
   | Bye

@@ -8,11 +8,60 @@ val eq_selectivity : float
 val range_selectivity : float
 val default_selectivity : float
 
-val tuple_cost : float
-(** Cost of evaluating one tuple inside a batch loop (normalized). *)
+(** Host calibration of the cost constants (see [xnfdb calibrate]).
+    Constants are ratios over the per-tuple scan cost; a persisted
+    profile is activated by [XNFDB_COST_PROFILE] and disabled bit for
+    bit by [XNFDB_CALIBRATION=0]. *)
+module Calibrate : sig
+  type profile = {
+    batch_overhead : float;
+    cold_chunk_penalty : float;
+    parallel_overhead : float;
+    parallel_threshold_rows : int;
+    jf_drop_threshold : float;
+    jf_adaptive_sample : int;
+    host_cores : int;
+    tuple_ns : float;
+  }
 
-val batch_overhead : float
-(** Fixed cost of moving one batch across an operator boundary. *)
+  val defaults : profile
+  (** The hand-set constants, bit for bit. *)
+
+  val measure : unit -> profile
+  (** Run the micro-probe suite (scan, batch dispatch, hash
+      build/probe, Bloom test, decode fault, domain fan-out) on this
+      host; takes well under a second. *)
+
+  val render : profile -> string
+  (** The persisted [key value] text form. *)
+
+  val save : string -> profile -> unit
+
+  val load : string -> (profile, string) result
+  (** Missing keys keep their defaults; unknown keys are ignored. *)
+
+  val enabled : unit -> bool
+  (** The [XNFDB_CALIBRATION] knob (default on; "0" restores
+      defaults). *)
+
+  val profile_path : unit -> string option
+  (** The [XNFDB_COST_PROFILE] knob. *)
+
+  val active : unit -> profile
+  (** The profile in force: the file named by [XNFDB_COST_PROFILE] when
+      calibration is enabled and the file loads, else {!defaults}.
+      Memoized on the two knob values, so flipping them mid-process
+      takes effect immediately. *)
+end
+
+val tuple_cost : float
+(** Cost of evaluating one tuple inside a batch loop — the normalized
+    unit (always 1.0; calibration reshapes the other constants around
+    it). *)
+
+val batch_overhead : unit -> float
+(** Fixed cost of moving one batch across an operator boundary
+    (calibrated). *)
 
 val stream_cost : float -> float
 (** [stream_cost rows] is the cost of streaming that many tuples through
@@ -20,22 +69,31 @@ val stream_cost : float -> float
     plus a per-batch term for however many [Relcore.Batch] units the
     rows occupy. *)
 
-val cold_chunk_penalty : float
+val cold_chunk_penalty : unit -> float
 (** Extra per-row cost of scanning a spilled (cold) colstore chunk
-    relative to a hot one. *)
+    relative to a hot one (calibrated). *)
 
 val scan_access_factor : Relcore.Base_table.t -> float
 (** Multiplier on the cost of scanning the table's rows:
     [1 + cold_chunk_penalty * cold_fraction].  1.0 when the colstore or
     spilling is off, so default plans are unchanged. *)
 
-val parallel_threshold_rows : int
+val parallel_threshold_rows : unit -> int
 (** Input-row count below which a fragment runs serially (scheduling a
-    parallel fan-out would cost more than it saves). *)
+    parallel fan-out would cost more than it saves; calibrated). *)
 
-val parallel_overhead : float
+val parallel_overhead : unit -> float
 (** Fixed cost of one parallel fan-out (pool dispatch, channel setup,
-    deterministic re-merge). *)
+    deterministic re-merge; calibrated). *)
+
+val jf_adaptive_sample : unit -> int
+(** Probe rows both executors observe before judging a join filter's
+    usefulness (calibrated). *)
+
+val jf_drop_threshold : unit -> float
+(** Observed pass-rate above which the per-row join-filter test is
+    disabled (calibrated from the Bloom-test vs hash-probe cost
+    ratio). *)
 
 val choose_dop : ?threshold:int -> domains:int -> rows:int -> unit -> int
 (** Degree of parallelism for a fragment: 1 under [threshold] rows,

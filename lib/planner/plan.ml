@@ -111,95 +111,96 @@ let rec ppred_to_string = function
   | P_exists _ -> "EXISTS(<subplan>)"
   | P_in (s, _) -> scalar_to_string s ^ " IN (<subplan>)"
 
+(** Subplans reachable through a predicate ([EXISTS]/[IN] probes). *)
+let rec pred_subplans = function
+  | P_exists p | P_in (_, p) -> [ p ]
+  | P_and (a, b) | P_or (a, b) -> pred_subplans a @ pred_subplans b
+  | P_not p -> pred_subplans p
+  | P_true | P_false | P_cmp _ | P_is_null _ | P_is_not_null _ | P_like _ -> []
+
+(** The one-line head of a node in EXPLAIN output (no children, no
+    indentation) — shared by {!explain} and the EXPLAIN ANALYZE
+    renderer, so both always print the same operator labels. *)
+let node_line = function
+  | Scan t ->
+    Printf.sprintf "Scan %s (card=%d)" (Base_table.name t)
+      (Base_table.cardinality t)
+  | Values rows -> Printf.sprintf "Values (%d rows)" (List.length rows)
+  | Filter (_, pred) -> "Filter " ^ ppred_to_string pred
+  | Project (_, cols) ->
+    Printf.sprintf "Project [%s]"
+      (String.concat ", " (Array.to_list (Array.map scalar_to_string cols)))
+  | Nl_join { cond; _ } -> "NestedLoopJoin on " ^ ppred_to_string cond
+  | Hash_join { build_keys; probe_keys; residual; jfilter; _ } ->
+    Printf.sprintf "HashJoin probe[%s] = build[%s]%s%s"
+      (String.concat ", " (List.map scalar_to_string probe_keys))
+      (String.concat ", " (List.map scalar_to_string build_keys))
+      (match residual with
+      | P_true -> ""
+      | r -> " residual " ^ ppred_to_string r)
+      (match jfilter with
+      | Some { jf_pass_est } -> Printf.sprintf " jfilter(pass~%.2f)" jf_pass_est
+      | None -> "")
+  | Index_join { table; index; keys; residual; _ } ->
+    Printf.sprintf "IndexJoin %s via %s keys [%s]%s" (Base_table.name table)
+      index.Index.name
+      (String.concat ", " (List.map scalar_to_string keys))
+      (match residual with
+      | P_true -> ""
+      | r -> " residual " ^ ppred_to_string r)
+  | Merge_join { left_keys; right_keys; residual; _ } ->
+    Printf.sprintf "MergeJoin left[%s] = right[%s]%s"
+      (String.concat ", " (List.map scalar_to_string left_keys))
+      (String.concat ", " (List.map scalar_to_string right_keys))
+      (match residual with
+      | P_true -> ""
+      | r -> " residual " ^ ppred_to_string r)
+  | Distinct _ -> "Distinct"
+  | Aggregate { keys; aggs; _ } ->
+    Printf.sprintf "Aggregate keys=[%s] aggs=[%s]"
+      (String.concat ", " (List.map scalar_to_string keys))
+      (String.concat ", "
+         (List.map
+            (fun a ->
+              Sqlkit.Pretty.agg_str a.agg_fn
+              ^
+              match a.agg_arg with
+              | Some s -> "(" ^ scalar_to_string s ^ ")"
+              | None -> "(*)")
+            aggs))
+  | Sort (_, specs) ->
+    Printf.sprintf "Sort [%s]"
+      (String.concat ", "
+         (List.map
+            (fun (i, d) ->
+              Printf.sprintf "$%d%s" i
+                (match d with `Asc -> "" | `Desc -> " DESC"))
+            specs))
+  | Limit (_, n) -> Printf.sprintf "Limit %d" n
+  | Union_all inputs -> Printf.sprintf "UnionAll (%d inputs)" (List.length inputs)
+  | Shared (bid, _) -> Printf.sprintf "Shared (cse box %d)" bid
+
+(** Direct children in EXPLAIN rendering order (including predicate
+    subplans, which execute as correlated probes). *)
+let children = function
+  | Scan _ | Values _ -> []
+  | Filter (input, pred) -> input :: pred_subplans pred
+  | Project (input, _) | Distinct input | Sort (input, _) | Limit (input, _)
+  | Shared (_, input) ->
+    [ input ]
+  | Nl_join { outer; inner; _ } -> [ outer; inner ]
+  | Hash_join { build; probe; _ } -> [ probe; build ]
+  | Index_join { outer; _ } -> [ outer ]
+  | Merge_join { left; right; _ } -> [ left; right ]
+  | Aggregate { input; _ } -> [ input ]
+  | Union_all inputs -> inputs
+
 let explain (plan : t) : string =
   let buf = Buffer.create 256 in
   let rec go indent p =
     let pad = String.make (indent * 2) ' ' in
-    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (pad ^ s ^ "\n")) fmt in
-    match p with
-    | Scan t -> line "Scan %s (card=%d)" (Base_table.name t) (Base_table.cardinality t)
-    | Values rows -> line "Values (%d rows)" (List.length rows)
-    | Filter (input, pred) ->
-      line "Filter %s" (ppred_to_string pred);
-      go (indent + 1) input;
-      List.iter (go (indent + 1)) (subplans_of_pred pred)
-    | Project (input, cols) ->
-      line "Project [%s]"
-        (String.concat ", " (Array.to_list (Array.map scalar_to_string cols)));
-      go (indent + 1) input
-    | Nl_join { outer; inner; cond } ->
-      line "NestedLoopJoin on %s" (ppred_to_string cond);
-      go (indent + 1) outer;
-      go (indent + 1) inner
-    | Hash_join { build; probe; build_keys; probe_keys; residual; jfilter } ->
-      line "HashJoin probe[%s] = build[%s]%s%s"
-        (String.concat ", " (List.map scalar_to_string probe_keys))
-        (String.concat ", " (List.map scalar_to_string build_keys))
-        (match residual with
-        | P_true -> ""
-        | r -> " residual " ^ ppred_to_string r)
-        (match jfilter with
-        | Some { jf_pass_est } ->
-          Printf.sprintf " jfilter(pass~%.2f)" jf_pass_est
-        | None -> "");
-      go (indent + 1) probe;
-      go (indent + 1) build
-    | Index_join { outer; table; index; keys; residual } ->
-      line "IndexJoin %s via %s keys [%s]%s" (Base_table.name table)
-        index.Index.name
-        (String.concat ", " (List.map scalar_to_string keys))
-        (match residual with
-        | P_true -> ""
-        | r -> " residual " ^ ppred_to_string r);
-      go (indent + 1) outer
-    | Merge_join { left; right; left_keys; right_keys; residual } ->
-      line "MergeJoin left[%s] = right[%s]%s"
-        (String.concat ", " (List.map scalar_to_string left_keys))
-        (String.concat ", " (List.map scalar_to_string right_keys))
-        (match residual with
-        | P_true -> ""
-        | r -> " residual " ^ ppred_to_string r);
-      go (indent + 1) left;
-      go (indent + 1) right
-    | Distinct input ->
-      line "Distinct";
-      go (indent + 1) input
-    | Aggregate { input; keys; aggs } ->
-      line "Aggregate keys=[%s] aggs=[%s]"
-        (String.concat ", " (List.map scalar_to_string keys))
-        (String.concat ", "
-           (List.map
-              (fun a ->
-                Sqlkit.Pretty.agg_str a.agg_fn
-                ^ match a.agg_arg with
-                  | Some s -> "(" ^ scalar_to_string s ^ ")"
-                  | None -> "(*)")
-              aggs));
-      go (indent + 1) input
-    | Sort (input, specs) ->
-      line "Sort [%s]"
-        (String.concat ", "
-           (List.map
-              (fun (i, d) ->
-                Printf.sprintf "$%d%s" i
-                  (match d with `Asc -> "" | `Desc -> " DESC"))
-              specs));
-      go (indent + 1) input
-    | Limit (input, n) ->
-      line "Limit %d" n;
-      go (indent + 1) input
-    | Union_all inputs ->
-      line "UnionAll (%d inputs)" (List.length inputs);
-      List.iter (go (indent + 1)) inputs
-    | Shared (bid, input) ->
-      line "Shared (cse box %d)" bid;
-      go (indent + 1) input
-  and subplans_of_pred = function
-    | P_exists p | P_in (_, p) -> [ p ]
-    | P_and (a, b) | P_or (a, b) -> subplans_of_pred a @ subplans_of_pred b
-    | P_not p -> subplans_of_pred p
-    | P_true | P_false | P_cmp _ | P_is_null _ | P_is_not_null _ | P_like _ ->
-      []
+    Buffer.add_string buf (pad ^ node_line p ^ "\n");
+    List.iter (go (indent + 1)) (children p)
   in
   go 0 plan;
   Buffer.contents buf

@@ -241,7 +241,7 @@ and compile_joins ctx (box : Qgm.box) : Plan.t * layout =
                      ~build_card))
               infinity pairs
           in
-          if est < Bloom.drop_threshold then Some { Plan.jf_pass_est = est }
+          if est < Cost.jf_drop_threshold () then Some { Plan.jf_pass_est = est }
           else None
       in
       let plan =

@@ -334,7 +334,7 @@ let test_pruning_counters () =
   Alcotest.(check int) "only passing rows materialized" 10 materialized;
   let ex = Db.explain db "SELECT x FROM seq WHERE x < 10" in
   Alcotest.(check bool) "explain has a colstore section" true
-    (contains ~affix:"== colstore ==" ex
+    (contains ~affix:"== colstore (this statement) ==" ex
     && contains ~affix:"chunks scanned" ex
     && contains ~affix:"rows materialized" ex)
 

@@ -18,6 +18,7 @@ let () =
       ("cocache", Test_cocache.suite);
       ("workloads", Test_workloads.suite);
       ("net", Test_net.suite);
+      ("analyze", Test_analyze.suite);
       ("writepath", Test_writepath.suite);
       ("properties", Test_props.suite);
     ]

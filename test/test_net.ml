@@ -97,8 +97,10 @@ let prop_requests_stable =
           Wire.encode_request (Wire.decode_request (payload_of enc)) = enc)
         [
           Hello { client = s; version = Wire.version };
-          Query { sql = s };
-          Extract { text = s; chunk = String.length s };
+          Query { sql = s; analyze = false };
+          Query { sql = s; analyze = true };
+          Extract { text = s; chunk = String.length s; analyze = false };
+          Extract { text = s; chunk = String.length s; analyze = true };
           Stmt { sql = s };
           Stats;
           Bye;
@@ -188,7 +190,7 @@ let test_malformed_payloads () =
   expect_malformed "unknown response tag" (fun () ->
       ignore (Wire.decode_response "? junk"));
   expect_malformed "truncated body" (fun () ->
-      let enc = Wire.encode_request (Wire.Query { sql = "SELECT 1" }) in
+      let enc = Wire.encode_request (Wire.Query { sql = "SELECT 1"; analyze = false }) in
       ignore (Wire.decode_request (String.sub enc 4 5)));
   expect_malformed "trailing garbage" (fun () ->
       let enc = Wire.encode_request Wire.Bye in
@@ -363,7 +365,7 @@ let test_crash_isolation () =
              socket, never read *)
           let victim = Client.connect addr in
           Client.send_raw victim
-            (Wire.encode_request (Wire.Extract { text = "deps_arc"; chunk = 1 }));
+            (Wire.encode_request (Wire.Extract { text = "deps_arc"; chunk = 1; analyze = false }));
           Client.abort victim;
           (* the survivor keeps getting correct answers *)
           for _ = 1 to 3 do
@@ -501,6 +503,42 @@ let test_shutdown_rolls_back_check () =
   Alcotest.(check int) "open txn rolled back on shutdown" 1
     (Relcore.Base_table.cardinality tbl)
 
+(* -- daemon: EXPLAIN ANALYZE over the wire -------------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_analyze_over_wire () =
+  with_server ~setup:org_setup (fun addr _db _t ->
+      let cl = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          let report =
+            Client.query_analyze cl "SELECT eno FROM emp WHERE sal > 95"
+          in
+          List.iter
+            (fun affix ->
+              Alcotest.(check bool)
+                ("query report has " ^ affix)
+                true
+                (contains report affix))
+            [ "== plan (analyzed) =="; "act="; "rows returned:" ];
+          let xreport = Client.extract_analyze cl "deps_arc" in
+          List.iter
+            (fun affix ->
+              Alcotest.(check bool)
+                ("extract report has " ^ affix)
+                true
+                (contains xreport affix))
+            [ "== plans (analyzed) =="; "act="; "stream items:" ];
+          (* the connection still answers plain requests afterwards *)
+          check_rows "post-analyze query"
+            (rows_of_ints [ [ 4 ] ])
+            (Client.query_rows cl "SELECT COUNT(*) FROM emp")))
+
 let suite =
   [
     Alcotest.test_case "codec: empty frames" `Quick test_empty_batch;
@@ -529,4 +567,6 @@ let suite =
     Alcotest.test_case "daemon: max sessions" `Quick test_max_sessions;
     Alcotest.test_case "daemon: shutdown rolls back" `Quick
       test_shutdown_rolls_back_check;
+    Alcotest.test_case "daemon: analyze over the wire" `Quick
+      test_analyze_over_wire;
   ]
